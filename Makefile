@@ -1,0 +1,45 @@
+# FACC reproduction — convenience targets. Everything is plain `go` under
+# the hood; the Makefile just names the common workflows.
+
+GO ?= go
+
+.PHONY: all build test test-short bench repro repro-full examples fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# One testing.B benchmark per paper table/figure plus ablations.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Regenerate the paper's evaluation (Table 1 + Figures 8-16 + ablations).
+repro:
+	$(GO) run ./cmd/faccbench
+
+# Paper-size classifier protocol for Figure 11 (slow).
+repro-full:
+	$(GO) run ./cmd/faccbench -experiment fig11 -full
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/embedded
+	$(GO) run ./examples/library
+	$(GO) run ./examples/classifier
+	$(GO) run ./examples/migration
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,320 @@
+package facc
+
+// End-to-end execution of emitted adapters: the generated C is appended to
+// the user's translation unit together with a MiniC model of the device
+// API, and the whole thing runs in the interpreter. The adapter function
+// must agree with the original user function on accelerated inputs AND
+// take the fallback path outside the device domain.
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"facc/internal/bench"
+	"facc/internal/interp"
+	"facc/internal/minic"
+)
+
+// deviceModels provides MiniC implementations of each accelerator call,
+// functionally identical to the Go simulators (including the FFTA's
+// normalization quirk).
+var deviceModels = map[string]string{
+	"ffta": `
+void accel_cfft(float_complex* in, float_complex* out, int len) {
+    for (int k = 0; k < len; k++) {
+        double sre = 0.0;
+        double sim = 0.0;
+        for (int j = 0; j < len; j++) {
+            double a = -2.0 * M_PI * (double)j * (double)k / (double)len;
+            sre += (double)in[j].re * cos(a) - (double)in[j].im * sin(a);
+            sim += (double)in[j].re * sin(a) + (double)in[j].im * cos(a);
+        }
+        out[k].re = (float)(sre / (double)len);
+        out[k].im = (float)(sim / (double)len);
+    }
+}`,
+	"powerquad": `
+void pq_cfft(float_complex* in, float_complex* out, int length) {
+    for (int k = 0; k < length; k++) {
+        double sre = 0.0;
+        double sim = 0.0;
+        for (int j = 0; j < length; j++) {
+            double a = -2.0 * M_PI * (double)j * (double)k / (double)length;
+            sre += (double)in[j].re * cos(a) - (double)in[j].im * sin(a);
+            sim += (double)in[j].re * sin(a) + (double)in[j].im * cos(a);
+        }
+        out[k].re = (float)sre;
+        out[k].im = (float)sim;
+    }
+}`,
+	"fftw": `
+void fftw_call(float_complex* in, float_complex* out, int length, int direction, int flags) {
+    double sign = (double)direction;
+    for (int k = 0; k < length; k++) {
+        double sre = 0.0;
+        double sim = 0.0;
+        for (int j = 0; j < length; j++) {
+            double a = sign * 2.0 * M_PI * (double)j * (double)k / (double)length;
+            sre += (double)in[j].re * cos(a) - (double)in[j].im * sin(a);
+            sim += (double)in[j].re * sin(a) + (double)in[j].im * cos(a);
+        }
+        out[k].re = (float)sre;
+        out[k].im = (float)sim;
+    }
+}`,
+}
+
+// runAdapterEndToEnd compiles benchmark bm to target, builds a combined
+// translation unit (user code + adapter + device model), and compares
+// <entry>_accel against <entry> on the given size.
+func runAdapterEndToEnd(t *testing.T, name, target string, n int) {
+	t.Helper()
+	bm, err := bench.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compile(bm.File, bm.Source(), target, Options{
+		Entry:         bm.Entry,
+		ProfileValues: bm.ProfileValues,
+		NumTests:      4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("compile failed: %s", res.FailReason())
+	}
+	combined := bm.Source() + "\n" + res.AdapterC() + "\n" + deviceModels[target]
+	f, err := minic.ParseAndCheck("combined.c", combined)
+	if err != nil {
+		t.Fatalf("combined unit does not compile: %v", err)
+	}
+	m, err := interp.NewMachine(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.MaxSteps = 1_000_000_000
+
+	entry := f.Func(bm.Entry)
+	elem := entry.Params[0].Type.Decay().Elem
+
+	rng := rand.New(rand.NewSource(31))
+	in := make([]complex128, n)
+	for i := range in {
+		in[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+
+	run := func(fnName string) []complex128 {
+		arr, err := m.NewArray("buf", elem, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.SetStructComplexArray(arr, in, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+		args := []interp.Value{arr}
+		for _, prm := range entry.Params[1:] {
+			_ = prm
+			args = append(args, interp.IntValue(int64(n)))
+		}
+		if _, err := m.CallNamed(fnName, args); err != nil {
+			t.Fatalf("%s: %v", fnName, err)
+		}
+		out, err := m.GetStructComplexArray(arr, n, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	want := run(bm.Entry)
+	got := run(bm.Entry + "_accel")
+
+	norm := 0.0
+	for _, v := range want {
+		if mag := cmplx.Abs(v); mag > norm {
+			norm = mag
+		}
+	}
+	for i := range want {
+		if d := cmplx.Abs(want[i] - got[i]); d > 2e-3*(1+norm) {
+			t.Fatalf("adapter diverges at [%d]: user %v vs adapter %v", i, want[i], got[i])
+		}
+	}
+}
+
+func TestEmittedAdapterExecutesFFTA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("interprets O(n^2) device model")
+	}
+	// iterdit: in-place struct FFT; the FFTA device model normalizes, the
+	// adapter's denormalize patch must undo it.
+	runAdapterEndToEnd(t, "iterdit", TargetFFTA, 64)
+}
+
+func TestEmittedAdapterExecutesPowerQuad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("interprets O(n^2) device model")
+	}
+	runAdapterEndToEnd(t, "normdit", TargetPowerQuad, 32)
+}
+
+// The fallback path: sizes outside the device domain must route to the
+// original user code and still produce correct results.
+func TestEmittedAdapterFallbackPath(t *testing.T) {
+	bm, err := bench.ByName("iterdit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compile(bm.File, bm.Source(), TargetFFTA, Options{
+		Entry:         bm.Entry,
+		ProfileValues: map[string][]int64{"n": {16, 64, 128}}, // 16 < FFTA MinN
+		NumTests:      4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("compile failed: %s", res.FailReason())
+	}
+	if !strings.Contains(res.AdapterC(), "n >= 64") {
+		t.Fatalf("expected min-size check:\n%s", res.AdapterC())
+	}
+	combined := bm.Source() + "\n" + res.AdapterC() + "\n" + deviceModels[TargetFFTA]
+	f, err := minic.ParseAndCheck("combined.c", combined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := interp.NewMachine(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n = 16 is below the FFTA minimum: the adapter must fall back to the
+	// software path (which is exact), so outputs match the user function
+	// bit-for-bit.
+	n := 16
+	elem := f.Func(bm.Entry).Params[0].Type.Decay().Elem
+	rng := rand.New(rand.NewSource(5))
+	in := make([]complex128, n)
+	for i := range in {
+		in[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	run := func(fnName string) []complex128 {
+		arr, err := m.NewArray("buf", elem, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.SetStructComplexArray(arr, in, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.CallNamed(fnName, []interp.Value{arr, interp.IntValue(int64(n))}); err != nil {
+			t.Fatalf("%s: %v", fnName, err)
+		}
+		out, err := m.GetStructComplexArray(arr, n, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := run(bm.Entry)
+	got := run(bm.Entry + "_accel")
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("fallback path diverges at [%d]: %v vs %v — exact match expected",
+				i, want[i], got[i])
+		}
+	}
+	if math.IsNaN(real(got[0])) {
+		t.Fatal("NaN output")
+	}
+}
+
+// TestIntegratedUnitExecutes runs the complete Fig. 1 flow: compile,
+// rewrite call sites, append the adapter and a device model, then run the
+// application driver through the interpreter — the integrated app must
+// compute exactly what the original did (up to accelerator precision).
+func TestIntegratedUnitExecutes(t *testing.T) {
+	app := `
+#include <math.h>
+typedef struct { double re; double im; } cpx;
+void fft(cpx* x, int n) {
+    cpx out[n];
+    for (int k = 0; k < n; k++) {
+        double sre = 0.0;
+        double sim = 0.0;
+        for (int j = 0; j < n; j++) {
+            double a = -2.0 * M_PI * (double)j * (double)k / (double)n;
+            sre += x[j].re * cos(a) - x[j].im * sin(a);
+            sim += x[j].re * sin(a) + x[j].im * cos(a);
+        }
+        out[k].re = sre;
+        out[k].im = sim;
+    }
+    for (int k = 0; k < n; k++) x[k] = out[k];
+}
+double spectral_energy(cpx* buf, int n) {
+    fft(buf, n);
+    double e = 0.0;
+    for (int i = 0; i < n; i++) {
+        e += buf[i].re * buf[i].re + buf[i].im * buf[i].im;
+    }
+    return e / (double)n;
+}`
+	res, err := Compile("app.c", app, TargetPowerQuad, Options{
+		Entry:         "fft",
+		ProfileValues: map[string][]int64{"n": {16, 32}},
+		NumTests:      4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("compile: %s", res.FailReason())
+	}
+	unit, err := res.IntegratedUnit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(unit, "fft_accel(buf, n);") {
+		t.Fatalf("driver not rewritten:\n%s", unit)
+	}
+
+	runEnergy := func(src string) float64 {
+		f, err := minic.ParseAndCheck("app.c", src)
+		if err != nil {
+			t.Fatalf("unit invalid: %v", err)
+		}
+		m, err := interp.NewMachine(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 16
+		elem := f.Func("fft").Params[0].Type.Decay().Elem
+		arr, err := m.NewArray("buf", elem, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(77))
+		in := make([]complex128, n)
+		for i := range in {
+			in[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		if err := m.SetStructComplexArray(arr, in, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+		v, err := m.CallNamed("spectral_energy", []interp.Value{arr, interp.IntValue(int64(n))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v.Float()
+	}
+
+	orig := runEnergy(app)
+	integrated := runEnergy(unit + "\n" + deviceModels[TargetPowerQuad])
+	if d := math.Abs(orig-integrated) / (1 + math.Abs(orig)); d > 1e-5 {
+		t.Fatalf("integrated app diverges: %g vs %g (rel %g)", orig, integrated, d)
+	}
+}

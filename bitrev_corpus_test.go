@@ -1,0 +1,26 @@
+package facc
+
+import (
+	"strings"
+	"testing"
+
+	"facc/internal/bench"
+)
+
+// TestBitReversedContractGetsBitrevPatch: project06's bit-reversed output
+// contract must synthesize a bit-reverse post-op in the adapter.
+func TestBitReversedContractGetsBitrevPatch(t *testing.T) {
+	b, _ := bench.ByName("smalldif")
+	res, err := Compile(b.File, b.Source(), TargetPowerQuad, Options{
+		Entry: b.Entry, ProfileValues: b.ProfileValues, NumTests: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("failed: %s", res.FailReason())
+	}
+	if !strings.Contains(res.AdapterC(), "bit_reverse_permute(__acc_out, __len);") {
+		t.Fatalf("adapter lacks bit-reverse patch:\n%s", res.AdapterC())
+	}
+}

@@ -1,0 +1,118 @@
+// Command facc compiles a MiniC source file against an FFT accelerator
+// target and prints the synthesized drop-in adapter.
+//
+// Usage:
+//
+//	facc -target ffta [-entry fft] [-profile n=64,128,256] [-tests 10] file.c
+//
+// Exit status: 0 on success (adapter printed to stdout), 1 when no adapter
+// could be synthesized (reason printed to stderr), 2 on usage/frontend
+// errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"facc"
+)
+
+func main() {
+	target := flag.String("target", "ffta", "compilation target: ffta, powerquad, fftw")
+	entry := flag.String("entry", "", "function to compile (default: consider all)")
+	profileFlag := flag.String("profile", "",
+		"value profile, e.g. \"n=64,128,256;inverse=0,1\"")
+	tests := flag.Int("tests", 10, "IO examples per candidate")
+	classify := flag.Bool("classify", false,
+		"train the neural classifier for candidate detection (slower startup)")
+	output := flag.String("o", "", "write the adapter to this file instead of stdout")
+	integrate := flag.Bool("integrate", false,
+		"emit the whole rewritten translation unit (call sites redirected to the adapter)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: facc [flags] file.c\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "facc: %v\n", err)
+		os.Exit(2)
+	}
+
+	profile, err := parseProfile(*profileFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "facc: %v\n", err)
+		os.Exit(2)
+	}
+
+	opts := facc.Options{
+		Entry:         *entry,
+		ProfileValues: profile,
+		NumTests:      *tests,
+	}
+	if *classify {
+		clf, err := facc.Train(12, 1)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "facc: training classifier: %v\n", err)
+			os.Exit(2)
+		}
+		opts.Classifier = clf
+	}
+
+	res, err := facc.Compile(path, string(src), *target, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "facc: %v\n", err)
+		os.Exit(2)
+	}
+	if !res.OK() {
+		fmt.Fprintf(os.Stderr, "facc: no adapter synthesized: %s\n", res.FailReason())
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "%s\n", res)
+	text := res.AdapterC()
+	if *integrate {
+		text, err = res.IntegratedUnit()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "facc: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *output != "" {
+		if err := os.WriteFile(*output, []byte(text), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "facc: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
+	fmt.Print(text)
+}
+
+// parseProfile parses "n=64,128;flag=0,1" into a value table.
+func parseProfile(s string) (map[string][]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string][]int64{}
+	for _, group := range strings.Split(s, ";") {
+		name, vals, ok := strings.Cut(group, "=")
+		if !ok || strings.TrimSpace(name) == "" {
+			return nil, fmt.Errorf("malformed profile group %q (want name=v1,v2)", group)
+		}
+		for _, v := range strings.Split(vals, ",") {
+			n, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("profile value %q: %v", v, err)
+			}
+			out[name] = append(out[name], n)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseProfile(t *testing.T) {
+	got, err := parseProfile("n=64,128,256;inverse=0,1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]int64{
+		"n":       {64, 128, 256},
+		"inverse": {0, 1},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("parseProfile = %v, want %v", got, want)
+	}
+}
+
+func TestParseProfileEmpty(t *testing.T) {
+	got, err := parseProfile("")
+	if err != nil || got != nil {
+		t.Errorf("empty profile: %v, %v", got, err)
+	}
+}
+
+func TestParseProfileWhitespace(t *testing.T) {
+	got, err := parseProfile("n=64, 128")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got["n"]) != 2 || got["n"][1] != 128 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestParseProfileErrors(t *testing.T) {
+	for _, bad := range []string{"n", "n=abc", "n=1,x", "=1"} {
+		if _, err := parseProfile(bad); err == nil {
+			t.Errorf("%q: expected error", bad)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Command faccbench regenerates the paper's evaluation: Table 1 and
+// Figures 8 through 16. Each experiment prints the same rows/series the
+// paper reports (see DESIGN.md for the experiment index and EXPERIMENTS.md
+// for paper-vs-measured numbers).
+//
+// Usage:
+//
+//	faccbench                       # run everything
+//	faccbench -experiment fig13     # one experiment
+//	faccbench -experiment fig11 -full   # paper-size classifier protocol
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"facc/internal/core"
+	"facc/internal/eval"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all",
+		"table1, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, ablation, or all")
+	full := flag.Bool("full", false, "use the paper-size Fig. 11 protocol (slow)")
+	tests := flag.Int("tests", 5, "IO examples per candidate during compilation")
+	flag.Parse()
+
+	if err := run(*experiment, *full, *tests); err != nil {
+		fmt.Fprintf(os.Stderr, "faccbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment string, full bool, tests int) error {
+	w := os.Stdout
+	sep := func() { fmt.Fprintln(w) }
+
+	want := func(name string) bool { return experiment == "all" || experiment == name }
+
+	// Shared state, computed lazily.
+	var outcomes []*eval.CompileOutcome
+	needOutcomes := func(targets []string) error {
+		if outcomes != nil {
+			return nil
+		}
+		fmt.Fprintf(os.Stderr, "faccbench: compiling the corpus (%d targets x 25 programs)...\n",
+			len(targets))
+		var err error
+		outcomes, err = eval.CompileAll(targets, tests)
+		return err
+	}
+	allTargets := []string{"ffta", "powerquad", "fftw"}
+	prof := eval.NewProfiler()
+
+	if want("table1") {
+		eval.Table1(w)
+		sep()
+	}
+	if want("fig8") {
+		if err := needOutcomes(allTargets); err != nil {
+			return err
+		}
+		eval.Fig8(w, outcomes)
+		sep()
+	}
+	if want("fig9") {
+		if err := needOutcomes(allTargets); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "faccbench: training classifier for fig9...\n")
+		clf, err := core.TrainClassifier(12, 1)
+		if err != nil {
+			return err
+		}
+		if err := eval.Fig9(w, outcomes, clf); err != nil {
+			return err
+		}
+		sep()
+	}
+	if want("fig10") {
+		if err := eval.Fig10(w, prof); err != nil {
+			return err
+		}
+		sep()
+	}
+	if want("fig11") {
+		cfg := eval.DefaultFig11()
+		if full {
+			cfg = eval.PaperFig11()
+		}
+		if _, err := eval.Fig11(w, cfg); err != nil {
+			return err
+		}
+		sep()
+	}
+	if want("fig12") {
+		if err := eval.Fig12(w); err != nil {
+			return err
+		}
+		sep()
+	}
+	if want("fig13") {
+		if err := eval.Fig13(w, prof); err != nil {
+			return err
+		}
+		sep()
+	}
+	if want("fig14") {
+		if err := eval.Fig14(w, prof); err != nil {
+			return err
+		}
+		sep()
+	}
+	if want("fig15") {
+		if err := needOutcomes(allTargets); err != nil {
+			return err
+		}
+		eval.Fig15(w, outcomes)
+		sep()
+	}
+	if want("fig16") {
+		if err := needOutcomes(allTargets); err != nil {
+			return err
+		}
+		eval.Fig16(w, outcomes)
+		sep()
+	}
+	if want("ablation") {
+		if err := eval.Ablation(w); err != nil {
+			return err
+		}
+		sep()
+	}
+	return nil
+}

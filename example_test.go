@@ -1,0 +1,53 @@
+package facc_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"facc"
+)
+
+// ExampleCompile shows the minimal workflow: hand FACC a legacy C source
+// and a value profile, get back a drop-in accelerator adapter.
+func ExampleCompile() {
+	legacy := `
+#include <math.h>
+#include <complex.h>
+void dft(double complex* in, double complex* out, int n) {
+    for (int k = 0; k < n; k++) {
+        double complex sum = 0.0;
+        for (int j = 0; j < n; j++) {
+            sum += in[j] * cexp(-2.0 * M_PI * I * (double)j * (double)k / (double)n);
+        }
+        out[k] = sum;
+    }
+}`
+	res, err := facc.Compile("legacy.c", legacy, facc.TargetPowerQuad, facc.Options{
+		ProfileValues: map[string][]int64{"n": {16, 32, 64}},
+		NumTests:      4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("ok:", res.OK())
+	fmt.Println("replaced:", res.Function())
+	fmt.Println("calls accelerator:", strings.Contains(res.AdapterC(), "pq_cfft("))
+	// Output:
+	// ok: true
+	// replaced: dft
+	// calls accelerator: true
+}
+
+// ExampleMigrate shows library-to-hardware migration (paper §10).
+func ExampleMigrate() {
+	mig, err := facc.Migrate(facc.TargetFFTW, facc.TargetFFTA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("patch:", mig.Post.String())
+	fmt.Println("forward only:", mig.ForwardOnly)
+	// Output:
+	// patch: denormalize(*N)
+	// forward only: true
+}

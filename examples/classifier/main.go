@@ -1,0 +1,80 @@
+// Classifier scenario: scan a multi-function "codebase" for acceleratable
+// FFT regions with the neural classifier (the paper's candidate-detection
+// stage), then compile only the flagged functions. Non-FFT functions with
+// FFT-like signatures are flagged by top-3 classification but rejected by
+// generate-and-test — the paper's "better to identify too many regions
+// than too few".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"facc"
+	"facc/internal/minic"
+)
+
+const codebase = `
+#include <math.h>
+#include <complex.h>
+
+typedef struct { double re; double im; } cpx;
+
+/* A genuine FFT, buried among other DSP helpers. */
+void transform(cpx* x, int n) {
+    cpx out[n];
+    for (int k = 0; k < n; k++) {
+        double sre = 0.0;
+        double sim = 0.0;
+        for (int j = 0; j < n; j++) {
+            double ang = -2.0 * M_PI * (double)j * (double)k / (double)n;
+            sre += x[j].re * cos(ang) - x[j].im * sin(ang);
+            sim += x[j].re * sin(ang) + x[j].im * cos(ang);
+        }
+        out[k].re = sre;
+        out[k].im = sim;
+    }
+    for (int k = 0; k < n; k++) x[k] = out[k];
+}
+
+/* FFT-shaped signature, but it is a windowing function. */
+void hann_window(cpx* x, int n) {
+    for (int i = 0; i < n; i++) {
+        double w = 0.5 - 0.5 * cos(2.0 * M_PI * (double)i / (double)(n - 1));
+        x[i].re = x[i].re * w;
+        x[i].im = x[i].im * w;
+    }
+}
+
+/* Plain scaling. */
+void gain(double* samples, int n, double g) {
+    for (int i = 0; i < n; i++) samples[i] = samples[i] * g;
+}`
+
+func main() {
+	fmt.Println("training candidate classifier (OJClone-style dataset + FFT class)...")
+	clf, err := facc.Train(10, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	f, err := minic.ParseAndCheck("codebase.c", codebase)
+	if err != nil {
+		log.Fatal(err)
+	}
+	candidates := clf.CandidateFunctions(f)
+	fmt.Printf("classifier flagged %d candidate region(s): %v\n", len(candidates), candidates)
+
+	res, err := facc.Compile("codebase.c", codebase, facc.TargetFFTA, facc.Options{
+		Classifier:    clf,
+		ProfileValues: map[string][]int64{"n": {64, 128}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.OK() {
+		log.Fatalf("no adapter: %s", res.FailReason())
+	}
+	fmt.Printf("generate-and-test accepted %q and rejected the rest\n", res.Function())
+	fmt.Println(res)
+}

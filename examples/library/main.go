@@ -1,0 +1,69 @@
+// Library-migration scenario (the paper's FFTW target): user code with a
+// direction flag is bound to an FFTW-style plan API. Binding synthesis
+// discovers the flag-to-direction mapping (0 -> FFTW_FORWARD,
+// 1 -> FFTW_BACKWARD) instead of pinning the flag, so the adapter covers
+// both transform directions. The example also shows the Fig. 16 effect:
+// the library's wider API generates more binding candidates than the
+// hardware targets.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"facc"
+)
+
+const dirSrc = `
+#include <math.h>
+
+typedef struct { double re; double im; } cpx;
+
+/* Forward DFT when inverse == 0, un-normalized inverse DFT otherwise. */
+void spectral(cpx* x, int n, int inverse) {
+    double sign = -1.0;
+    if (inverse) sign = 1.0;
+    cpx out[n];
+    for (int k = 0; k < n; k++) {
+        double sre = 0.0;
+        double sim = 0.0;
+        for (int j = 0; j < n; j++) {
+            double ang = sign * 2.0 * M_PI * (double)j * (double)k / (double)n;
+            sre += x[j].re * cos(ang) - x[j].im * sin(ang);
+            sim += x[j].re * sin(ang) + x[j].im * cos(ang);
+        }
+        out[k].re = sre;
+        out[k].im = sim;
+    }
+    for (int k = 0; k < n; k++) x[k] = out[k];
+}`
+
+func main() {
+	profile := map[string][]int64{
+		"n":       {16, 32, 64, 128},
+		"inverse": {0, 1},
+	}
+	counts := map[string]int{}
+	for _, target := range facc.Targets() {
+		res, err := facc.Compile("spectral.c", dirSrc, target, facc.Options{
+			Entry:         "spectral",
+			ProfileValues: profile,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		counts[target] = res.Candidates()
+		if target == facc.TargetFFTW {
+			if !res.OK() {
+				log.Fatalf("fftw: no adapter: %s", res.FailReason())
+			}
+			fmt.Println(res)
+			fmt.Println()
+			fmt.Println(res.AdapterC())
+		}
+	}
+	fmt.Println("binding candidates per target (Fig. 16: the library API is wider):")
+	for _, t := range facc.Targets() {
+		fmt.Printf("  %-10s %d\n", t, counts[t])
+	}
+}

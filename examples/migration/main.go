@@ -1,0 +1,35 @@
+// Library migration (the paper's §10 closing direction): an application
+// already restructured around the FFTW-style library API keeps benefiting
+// from hardware evolution. FACC synthesizes an adapter implementing
+// fftw_call via the Analog Devices FFTA — forward power-of-two transforms
+// run on the accelerator (with its normalized output patched back to
+// FFTW's convention), everything else falls back to the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"facc"
+)
+
+func main() {
+	mig, err := facc.Migrate(facc.TargetFFTW, facc.TargetFFTA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fftw -> ffta migration synthesized:\n")
+	fmt.Printf("  accelerated domain : powers of two in [%d, %d]\n", mig.MinN, mig.MaxN)
+	fmt.Printf("  behavioral patch   : %s\n", mig.Post)
+	fmt.Printf("  forward-only pin   : %v (FFTA has no inverse mode)\n", mig.ForwardOnly)
+	fmt.Printf("  validated on       : %d fuzzed inputs\n\n", mig.TestsPassed)
+	fmt.Println(mig.EmitC())
+
+	// Hardware-to-hardware works the same way: PowerQuad firmware moving
+	// to a board with an FFTA.
+	mig2, err := facc.Migrate(facc.TargetPowerQuad, facc.TargetFFTA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(mig2.EmitC())
+}

@@ -1,0 +1,67 @@
+// Quickstart: compile a legacy radix-2 FFT (custom complex struct,
+// in-place) to the Analog Devices FFTA and print the synthesized drop-in
+// adapter. This is the paper's Figure 3 scenario end to end.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"facc"
+)
+
+// legacySrc is unmodified "GitHub-style" C: a radix-2 FFT over a custom
+// struct, un-normalized, power-of-two lengths only.
+const legacySrc = `
+#include <math.h>
+
+typedef struct { double re; double im; } cpx;
+
+void UserFFT(cpx* x, int n) {
+    int j = 0;
+    for (int i = 1; i < n; i++) {
+        int bit = n >> 1;
+        for (; j & bit; bit >>= 1) j ^= bit;
+        j |= bit;
+        if (i < j) {
+            cpx tmp = x[i];
+            x[i] = x[j];
+            x[j] = tmp;
+        }
+    }
+    for (int len = 2; len <= n; len <<= 1) {
+        double ang = -2.0 * M_PI / (double)len;
+        for (int i = 0; i < n; i += len) {
+            for (int k = 0; k < len / 2; k++) {
+                double wre = cos(ang * (double)k);
+                double wim = sin(ang * (double)k);
+                cpx u = x[i + k];
+                cpx v;
+                v.re = x[i + k + len / 2].re * wre - x[i + k + len / 2].im * wim;
+                v.im = x[i + k + len / 2].re * wim + x[i + k + len / 2].im * wre;
+                x[i + k].re = u.re + v.re;
+                x[i + k].im = u.im + v.im;
+                x[i + k + len / 2].re = u.re - v.re;
+                x[i + k + len / 2].im = u.im - v.im;
+            }
+        }
+    }
+}`
+
+func main() {
+	// The value-profiling environment: what the host application actually
+	// passes. 100 is outside the FFTA's power-of-two domain, so the
+	// generated adapter will carry a range check with software fallback.
+	res, err := facc.Compile("legacy.c", legacySrc, facc.TargetFFTA, facc.Options{
+		ProfileValues: map[string][]int64{"n": {64, 100, 256, 1024, 131072}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.OK() {
+		log.Fatalf("no adapter: %s", res.FailReason())
+	}
+	fmt.Println(res) // one-line summary
+	fmt.Println()
+	fmt.Println(res.AdapterC())
+}

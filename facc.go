@@ -1,0 +1,234 @@
+// Package facc is the public API of the FACC reproduction — a compiler
+// that maps legacy C code to Fourier-transform accelerators by
+// synthesizing drop-in replacement adapters (Woodruff et al., "Bind the
+// Gap: Compiling Real Software to Hardware FFT Accelerators", PLDI 2022).
+//
+// The pipeline: a neural classifier over program graphs finds candidate
+// FFT regions (code mismatch); binding synthesis maps user variables to
+// accelerator parameters (data mismatch); range-check generation guards
+// the accelerator's domain with a software fallback (domain mismatch);
+// sketch-based behavioral synthesis patches normalization/ordering
+// differences (behavior mismatch); and IO-based generate-and-test fuzzing
+// picks the unique adapter that is observationally equivalent to the
+// original code.
+//
+// Quick start:
+//
+//	res, err := facc.Compile("fft.c", source, facc.TargetFFTA, facc.Options{
+//	    ProfileValues: map[string][]int64{"n": {64, 256, 1024}},
+//	})
+//	if err != nil { ... }
+//	if res.OK() {
+//	    fmt.Println(res.AdapterC())
+//	}
+package facc
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"facc/internal/accel"
+	"facc/internal/bench"
+	"facc/internal/binding"
+	"facc/internal/core"
+	"facc/internal/synth"
+)
+
+// Compilation targets.
+const (
+	// TargetFFTA is the Analog Devices FFTA hardware accelerator
+	// (power-of-two 64..65536, normalized output, 64-byte alignment).
+	TargetFFTA = "ffta"
+	// TargetPowerQuad is the NXP PowerQuad accelerator (power-of-two
+	// 16..4096, un-normalized).
+	TargetPowerQuad = "powerquad"
+	// TargetFFTW is the FFTW-style optimized software library (any
+	// length, direction and planner-flag parameters).
+	TargetFFTW = "fftw"
+)
+
+// Options tunes a compilation. The zero value uses paper defaults: 10 IO
+// tests per candidate, all functions considered (or the classifier when
+// set), no ablations.
+type Options struct {
+	// Entry pins the function to compile. Empty = detect candidates.
+	Entry string
+	// ProfileValues is the value-profiling environment: the values each
+	// scalar parameter takes in the host application. Without it FACC
+	// falls back to fuzzing the accelerator's full domain, which rejects
+	// user code with narrower domains (exactly as in the paper).
+	ProfileValues map[string][]int64
+	// Classifier enables neural candidate detection (see Train).
+	Classifier *Classifier
+	// NumTests overrides the IO examples per candidate (default 10).
+	NumTests int
+	// Tolerance overrides the comparison tolerance (default 2e-3,
+	// norm-scaled).
+	Tolerance float64
+	// DisableRangeHeuristic / DisableSingleRead are the ablation
+	// switches from DESIGN.md.
+	DisableRangeHeuristic bool
+	DisableSingleRead     bool
+}
+
+// Classifier is the trained ProGraML-style candidate detector.
+type Classifier = core.Classifier
+
+// Train trains the classifier on the OJClone-style dataset with the given
+// instances per class (the paper uses 20).
+func Train(perClass int, seed int64) (*Classifier, error) {
+	return core.TrainClassifier(perClass, seed)
+}
+
+// Result is the outcome of a compilation.
+type Result struct {
+	c *core.Compilation
+}
+
+// Compile compiles MiniC source against a named target.
+func Compile(name, source, target string, opts Options) (*Result, error) {
+	spec, err := accel.SpecByName(target)
+	if err != nil {
+		return nil, err
+	}
+	comp, err := core.CompileSource(name, source, spec, core.Options{
+		Entry:         opts.Entry,
+		ProfileValues: opts.ProfileValues,
+		Classifier:    opts.Classifier,
+		Synth: synth.Options{
+			NumTests:  opts.NumTests,
+			Tolerance: opts.Tolerance,
+			Binding:   bindingOptions(opts),
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{c: comp}, nil
+}
+
+func bindingOptions(opts Options) binding.Options {
+	return binding.Options{
+		DisableRangeHeuristic: opts.DisableRangeHeuristic,
+		DisableSingleRead:     opts.DisableSingleRead,
+	}
+}
+
+// OK reports whether an adapter was synthesized.
+func (r *Result) OK() bool { return r.c.Success() != nil }
+
+// AdapterC returns the generated drop-in replacement C source, or "".
+func (r *Result) AdapterC() string {
+	if s := r.c.Success(); s != nil {
+		return s.AdapterC
+	}
+	return ""
+}
+
+// Function returns the name of the replaced function, or "".
+func (r *Result) Function() string {
+	if s := r.c.Success(); s != nil {
+		return s.Function
+	}
+	return ""
+}
+
+// FailReason classifies an unsuccessful compilation (Fig. 8 categories:
+// printf, void-pointer, nested-memory, interface-incompatibility), or "".
+func (r *Result) FailReason() string { return r.c.FailReason() }
+
+// Candidates returns the number of binding candidates enumerated for the
+// winning (or last attempted) function — the Fig. 16 metric.
+func (r *Result) Candidates() int {
+	if s := r.c.Success(); s != nil {
+		return s.Result.Candidates
+	}
+	if n := len(r.c.Functions); n > 0 {
+		return r.c.Functions[n-1].Result.Candidates
+	}
+	return 0
+}
+
+// Report renders a per-function compilation report: candidates
+// enumerated, fuzz-tested, survivors, the winning binding, and timing —
+// the transparency a developer signing off on a replacement needs.
+func (r *Result) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "target: %s (%s)\n", r.c.Target.Name, r.c.Target.DomainDescription())
+	for _, fr := range r.c.Functions {
+		status := "rejected"
+		if fr.AdapterC != "" {
+			status = "replaced"
+		}
+		fmt.Fprintf(&b, "%-20s %-9s candidates=%d tested=%d survivors=%d time=%s",
+			fr.Function, status, fr.Result.Candidates, fr.Result.Tested,
+			fr.Result.Survivors, fr.Elapsed.Round(time.Millisecond))
+		if fr.Result.Adapter != nil {
+			fmt.Fprintf(&b, "\n%-20s binding: %s; post: %s; check: %s",
+				"", fr.Result.Adapter.Cand.Key(), fr.Result.Adapter.Post,
+				fr.Result.Adapter.Check.CCondition("len"))
+		} else if fr.Result.FailReason != "" {
+			fmt.Fprintf(&b, " reason=%s", fr.Result.FailReason)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// IntegratedUnit renders the whole translation unit with acceleration
+// woven in (paper Fig. 1): call sites rewritten to the adapter, the
+// original function kept for the fallback path, adapters appended.
+func (r *Result) IntegratedUnit() (string, error) { return r.c.IntegratedUnit() }
+
+// Raw exposes the underlying compilation for advanced inspection.
+func (r *Result) Raw() *core.Compilation { return r.c }
+
+// Migration is a validated library→accelerator adapter (the paper's §10
+// direction: users who already restructured around a library keep
+// benefiting from new hardware).
+type Migration = core.Migration
+
+// Migrate synthesizes an adapter implementing the `from` target's API via
+// the `to` target, fuzz-validated on the domain overlap. Example:
+// Migrate(TargetFFTW, TargetFFTA) yields an fftw_call replacement that
+// runs forward power-of-two transforms on the FFTA (denormalizing its
+// output) and falls back to the library otherwise.
+func Migrate(from, to string) (*Migration, error) {
+	fs, err := accel.SpecByName(from)
+	if err != nil {
+		return nil, err
+	}
+	ts, err := accel.SpecByName(to)
+	if err != nil {
+		return nil, err
+	}
+	return core.MigrateLibrary(fs, ts, 10, 1)
+}
+
+// Benchmark re-exports one corpus program.
+type Benchmark = bench.Benchmark
+
+// Corpus returns the paper's 25-program benchmark suite.
+func Corpus() []*Benchmark { return bench.Suite() }
+
+// CorpusBenchmark finds a corpus program by name.
+func CorpusBenchmark(name string) (*Benchmark, error) { return bench.ByName(name) }
+
+// Targets lists the available target names.
+func Targets() []string {
+	var out []string
+	for _, s := range accel.Specs() {
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	if r.OK() {
+		return fmt.Sprintf("facc: replaced %s with %s adapter (%d candidates considered)",
+			r.Function(), r.c.Target.Name, r.Candidates())
+	}
+	return fmt.Sprintf("facc: no adapter (%s)", r.FailReason())
+}

@@ -1,0 +1,191 @@
+package facc
+
+import (
+	"strings"
+	"testing"
+
+	"facc/internal/bench"
+	"facc/internal/minic"
+)
+
+const quickstartSrc = `
+#include <math.h>
+typedef struct { double re; double im; } cpx;
+void fft(cpx* x, int n) {
+    int j = 0;
+    for (int i = 1; i < n; i++) {
+        int bit = n >> 1;
+        for (; j & bit; bit >>= 1) j ^= bit;
+        j |= bit;
+        if (i < j) {
+            cpx tmp = x[i];
+            x[i] = x[j];
+            x[j] = tmp;
+        }
+    }
+    for (int len = 2; len <= n; len <<= 1) {
+        double ang = -2.0 * M_PI / (double)len;
+        for (int i = 0; i < n; i += len) {
+            for (int k = 0; k < len / 2; k++) {
+                double wre = cos(ang * (double)k);
+                double wim = sin(ang * (double)k);
+                cpx u = x[i + k];
+                cpx v;
+                v.re = x[i + k + len / 2].re * wre - x[i + k + len / 2].im * wim;
+                v.im = x[i + k + len / 2].re * wim + x[i + k + len / 2].im * wre;
+                x[i + k].re = u.re + v.re;
+                x[i + k].im = u.im + v.im;
+                x[i + k + len / 2].re = u.re - v.re;
+                x[i + k + len / 2].im = u.im - v.im;
+            }
+        }
+    }
+}`
+
+func TestCompileQuickstart(t *testing.T) {
+	res, err := Compile("fft.c", quickstartSrc, TargetFFTA, Options{
+		ProfileValues: map[string][]int64{"n": {64, 128, 256}},
+		NumTests:      4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("compile failed: %s", res.FailReason())
+	}
+	if res.Function() != "fft" {
+		t.Errorf("replaced %q", res.Function())
+	}
+	src := res.AdapterC()
+	for _, w := range []string{"fft_accel", "accel_cfft", "is_power_of_two"} {
+		if !strings.Contains(src, w) {
+			t.Errorf("adapter missing %q", w)
+		}
+	}
+	if !strings.Contains(res.String(), "replaced fft") {
+		t.Errorf("summary = %q", res.String())
+	}
+}
+
+func TestCompileUnknownTarget(t *testing.T) {
+	if _, err := Compile("x.c", "int f(void){return 0;}", "tpu", Options{}); err == nil {
+		t.Error("expected error for unknown target")
+	}
+}
+
+func TestCompileParseError(t *testing.T) {
+	if _, err := Compile("x.c", "int f( {", TargetFFTA, Options{}); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestTargets(t *testing.T) {
+	ts := Targets()
+	if len(ts) != 3 {
+		t.Fatalf("targets = %v", ts)
+	}
+}
+
+func TestCorpusAccessors(t *testing.T) {
+	if len(Corpus()) != 25 {
+		t.Error("corpus size")
+	}
+	b, err := CorpusBenchmark("dft12")
+	if err != nil || b.ID != 17 {
+		t.Errorf("CorpusBenchmark: %v %v", b, err)
+	}
+}
+
+// TestCorpusCompilesToAllTargets is the headline integration test: FACC
+// compiles exactly the 18 supported corpus programs on every target and
+// classifies the 7 failures into the paper's Fig. 8 categories.
+func TestCorpusCompilesToAllTargets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full corpus compile is slow")
+	}
+	for _, target := range []string{TargetFFTA, TargetPowerQuad, TargetFFTW} {
+		target := target
+		t.Run(target, func(t *testing.T) {
+			for _, b := range bench.Suite() {
+				b := b
+				t.Run(b.Name, func(t *testing.T) {
+					res, err := Compile(b.File, b.Source(), target, Options{
+						Entry:         b.Entry,
+						ProfileValues: b.ProfileValues,
+						NumTests:      4,
+					})
+					if err != nil {
+						t.Fatalf("pipeline error: %v", err)
+					}
+					if b.IsSupported() {
+						if !res.OK() {
+							t.Fatalf("expected success, got failure (%s)", res.FailReason())
+						}
+						if res.AdapterC() == "" {
+							t.Fatal("empty adapter")
+						}
+						// The emitted adapter must be valid C: append it
+						// to the original translation unit and run it
+						// back through the frontend.
+						combined := b.Source() + "\n" + res.AdapterC()
+						if _, err := minic.ParseAndCheck(b.File+"+adapter", combined); err != nil {
+							t.Fatalf("emitted adapter does not compile: %v\n%s",
+								err, res.AdapterC())
+						}
+					} else {
+						if res.OK() {
+							t.Fatalf("expected failure (%s), but compiled", b.Failure)
+						}
+						if res.FailReason() != string(b.Failure) {
+							t.Errorf("failure = %q, want %q", res.FailReason(), b.Failure)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestClassifierFindsCorpusFFTs: the trained classifier labels corpus FFT
+// entry points as FFT candidates.
+func TestClassifierFindsCorpusFFTs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training is slow")
+	}
+	clf, err := Train(8, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compile one benchmark relying on the classifier (no Entry pin).
+	b, _ := CorpusBenchmark("iterdit")
+	res, err := Compile(b.File, b.Source(), TargetFFTA, Options{
+		Classifier:    clf,
+		ProfileValues: b.ProfileValues,
+		NumTests:      4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("classifier-driven compile failed: %s", res.FailReason())
+	}
+	if res.Function() != b.Entry {
+		t.Errorf("compiled %q, want %q", res.Function(), b.Entry)
+	}
+}
+
+func TestReport(t *testing.T) {
+	res, err := Compile("fft.c", quickstartSrc, TargetFFTA, Options{
+		ProfileValues: map[string][]int64{"n": {64, 128, 256}},
+		NumTests:      4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report()
+	for _, w := range []string{"target: ffta", "replaced", "candidates=", "binding:", "post: denormalize(*N)"} {
+		if !strings.Contains(rep, w) {
+			t.Errorf("report missing %q:\n%s", w, rep)
+		}
+	}
+}

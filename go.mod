@@ -1,0 +1,3 @@
+module facc
+
+go 1.22

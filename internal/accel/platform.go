@@ -1,0 +1,95 @@
+package accel
+
+import (
+	"facc/internal/interp"
+)
+
+// Platform converts interpreter operation counts into modeled wall-clock
+// time for one of the evaluation hosts. The cycles-per-operation weights
+// are coarse microarchitectural estimates; together with the accelerator
+// constants in spec.go they are calibrated so the *relative* performance
+// (who wins, by roughly what factor, where crossovers fall) matches the
+// paper's Figures 10, 13 and 14.
+type Platform struct {
+	Name    string
+	ClockHz float64
+
+	CyclesPerIntOp    float64
+	CyclesPerFloatOp  float64
+	CyclesPerFloatDiv float64
+	CyclesPerLoad     float64
+	CyclesPerStore    float64
+	CyclesPerBranch   float64
+	CyclesPerCall     float64
+	CyclesPerMathCall float64 // libm transcendentals
+}
+
+// The evaluation hosts from the paper's three boards plus the SC589 DSP
+// core used by the ProGraML-only offload baseline.
+var (
+	// CortexA5 is the ADSP-SC589 board's master core.
+	CortexA5 = Platform{
+		Name: "cortex-a5", ClockHz: 500e6,
+		CyclesPerIntOp: 1, CyclesPerFloatOp: 4, CyclesPerFloatDiv: 25,
+		CyclesPerLoad: 3, CyclesPerStore: 2, CyclesPerBranch: 2,
+		CyclesPerCall: 8, CyclesPerMathCall: 90,
+	}
+	// CortexM33 is the NXP LPC55S69 board's core.
+	CortexM33 = Platform{
+		Name: "cortex-m33", ClockHz: 150e6,
+		CyclesPerIntOp: 1, CyclesPerFloatOp: 3, CyclesPerFloatDiv: 14,
+		CyclesPerLoad: 2, CyclesPerStore: 2, CyclesPerBranch: 2,
+		CyclesPerCall: 6, CyclesPerMathCall: 120,
+	}
+	// I9Desktop is the FFTW host (Intel i9-10900X class).
+	I9Desktop = Platform{
+		Name: "i9-desktop", ClockHz: 3.7e9,
+		CyclesPerIntOp: 0.3, CyclesPerFloatOp: 0.5, CyclesPerFloatDiv: 7,
+		CyclesPerLoad: 0.5, CyclesPerStore: 0.5, CyclesPerBranch: 0.7,
+		CyclesPerCall: 2, CyclesPerMathCall: 25,
+	}
+	// SharcDSP is the SC589 SHARC core: same board as the A5 but with
+	// single-cycle MACs and hardware loops — the ProGraML baseline
+	// offloads FFT-classified code here.
+	SharcDSP = Platform{
+		Name: "sharc-dsp", ClockHz: 450e6,
+		CyclesPerIntOp: 0.45, CyclesPerFloatOp: 0.7, CyclesPerFloatDiv: 6,
+		CyclesPerLoad: 0.7, CyclesPerStore: 0.7, CyclesPerBranch: 0.55,
+		CyclesPerCall: 3, CyclesPerMathCall: 20,
+	}
+)
+
+// Time converts operation counts into seconds on the platform.
+func (p Platform) Time(c interp.Counters) float64 {
+	cycles := float64(c.IntOps)*p.CyclesPerIntOp +
+		float64(c.FloatOps)*p.CyclesPerFloatOp +
+		float64(c.FloatDivs)*p.CyclesPerFloatDiv +
+		float64(c.Loads)*p.CyclesPerLoad +
+		float64(c.Stores)*p.CyclesPerStore +
+		float64(c.Branches)*p.CyclesPerBranch +
+		float64(c.Calls)*p.CyclesPerCall +
+		float64(c.MathCalls)*p.CyclesPerMathCall
+	return cycles / p.ClockHz
+}
+
+// HostFor returns the CPU that drives each target in the evaluation.
+func HostFor(target string) Platform {
+	switch target {
+	case "ffta":
+		return CortexA5
+	case "powerquad":
+		return CortexM33
+	case "fftw":
+		return I9Desktop
+	default:
+		return CortexA5
+	}
+}
+
+// DSPOffloadTime models running the *same software implementation* on the
+// SHARC DSP core (the ProGraML-classifier-only baseline): identical
+// operation counts, DSP cycle weights, plus a fixed offload handshake.
+func DSPOffloadTime(c interp.Counters) float64 {
+	const handshake = 4e-6
+	return handshake + SharcDSP.Time(c)
+}

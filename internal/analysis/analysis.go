@@ -1,0 +1,545 @@
+// Package analysis provides the static analyses FACC's synthesis stages
+// consume: input/output classification of function parameters (liveness),
+// length-variable candidate inference for array parameters, and dynamic
+// value profiling (paper §4.2-4.3). The results do not need to be sound in
+// isolation — generate-and-test validates every conclusion — they exist to
+// order and prune the binding search space.
+package analysis
+
+import (
+	"sort"
+
+	"facc/internal/minic"
+)
+
+// ParamInfo describes how a function parameter is used.
+type ParamInfo struct {
+	Decl *minic.VarDecl
+	Name string
+	Type *minic.Type
+
+	IsPointer bool
+	// For pointer parameters: whether pointed-to data is read before
+	// being fully written (input) and whether it is written (output).
+	Reads  bool
+	Writes bool
+
+	// For integer parameters: the pointer parameters this variable
+	// plausibly measures, in priority order (strongest evidence first).
+	LengthOf []string
+
+	// For pointer parameters: integer parameters that plausibly measure
+	// this array, in priority order.
+	LengthCandidates []string
+}
+
+// FuncInfo is the analysis result for one function.
+type FuncInfo struct {
+	Fn     *minic.FuncDecl
+	Params []*ParamInfo
+
+	// CallsPrintf is set when the function (transitively) performs
+	// observable IO — such code cannot be replaced by an accelerator.
+	CallsPrintf bool
+	// UsesVoidPtr is set when a void* parameter carries the data.
+	UsesVoidPtr bool
+	// NestedPointer is set when a parameter is a pointer-to-pointer
+	// (nested memory structure).
+	NestedPointer bool
+
+	// ConstBounds collects integer constants appearing as loop bounds or
+	// comparison operands — the length candidates for fixed-size
+	// implementations (e.g. an FFT hard-coded to 64 points).
+	ConstBounds []int64
+}
+
+// Param returns the info for the named parameter, or nil.
+func (fi *FuncInfo) Param(name string) *ParamInfo {
+	for _, p := range fi.Params {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// PointerParams returns the pointer parameters in declaration order.
+func (fi *FuncInfo) PointerParams() []*ParamInfo {
+	var out []*ParamInfo
+	for _, p := range fi.Params {
+		if p.IsPointer {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// IntParams returns the integer parameters in declaration order.
+func (fi *FuncInfo) IntParams() []*ParamInfo {
+	var out []*ParamInfo
+	for _, p := range fi.Params {
+		if !p.IsPointer && p.Type.IsInteger() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// AnalyzeFunc computes parameter IO classification and length candidates
+// for fn within file f (interprocedural through direct calls).
+func AnalyzeFunc(f *minic.File, fn *minic.FuncDecl) *FuncInfo {
+	a := &analyzer{
+		file:    f,
+		visited: map[string]bool{},
+	}
+	return a.analyze(fn)
+}
+
+type analyzer struct {
+	file    *minic.File
+	visited map[string]bool // recursion guard for interprocedural walks
+}
+
+func (a *analyzer) analyze(fn *minic.FuncDecl) *FuncInfo {
+	fi := &FuncInfo{Fn: fn}
+	for _, prm := range fn.Params {
+		pi := &ParamInfo{Decl: prm, Name: prm.Name, Type: prm.Type}
+		pt := prm.Type.Decay()
+		if pt.Kind == minic.TPointer {
+			pi.IsPointer = true
+			if pt.Elem.Kind == minic.TVoid {
+				fi.UsesVoidPtr = true
+			}
+			if pt.Elem.Kind == minic.TPointer {
+				fi.NestedPointer = true
+			}
+		}
+		fi.Params = append(fi.Params, pi)
+	}
+	if fn.Body == nil {
+		return fi
+	}
+	w := &useWalker{an: a, fi: fi, loopBounds: map[string][]string{}}
+	w.walkStmt(fn.Body)
+	fi.ConstBounds = dedupSorted(w.constBounds)
+	// Convert collected evidence into ordered length candidates.
+	for _, pi := range fi.Params {
+		if !pi.IsPointer {
+			continue
+		}
+		evidence := w.lengthEvidence[pi.Name]
+		type cand struct {
+			name  string
+			score int
+		}
+		var cands []cand
+		for name, score := range evidence {
+			cands = append(cands, cand{name, score})
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].score != cands[j].score {
+				return cands[i].score > cands[j].score
+			}
+			return cands[i].name < cands[j].name
+		})
+		for _, c := range cands {
+			pi.LengthCandidates = append(pi.LengthCandidates, c.name)
+			if ip := fi.Param(c.name); ip != nil {
+				ip.LengthOf = append(ip.LengthOf, pi.Name)
+			}
+		}
+	}
+	return fi
+}
+
+// useWalker walks a function body recording reads/writes of parameters and
+// which integer variables bound loops that index which arrays.
+type useWalker struct {
+	an *analyzer
+	fi *FuncInfo
+
+	// loopBounds maps an induction variable name to the integer
+	// parameter names appearing in its loop bound.
+	loopBounds map[string][]string
+
+	// aliases maps local pointer variables to the parameter they are
+	// (transitively) derived from — "cx* dst = data; *dst = ..." must
+	// count as a write through data (flow-insensitive points-to).
+	aliases map[string]*ParamInfo
+
+	// lengthEvidence[ptrParam][intParam] accumulates evidence scores.
+	lengthEvidence map[string]map[string]int
+
+	// constBounds collects integer constants used as loop bounds or in
+	// comparisons.
+	constBounds []int64
+}
+
+func dedupSorted(in []int64) []int64 {
+	seen := map[int64]bool{}
+	var out []int64
+	for _, v := range in {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] > out[j] })
+	return out
+}
+
+func (w *useWalker) addEvidence(ptr, length string, score int) {
+	if w.lengthEvidence == nil {
+		w.lengthEvidence = map[string]map[string]int{}
+	}
+	if w.lengthEvidence[ptr] == nil {
+		w.lengthEvidence[ptr] = map[string]int{}
+	}
+	w.lengthEvidence[ptr][length] += score
+}
+
+// intParamsIn collects the integer parameter names mentioned in e.
+func (w *useWalker) intParamsIn(e minic.Expr, out map[string]bool) {
+	walkExpr(e, func(x minic.Expr) {
+		if id, ok := x.(*minic.IdentExpr); ok && id.Def != nil && id.Def.IsParam {
+			if pi := w.fi.Param(id.Name); pi != nil && !pi.IsPointer && pi.Type.IsInteger() {
+				out[id.Name] = true
+			}
+		}
+	})
+}
+
+func (w *useWalker) walkStmt(s minic.Stmt) {
+	switch st := s.(type) {
+	case nil:
+	case *minic.ExprStmt:
+		w.walkExprUse(st.X, false)
+	case *minic.DeclStmt:
+		for _, d := range st.Decls {
+			if d.Init != nil {
+				w.walkExprUse(d.Init, false)
+				if d.Type.Decay().Kind == minic.TPointer {
+					if pi := w.paramRootOf(d.Init); pi != nil {
+						w.alias(d.Name, pi)
+					}
+				}
+			}
+			if d.Type.ArrayLenExpr != nil {
+				w.walkExprUse(d.Type.ArrayLenExpr, false)
+			}
+		}
+	case *minic.BlockStmt:
+		for _, sub := range st.List {
+			w.walkStmt(sub)
+		}
+	case *minic.IfStmt:
+		w.walkExprUse(st.Cond, false)
+		w.walkStmt(st.Then)
+		w.walkStmt(st.Else)
+	case *minic.ForStmt:
+		w.recordLoopBound(st)
+		if st.Init != nil {
+			w.walkStmt(st.Init)
+		}
+		if st.Cond != nil {
+			w.walkExprUse(st.Cond, false)
+		}
+		if st.Post != nil {
+			w.walkExprUse(st.Post, false)
+		}
+		w.walkStmt(st.Body)
+	case *minic.WhileStmt:
+		w.walkExprUse(st.Cond, false)
+		w.walkStmt(st.Body)
+	case *minic.SwitchStmt:
+		w.walkExprUse(st.Tag, false)
+		for _, cc := range st.Cases {
+			for _, sub := range cc.Body {
+				w.walkStmt(sub)
+			}
+		}
+	case *minic.ReturnStmt:
+		if st.Value != nil {
+			w.walkExprUse(st.Value, false)
+		}
+	}
+}
+
+// recordLoopBound notes "for (i = ...; i < BOUND; ...)" loops whose bound
+// mentions integer parameters.
+func (w *useWalker) recordLoopBound(st *minic.ForStmt) {
+	be, ok := st.Cond.(*minic.BinaryExpr)
+	if !ok {
+		return
+	}
+	switch be.Op {
+	case minic.Lt, minic.Le, minic.Gt, minic.Ge, minic.NotEq:
+	default:
+		return
+	}
+	var indVar string
+	if id, ok := be.L.(*minic.IdentExpr); ok {
+		indVar = id.Name
+	}
+	if indVar == "" {
+		return
+	}
+	bounds := map[string]bool{}
+	w.intParamsIn(be.R, bounds)
+	for b := range bounds {
+		w.loopBounds[indVar] = append(w.loopBounds[indVar], b)
+	}
+	if lit, ok := be.R.(*minic.IntLitExpr); ok && lit.Value > 1 {
+		bound := lit.Value
+		if be.Op == minic.Le {
+			bound++
+		}
+		w.constBounds = append(w.constBounds, bound)
+	}
+}
+
+// walkExprUse records parameter usage; write is true when e appears in a
+// store position.
+func (w *useWalker) walkExprUse(e minic.Expr, write bool) {
+	switch x := e.(type) {
+	case nil:
+	case *minic.IdentExpr:
+		// Direct scalar use; pointer passed whole is handled at calls.
+	case *minic.AssignExpr:
+		w.walkExprUse(x.L, true)
+		if x.Op != minic.Assign {
+			// Compound assignment also reads the target.
+			w.walkExprUse(x.L, false)
+		}
+		w.walkExprUse(x.R, false)
+		// Pointer-variable assignment propagates aliasing.
+		if id, ok := x.L.(*minic.IdentExpr); ok && id.Def != nil && !id.Def.IsParam {
+			if id.Def.Type.Decay().Kind == minic.TPointer && x.Op == minic.Assign {
+				if pi := w.paramRootOf(x.R); pi != nil {
+					w.alias(id.Name, pi)
+				}
+			}
+		}
+	case *minic.UnaryExpr:
+		if x.Op == minic.Star {
+			w.recordPointerAccess(x.X, nil, write)
+			w.walkExprUse(x.X, false)
+			return
+		}
+		if x.Op == minic.PlusPlus || x.Op == minic.MinusMinus {
+			w.walkExprUse(x.X, true)
+			w.walkExprUse(x.X, false)
+			return
+		}
+		w.walkExprUse(x.X, false)
+	case *minic.IndexExpr:
+		w.recordPointerAccess(x.X, x.Index, write)
+		w.walkExprUse(x.X, false)
+		w.walkExprUse(x.Index, false)
+	case *minic.MemberExpr:
+		if x.Arrow {
+			w.recordPointerAccess(x.X, nil, write)
+		}
+		w.walkExprUse(x.X, write && !x.Arrow)
+	case *minic.BinaryExpr:
+		// Comparisons against integer literals are length evidence for
+		// fixed-size implementations (e.g. "if (i >= 64) break" in a
+		// while(1) loop).
+		switch x.Op {
+		case minic.Lt, minic.Le, minic.Gt, minic.Ge:
+			if lit, ok := x.R.(*minic.IntLitExpr); ok && lit.Value > 1 {
+				bound := lit.Value
+				if x.Op == minic.Le {
+					bound++
+				}
+				w.constBounds = append(w.constBounds, bound)
+			}
+		}
+		w.walkExprUse(x.L, false)
+		w.walkExprUse(x.R, false)
+	case *minic.CondExpr:
+		w.walkExprUse(x.Cond, false)
+		w.walkExprUse(x.Then, write)
+		w.walkExprUse(x.Else, write)
+	case *minic.CastExpr:
+		w.walkExprUse(x.X, write)
+	case *minic.CommaExpr:
+		w.walkExprUse(x.L, false)
+		w.walkExprUse(x.R, write)
+	case *minic.SizeofExpr:
+		if x.X != nil {
+			w.walkExprUse(x.X, false)
+		}
+	case *minic.CallExpr:
+		w.walkCall(x)
+	}
+}
+
+// paramRootOf returns the parameter a pointer expression is rooted at
+// (walking through casts, +offsets and indexing).
+func (w *useWalker) alias(local string, pi *ParamInfo) {
+	if w.aliases == nil {
+		w.aliases = map[string]*ParamInfo{}
+	}
+	w.aliases[local] = pi
+}
+
+func (w *useWalker) paramRootOf(e minic.Expr) *ParamInfo {
+	switch x := e.(type) {
+	case *minic.IdentExpr:
+		if x.Def != nil && x.Def.IsParam {
+			if pi := w.fi.Param(x.Name); pi != nil && pi.IsPointer {
+				return pi
+			}
+		}
+		if x.Def != nil && !x.Def.IsParam {
+			if pi, ok := w.aliases[x.Name]; ok {
+				return pi
+			}
+		}
+	case *minic.CastExpr:
+		return w.paramRootOf(x.X)
+	case *minic.BinaryExpr:
+		if x.Op == minic.Plus || x.Op == minic.Minus {
+			if p := w.paramRootOf(x.L); p != nil {
+				return p
+			}
+			return w.paramRootOf(x.R)
+		}
+	case *minic.UnaryExpr:
+		if x.Op == minic.Amp {
+			return w.paramRootOf(x.X)
+		}
+	case *minic.IndexExpr:
+		// &p[i] style roots.
+		return w.paramRootOf(x.X)
+	}
+	return nil
+}
+
+// recordPointerAccess marks a read/write through a pointer parameter and
+// accumulates length evidence from the index expression.
+func (w *useWalker) recordPointerAccess(base, index minic.Expr, write bool) {
+	pi := w.paramRootOf(base)
+	if pi == nil {
+		return
+	}
+	if write {
+		pi.Writes = true
+	} else {
+		pi.Reads = true
+	}
+	if index == nil {
+		return
+	}
+	// Direct evidence: the index expression mentions an int parameter.
+	direct := map[string]bool{}
+	w.intParamsIn(index, direct)
+	for name := range direct {
+		w.addEvidence(pi.Name, name, 2)
+	}
+	// Indirect evidence: the index uses an induction variable whose loop
+	// bound mentions an int parameter.
+	walkExpr(index, func(x minic.Expr) {
+		if id, ok := x.(*minic.IdentExpr); ok {
+			for _, bound := range w.loopBounds[id.Name] {
+				w.addEvidence(pi.Name, bound, 3)
+			}
+		}
+	})
+}
+
+// walkCall handles direct calls: printf detection and interprocedural
+// propagation of parameter usage.
+func (w *useWalker) walkCall(call *minic.CallExpr) {
+	for _, arg := range call.Args {
+		w.walkExprUse(arg, false)
+	}
+	switch call.Builtin {
+	case "printf", "fprintf", "puts", "putchar":
+		w.fi.CallsPrintf = true
+		return
+	case "":
+	default:
+		return // other builtins (math, malloc) are not observable IO
+	}
+	id, ok := call.Fun.(*minic.IdentExpr)
+	if !ok || id.Func == nil {
+		return
+	}
+	callee := w.an.file.Func(id.Func.Name)
+	if callee == nil || callee.Body == nil {
+		return
+	}
+	var calleeInfo *FuncInfo
+	if !w.an.visited[callee.Name] {
+		w.an.visited[callee.Name] = true
+		calleeInfo = w.an.analyze(callee)
+		delete(w.an.visited, callee.Name)
+	}
+	if calleeInfo == nil {
+		// Recursive call (direct or mutual): the cycle's effect on its
+		// arguments is already captured by the non-recursive uses in the
+		// bodies along the cycle, so the call edge itself adds nothing.
+		return
+	}
+	if calleeInfo.CallsPrintf {
+		w.fi.CallsPrintf = true
+	}
+	for i, arg := range call.Args {
+		pi := w.paramRootOf(arg)
+		if pi == nil || i >= len(calleeInfo.Params) {
+			continue
+		}
+		cp := calleeInfo.Params[i]
+		if cp.Reads {
+			pi.Reads = true
+		}
+		if cp.Writes {
+			pi.Writes = true
+		}
+	}
+}
+
+// walkExpr applies fn to every node of an expression tree.
+func walkExpr(e minic.Expr, fn func(minic.Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case *minic.UnaryExpr:
+		walkExpr(x.X, fn)
+	case *minic.BinaryExpr:
+		walkExpr(x.L, fn)
+		walkExpr(x.R, fn)
+	case *minic.AssignExpr:
+		walkExpr(x.L, fn)
+		walkExpr(x.R, fn)
+	case *minic.CondExpr:
+		walkExpr(x.Cond, fn)
+		walkExpr(x.Then, fn)
+		walkExpr(x.Else, fn)
+	case *minic.CallExpr:
+		walkExpr(x.Fun, fn)
+		for _, a := range x.Args {
+			walkExpr(a, fn)
+		}
+	case *minic.IndexExpr:
+		walkExpr(x.X, fn)
+		walkExpr(x.Index, fn)
+	case *minic.MemberExpr:
+		walkExpr(x.X, fn)
+	case *minic.CastExpr:
+		walkExpr(x.X, fn)
+	case *minic.CommaExpr:
+		walkExpr(x.L, fn)
+		walkExpr(x.R, fn)
+	case *minic.SizeofExpr:
+		walkExpr(x.X, fn)
+	case *minic.InitListExpr:
+		for _, it := range x.Items {
+			walkExpr(it, fn)
+		}
+	}
+}

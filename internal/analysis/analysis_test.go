@@ -1,0 +1,238 @@
+package analysis
+
+import (
+	"testing"
+
+	"facc/internal/interp"
+	"facc/internal/minic"
+)
+
+func analyzeSrc(t *testing.T, src, fn string) *FuncInfo {
+	t.Helper()
+	f, err := minic.ParseAndCheck("t.c", src)
+	if err != nil {
+		t.Fatalf("frontend: %v", err)
+	}
+	fd := f.Func(fn)
+	if fd == nil {
+		t.Fatalf("no function %q", fn)
+	}
+	return AnalyzeFunc(f, fd)
+}
+
+func TestIOClassificationOutOfPlace(t *testing.T) {
+	fi := analyzeSrc(t, `
+void copy(double* src, double* dst, int n) {
+    for (int i = 0; i < n; i++) dst[i] = src[i];
+}`, "copy")
+	src := fi.Param("src")
+	if !src.Reads || src.Writes {
+		t.Errorf("src: reads=%v writes=%v, want read-only", src.Reads, src.Writes)
+	}
+	dst := fi.Param("dst")
+	if dst.Reads || !dst.Writes {
+		t.Errorf("dst: reads=%v writes=%v, want write-only", dst.Reads, dst.Writes)
+	}
+}
+
+func TestIOClassificationInPlace(t *testing.T) {
+	fi := analyzeSrc(t, `
+void scale(double* x, int n) {
+    for (int i = 0; i < n; i++) x[i] = x[i] * 2.0;
+}`, "scale")
+	x := fi.Param("x")
+	if !x.Reads || !x.Writes {
+		t.Errorf("x: reads=%v writes=%v, want in-place", x.Reads, x.Writes)
+	}
+}
+
+func TestIOClassificationStructMembers(t *testing.T) {
+	fi := analyzeSrc(t, `
+typedef struct { double re; double im; } cpx;
+void conj_all(cpx* data, int n) {
+    for (int i = 0; i < n; i++) data[i].im = -data[i].im;
+}`, "conj_all")
+	d := fi.Param("data")
+	if !d.Reads || !d.Writes {
+		t.Errorf("data: reads=%v writes=%v, want both", d.Reads, d.Writes)
+	}
+}
+
+func TestLengthCandidateInference(t *testing.T) {
+	fi := analyzeSrc(t, `
+void work(double* a, int n, int mode) {
+    for (int i = 0; i < n; i++) a[i] = a[i] + 1.0;
+}`, "work")
+	a := fi.Param("a")
+	if len(a.LengthCandidates) == 0 || a.LengthCandidates[0] != "n" {
+		t.Errorf("length candidates for a = %v, want [n ...]", a.LengthCandidates)
+	}
+	n := fi.Param("n")
+	if len(n.LengthOf) == 0 || n.LengthOf[0] != "a" {
+		t.Errorf("n.LengthOf = %v", n.LengthOf)
+	}
+	mode := fi.Param("mode")
+	if len(mode.LengthOf) != 0 {
+		t.Errorf("mode should not be a length candidate, got %v", mode.LengthOf)
+	}
+}
+
+func TestLengthCandidatePriority(t *testing.T) {
+	// n bounds the loop that indexes both arrays; m only appears in
+	// scalar arithmetic, so n must rank first.
+	fi := analyzeSrc(t, `
+void f(double* a, int m, int n) {
+    double s = (double)m;
+    for (int i = 0; i < n; i++) a[i] = s;
+}`, "f")
+	a := fi.Param("a")
+	if len(a.LengthCandidates) == 0 || a.LengthCandidates[0] != "n" {
+		t.Errorf("candidates = %v, want n first", a.LengthCandidates)
+	}
+}
+
+func TestInterproceduralPropagation(t *testing.T) {
+	fi := analyzeSrc(t, `
+void helper(double* out, double* in, int n) {
+    for (int i = 0; i < n; i++) out[i] = in[i];
+}
+void entry(double* x, double* y, int n) {
+    helper(y, x, n);
+}`, "entry")
+	x := fi.Param("x")
+	if !x.Reads || x.Writes {
+		t.Errorf("x through callee: reads=%v writes=%v", x.Reads, x.Writes)
+	}
+	y := fi.Param("y")
+	if !y.Writes {
+		t.Errorf("y through callee: writes=%v", y.Writes)
+	}
+}
+
+func TestRecursiveFunctionDoesNotHang(t *testing.T) {
+	fi := analyzeSrc(t, `
+void rec(double* x, int n) {
+    if (n <= 1) return;
+    rec(x, n / 2);
+    x[0] = x[n - 1];
+}`, "rec")
+	x := fi.Param("x")
+	if !x.Reads || !x.Writes {
+		t.Errorf("recursive param classification: %+v", x)
+	}
+}
+
+func TestPrintfDetection(t *testing.T) {
+	fi := analyzeSrc(t, `
+void noisy(double* x, int n) {
+    for (int i = 0; i < n; i++) {
+        printf("%f\n", x[i]);
+        x[i] = 0;
+    }
+}`, "noisy")
+	if !fi.CallsPrintf {
+		t.Error("printf not detected")
+	}
+}
+
+func TestPrintfDetectionTransitive(t *testing.T) {
+	fi := analyzeSrc(t, `
+void log_it(double v) { printf("%f\n", v); }
+void entry(double* x, int n) {
+    for (int i = 0; i < n; i++) log_it(x[i]);
+}`, "entry")
+	if !fi.CallsPrintf {
+		t.Error("transitive printf not detected")
+	}
+}
+
+func TestVoidPtrAndNestedDetection(t *testing.T) {
+	fi := analyzeSrc(t, `void f(void* data, int n) { }`, "f")
+	if !fi.UsesVoidPtr {
+		t.Error("void* param not detected")
+	}
+	fi = analyzeSrc(t, `void g(double** rows, int n) { }`, "g")
+	if !fi.NestedPointer {
+		t.Error("pointer-to-pointer param not detected")
+	}
+}
+
+func TestPointerArithmeticRoots(t *testing.T) {
+	fi := analyzeSrc(t, `
+double sum(double* data, int n) {
+    double s = 0.0;
+    double* p = data;
+    for (int i = 0; i < n; i++) s = s + *(data + i);
+    return s;
+}`, "sum")
+	d := fi.Param("data")
+	if !d.Reads {
+		t.Error("read through *(data+i) not detected")
+	}
+	if d.Writes {
+		t.Error("spurious write detected")
+	}
+}
+
+func TestRangeObserve(t *testing.T) {
+	r := NewRange()
+	for _, v := range []int64{64, 128, 256, 1024} {
+		r.Observe(v)
+	}
+	if r.Min != 64 || r.Max != 1024 || !r.AllPowersOfTwo {
+		t.Errorf("range = %s", r)
+	}
+	r.Observe(100)
+	if r.AllPowersOfTwo {
+		t.Error("100 should clear AllPowersOfTwo")
+	}
+	if r.Width() != 1024-64+1 {
+		t.Errorf("width = %d", r.Width())
+	}
+}
+
+func TestRangeFlagLike(t *testing.T) {
+	r := NewRange()
+	r.Observe(0)
+	r.Observe(1)
+	if !r.IsFlagLike() {
+		t.Error("0/1 should be flag-like")
+	}
+	r2 := NewRange()
+	for v := int64(0); v < 100; v++ {
+		r2.Observe(v)
+	}
+	if r2.IsFlagLike() {
+		t.Error("wide range should not be flag-like")
+	}
+	if r2.Distinct() != nil {
+		t.Error("distinct set should be dropped past the cap")
+	}
+}
+
+func TestProfileAttach(t *testing.T) {
+	f, err := minic.ParseAndCheck("t.c", `
+void f(int n) {
+    int len = n;
+    for (int i = 0; i < 2; i++) len = len * 2;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := interp.NewMachine(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProfile()
+	p.Attach(m)
+	if _, err := m.CallNamed("f", []interp.Value{interp.IntValue(16)}); err != nil {
+		t.Fatal(err)
+	}
+	r := p.Range("len")
+	if r == nil || r.Min != 16 || r.Max != 64 {
+		t.Errorf("profiled range for len = %v", r)
+	}
+	if p.Range("missing") != nil {
+		t.Error("unknown variable should have nil range")
+	}
+}

@@ -1,0 +1,110 @@
+// Package behave implements FACC's sketch-based behavioral synthesis
+// (paper §5.3). The pre-behavioral function is fixed to the identity (as in
+// the paper); the post-behavioral sketch set covers the behaviors real FFT
+// implementations commonly omit or add: normalization/denormalization and
+// bit-reversed ordering. Every sketch is finite and every hole has finitely
+// many fillings, so enumeration terminates.
+package behave
+
+import (
+	"fmt"
+
+	"facc/internal/fft"
+)
+
+// ScaleKind is the hole of the scaling sketch.
+type ScaleKind int
+
+// Scale sketch fillings.
+const (
+	ScaleNone ScaleKind = iota
+	ScaleByN            // multiply by N (de-normalize a normalized accelerator)
+	ScaleBy1N           // multiply by 1/N (normalize an un-normalized accelerator)
+)
+
+func (s ScaleKind) String() string {
+	switch s {
+	case ScaleByN:
+		return "denormalize(*N)"
+	case ScaleBy1N:
+		return "normalize(/N)"
+	default:
+		return "noscale"
+	}
+}
+
+// PostOp is one instantiated post-behavioral adapter: an optional
+// permutation followed by an optional rescale of the accelerator output.
+type PostOp struct {
+	BitReverse bool
+	Scale      ScaleKind
+}
+
+// Sketches enumerates every post-behavioral candidate, identity first.
+func Sketches() []PostOp {
+	var out []PostOp
+	for _, br := range []bool{false, true} {
+		for _, sc := range []ScaleKind{ScaleNone, ScaleByN, ScaleBy1N} {
+			out = append(out, PostOp{BitReverse: br, Scale: sc})
+		}
+	}
+	return out
+}
+
+// IsIdentity reports whether the op changes nothing.
+func (op PostOp) IsIdentity() bool { return !op.BitReverse && op.Scale == ScaleNone }
+
+// Apply transforms the accelerator output in place.
+func (op PostOp) Apply(x []complex128) {
+	if op.BitReverse && fft.IsPowerOfTwo(len(x)) {
+		fft.BitReverse(x)
+	}
+	switch op.Scale {
+	case ScaleByN:
+		fft.Scale(x, float64(len(x)))
+	case ScaleBy1N:
+		fft.Scale(x, 1/float64(len(x)))
+	}
+}
+
+func (op PostOp) String() string {
+	if op.IsIdentity() {
+		return "identity"
+	}
+	s := ""
+	if op.BitReverse {
+		s = "bitrev"
+	}
+	if op.Scale != ScaleNone {
+		if s != "" {
+			s += "+"
+		}
+		s += op.Scale.String()
+	}
+	return s
+}
+
+// CCode renders the op as C statements over an output buffer of
+// float_complex elements. outVar is the buffer, lenVar the element count.
+func (op PostOp) CCode(outVar, lenVar string) []string {
+	var lines []string
+	if op.BitReverse {
+		lines = append(lines,
+			fmt.Sprintf("bit_reverse_permute(%s, %s);", outVar, lenVar))
+	}
+	switch op.Scale {
+	case ScaleByN:
+		lines = append(lines,
+			fmt.Sprintf("for (int __k = 0; __k < %s; __k++) {", lenVar),
+			fmt.Sprintf("    %s[__k].re *= (float)%s;", outVar, lenVar),
+			fmt.Sprintf("    %s[__k].im *= (float)%s;", outVar, lenVar),
+			"}")
+	case ScaleBy1N:
+		lines = append(lines,
+			fmt.Sprintf("for (int __k = 0; __k < %s; __k++) {", lenVar),
+			fmt.Sprintf("    %s[__k].re /= (float)%s;", outVar, lenVar),
+			fmt.Sprintf("    %s[__k].im /= (float)%s;", outVar, lenVar),
+			"}")
+	}
+	return lines
+}

@@ -1,0 +1,122 @@
+package behave
+
+import (
+	"math"
+	"testing"
+
+	"facc/internal/fft"
+)
+
+func TestSketchEnumerationFinite(t *testing.T) {
+	s := Sketches()
+	if len(s) != 6 {
+		t.Fatalf("sketch count = %d, want 6 (2 permutations x 3 scales)", len(s))
+	}
+	if !s[0].IsIdentity() {
+		t.Error("identity must come first (canonical tie-break)")
+	}
+	seen := map[string]bool{}
+	for _, op := range s {
+		if seen[op.String()] {
+			t.Errorf("duplicate sketch %s", op)
+		}
+		seen[op.String()] = true
+	}
+}
+
+func TestApplyScale(t *testing.T) {
+	x := []complex128{1, 2, 3, 4}
+	PostOp{Scale: ScaleByN}.Apply(x)
+	if x[0] != 4 || x[3] != 16 {
+		t.Errorf("denormalize: %v", x)
+	}
+	PostOp{Scale: ScaleBy1N}.Apply(x)
+	if x[0] != 1 || x[3] != 4 {
+		t.Errorf("normalize: %v", x)
+	}
+}
+
+func TestApplyBitReverse(t *testing.T) {
+	x := []complex128{0, 1, 2, 3, 4, 5, 6, 7}
+	PostOp{BitReverse: true}.Apply(x)
+	want := []complex128{0, 4, 2, 6, 1, 5, 3, 7}
+	for i := range x {
+		if x[i] != want[i] {
+			t.Fatalf("bitrev = %v", x)
+		}
+	}
+}
+
+func TestApplyComposition(t *testing.T) {
+	x := []complex128{0, 1, 2, 3}
+	PostOp{BitReverse: true, Scale: ScaleByN}.Apply(x)
+	// bitrev([0,1,2,3]) = [0,2,1,3]; then *4.
+	want := []complex128{0, 8, 4, 12}
+	for i := range x {
+		if x[i] != want[i] {
+			t.Fatalf("composed = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestBitReverseSkippedForNonPow2(t *testing.T) {
+	x := []complex128{1, 2, 3}
+	PostOp{BitReverse: true}.Apply(x)
+	if x[0] != 1 || x[1] != 2 || x[2] != 3 {
+		t.Error("non-pow2 bit reverse should be a no-op")
+	}
+}
+
+// The canonical use: FFTA normalizes, user code does not; denormalizing the
+// FFTA output must recover the plain FFT.
+func TestDenormalizeRecoversUnnormalizedFFT(t *testing.T) {
+	in := []complex128{1, 2i, -1, 3}
+	plain := fft.DFT(in, fft.Forward)
+	normalized := append([]complex128(nil), plain...)
+	fft.Normalize(normalized)
+	PostOp{Scale: ScaleByN}.Apply(normalized)
+	for i := range plain {
+		d := plain[i] - normalized[i]
+		if math.Hypot(real(d), imag(d)) > 1e-12 {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestCCode(t *testing.T) {
+	lines := PostOp{BitReverse: true, Scale: ScaleByN}.CCode("output", "len")
+	joined := ""
+	for _, l := range lines {
+		joined += l + "\n"
+	}
+	if !contains(joined, "bit_reverse_permute(output, len);") ||
+		!contains(joined, "output[__k].re *= (float)len;") {
+		t.Errorf("C code:\n%s", joined)
+	}
+	if len(PostOp{}.CCode("o", "n")) != 0 {
+		t.Error("identity op should emit no code")
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(s) > 0 && indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestStrings(t *testing.T) {
+	if (PostOp{}).String() != "identity" {
+		t.Error("identity string")
+	}
+	composed := PostOp{BitReverse: true, Scale: ScaleBy1N}
+	if composed.String() != "bitrev+normalize(/N)" {
+		t.Errorf("composed string = %s", composed)
+	}
+}

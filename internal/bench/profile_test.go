@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"testing"
+)
+
+func TestCollectProfileByExecution(t *testing.T) {
+	b, err := ByName("iterdit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := CollectProfile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := prof.Range("n")
+	if r == nil || r.Count == 0 {
+		t.Fatal("entry length parameter not observed")
+	}
+	if !r.AllPowersOfTwo {
+		t.Error("driver only passes powers of two; profile disagrees")
+	}
+	if r.Min < 64 || r.Max > 512 {
+		t.Errorf("observed range %s outside driver sizes", r)
+	}
+	// Interior variables get profiled too (the interpreter observes
+	// every integer assignment and call argument).
+	if len(prof.Vars) < 2 {
+		t.Errorf("expected interior observations, got %d vars", len(prof.Vars))
+	}
+}
+
+func TestCollectProfileMergesFlagTable(t *testing.T) {
+	b, err := ByName("table256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := CollectProfile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := prof.Range("inverse")
+	if r == nil || !r.IsFlagLike() {
+		t.Errorf("inverse flag not profiled: %v", r)
+	}
+}
+
+func TestSupportsSize(t *testing.T) {
+	b, _ := ByName("fixed64")
+	if !b.SupportsSize(64) || b.SupportsSize(32) {
+		t.Error("fixed64")
+	}
+	b, _ = ByName("bluestein")
+	if !b.SupportsSize(17) || !b.SupportsSize(1000) || b.SupportsSize(0) {
+		t.Error("all-lengths")
+	}
+}

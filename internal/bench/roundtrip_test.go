@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"testing"
+
+	"facc/internal/minic"
+)
+
+// TestCorpusPrintRoundTrip pushes every corpus program through the printer
+// and back: PrintFile output must re-parse, re-check, and print
+// identically (fixed point after one iteration). This exercises the
+// frontend across the full diversity of the corpus.
+func TestCorpusPrintRoundTrip(t *testing.T) {
+	for _, b := range Suite() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			f1, err := minic.ParseAndCheck(b.File, b.Source())
+			if err != nil {
+				t.Fatal(err)
+			}
+			printed := minic.PrintFile(f1)
+			f2, err := minic.ParseAndCheck(b.File+".printed", printed)
+			if err != nil {
+				t.Fatalf("printed source rejected: %v", err)
+			}
+			if len(f2.Funcs) != len(f1.Funcs) {
+				t.Fatalf("function count changed: %d -> %d", len(f1.Funcs), len(f2.Funcs))
+			}
+			printed2 := minic.PrintFile(f2)
+			if printed != printed2 {
+				t.Error("printer not idempotent on corpus program")
+			}
+		})
+	}
+}
+
+// TestCorpusPrintedSemantics: the printed program must still compute the
+// same transform (parse/print must not perturb semantics). Checked on a
+// small supported subset to keep runtime bounded.
+func TestCorpusPrintedSemantics(t *testing.T) {
+	for _, name := range []string{"iterdit", "c99dit", "splitarrays"} {
+		b, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := minic.ParseAndCheck(b.File, b.Source())
+		if err != nil {
+			t.Fatal(err)
+		}
+		printed := minic.PrintFile(f)
+		// Swap the benchmark's source for its printed form via a runner
+		// over the re-parsed file.
+		clone := *b
+		runOn := func(src string) []complex128 {
+			t.Helper()
+			f2, err := minic.ParseAndCheck("x.c", src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = f2
+			r := mustRunnerFromSource(t, &clone, src)
+			in := make([]complex128, 32)
+			for i := range in {
+				in[i] = complex(float64(i%5)-2, float64(i%3))
+			}
+			out, err := r.Run(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}
+		orig := runOn(b.Source())
+		rt := runOn(printed)
+		for i := range orig {
+			if orig[i] != rt[i] {
+				t.Fatalf("%s: printed program diverges at [%d]", name, i)
+			}
+		}
+	}
+}
+
+// mustRunnerFromSource builds a Runner over replacement source text.
+func mustRunnerFromSource(t *testing.T, b *Benchmark, src string) *Runner {
+	t.Helper()
+	f, err := minic.ParseAndCheck(b.File, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := f.Func(b.Entry)
+	if fn == nil {
+		t.Fatalf("entry %q lost in printing", b.Entry)
+	}
+	m, err := newMachineForTest(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Runner{B: b, File: f, Machine: m, entry: fn}
+}

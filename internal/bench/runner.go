@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"facc/internal/analysis"
+	"facc/internal/interp"
+	"facc/internal/minic"
+)
+
+// Runner executes a benchmark's entry point in the MiniC interpreter —
+// the "run the original software" side of the evaluation. A Runner keeps
+// its machine across calls so implementations with memoized global state
+// (project11) behave as they would in a real process.
+type Runner struct {
+	B       *Benchmark
+	File    *minic.File
+	Machine *interp.Machine
+	entry   *minic.FuncDecl
+}
+
+// NewRunner parses, checks and loads the benchmark.
+func NewRunner(b *Benchmark) (*Runner, error) {
+	f, err := minic.ParseAndCheck(b.File, b.Source())
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: %w", b.Name, err)
+	}
+	fn := f.Func(b.Entry)
+	if fn == nil {
+		return nil, fmt.Errorf("bench %s: entry %q not found", b.Name, b.Entry)
+	}
+	m, err := interp.NewMachine(f)
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: %w", b.Name, err)
+	}
+	return &Runner{B: b, File: f, Machine: m, entry: fn}, nil
+}
+
+// structOffsets returns the flattened (re, im) offsets for the custom
+// struct layouts; every custom struct in the corpus declares real first.
+func structOffsets() (int, int) { return 0, 1 }
+
+// Run executes the benchmark on the input signal and returns the complex
+// output. Counters accumulate on r.Machine (call r.Machine.Reset() first
+// to measure a single run).
+func (r *Runner) Run(input []complex128) ([]complex128, error) {
+	if len(r.B.Driver) == 0 {
+		return nil, fmt.Errorf("bench %s: no generic driver", r.B.Name)
+	}
+	n := len(input)
+	m := r.Machine
+	var args []interp.Value
+	var outVal interp.Value
+	outKind := ""
+	var reArr, imArr interp.Value
+
+	for i, tok := range r.B.Driver {
+		prm := r.entry.Params[i]
+		pt := prm.Type.Decay()
+		switch tok {
+		case "x", "in", "out", "scratch":
+			arr, err := m.NewArray(prm.Name, pt.Elem, n)
+			if err != nil {
+				return nil, err
+			}
+			if tok == "x" || tok == "in" {
+				if err := r.writeComplex(arr, input); err != nil {
+					return nil, err
+				}
+			}
+			if tok == "x" || tok == "out" {
+				outVal = arr
+				outKind = r.B.ComplexRepr
+			}
+			args = append(args, arr)
+		case "re", "im":
+			arr, err := m.NewArray(prm.Name, pt.Elem, n)
+			if err != nil {
+				return nil, err
+			}
+			vals := make([]float64, n)
+			for j, c := range input {
+				if tok == "re" {
+					vals[j] = real(c)
+				} else {
+					vals[j] = imag(c)
+				}
+			}
+			if err := m.SetFloatArray(arr, vals); err != nil {
+				return nil, err
+			}
+			if tok == "re" {
+				reArr = arr
+			} else {
+				imArr = arr
+			}
+			outKind = "split"
+			args = append(args, arr)
+		case "n":
+			args = append(args, interp.IntValue(int64(n)))
+		case "flag":
+			args = append(args, interp.IntValue(0))
+		default:
+			return nil, fmt.Errorf("bench %s: unknown driver token %q", r.B.Name, tok)
+		}
+	}
+	if _, err := m.Call(r.entry, args); err != nil {
+		return nil, err
+	}
+	switch outKind {
+	case "split":
+		re, err := m.GetFloatArray(reArr, n)
+		if err != nil {
+			return nil, err
+		}
+		im, err := m.GetFloatArray(imArr, n)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]complex128, n)
+		for i := range out {
+			out[i] = complex(re[i], im[i])
+		}
+		return out, nil
+	case "c99":
+		return m.GetComplexArray(outVal, n)
+	default:
+		reOff, imOff := structOffsets()
+		return m.GetStructComplexArray(outVal, n, reOff, imOff)
+	}
+}
+
+// writeComplex stores the signal through the benchmark's representation.
+func (r *Runner) writeComplex(arr interp.Value, vals []complex128) error {
+	switch r.B.ComplexRepr {
+	case "c99":
+		return r.Machine.SetComplexArray(arr, vals)
+	default:
+		reOff, imOff := structOffsets()
+		return r.Machine.SetStructComplexArray(arr, vals, reOff, imOff)
+	}
+}
+
+// MeasureCounters runs the benchmark once on input with fresh counters and
+// returns the operation counts (the software-side performance model input).
+func (r *Runner) MeasureCounters(input []complex128) (interp.Counters, error) {
+	r.Machine.Reset()
+	r.Machine.MaxSteps = 2_000_000_000
+	if _, err := r.Run(input); err != nil {
+		return interp.Counters{}, err
+	}
+	return r.Machine.Counters, nil
+}
+
+// newMachineForTest builds a machine for a checked file (test helper).
+func newMachineForTest(f *minic.File) (*interp.Machine, error) {
+	return interp.NewMachine(f)
+}
+
+// CollectProfile runs the benchmark's driver at the metadata sizes with
+// value profiling attached — the paper's "value-profiling environment"
+// built by execution rather than hand-written tables. The returned profile
+// covers the entry's scalar parameters and everything observed inside.
+func CollectProfile(b *Benchmark) (*analysis.Profile, error) {
+	r, err := NewRunner(b)
+	if err != nil {
+		return nil, err
+	}
+	prof := analysis.NewProfile()
+	prof.Attach(r.Machine)
+	sizes := b.ProfileValues["n"]
+	if len(sizes) == 0 {
+		sizes = []int64{int64(b.PerfSize)}
+	}
+	rng := rand.New(rand.NewSource(int64(b.ID) + 1))
+	for _, n := range sizes {
+		if !b.SupportsSize(int(n)) || n > 512 {
+			continue
+		}
+		in := make([]complex128, n)
+		for i := range in {
+			in[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		r.Machine.Reset()
+		if _, err := r.Run(in); err != nil {
+			return nil, err
+		}
+	}
+	// Mode flags recorded in the metadata (the driver only exercises the
+	// forward path; the table records what the app does elsewhere).
+	for name, vals := range b.ProfileValues {
+		if name == "n" {
+			continue
+		}
+		for _, v := range vals {
+			prof.ObserveInt(name, v)
+		}
+	}
+	return prof, nil
+}

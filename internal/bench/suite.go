@@ -1,0 +1,283 @@
+// Package bench holds the 25-program FFT benchmark suite: the stand-in for
+// the paper's GitHub corpus (24 search results + the MiBench FFT). The
+// programs are written in MiniC and deliberately reproduce the diversity
+// axes of the paper's Table 1 — algorithm (radix-2 DIT/DIF, mixed-radix,
+// Bluestein, recursive, plain DFT), supported lengths, twiddle handling
+// (constant tables, precomputed buffers, computed in-loop, memoized),
+// complex representation (custom structs, C99 _Complex, split arrays),
+// pointer arithmetic, loop structure and hand-optimization level — plus
+// the seven unsupported programs behind the paper's Figure 8 failure
+// categories.
+package bench
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+//go:embed testdata/*.c
+var sources embed.FS
+
+// FailureCategory classifies why FACC cannot compile a program (Fig. 8).
+type FailureCategory string
+
+// Failure categories; Supported marks compilable programs.
+const (
+	Supported       FailureCategory = ""
+	FailInterface   FailureCategory = "interface-incompatibility"
+	FailNestedMem   FailureCategory = "nested-memory"
+	FailPrintf      FailureCategory = "printf"
+	FailVoidPointer FailureCategory = "void-pointer"
+)
+
+// Benchmark is one corpus program plus its Table 1 metadata.
+type Benchmark struct {
+	ID    int
+	Name  string
+	File  string
+	Entry string // the FFT entry-point function
+
+	// Table 1 columns.
+	Lengths       string // "only 64", "pow2<=256", "pow2", "all"
+	Algorithm     string
+	Twiddles      string
+	ComplexRepr   string // "custom", "c99", "none"
+	PointerArith  bool
+	LoopStructure string
+	Optimizations string
+
+	// Expected FACC outcome (ground truth for the harness and tests).
+	Failure FailureCategory
+
+	// ProfileValues is the value-profiling environment: the values the
+	// host application passes for each scalar parameter.
+	ProfileValues map[string][]int64
+
+	// PerfSize is the transform length used in the performance figures
+	// (1024 unless the implementation supports less — paper Fig. 10).
+	PerfSize int
+
+	// Normalized marks implementations that scale their output by 1/N.
+	Normalized bool
+
+	// BitReversedOut marks implementations whose contract is a
+	// bit-reversed spectrum (project06's DIF without the reversal pass).
+	BitReversedOut bool
+
+	// Driver describes how to invoke the entry point, one token per
+	// parameter: "x" (in-place complex array), "in"/"out" (out-of-place
+	// pair), "re"/"im" (split arrays), "scratch" (work buffer), "n"
+	// (length), "flag" (mode selector, 0 = forward transform). Empty for
+	// programs the generic runner does not drive (the unsupported ones).
+	Driver []string
+}
+
+// Source returns the program text.
+func (b *Benchmark) Source() string {
+	data, err := sources.ReadFile("testdata/" + b.File)
+	if err != nil {
+		panic(fmt.Sprintf("bench: missing embedded source %s: %v", b.File, err))
+	}
+	return string(data)
+}
+
+// LinesOfCode counts non-blank source lines.
+func (b *Benchmark) LinesOfCode() int {
+	n := 0
+	for _, line := range strings.Split(b.Source(), "\n") {
+		if strings.TrimSpace(line) != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// IsSupported reports whether FACC is expected to compile this program.
+func (b *Benchmark) IsSupported() bool { return b.Failure == Supported }
+
+// SupportsSize reports whether the implementation accepts length n (per
+// its documented Lengths domain).
+func (b *Benchmark) SupportsSize(n int) bool {
+	pow2 := n > 0 && n&(n-1) == 0
+	switch b.Lengths {
+	case "only 64":
+		return n == 64
+	case "pow2<=256":
+		return pow2 && n <= 256
+	case "pow2":
+		return pow2
+	default: // "all"
+		return n >= 1
+	}
+}
+
+var pow2Sizes = []int64{64, 128, 256, 512, 1024}
+
+// Suite returns the full 25-program corpus in ID order.
+func Suite() []*Benchmark {
+	s := []*Benchmark{
+		{ID: 0, Driver: []string{"x"}, Name: "fixed64", File: "project00.c", Entry: "fft64",
+			Lengths: "only 64", Algorithm: "Radix-2 FFT", Twiddles: "Constant",
+			ComplexRepr: "custom", LoopStructure: "While-True-Break",
+			Optimizations: "Minimal", PerfSize: 64,
+			ProfileValues: map[string][]int64{}},
+		{ID: 1, Driver: []string{"x", "n", "flag"}, Name: "table256", File: "project01.c", Entry: "fft_pow2",
+			Lengths: "pow2<=256", Algorithm: "Radix-2 FFT", Twiddles: "Constant",
+			ComplexRepr: "custom", LoopStructure: "Do-While/For",
+			Optimizations: "Minimal", PerfSize: 256,
+			ProfileValues: map[string][]int64{"n": {64, 128, 256}, "inverse": {0, 1}}},
+		{ID: 2, Driver: []string{"x", "scratch", "n"}, Name: "recsplit", File: "project02.c", Entry: "fft_rec",
+			Lengths: "pow2", Algorithm: "Radix-2 FFT", Twiddles: "Computed in FFT",
+			ComplexRepr: "custom", LoopStructure: "For/Recursive",
+			Optimizations: "Minimal", PerfSize: 1024,
+			ProfileValues: map[string][]int64{"n": pow2Sizes}},
+		{ID: 3, Driver: []string{"x", "n"}, Name: "iterdit", File: "project03.c", Entry: "fft_iter",
+			Lengths: "pow2", Algorithm: "Radix-2 FFT", Twiddles: "Computed in FFT",
+			ComplexRepr: "custom", LoopStructure: "For",
+			Optimizations: "Minimal", PerfSize: 1024,
+			ProfileValues: map[string][]int64{"n": pow2Sizes}},
+		{ID: 4, Driver: []string{"in", "out", "n"}, Name: "mixedunroll", File: "project04.c", Entry: "fft_mixed",
+			Lengths: "all", Algorithm: "Mixed-Radix FFT", Twiddles: "Computed in FFT",
+			ComplexRepr: "custom", LoopStructure: "For/Recursive",
+			Optimizations: "Extensive Unrolling", PerfSize: 1024,
+			ProfileValues: map[string][]int64{"n": {60, 64, 100, 128, 240, 256, 1000, 1024}}},
+		{ID: 5, Driver: []string{"x", "n"}, Name: "handopt", File: "project05.c", Entry: "fft_opt",
+			Lengths: "all", Algorithm: "Mixed-Radix FFT", Twiddles: "Pre-Computed",
+			ComplexRepr: "custom", PointerArith: true, LoopStructure: "For",
+			Optimizations: "Hand-Vectorized/Unrolled", PerfSize: 1024,
+			ProfileValues: map[string][]int64{"n": {48, 64, 120, 128, 512, 1000, 1024}}},
+		{ID: 6, Driver: []string{"x", "n"}, Name: "smalldif", File: "project06.c", Entry: "fft_dif",
+			Lengths: "pow2", Algorithm: "Radix-2 FFT (DIF)", Twiddles: "Computed in FFT",
+			ComplexRepr: "custom", LoopStructure: "For",
+			Optimizations: "Minimal", PerfSize: 1024, BitReversedOut: true,
+			ProfileValues: map[string][]int64{"n": pow2Sizes}},
+		{ID: 7, Driver: []string{"x", "n"}, Name: "ptrwalk", File: "project07.c", Entry: "fft_ptr",
+			Lengths: "pow2", Algorithm: "Radix-2 FFT", Twiddles: "Pre-Computed",
+			ComplexRepr: "custom", PointerArith: true, LoopStructure: "For",
+			Optimizations: "Minimal", PerfSize: 1024,
+			ProfileValues: map[string][]int64{"n": pow2Sizes}},
+		{ID: 8, Driver: []string{"x", "n"}, Name: "c99dif", File: "project08.c", Entry: "fft_c99_dif",
+			Lengths: "pow2", Algorithm: "Radix-2 FFT (DIF)", Twiddles: "Computed in FFT",
+			ComplexRepr: "c99", LoopStructure: "For",
+			Optimizations: "Minimal", PerfSize: 1024,
+			ProfileValues: map[string][]int64{"n": pow2Sizes}},
+		{ID: 9, Driver: []string{"in", "out", "n", "flag"}, Name: "bigmixed", File: "project09.c", Entry: "fft_big",
+			Lengths: "all", Algorithm: "Mixed-Radix FFT", Twiddles: "Pre-Computed",
+			ComplexRepr: "custom", PointerArith: true,
+			LoopStructure: "For/While/Recursive",
+			Optimizations: "Extensive Unrolling", PerfSize: 1024,
+			ProfileValues: map[string][]int64{
+				"n": {28, 36, 64, 128, 180, 256, 1000, 1024}, "dir": {0, 1}}},
+		{ID: 10, Driver: []string{"x", "n"}, Name: "normdit", File: "project10.c", Entry: "fft_norm",
+			Lengths: "pow2", Algorithm: "Radix-2 FFT", Twiddles: "Pre-Computed",
+			ComplexRepr: "custom", LoopStructure: "For",
+			Optimizations: "Minimal", PerfSize: 1024, Normalized: true,
+			ProfileValues: map[string][]int64{"n": pow2Sizes}},
+		{ID: 11, Driver: []string{"x", "n"}, Name: "memotw", File: "project11.c", Entry: "fft_memo",
+			Lengths: "all", Algorithm: "Mixed-Radix FFT", Twiddles: "Pre-Computed",
+			ComplexRepr: "custom", LoopStructure: "Do-While/For",
+			Optimizations: "Twiddle-Factor Memoization", PerfSize: 1024,
+			ProfileValues: map[string][]int64{"n": {64, 96, 128, 288, 1024}}},
+		{ID: 12, Driver: []string{"in", "out", "n"}, Name: "bluestein", File: "project12.c", Entry: "fft_blue",
+			Lengths: "all", Algorithm: "Mixed-Radix + Bluestein", Twiddles: "Computed in FFT",
+			ComplexRepr: "custom", LoopStructure: "For/Recursive",
+			Optimizations: "Unrolling", PerfSize: 1024,
+			ProfileValues: map[string][]int64{"n": {17, 31, 64, 101, 128, 1024}}},
+		{ID: 13, Driver: []string{"x", "n"}, Name: "c99dit", File: "project13.c", Entry: "fft_c99_dit",
+			Lengths: "pow2", Algorithm: "Radix-2 FFT (DIT)", Twiddles: "Computed in FFT",
+			ComplexRepr: "c99", LoopStructure: "For",
+			Optimizations: "Minimal", PerfSize: 1024,
+			ProfileValues: map[string][]int64{"n": pow2Sizes}},
+		{ID: 14, Driver: []string{"re", "im", "n"}, Name: "splitarrays", File: "project14.c", Entry: "fft_split",
+			Lengths: "pow2", Algorithm: "Radix-2 FFT", Twiddles: "Computed in FFT",
+			ComplexRepr: "none", LoopStructure: "For",
+			Optimizations: "Minimal", PerfSize: 1024,
+			ProfileValues: map[string][]int64{"n": pow2Sizes}},
+		{ID: 15, Driver: []string{"x", "n"}, Name: "purerec", File: "project15.c", Entry: "fft_recursive",
+			Lengths: "all", Algorithm: "Recursive FFT", Twiddles: "Computed in FFT",
+			ComplexRepr: "c99", LoopStructure: "Recursive",
+			Optimizations: "Minimal", PerfSize: 1024,
+			ProfileValues: map[string][]int64{"n": {27, 64, 128, 243, 1024}}},
+		{ID: 16, Driver: []string{"in", "out", "n"}, Name: "dft20", File: "project16.c", Entry: "dft",
+			Lengths: "all", Algorithm: "DFT", Twiddles: "Unneeded",
+			ComplexRepr: "c99", LoopStructure: "For",
+			Optimizations: "None", PerfSize: 1024,
+			ProfileValues: map[string][]int64{"n": {50, 64, 100, 128, 1024}}},
+		{ID: 17, Driver: []string{"x", "n"}, Name: "dft12", File: "project17.c", Entry: "dft_small",
+			Lengths: "all", Algorithm: "DFT", Twiddles: "Unneeded",
+			ComplexRepr: "c99", LoopStructure: "For",
+			Optimizations: "None", PerfSize: 1024,
+			ProfileValues: map[string][]int64{"n": {50, 64, 128, 1024}}},
+
+		// Unsupported programs (paper Fig. 8 failure categories).
+		{ID: 18, Name: "magspectrum", File: "project18.c", Entry: "fft_mag",
+			Lengths: "pow2", Algorithm: "Radix-2 + magnitude", Twiddles: "Computed in FFT",
+			ComplexRepr: "none", LoopStructure: "For", Optimizations: "Minimal",
+			Failure: FailInterface, PerfSize: 1024,
+			ProfileValues: map[string][]int64{"n": pow2Sizes}},
+		{ID: 19, Name: "fft2d", File: "project19.c", Entry: "fft2d",
+			Lengths: "pow2", Algorithm: "2D FFT", Twiddles: "Computed in FFT",
+			ComplexRepr: "c99", LoopStructure: "For", Optimizations: "Minimal",
+			Failure: FailInterface, PerfSize: 1024,
+			ProfileValues: map[string][]int64{"rows": {8, 16}, "cols": {8, 16}}},
+		{ID: 20, Name: "realhalf", File: "project20.c", Entry: "rfft",
+			Lengths: "pow2", Algorithm: "Real FFT (packed)", Twiddles: "Computed in FFT",
+			ComplexRepr: "none", LoopStructure: "For", Optimizations: "Minimal",
+			Failure: FailInterface, PerfSize: 1024,
+			ProfileValues: map[string][]int64{"n": pow2Sizes}},
+		{ID: 21, Name: "voidgeneric", File: "project21.c", Entry: "fft_generic",
+			Lengths: "pow2", Algorithm: "Radix-2 FFT", Twiddles: "Computed in FFT",
+			ComplexRepr: "custom", LoopStructure: "For", Optimizations: "Minimal",
+			Failure: FailVoidPointer, PerfSize: 1024,
+			ProfileValues: map[string][]int64{"n": pow2Sizes, "elem_size": {8}}},
+		{ID: 22, Name: "voidkind", File: "project22.c", Entry: "transform",
+			Lengths: "pow2", Algorithm: "Radix-2 FFT", Twiddles: "Computed in FFT",
+			ComplexRepr: "custom", LoopStructure: "For", Optimizations: "Minimal",
+			Failure: FailVoidPointer, PerfSize: 1024,
+			ProfileValues: map[string][]int64{"n": pow2Sizes, "kind": {0}}},
+		{ID: 23, Name: "verbose", File: "project23.c", Entry: "fft_verbose",
+			Lengths: "pow2", Algorithm: "Radix-2 FFT", Twiddles: "Computed in FFT",
+			ComplexRepr: "custom", LoopStructure: "For", Optimizations: "Minimal",
+			Failure: FailPrintf, PerfSize: 1024,
+			ProfileValues: map[string][]int64{"n": pow2Sizes}},
+		{ID: 24, Name: "rowplan", File: "project24.c", Entry: "fft_rows",
+			Lengths: "pow2", Algorithm: "Row-planned FFT", Twiddles: "Computed in FFT",
+			ComplexRepr: "c99", LoopStructure: "For", Optimizations: "Minimal",
+			Failure: FailNestedMem, PerfSize: 1024,
+			ProfileValues: map[string][]int64{"nrows": {4, 8}, "n": {64, 128}}},
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i].ID < s[j].ID })
+	return s
+}
+
+// SupportedSuite returns only the 18 compilable programs.
+func SupportedSuite() []*Benchmark {
+	var out []*Benchmark
+	for _, b := range Suite() {
+		if b.IsSupported() {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// ByName finds a benchmark by name.
+func ByName(name string) (*Benchmark, error) {
+	for _, b := range Suite() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("bench: no benchmark %q", name)
+}
+
+// FailureCounts tallies Fig. 8's classification.
+func FailureCounts() map[FailureCategory]int {
+	counts := map[FailureCategory]int{}
+	for _, b := range Suite() {
+		counts[b.Failure]++
+	}
+	return counts
+}

@@ -1,0 +1,95 @@
+/*
+ * project00 "fixed64": radix-2 FFT hard-coded to 64 points.
+ * Style notes (Table 1): constant twiddle tables baked into the source,
+ * custom complex struct, while(1)/break loop structure, no pointer
+ * arithmetic, minimal optimization. Typical of small embedded DSP code.
+ */
+#include <math.h>
+
+struct cplx {
+    float r;
+    float i;
+};
+
+static const float tw_re_64[32] = {
+    1.000000000e+00f, 9.951847267e-01f, 9.807852804e-01f, 9.569403357e-01f,
+    9.238795325e-01f, 8.819212643e-01f, 8.314696123e-01f, 7.730104534e-01f,
+    7.071067812e-01f, 6.343932842e-01f, 5.555702330e-01f, 4.713967368e-01f,
+    3.826834324e-01f, 2.902846773e-01f, 1.950903220e-01f, 9.801714033e-02f,
+    6.123233996e-17f, -9.801714033e-02f, -1.950903220e-01f, -2.902846773e-01f,
+    -3.826834324e-01f, -4.713967368e-01f, -5.555702330e-01f, -6.343932842e-01f,
+    -7.071067812e-01f, -7.730104534e-01f, -8.314696123e-01f, -8.819212643e-01f,
+    -9.238795325e-01f, -9.569403357e-01f, -9.807852804e-01f, -9.951847267e-01f
+};
+
+static const float tw_im_64[32] = {
+    -0.000000000e+00f, -9.801714033e-02f, -1.950903220e-01f, -2.902846773e-01f,
+    -3.826834324e-01f, -4.713967368e-01f, -5.555702330e-01f, -6.343932842e-01f,
+    -7.071067812e-01f, -7.730104534e-01f, -8.314696123e-01f, -8.819212643e-01f,
+    -9.238795325e-01f, -9.569403357e-01f, -9.807852804e-01f, -9.951847267e-01f,
+    -1.000000000e+00f, -9.951847267e-01f, -9.807852804e-01f, -9.569403357e-01f,
+    -9.238795325e-01f, -8.819212643e-01f, -8.314696123e-01f, -7.730104534e-01f,
+    -7.071067812e-01f, -6.343932842e-01f, -5.555702330e-01f, -4.713967368e-01f,
+    -3.826834324e-01f, -2.902846773e-01f, -1.950903220e-01f, -9.801714033e-02f
+};
+
+void fft64(struct cplx* data) {
+    /* Bit reversal for N = 64 (6 bits). */
+    int i = 0;
+    while (1) {
+        if (i >= 64) {
+            break;
+        }
+        int rev = 0;
+        int v = i;
+        int b = 0;
+        while (1) {
+            if (b >= 6) {
+                break;
+            }
+            rev = (rev << 1) | (v & 1);
+            v = v >> 1;
+            b = b + 1;
+        }
+        if (i < rev) {
+            struct cplx t = data[i];
+            data[i] = data[rev];
+            data[rev] = t;
+        }
+        i = i + 1;
+    }
+
+    /* Butterfly stages with table lookups. */
+    int len = 2;
+    while (1) {
+        if (len > 64) {
+            break;
+        }
+        int stride = 64 / len;
+        int start = 0;
+        while (1) {
+            if (start >= 64) {
+                break;
+            }
+            int k = 0;
+            while (1) {
+                if (k >= len / 2) {
+                    break;
+                }
+                float wr = tw_re_64[k * stride];
+                float wi = tw_im_64[k * stride];
+                struct cplx a = data[start + k];
+                struct cplx b2 = data[start + k + len / 2];
+                float tr = b2.r * wr - b2.i * wi;
+                float ti = b2.r * wi + b2.i * wr;
+                data[start + k].r = a.r + tr;
+                data[start + k].i = a.i + ti;
+                data[start + k + len / 2].r = a.r - tr;
+                data[start + k + len / 2].i = a.i - ti;
+                k = k + 1;
+            }
+            start = start + len;
+        }
+        len = len * 2;
+    }
+}

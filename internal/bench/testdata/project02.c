@@ -1,0 +1,49 @@
+/*
+ * project02 "recsplit": recursive radix-2 FFT with an explicit scratch
+ * buffer. Style notes (Table 1): twiddles computed inside the recursion
+ * with cos/sin, custom complex struct, for loops plus recursion, minimal
+ * optimization.
+ */
+#include <math.h>
+
+typedef struct {
+    double re;
+    double im;
+} cplx2;
+
+static void fft_step(cplx2* x, cplx2* tmp, int n, int stride) {
+    if (n <= 1) {
+        return;
+    }
+    int half = n / 2;
+    /* Separate even and odd samples into the two halves. */
+    for (int i = 0; i < half; i++) {
+        tmp[i] = x[2 * i * stride];
+        tmp[i + half] = x[(2 * i + 1) * stride];
+    }
+    for (int i = 0; i < n; i++) {
+        x[i * stride] = tmp[i];
+    }
+    fft_step(x, tmp, half, stride);
+    fft_step(x + half * stride, tmp, half, stride);
+    for (int k = 0; k < half; k++) {
+        double ang = -2.0 * M_PI * (double)k / (double)n;
+        double wr = cos(ang);
+        double wi = sin(ang);
+        cplx2 even = x[k * stride];
+        cplx2 odd = x[(k + half) * stride];
+        double tr = odd.re * wr - odd.im * wi;
+        double ti = odd.re * wi + odd.im * wr;
+        tmp[k].re = even.re + tr;
+        tmp[k].im = even.im + ti;
+        tmp[k + half].re = even.re - tr;
+        tmp[k + half].im = even.im - ti;
+    }
+    for (int i = 0; i < n; i++) {
+        x[i * stride] = tmp[i];
+    }
+}
+
+void fft_rec(cplx2* x, cplx2* scratch, int n) {
+    fft_step(x, scratch, n, 1);
+}

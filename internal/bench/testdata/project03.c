@@ -1,0 +1,64 @@
+/*
+ * project03 "iterdit": iterative decimation-in-time radix-2 FFT.
+ * Style notes (Table 1): twiddles computed inside the stage loop via a
+ * complex-multiply recurrence (one cos/sin per stage), custom complex
+ * struct, plain for loops, minimal optimization.
+ */
+#include <math.h>
+
+struct complex_t {
+    double real;
+    double imag;
+};
+
+static int ilog2(int n) {
+    int bits = 0;
+    for (int m = n; m > 1; m = m / 2) {
+        bits++;
+    }
+    return bits;
+}
+
+static void bitrev_permute(struct complex_t* x, int n) {
+    int bits = ilog2(n);
+    for (int i = 0; i < n; i++) {
+        int rev = 0;
+        int v = i;
+        for (int b = 0; b < bits; b++) {
+            rev = (rev << 1) | (v & 1);
+            v = v >> 1;
+        }
+        if (i < rev) {
+            struct complex_t t = x[i];
+            x[i] = x[rev];
+            x[rev] = t;
+        }
+    }
+}
+
+void fft_iter(struct complex_t* x, int n) {
+    bitrev_permute(x, n);
+    for (int len = 2; len <= n; len = len * 2) {
+        double ang = -2.0 * M_PI / (double)len;
+        /* Twiddle recurrence: w *= step each iteration of k. */
+        double step_r = cos(ang);
+        double step_i = sin(ang);
+        for (int start = 0; start < n; start += len) {
+            double wr = 1.0;
+            double wi = 0.0;
+            for (int k = 0; k < len / 2; k++) {
+                struct complex_t a = x[start + k];
+                struct complex_t b = x[start + k + len / 2];
+                double tr = b.real * wr - b.imag * wi;
+                double ti = b.real * wi + b.imag * wr;
+                x[start + k].real = a.real + tr;
+                x[start + k].imag = a.imag + ti;
+                x[start + k + len / 2].real = a.real - tr;
+                x[start + k + len / 2].imag = a.imag - ti;
+                double nwr = wr * step_r - wi * step_i;
+                wi = wr * step_i + wi * step_r;
+                wr = nwr;
+            }
+        }
+    }
+}

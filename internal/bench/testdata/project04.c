@@ -1,0 +1,217 @@
+/*
+ * project04 "mixedunroll": out-of-place mixed-radix FFT handling any
+ * length whose factors are 2, 3, 4 or 5 (with a DFT fallback for other
+ * prime factors). Style notes (Table 1): every radix kernel is fully
+ * unrolled by hand, twiddles computed inside the combine loops, custom
+ * complex struct, recursion over decimated subsequences.
+ */
+#include <math.h>
+
+typedef struct {
+    double re;
+    double im;
+} fcplx;
+
+/* Primitive roots used by the unrolled kernels. */
+#define C3_RE -0.5
+#define C3_IM -0.86602540378443864676
+#define C5_RE1 0.30901699437494742410
+#define C5_IM1 -0.95105651629515357212
+#define C5_RE2 -0.80901699437494742410
+#define C5_IM2 -0.58778525229247312917
+
+static void dft_fallback(fcplx* in, fcplx* out, int n, int stride) {
+    for (int k = 0; k < n; k++) {
+        double sre = 0.0;
+        double sim = 0.0;
+        for (int j = 0; j < n; j++) {
+            double ang = -2.0 * M_PI * (double)((j * k) % n) / (double)n;
+            double c = cos(ang);
+            double s = sin(ang);
+            sre += in[j * stride].re * c - in[j * stride].im * s;
+            sim += in[j * stride].re * s + in[j * stride].im * c;
+        }
+        out[k].re = sre;
+        out[k].im = sim;
+    }
+}
+
+static void combine2(fcplx* out, int m) {
+    int n = 2 * m;
+    for (int k = 0; k < m; k++) {
+        double ang = -2.0 * M_PI * (double)k / (double)n;
+        double wr = cos(ang);
+        double wi = sin(ang);
+        double a_re = out[k].re;
+        double a_im = out[k].im;
+        double b_re = out[m + k].re * wr - out[m + k].im * wi;
+        double b_im = out[m + k].re * wi + out[m + k].im * wr;
+        out[k].re = a_re + b_re;
+        out[k].im = a_im + b_im;
+        out[m + k].re = a_re - b_re;
+        out[m + k].im = a_im - b_im;
+    }
+}
+
+static void combine3(fcplx* out, int m) {
+    int n = 3 * m;
+    for (int k = 0; k < m; k++) {
+        double ang = -2.0 * M_PI * (double)k / (double)n;
+        double w1r = cos(ang);
+        double w1i = sin(ang);
+        double w2r = cos(2.0 * ang);
+        double w2i = sin(2.0 * ang);
+        double t0r = out[k].re;
+        double t0i = out[k].im;
+        double t1r = out[m + k].re * w1r - out[m + k].im * w1i;
+        double t1i = out[m + k].re * w1i + out[m + k].im * w1r;
+        double t2r = out[2 * m + k].re * w2r - out[2 * m + k].im * w2i;
+        double t2i = out[2 * m + k].re * w2i + out[2 * m + k].im * w2r;
+        /* Unrolled 3-point butterfly. */
+        double s1r = t1r + t2r;
+        double s1i = t1i + t2i;
+        double d1r = t1r - t2r;
+        double d1i = t1i - t2i;
+        out[k].re = t0r + s1r;
+        out[k].im = t0i + s1i;
+        out[m + k].re = t0r + C3_RE * s1r - C3_IM * d1i;
+        out[m + k].im = t0i + C3_RE * s1i + C3_IM * d1r;
+        out[2 * m + k].re = t0r + C3_RE * s1r + C3_IM * d1i;
+        out[2 * m + k].im = t0i + C3_RE * s1i - C3_IM * d1r;
+    }
+}
+
+static void combine4(fcplx* out, int m) {
+    int n = 4 * m;
+    for (int k = 0; k < m; k++) {
+        double ang = -2.0 * M_PI * (double)k / (double)n;
+        double w1r = cos(ang);
+        double w1i = sin(ang);
+        double w2r = cos(2.0 * ang);
+        double w2i = sin(2.0 * ang);
+        double w3r = cos(3.0 * ang);
+        double w3i = sin(3.0 * ang);
+        double t0r = out[k].re;
+        double t0i = out[k].im;
+        double t1r = out[m + k].re * w1r - out[m + k].im * w1i;
+        double t1i = out[m + k].re * w1i + out[m + k].im * w1r;
+        double t2r = out[2 * m + k].re * w2r - out[2 * m + k].im * w2i;
+        double t2i = out[2 * m + k].re * w2i + out[2 * m + k].im * w2r;
+        double t3r = out[3 * m + k].re * w3r - out[3 * m + k].im * w3i;
+        double t3i = out[3 * m + k].re * w3i + out[3 * m + k].im * w3r;
+        /* Unrolled 4-point butterfly (multiplies by -i folded in). */
+        double a0r = t0r + t2r;
+        double a0i = t0i + t2i;
+        double a1r = t0r - t2r;
+        double a1i = t0i - t2i;
+        double a2r = t1r + t3r;
+        double a2i = t1i + t3i;
+        double a3r = t1r - t3r;
+        double a3i = t1i - t3i;
+        out[k].re = a0r + a2r;
+        out[k].im = a0i + a2i;
+        out[m + k].re = a1r + a3i;
+        out[m + k].im = a1i - a3r;
+        out[2 * m + k].re = a0r - a2r;
+        out[2 * m + k].im = a0i - a2i;
+        out[3 * m + k].re = a1r - a3i;
+        out[3 * m + k].im = a1i + a3r;
+    }
+}
+
+static void combine5(fcplx* out, int m) {
+    int n = 5 * m;
+    for (int k = 0; k < m; k++) {
+        double ang = -2.0 * M_PI * (double)k / (double)n;
+        double w1r = cos(ang);
+        double w1i = sin(ang);
+        double w2r = cos(2.0 * ang);
+        double w2i = sin(2.0 * ang);
+        double w3r = cos(3.0 * ang);
+        double w3i = sin(3.0 * ang);
+        double w4r = cos(4.0 * ang);
+        double w4i = sin(4.0 * ang);
+        double t0r = out[k].re;
+        double t0i = out[k].im;
+        double t1r = out[m + k].re * w1r - out[m + k].im * w1i;
+        double t1i = out[m + k].re * w1i + out[m + k].im * w1r;
+        double t2r = out[2 * m + k].re * w2r - out[2 * m + k].im * w2i;
+        double t2i = out[2 * m + k].re * w2i + out[2 * m + k].im * w2r;
+        double t3r = out[3 * m + k].re * w3r - out[3 * m + k].im * w3i;
+        double t3i = out[3 * m + k].re * w3i + out[3 * m + k].im * w3r;
+        double t4r = out[4 * m + k].re * w4r - out[4 * m + k].im * w4i;
+        double t4i = out[4 * m + k].re * w4i + out[4 * m + k].im * w4r;
+        /* Unrolled 5-point butterfly using sum/difference symmetry. */
+        double s14r = t1r + t4r;
+        double s14i = t1i + t4i;
+        double d14r = t1r - t4r;
+        double d14i = t1i - t4i;
+        double s23r = t2r + t3r;
+        double s23i = t2i + t3i;
+        double d23r = t2r - t3r;
+        double d23i = t2i - t3i;
+        out[k].re = t0r + s14r + s23r;
+        out[k].im = t0i + s14i + s23i;
+        out[m + k].re = t0r + C5_RE1 * s14r + C5_RE2 * s23r
+            - C5_IM1 * d14i - C5_IM2 * d23i;
+        out[m + k].im = t0i + C5_RE1 * s14i + C5_RE2 * s23i
+            + C5_IM1 * d14r + C5_IM2 * d23r;
+        out[2 * m + k].re = t0r + C5_RE2 * s14r + C5_RE1 * s23r
+            - C5_IM2 * d14i + C5_IM1 * d23i;
+        out[2 * m + k].im = t0i + C5_RE2 * s14i + C5_RE1 * s23i
+            + C5_IM2 * d14r - C5_IM1 * d23r;
+        out[3 * m + k].re = t0r + C5_RE2 * s14r + C5_RE1 * s23r
+            + C5_IM2 * d14i - C5_IM1 * d23i;
+        out[3 * m + k].im = t0i + C5_RE2 * s14i + C5_RE1 * s23i
+            - C5_IM2 * d14r + C5_IM1 * d23r;
+        out[4 * m + k].re = t0r + C5_RE1 * s14r + C5_RE2 * s23r
+            + C5_IM1 * d14i + C5_IM2 * d23i;
+        out[4 * m + k].im = t0i + C5_RE1 * s14i + C5_RE2 * s23i
+            - C5_IM1 * d14r - C5_IM2 * d23r;
+    }
+}
+
+static int pick_radix(int n) {
+    if (n % 4 == 0) {
+        return 4;
+    }
+    if (n % 2 == 0) {
+        return 2;
+    }
+    if (n % 3 == 0) {
+        return 3;
+    }
+    if (n % 5 == 0) {
+        return 5;
+    }
+    return 0;
+}
+
+static void fft_rad(fcplx* in, fcplx* out, int n, int stride) {
+    if (n == 1) {
+        out[0] = in[0];
+        return;
+    }
+    int r = pick_radix(n);
+    if (r == 0) {
+        dft_fallback(in, out, n, stride);
+        return;
+    }
+    int m = n / r;
+    for (int q = 0; q < r; q++) {
+        fft_rad(in + q * stride, out + q * m, m, stride * r);
+    }
+    if (r == 2) {
+        combine2(out, m);
+    } else if (r == 3) {
+        combine3(out, m);
+    } else if (r == 4) {
+        combine4(out, m);
+    } else {
+        combine5(out, m);
+    }
+}
+
+void fft_mixed(fcplx* in, fcplx* out, int n) {
+    fft_rad(in, out, n, 1);
+}

@@ -1,0 +1,492 @@
+/*
+ * project05 "handopt": heavily hand-optimized in-place mixed-radix FFT in
+ * the style of performance-tuned GitHub DSP libraries. Style notes
+ * (Table 1): twiddle factors precomputed into malloc'd tables before the
+ * transform, pointer-arithmetic inner loops, fully unrolled leaf kernels
+ * for 2/3/4/5/8-point transforms, two-way unrolled ("hand-vectorized")
+ * combine loops with scalar tails, custom complex type.
+ */
+#include <math.h>
+#include <stdlib.h>
+
+typedef struct {
+    double re;
+    double im;
+} cx;
+
+/* ---- unrolled leaf kernels (strided input, contiguous output) ---- */
+
+static void leaf2(cx* in, cx* out, int stride) {
+    double a_re = in[0].re;
+    double a_im = in[0].im;
+    double b_re = in[stride].re;
+    double b_im = in[stride].im;
+    out[0].re = a_re + b_re;
+    out[0].im = a_im + b_im;
+    out[1].re = a_re - b_re;
+    out[1].im = a_im - b_im;
+}
+
+static void leaf3(cx* in, cx* out, int stride) {
+    double t0r = in[0].re;
+    double t0i = in[0].im;
+    double t1r = in[stride].re;
+    double t1i = in[stride].im;
+    double t2r = in[2 * stride].re;
+    double t2i = in[2 * stride].im;
+    double sr = t1r + t2r;
+    double si = t1i + t2i;
+    double dr = t1r - t2r;
+    double di = t1i - t2i;
+    out[0].re = t0r + sr;
+    out[0].im = t0i + si;
+    out[1].re = t0r - 0.5 * sr + 0.86602540378443864676 * di;
+    out[1].im = t0i - 0.5 * si - 0.86602540378443864676 * dr;
+    out[2].re = t0r - 0.5 * sr - 0.86602540378443864676 * di;
+    out[2].im = t0i - 0.5 * si + 0.86602540378443864676 * dr;
+}
+
+static void leaf4(cx* in, cx* out, int stride) {
+    double t0r = in[0].re;
+    double t0i = in[0].im;
+    double t1r = in[stride].re;
+    double t1i = in[stride].im;
+    double t2r = in[2 * stride].re;
+    double t2i = in[2 * stride].im;
+    double t3r = in[3 * stride].re;
+    double t3i = in[3 * stride].im;
+    double a0r = t0r + t2r;
+    double a0i = t0i + t2i;
+    double a1r = t0r - t2r;
+    double a1i = t0i - t2i;
+    double a2r = t1r + t3r;
+    double a2i = t1i + t3i;
+    double a3r = t1r - t3r;
+    double a3i = t1i - t3i;
+    out[0].re = a0r + a2r;
+    out[0].im = a0i + a2i;
+    out[1].re = a1r + a3i;
+    out[1].im = a1i - a3r;
+    out[2].re = a0r - a2r;
+    out[2].im = a0i - a2i;
+    out[3].re = a1r - a3i;
+    out[3].im = a1i + a3r;
+}
+
+static void leaf5(cx* in, cx* out, int stride) {
+    double t0r = in[0].re;
+    double t0i = in[0].im;
+    double t1r = in[stride].re;
+    double t1i = in[stride].im;
+    double t2r = in[2 * stride].re;
+    double t2i = in[2 * stride].im;
+    double t3r = in[3 * stride].re;
+    double t3i = in[3 * stride].im;
+    double t4r = in[4 * stride].re;
+    double t4i = in[4 * stride].im;
+    double s14r = t1r + t4r;
+    double s14i = t1i + t4i;
+    double d14r = t1r - t4r;
+    double d14i = t1i - t4i;
+    double s23r = t2r + t3r;
+    double s23i = t2i + t3i;
+    double d23r = t2r - t3r;
+    double d23i = t2i - t3i;
+    out[0].re = t0r + s14r + s23r;
+    out[0].im = t0i + s14i + s23i;
+    out[1].re = t0r + 0.30901699437494742410 * s14r - 0.80901699437494742410 * s23r
+        + 0.95105651629515357212 * d14i + 0.58778525229247312917 * d23i;
+    out[1].im = t0i + 0.30901699437494742410 * s14i - 0.80901699437494742410 * s23i
+        - 0.95105651629515357212 * d14r - 0.58778525229247312917 * d23r;
+    out[2].re = t0r - 0.80901699437494742410 * s14r + 0.30901699437494742410 * s23r
+        + 0.58778525229247312917 * d14i - 0.95105651629515357212 * d23i;
+    out[2].im = t0i - 0.80901699437494742410 * s14i + 0.30901699437494742410 * s23i
+        - 0.58778525229247312917 * d14r + 0.95105651629515357212 * d23r;
+    out[3].re = t0r - 0.80901699437494742410 * s14r + 0.30901699437494742410 * s23r
+        - 0.58778525229247312917 * d14i + 0.95105651629515357212 * d23i;
+    out[3].im = t0i - 0.80901699437494742410 * s14i + 0.30901699437494742410 * s23i
+        + 0.58778525229247312917 * d14r - 0.95105651629515357212 * d23r;
+    out[4].re = t0r + 0.30901699437494742410 * s14r - 0.80901699437494742410 * s23r
+        - 0.95105651629515357212 * d14i - 0.58778525229247312917 * d23i;
+    out[4].im = t0i + 0.30901699437494742410 * s14i - 0.80901699437494742410 * s23i
+        + 0.95105651629515357212 * d14r + 0.58778525229247312917 * d23r;
+}
+
+static void leaf8(cx* in, cx* out, int stride) {
+    /* Two unrolled 4-point transforms plus an unrolled combine. */
+    cx even[4];
+    cx odd[4];
+    leaf4(in, even, 2 * stride);
+    leaf4(in + stride, odd, 2 * stride);
+    double w1r = 0.70710678118654752440;
+    double w1i = -0.70710678118654752440;
+    double t0r = odd[0].re;
+    double t0i = odd[0].im;
+    double t1r = odd[1].re * w1r - odd[1].im * w1i;
+    double t1i = odd[1].re * w1i + odd[1].im * w1r;
+    double t2r = odd[2].im;
+    double t2i = -odd[2].re;
+    double t3r = -odd[3].re * w1r - odd[3].im * w1i;
+    double t3i = odd[3].re * w1i - odd[3].im * w1r;
+    out[0].re = even[0].re + t0r;
+    out[0].im = even[0].im + t0i;
+    out[4].re = even[0].re - t0r;
+    out[4].im = even[0].im - t0i;
+    out[1].re = even[1].re + t1r;
+    out[1].im = even[1].im + t1i;
+    out[5].re = even[1].re - t1r;
+    out[5].im = even[1].im - t1i;
+    out[2].re = even[2].re + t2r;
+    out[2].im = even[2].im + t2i;
+    out[6].re = even[2].re - t2r;
+    out[6].im = even[2].im - t2i;
+    out[3].re = even[3].re + t3r;
+    out[3].im = even[3].im + t3i;
+    out[7].re = even[3].re - t3r;
+    out[7].im = even[3].im - t3i;
+}
+
+static void leaf16(cx* in, cx* out, int stride) {
+    /* Two unrolled 8-point transforms plus a fully unrolled 16-point
+     * combine with constant twiddles. */
+    cx even[8];
+    cx odd[8];
+    leaf8(in, even, 2 * stride);
+    leaf8(in + stride, odd, 2 * stride);
+
+    double t1r = odd[1].re * 0.92387953251128674 + odd[1].im * 0.38268343236508978;
+    double t1i = -odd[1].re * 0.38268343236508978 + odd[1].im * 0.92387953251128674;
+    double t2r = odd[2].re * 0.70710678118654752 + odd[2].im * 0.70710678118654752;
+    double t2i = -odd[2].re * 0.70710678118654752 + odd[2].im * 0.70710678118654752;
+    double t3r = odd[3].re * 0.38268343236508978 + odd[3].im * 0.92387953251128674;
+    double t3i = -odd[3].re * 0.92387953251128674 + odd[3].im * 0.38268343236508978;
+    double t4r = odd[4].im;
+    double t4i = -odd[4].re;
+    double t5r = -odd[5].re * 0.38268343236508978 + odd[5].im * 0.92387953251128674;
+    double t5i = -odd[5].re * 0.92387953251128674 - odd[5].im * 0.38268343236508978;
+    double t6r = -odd[6].re * 0.70710678118654752 + odd[6].im * 0.70710678118654752;
+    double t6i = -odd[6].re * 0.70710678118654752 - odd[6].im * 0.70710678118654752;
+    double t7r = -odd[7].re * 0.92387953251128674 + odd[7].im * 0.38268343236508978;
+    double t7i = -odd[7].re * 0.38268343236508978 - odd[7].im * 0.92387953251128674;
+
+    out[0].re = even[0].re + odd[0].re;
+    out[0].im = even[0].im + odd[0].im;
+    out[8].re = even[0].re - odd[0].re;
+    out[8].im = even[0].im - odd[0].im;
+    out[1].re = even[1].re + t1r;
+    out[1].im = even[1].im + t1i;
+    out[9].re = even[1].re - t1r;
+    out[9].im = even[1].im - t1i;
+    out[2].re = even[2].re + t2r;
+    out[2].im = even[2].im + t2i;
+    out[10].re = even[2].re - t2r;
+    out[10].im = even[2].im - t2i;
+    out[3].re = even[3].re + t3r;
+    out[3].im = even[3].im + t3i;
+    out[11].re = even[3].re - t3r;
+    out[11].im = even[3].im - t3i;
+    out[4].re = even[4].re + t4r;
+    out[4].im = even[4].im + t4i;
+    out[12].re = even[4].re - t4r;
+    out[12].im = even[4].im - t4i;
+    out[5].re = even[5].re + t5r;
+    out[5].im = even[5].im + t5i;
+    out[13].re = even[5].re - t5r;
+    out[13].im = even[5].im - t5i;
+    out[6].re = even[6].re + t6r;
+    out[6].im = even[6].im + t6i;
+    out[14].re = even[6].re - t6r;
+    out[14].im = even[6].im - t6i;
+    out[7].re = even[7].re + t7r;
+    out[7].im = even[7].im + t7i;
+    out[15].re = even[7].re - t7r;
+    out[15].im = even[7].im - t7i;
+}
+
+/* ---- table-driven combine stages ---- */
+
+/*
+ * Twiddle tables for the whole transform: tw_re[k], tw_im[k] hold
+ * exp(-2*pi*i*k/n). A combine at block size L indexes them with step n/L.
+ */
+static void combine2t(cx* out, int m, int step, double* tw_re, double* tw_im) {
+    cx* p = out;
+    cx* q = out + m;
+    int k = 0;
+    /* Two-way unrolled main loop. */
+    for (; k + 1 < m; k += 2) {
+        double w0r = tw_re[k * step];
+        double w0i = tw_im[k * step];
+        double w1r = tw_re[(k + 1) * step];
+        double w1i = tw_im[(k + 1) * step];
+        double b0r = q[0].re * w0r - q[0].im * w0i;
+        double b0i = q[0].re * w0i + q[0].im * w0r;
+        double b1r = q[1].re * w1r - q[1].im * w1i;
+        double b1i = q[1].re * w1i + q[1].im * w1r;
+        double a0r = p[0].re;
+        double a0i = p[0].im;
+        double a1r = p[1].re;
+        double a1i = p[1].im;
+        p[0].re = a0r + b0r;
+        p[0].im = a0i + b0i;
+        q[0].re = a0r - b0r;
+        q[0].im = a0i - b0i;
+        p[1].re = a1r + b1r;
+        p[1].im = a1i + b1i;
+        q[1].re = a1r - b1r;
+        q[1].im = a1i - b1i;
+        p += 2;
+        q += 2;
+    }
+    /* Scalar tail. */
+    for (; k < m; k++) {
+        double wr = tw_re[k * step];
+        double wi = tw_im[k * step];
+        double br = q->re * wr - q->im * wi;
+        double bi = q->re * wi + q->im * wr;
+        double ar = p->re;
+        double ai = p->im;
+        p->re = ar + br;
+        p->im = ai + bi;
+        q->re = ar - br;
+        q->im = ai - bi;
+        p++;
+        q++;
+    }
+}
+
+static void combine3t(cx* out, int m, int step, double* tw_re, double* tw_im) {
+    cx* p0 = out;
+    cx* p1 = out + m;
+    cx* p2 = out + 2 * m;
+    for (int k = 0; k < m; k++) {
+        double w1r = tw_re[k * step];
+        double w1i = tw_im[k * step];
+        double w2r = tw_re[2 * k * step];
+        double w2i = tw_im[2 * k * step];
+        double t0r = p0->re;
+        double t0i = p0->im;
+        double t1r = p1->re * w1r - p1->im * w1i;
+        double t1i = p1->re * w1i + p1->im * w1r;
+        double t2r = p2->re * w2r - p2->im * w2i;
+        double t2i = p2->re * w2i + p2->im * w2r;
+        double sr = t1r + t2r;
+        double si = t1i + t2i;
+        double dr = t1r - t2r;
+        double di = t1i - t2i;
+        p0->re = t0r + sr;
+        p0->im = t0i + si;
+        p1->re = t0r - 0.5 * sr + 0.86602540378443864676 * di;
+        p1->im = t0i - 0.5 * si - 0.86602540378443864676 * dr;
+        p2->re = t0r - 0.5 * sr - 0.86602540378443864676 * di;
+        p2->im = t0i - 0.5 * si + 0.86602540378443864676 * dr;
+        p0++;
+        p1++;
+        p2++;
+    }
+}
+
+static void combine4t(cx* out, int m, int step, double* tw_re, double* tw_im) {
+    cx* p0 = out;
+    cx* p1 = out + m;
+    cx* p2 = out + 2 * m;
+    cx* p3 = out + 3 * m;
+    for (int k = 0; k < m; k++) {
+        double w1r = tw_re[k * step];
+        double w1i = tw_im[k * step];
+        double w2r = tw_re[2 * k * step];
+        double w2i = tw_im[2 * k * step];
+        double w3r = tw_re[3 * k * step];
+        double w3i = tw_im[3 * k * step];
+        double t0r = p0->re;
+        double t0i = p0->im;
+        double t1r = p1->re * w1r - p1->im * w1i;
+        double t1i = p1->re * w1i + p1->im * w1r;
+        double t2r = p2->re * w2r - p2->im * w2i;
+        double t2i = p2->re * w2i + p2->im * w2r;
+        double t3r = p3->re * w3r - p3->im * w3i;
+        double t3i = p3->re * w3i + p3->im * w3r;
+        double a0r = t0r + t2r;
+        double a0i = t0i + t2i;
+        double a1r = t0r - t2r;
+        double a1i = t0i - t2i;
+        double a2r = t1r + t3r;
+        double a2i = t1i + t3i;
+        double a3r = t1r - t3r;
+        double a3i = t1i - t3i;
+        p0->re = a0r + a2r;
+        p0->im = a0i + a2i;
+        p1->re = a1r + a3i;
+        p1->im = a1i - a3r;
+        p2->re = a0r - a2r;
+        p2->im = a0i - a2i;
+        p3->re = a1r - a3i;
+        p3->im = a1i + a3r;
+        p0++;
+        p1++;
+        p2++;
+        p3++;
+    }
+}
+
+static void combine5t(cx* out, int m, int step, double* tw_re, double* tw_im) {
+    cx* p0 = out;
+    cx* p1 = out + m;
+    cx* p2 = out + 2 * m;
+    cx* p3 = out + 3 * m;
+    cx* p4 = out + 4 * m;
+    for (int k = 0; k < m; k++) {
+        double w1r = tw_re[k * step];
+        double w1i = tw_im[k * step];
+        double w2r = tw_re[2 * k * step];
+        double w2i = tw_im[2 * k * step];
+        double w3r = tw_re[3 * k * step];
+        double w3i = tw_im[3 * k * step];
+        double w4r = tw_re[4 * k * step];
+        double w4i = tw_im[4 * k * step];
+        double t0r = p0->re;
+        double t0i = p0->im;
+        double t1r = p1->re * w1r - p1->im * w1i;
+        double t1i = p1->re * w1i + p1->im * w1r;
+        double t2r = p2->re * w2r - p2->im * w2i;
+        double t2i = p2->re * w2i + p2->im * w2r;
+        double t3r = p3->re * w3r - p3->im * w3i;
+        double t3i = p3->re * w3i + p3->im * w3r;
+        double t4r = p4->re * w4r - p4->im * w4i;
+        double t4i = p4->re * w4i + p4->im * w4r;
+        double s14r = t1r + t4r;
+        double s14i = t1i + t4i;
+        double d14r = t1r - t4r;
+        double d14i = t1i - t4i;
+        double s23r = t2r + t3r;
+        double s23i = t2i + t3i;
+        double d23r = t2r - t3r;
+        double d23i = t2i - t3i;
+        p0->re = t0r + s14r + s23r;
+        p0->im = t0i + s14i + s23i;
+        p1->re = t0r + 0.30901699437494742410 * s14r - 0.80901699437494742410 * s23r
+            + 0.95105651629515357212 * d14i + 0.58778525229247312917 * d23i;
+        p1->im = t0i + 0.30901699437494742410 * s14i - 0.80901699437494742410 * s23i
+            - 0.95105651629515357212 * d14r - 0.58778525229247312917 * d23r;
+        p2->re = t0r - 0.80901699437494742410 * s14r + 0.30901699437494742410 * s23r
+            + 0.58778525229247312917 * d14i - 0.95105651629515357212 * d23i;
+        p2->im = t0i - 0.80901699437494742410 * s14i + 0.30901699437494742410 * s23i
+            - 0.58778525229247312917 * d14r + 0.95105651629515357212 * d23r;
+        p3->re = t0r - 0.80901699437494742410 * s14r + 0.30901699437494742410 * s23r
+            - 0.58778525229247312917 * d14i + 0.95105651629515357212 * d23i;
+        p3->im = t0i - 0.80901699437494742410 * s14i + 0.30901699437494742410 * s23i
+            + 0.58778525229247312917 * d14r - 0.95105651629515357212 * d23r;
+        p4->re = t0r + 0.30901699437494742410 * s14r - 0.80901699437494742410 * s23r
+            - 0.95105651629515357212 * d14i - 0.58778525229247312917 * d23i;
+        p4->im = t0i + 0.30901699437494742410 * s14i - 0.80901699437494742410 * s23i
+            + 0.95105651629515357212 * d14r + 0.58778525229247312917 * d23r;
+        p0++;
+        p1++;
+        p2++;
+        p3++;
+        p4++;
+    }
+}
+
+static void dft_slow(cx* in, cx* out, int n, int stride) {
+    for (int k = 0; k < n; k++) {
+        double sre = 0.0;
+        double sim = 0.0;
+        cx* p = in;
+        for (int j = 0; j < n; j++) {
+            double ang = -2.0 * M_PI * (double)((j * k) % n) / (double)n;
+            double c = cos(ang);
+            double s = sin(ang);
+            sre += p->re * c - p->im * s;
+            sim += p->re * s + p->im * c;
+            p += stride;
+        }
+        out[k].re = sre;
+        out[k].im = sim;
+    }
+}
+
+static void fft_core(cx* in, cx* out, int n, int stride, int full_n,
+                     double* tw_re, double* tw_im) {
+    if (n == 1) {
+        out[0] = in[0];
+        return;
+    }
+    if (n == 2) {
+        leaf2(in, out, stride);
+        return;
+    }
+    if (n == 3) {
+        leaf3(in, out, stride);
+        return;
+    }
+    if (n == 4) {
+        leaf4(in, out, stride);
+        return;
+    }
+    if (n == 5) {
+        leaf5(in, out, stride);
+        return;
+    }
+    if (n == 8) {
+        leaf8(in, out, stride);
+        return;
+    }
+    if (n == 16) {
+        leaf16(in, out, stride);
+        return;
+    }
+    int r = 0;
+    if (n % 4 == 0) {
+        r = 4;
+    } else if (n % 2 == 0) {
+        r = 2;
+    } else if (n % 3 == 0) {
+        r = 3;
+    } else if (n % 5 == 0) {
+        r = 5;
+    } else {
+        dft_slow(in, out, n, stride);
+        return;
+    }
+    int m = n / r;
+    for (int q = 0; q < r; q++) {
+        fft_core(in + q * stride, out + q * m, m, stride * r, full_n, tw_re, tw_im);
+    }
+    int step = full_n / n;
+    if (r == 2) {
+        combine2t(out, m, step, tw_re, tw_im);
+    } else if (r == 3) {
+        combine3t(out, m, step, tw_re, tw_im);
+    } else if (r == 4) {
+        combine4t(out, m, step, tw_re, tw_im);
+    } else {
+        combine5t(out, m, step, tw_re, tw_im);
+    }
+}
+
+void fft_opt(cx* data, int n) {
+    if (n <= 1) {
+        return;
+    }
+    /* Precompute the full twiddle tables for this size. */
+    double* tw_re = (double*)malloc(n * sizeof(double));
+    double* tw_im = (double*)malloc(n * sizeof(double));
+    for (int k = 0; k < n; k++) {
+        double ang = -2.0 * M_PI * (double)k / (double)n;
+        tw_re[k] = cos(ang);
+        tw_im[k] = sin(ang);
+    }
+    cx* work = (cx*)malloc(n * sizeof(cx));
+    fft_core(data, work, n, 1, n, tw_re, tw_im);
+    cx* src = work;
+    cx* dst = data;
+    for (int i = 0; i < n; i++) {
+        *dst = *src;
+        dst++;
+        src++;
+    }
+    free(work);
+    free(tw_re);
+    free(tw_im);
+}

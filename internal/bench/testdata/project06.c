@@ -1,0 +1,35 @@
+/*
+ * project06 "smalldif": compact decimation-in-frequency radix-2 FFT that
+ * leaves its output in BIT-REVERSED order — a deliberate behavioral
+ * contract common in embedded DSP code whose consumers index the spectrum
+ * through a reversal table. FACC's adapter must add a bit-reverse
+ * post-behavioral patch. Style notes (Table 1): twiddles computed in the
+ * stage loop, custom complex struct, for loops, minimal optimization.
+ */
+#include <math.h>
+
+typedef struct {
+    double x;
+    double y;
+} c64;
+
+void fft_dif(c64* v, int n) {
+    for (int len = n; len >= 2; len = len / 2) {
+        double ang = -2.0 * M_PI / (double)len;
+        for (int i = 0; i < n; i += len) {
+            for (int k = 0; k < len / 2; k++) {
+                double wr = cos(ang * (double)k);
+                double wi = sin(ang * (double)k);
+                c64 a = v[i + k];
+                c64 b = v[i + k + len / 2];
+                v[i + k].x = a.x + b.x;
+                v[i + k].y = a.y + b.y;
+                double dr = a.x - b.x;
+                double di = a.y - b.y;
+                v[i + k + len / 2].x = dr * wr - di * wi;
+                v[i + k + len / 2].y = dr * wi + di * wr;
+            }
+        }
+    }
+    /* Results are intentionally left in bit-reversed order. */
+}

@@ -1,0 +1,78 @@
+/*
+ * project07 "ptrwalk": radix-2 FFT written in an aggressively
+ * pointer-oriented style. Style notes (Table 1): twiddle factors
+ * precomputed into stack buffers before the butterfly loops, pointer
+ * arithmetic everywhere (no [] in the hot loops), custom complex type,
+ * for loops, minimal algorithmic optimization.
+ */
+#include <math.h>
+#include <stdlib.h>
+
+typedef struct {
+    double re;
+    double im;
+} cpx_t;
+
+static void swap_elems(cpx_t* a, cpx_t* b) {
+    cpx_t t = *a;
+    *a = *b;
+    *b = t;
+}
+
+static void permute(cpx_t* x, int n) {
+    int j = 0;
+    for (int i = 1; i < n; i++) {
+        int bit = n >> 1;
+        for (; j & bit; bit >>= 1) {
+            j ^= bit;
+        }
+        j |= bit;
+        if (i < j) {
+            swap_elems(x + i, x + j);
+        }
+    }
+}
+
+void fft_ptr(cpx_t* x, int n) {
+    /* Precompute the n/2 twiddles for the largest stage. */
+    double wr_tab[n / 2 + 1];
+    double wi_tab[n / 2 + 1];
+    double* wr_p = wr_tab;
+    double* wi_p = wi_tab;
+    for (int k = 0; k < n / 2; k++) {
+        double ang = -2.0 * M_PI * (double)k / (double)n;
+        *wr_p = cos(ang);
+        *wi_p = sin(ang);
+        wr_p++;
+        wi_p++;
+    }
+
+    permute(x, n);
+
+    for (int len = 2; len <= n; len <<= 1) {
+        int half = len >> 1;
+        int stride = n / len;
+        cpx_t* block = x;
+        for (int start = 0; start < n; start += len) {
+            cpx_t* top = block;
+            cpx_t* bot = block + half;
+            double* wr = wr_tab;
+            double* wi = wi_tab;
+            for (int k = 0; k < half; k++) {
+                double tr = bot->re * (*wr) - bot->im * (*wi);
+                double ti = bot->re * (*wi) + bot->im * (*wr);
+                double ar = top->re;
+                double ai = top->im;
+                top->re = ar + tr;
+                top->im = ai + ti;
+                bot->re = ar - tr;
+                bot->im = ai - ti;
+                top++;
+                bot++;
+                wr += stride;
+                wi += stride;
+            }
+            block += len;
+        }
+    }
+}

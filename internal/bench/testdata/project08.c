@@ -1,0 +1,37 @@
+/*
+ * project08 "c99dif": decimation-in-frequency radix-2 FFT over the C99
+ * _Complex type. Style notes (Table 1): twiddles computed in the FFT via
+ * cexp, C99 complex arithmetic, for loops, minimal optimization.
+ */
+#include <complex.h>
+#include <math.h>
+
+void fft_c99_dif(float complex* a, int n) {
+    for (int len = n; len >= 2; len /= 2) {
+        float complex w = cexpf(-2.0f * (float)M_PI * I / (float)len);
+        for (int i = 0; i < n; i += len) {
+            float complex tw = 1.0f;
+            for (int k = 0; k < len / 2; k++) {
+                float complex u = a[i + k];
+                float complex v = a[i + k + len / 2];
+                a[i + k] = u + v;
+                a[i + k + len / 2] = (u - v) * tw;
+                tw = tw * w;
+            }
+        }
+    }
+    /* Undo the bit-reversed ordering. */
+    int j = 0;
+    for (int i = 1; i < n; i++) {
+        int bit = n >> 1;
+        for (; j & bit; bit >>= 1) {
+            j ^= bit;
+        }
+        j |= bit;
+        if (i < j) {
+            float complex t = a[i];
+            a[i] = a[j];
+            a[j] = t;
+        }
+    }
+}

@@ -1,0 +1,313 @@
+/*
+ * project09 "bigmixed": out-of-place mixed-radix FFT with a direction
+ * argument (0 = forward, 1 = un-normalized inverse). Style notes
+ * (Table 1): twiddle tables precomputed per call, pointer arithmetic,
+ * a mix of for/while loops and recursion, unrolled radix-2/radix-4
+ * combine stages, custom complex type, status-code return.
+ */
+#include <math.h>
+#include <stdlib.h>
+
+typedef struct {
+    double re;
+    double im;
+} cpx9;
+
+/*
+ * Generic strided DFT used for prime factors outside {2,3,4,5}.
+ * tw tables hold exp(sign*2*pi*i*k/full_n).
+ */
+static void slow_dft9(cpx9* in, cpx9* out, int n, int stride, double sgn) {
+    for (int k = 0; k < n; k++) {
+        double sre = 0.0;
+        double sim = 0.0;
+        cpx9* p = in;
+        int j = 0;
+        while (j < n) {
+            double ang = sgn * 2.0 * M_PI * (double)((j * k) % n) / (double)n;
+            double c = cos(ang);
+            double s = sin(ang);
+            sre += p->re * c - p->im * s;
+            sim += p->re * s + p->im * c;
+            p += stride;
+            j++;
+        }
+        out[k].re = sre;
+        out[k].im = sim;
+    }
+}
+
+/* Unrolled radix-2 combine, two butterflies per iteration. */
+static void mix2(cpx9* out, int m, int step, double* twr, double* twi) {
+    cpx9* p = out;
+    cpx9* q = out + m;
+    int k = 0;
+    while (k + 1 < m) {
+        double w0r = twr[k * step];
+        double w0i = twi[k * step];
+        double w1r = twr[(k + 1) * step];
+        double w1i = twi[(k + 1) * step];
+        double b0r = q[0].re * w0r - q[0].im * w0i;
+        double b0i = q[0].re * w0i + q[0].im * w0r;
+        double b1r = q[1].re * w1r - q[1].im * w1i;
+        double b1i = q[1].re * w1i + q[1].im * w1r;
+        double a0r = p[0].re;
+        double a0i = p[0].im;
+        double a1r = p[1].re;
+        double a1i = p[1].im;
+        p[0].re = a0r + b0r;
+        p[0].im = a0i + b0i;
+        q[0].re = a0r - b0r;
+        q[0].im = a0i - b0i;
+        p[1].re = a1r + b1r;
+        p[1].im = a1i + b1i;
+        q[1].re = a1r - b1r;
+        q[1].im = a1i - b1i;
+        p += 2;
+        q += 2;
+        k += 2;
+    }
+    while (k < m) {
+        double wr = twr[k * step];
+        double wi = twi[k * step];
+        double br = q->re * wr - q->im * wi;
+        double bi = q->re * wi + q->im * wr;
+        double ar = p->re;
+        double ai = p->im;
+        p->re = ar + br;
+        p->im = ai + bi;
+        q->re = ar - br;
+        q->im = ai - bi;
+        p++;
+        q++;
+        k++;
+    }
+}
+
+/* Unrolled radix-4 combine; sgn folds the direction into the +-i terms. */
+static void mix4(cpx9* out, int m, int step, double* twr, double* twi, double sgn) {
+    cpx9* p0 = out;
+    cpx9* p1 = out + m;
+    cpx9* p2 = out + 2 * m;
+    cpx9* p3 = out + 3 * m;
+    for (int k = 0; k < m; k++) {
+        double w1r = twr[k * step];
+        double w1i = twi[k * step];
+        double w2r = twr[2 * k * step];
+        double w2i = twi[2 * k * step];
+        double w3r = twr[3 * k * step];
+        double w3i = twi[3 * k * step];
+        double t0r = p0->re;
+        double t0i = p0->im;
+        double t1r = p1->re * w1r - p1->im * w1i;
+        double t1i = p1->re * w1i + p1->im * w1r;
+        double t2r = p2->re * w2r - p2->im * w2i;
+        double t2i = p2->re * w2i + p2->im * w2r;
+        double t3r = p3->re * w3r - p3->im * w3i;
+        double t3i = p3->re * w3i + p3->im * w3r;
+        double a0r = t0r + t2r;
+        double a0i = t0i + t2i;
+        double a1r = t0r - t2r;
+        double a1i = t0i - t2i;
+        double a2r = t1r + t3r;
+        double a2i = t1i + t3i;
+        double a3r = t1r - t3r;
+        double a3i = t1i - t3i;
+        p0->re = a0r + a2r;
+        p0->im = a0i + a2i;
+        /* Forward multiplies the odd difference by -i, inverse by +i;
+         * callers pass sgn = +1 for forward, -1 for inverse. */
+        p1->re = a1r + sgn * a3i;
+        p1->im = a1i - sgn * a3r;
+        p2->re = a0r - a2r;
+        p2->im = a0i - a2i;
+        p3->re = a1r - sgn * a3i;
+        p3->im = a1i + sgn * a3r;
+        p0++;
+        p1++;
+        p2++;
+        p3++;
+    }
+}
+
+/* Unrolled radix-3 combine; sgn folds the direction into the imaginary
+ * root constant. */
+static void mix3(cpx9* out, int m, int step, double* twr, double* twi, double sgn) {
+    double s3 = sgn * 0.86602540378443864676;
+    cpx9* p0 = out;
+    cpx9* p1 = out + m;
+    cpx9* p2 = out + 2 * m;
+    for (int k = 0; k < m; k++) {
+        double w1r = twr[k * step];
+        double w1i = twi[k * step];
+        double w2r = twr[2 * k * step];
+        double w2i = twi[2 * k * step];
+        double t0r = p0->re;
+        double t0i = p0->im;
+        double t1r = p1->re * w1r - p1->im * w1i;
+        double t1i = p1->re * w1i + p1->im * w1r;
+        double t2r = p2->re * w2r - p2->im * w2i;
+        double t2i = p2->re * w2i + p2->im * w2r;
+        double sr = t1r + t2r;
+        double si = t1i + t2i;
+        double dr = t1r - t2r;
+        double di = t1i - t2i;
+        p0->re = t0r + sr;
+        p0->im = t0i + si;
+        p1->re = t0r - 0.5 * sr - s3 * di;
+        p1->im = t0i - 0.5 * si + s3 * dr;
+        p2->re = t0r - 0.5 * sr + s3 * di;
+        p2->im = t0i - 0.5 * si - s3 * dr;
+        p0++;
+        p1++;
+        p2++;
+    }
+}
+
+/*
+ * Strided gather/scatter helpers, written in the library's pointer style.
+ * Used by the cache-blocked copy path below.
+ */
+static void gather9(cpx9* dst, cpx9* src, int count, int stride) {
+    cpx9* d = dst;
+    cpx9* s = src;
+    int i = 0;
+    while (i + 4 <= count) {
+        d[0] = s[0];
+        d[1] = s[stride];
+        d[2] = s[2 * stride];
+        d[3] = s[3 * stride];
+        d += 4;
+        s += 4 * stride;
+        i += 4;
+    }
+    while (i < count) {
+        *d = *s;
+        d++;
+        s += stride;
+        i++;
+    }
+}
+
+static void scatter9(cpx9* dst, cpx9* src, int count, int stride) {
+    cpx9* d = dst;
+    cpx9* s = src;
+    int i = 0;
+    while (i + 4 <= count) {
+        d[0] = s[0];
+        d[stride] = s[1];
+        d[2 * stride] = s[2];
+        d[3 * stride] = s[3];
+        d += 4 * stride;
+        s += 4;
+        i += 4;
+    }
+    while (i < count) {
+        *d = *s;
+        d += stride;
+        s++;
+        i++;
+    }
+}
+
+/* Generic radix-r combine for r = 5 (complex multiplies). */
+static void mixr(cpx9* out, int r, int m, int step, double* twr, double* twi,
+                 int full_n, double sgn) {
+    cpx9 t[5];
+    cpx9 acc[5];
+    int n = r * m;
+    for (int k = 0; k < m; k++) {
+        for (int q = 0; q < r; q++) {
+            double wr = twr[(q * k * step) % full_n];
+            double wi = twi[(q * k * step) % full_n];
+            cpx9* s = out + q * m + k;
+            t[q].re = s->re * wr - s->im * wi;
+            t[q].im = s->re * wi + s->im * wr;
+        }
+        for (int j = 0; j < r; j++) {
+            double sre = 0.0;
+            double sim = 0.0;
+            for (int q = 0; q < r; q++) {
+                double ang = sgn * 2.0 * M_PI * (double)((q * j) % r) / (double)r;
+                double c = cos(ang);
+                double s2 = sin(ang);
+                sre += t[q].re * c - t[q].im * s2;
+                sim += t[q].re * s2 + t[q].im * c;
+            }
+            acc[j].re = sre;
+            acc[j].im = sim;
+        }
+        for (int j = 0; j < r; j++) {
+            out[j * m + k] = acc[j];
+        }
+    }
+}
+
+static void fft9_core(cpx9* in, cpx9* out, int n, int stride, int full_n,
+                      double* twr, double* twi, double sgn) {
+    if (n == 1) {
+        out[0] = in[0];
+        return;
+    }
+    int r = 0;
+    if (n % 4 == 0) {
+        r = 4;
+    } else if (n % 2 == 0) {
+        r = 2;
+    } else if (n % 3 == 0) {
+        r = 3;
+    } else if (n % 5 == 0) {
+        r = 5;
+    }
+    if (r == 0) {
+        if (stride > 1 && n <= 64) {
+            /* Cache-blocked path: gather the strided subsequence into a
+             * contiguous buffer before the direct transform. */
+            cpx9 tmp[n];
+            gather9(tmp, in, n, stride);
+            slow_dft9(tmp, out, n, 1, sgn);
+        } else {
+            slow_dft9(in, out, n, stride, sgn);
+        }
+        return;
+    }
+    int m = n / r;
+    int q = 0;
+    while (q < r) {
+        fft9_core(in + q * stride, out + q * m, m, stride * r, full_n, twr, twi, sgn);
+        q++;
+    }
+    int step = full_n / n;
+    if (r == 2) {
+        mix2(out, m, step, twr, twi);
+    } else if (r == 3) {
+        mix3(out, m, step, twr, twi, sgn);
+    } else if (r == 4) {
+        mix4(out, m, step, twr, twi, -sgn);
+    } else {
+        mixr(out, r, m, step, twr, twi, full_n, sgn);
+    }
+}
+
+int fft_big(cpx9* x, cpx9* y, int n, int dir) {
+    if (n < 1) {
+        return -1;
+    }
+    double sgn = -1.0;
+    if (dir) {
+        sgn = 1.0;
+    }
+    double* twr = (double*)malloc(n * sizeof(double));
+    double* twi = (double*)malloc(n * sizeof(double));
+    int k = 0;
+    do {
+        double ang = sgn * 2.0 * M_PI * (double)k / (double)n;
+        twr[k] = cos(ang);
+        twi[k] = sin(ang);
+        k++;
+    } while (k < n);
+    fft9_core(x, y, n, 1, n, twr, twi, sgn);
+    free(twr);
+    free(twi);
+    return 0;
+}

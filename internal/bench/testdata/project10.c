@@ -1,0 +1,63 @@
+/*
+ * project10 "normdit": radix-2 DIT FFT that NORMALIZES its output (divides
+ * by N) — a behavioral-mismatch example: the PowerQuad and FFTW return
+ * un-normalized spectra, so FACC must synthesize a normalize post-op for
+ * them, while the (normalizing) FFTA needs none. Style notes (Table 1):
+ * twiddles precomputed into stack tables, custom complex, for loops.
+ */
+#include <math.h>
+
+struct cnum {
+    double re;
+    double im;
+};
+
+void fft_norm(struct cnum* s, int n) {
+    double twr[n / 2 + 1];
+    double twi[n / 2 + 1];
+    for (int k = 0; k < n / 2; k++) {
+        double ang = -2.0 * M_PI * (double)k / (double)n;
+        twr[k] = cos(ang);
+        twi[k] = sin(ang);
+    }
+
+    int j = 0;
+    for (int i = 1; i < n; i++) {
+        int bit = n >> 1;
+        for (; j & bit; bit >>= 1) {
+            j ^= bit;
+        }
+        j |= bit;
+        if (i < j) {
+            struct cnum t = s[i];
+            s[i] = s[j];
+            s[j] = t;
+        }
+    }
+
+    for (int len = 2; len <= n; len <<= 1) {
+        int half = len / 2;
+        int stride = n / len;
+        for (int start = 0; start < n; start += len) {
+            for (int k = 0; k < half; k++) {
+                double wr = twr[k * stride];
+                double wi = twi[k * stride];
+                struct cnum a = s[start + k];
+                struct cnum b = s[start + k + half];
+                double tr = b.re * wr - b.im * wi;
+                double ti = b.re * wi + b.im * wr;
+                s[start + k].re = a.re + tr;
+                s[start + k].im = a.im + ti;
+                s[start + k + half].re = a.re - tr;
+                s[start + k + half].im = a.im - ti;
+            }
+        }
+    }
+
+    /* This implementation returns the normalized spectrum. */
+    double scale = 1.0 / (double)n;
+    for (int i = 0; i < n; i++) {
+        s[i].re = s[i].re * scale;
+        s[i].im = s[i].im * scale;
+    }
+}

@@ -1,0 +1,115 @@
+/*
+ * project11 "memotw": mixed-radix FFT (radices 2 and 3, DFT fallback) that
+ * MEMOIZES its twiddle tables in globals between calls — recomputed only
+ * when the transform size changes. Style notes (Table 1): precomputed
+ * (cached) twiddles, custom complex, do-while and for loops.
+ */
+#include <math.h>
+#include <stdlib.h>
+
+typedef struct {
+    double re;
+    double im;
+} cplx11;
+
+#define MEMO_MAX 4096
+
+static double memo_re[MEMO_MAX];
+static double memo_im[MEMO_MAX];
+static int memo_n = 0;
+
+static void ensure_twiddles(int n) {
+    if (memo_n == n) {
+        return; /* cache hit: tables already match this size */
+    }
+    int k = 0;
+    do {
+        double ang = -2.0 * M_PI * (double)k / (double)n;
+        memo_re[k] = cos(ang);
+        memo_im[k] = sin(ang);
+        k++;
+    } while (k < n);
+    memo_n = n;
+}
+
+static void core11(cplx11* in, cplx11* out, int n, int stride, int full_n) {
+    if (n == 1) {
+        out[0] = in[0];
+        return;
+    }
+    int r;
+    if (n % 2 == 0) {
+        r = 2;
+    } else if (n % 3 == 0) {
+        r = 3;
+    } else {
+        /* Prime tail: direct DFT with on-the-fly angles. */
+        for (int k = 0; k < n; k++) {
+            double sre = 0.0;
+            double sim = 0.0;
+            for (int j = 0; j < n; j++) {
+                double ang = -2.0 * M_PI * (double)((j * k) % n) / (double)n;
+                sre += in[j * stride].re * cos(ang) - in[j * stride].im * sin(ang);
+                sim += in[j * stride].re * sin(ang) + in[j * stride].im * cos(ang);
+            }
+            out[k].re = sre;
+            out[k].im = sim;
+        }
+        return;
+    }
+    int m = n / r;
+    for (int q = 0; q < r; q++) {
+        core11(in + q * stride, out + q * m, m, stride * r, full_n);
+    }
+    int step = full_n / n;
+    if (r == 2) {
+        for (int k = 0; k < m; k++) {
+            double wr = memo_re[k * step];
+            double wi = memo_im[k * step];
+            double br = out[m + k].re * wr - out[m + k].im * wi;
+            double bi = out[m + k].re * wi + out[m + k].im * wr;
+            double ar = out[k].re;
+            double ai = out[k].im;
+            out[k].re = ar + br;
+            out[k].im = ai + bi;
+            out[m + k].re = ar - br;
+            out[m + k].im = ai - bi;
+        }
+    } else {
+        for (int k = 0; k < m; k++) {
+            double w1r = memo_re[k * step];
+            double w1i = memo_im[k * step];
+            double w2r = memo_re[2 * k * step];
+            double w2i = memo_im[2 * k * step];
+            double t0r = out[k].re;
+            double t0i = out[k].im;
+            double t1r = out[m + k].re * w1r - out[m + k].im * w1i;
+            double t1i = out[m + k].re * w1i + out[m + k].im * w1r;
+            double t2r = out[2 * m + k].re * w2r - out[2 * m + k].im * w2i;
+            double t2i = out[2 * m + k].re * w2i + out[2 * m + k].im * w2r;
+            double sr = t1r + t2r;
+            double si = t1i + t2i;
+            double dr = t1r - t2r;
+            double di = t1i - t2i;
+            out[k].re = t0r + sr;
+            out[k].im = t0i + si;
+            out[m + k].re = t0r - 0.5 * sr + 0.86602540378443864676 * di;
+            out[m + k].im = t0i - 0.5 * si - 0.86602540378443864676 * dr;
+            out[2 * m + k].re = t0r - 0.5 * sr - 0.86602540378443864676 * di;
+            out[2 * m + k].im = t0i - 0.5 * si + 0.86602540378443864676 * dr;
+        }
+    }
+}
+
+void fft_memo(cplx11* x, int n) {
+    if (n < 1 || n > MEMO_MAX) {
+        return;
+    }
+    ensure_twiddles(n);
+    cplx11* work = (cplx11*)malloc(n * sizeof(cplx11));
+    core11(x, work, n, 1, n);
+    for (int i = 0; i < n; i++) {
+        x[i] = work[i];
+    }
+    free(work);
+}

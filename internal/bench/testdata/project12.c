@@ -1,0 +1,193 @@
+/*
+ * project12 "bluestein": FFT for arbitrary lengths. Powers of two run an
+ * iterative radix-2 kernel; lengths with only factors 2 and 3 run a small
+ * mixed-radix recursion; everything else (primes included) goes through
+ * Bluestein's chirp-z algorithm built on the radix-2 kernel. Style notes
+ * (Table 1): twiddles computed in the FFT, custom complex type, recursion
+ * plus for loops, unrolled radix-2 butterflies in the pow2 kernel.
+ */
+#include <math.h>
+#include <stdlib.h>
+
+typedef struct {
+    double re;
+    double im;
+} bcpx;
+
+static int is_pow2_12(int n) {
+    return n > 0 && (n & (n - 1)) == 0;
+}
+
+/* In-place iterative radix-2; sgn = -1 forward, +1 inverse. */
+static void rad2_12(bcpx* x, int n, double sgn) {
+    int j = 0;
+    for (int i = 1; i < n; i++) {
+        int bit = n >> 1;
+        for (; j & bit; bit >>= 1) {
+            j ^= bit;
+        }
+        j |= bit;
+        if (i < j) {
+            bcpx t = x[i];
+            x[i] = x[j];
+            x[j] = t;
+        }
+    }
+    for (int len = 2; len <= n; len <<= 1) {
+        double ang = sgn * 2.0 * M_PI / (double)len;
+        int half = len >> 1;
+        for (int start = 0; start < n; start += len) {
+            /* Unrolled k = 0 butterfly (twiddle is 1+0i). */
+            bcpx a0 = x[start];
+            bcpx b0 = x[start + half];
+            x[start].re = a0.re + b0.re;
+            x[start].im = a0.im + b0.im;
+            x[start + half].re = a0.re - b0.re;
+            x[start + half].im = a0.im - b0.im;
+            for (int k = 1; k < half; k++) {
+                double wr = cos(ang * (double)k);
+                double wi = sin(ang * (double)k);
+                bcpx a = x[start + k];
+                bcpx b = x[start + k + half];
+                double tr = b.re * wr - b.im * wi;
+                double ti = b.re * wi + b.im * wr;
+                x[start + k].re = a.re + tr;
+                x[start + k].im = a.im + ti;
+                x[start + k + half].re = a.re - tr;
+                x[start + k + half].im = a.im - ti;
+            }
+        }
+    }
+}
+
+/* Recursive radix-2/3 path for smooth non-power-of-two lengths. */
+static int smooth23(int n) {
+    while (n % 2 == 0) {
+        n /= 2;
+    }
+    while (n % 3 == 0) {
+        n /= 3;
+    }
+    return n == 1;
+}
+
+static void mixed23(bcpx* in, bcpx* out, int n, int stride) {
+    if (n == 1) {
+        out[0] = in[0];
+        return;
+    }
+    int r = (n % 2 == 0) ? 2 : 3;
+    int m = n / r;
+    for (int q = 0; q < r; q++) {
+        mixed23(in + q * stride, out + q * m, m, stride * r);
+    }
+    if (r == 2) {
+        for (int k = 0; k < m; k++) {
+            double ang = -2.0 * M_PI * (double)k / (double)n;
+            double wr = cos(ang);
+            double wi = sin(ang);
+            double br = out[m + k].re * wr - out[m + k].im * wi;
+            double bi = out[m + k].re * wi + out[m + k].im * wr;
+            double ar = out[k].re;
+            double ai = out[k].im;
+            out[k].re = ar + br;
+            out[k].im = ai + bi;
+            out[m + k].re = ar - br;
+            out[m + k].im = ai - bi;
+        }
+    } else {
+        for (int k = 0; k < m; k++) {
+            double ang = -2.0 * M_PI * (double)k / (double)n;
+            double w1r = cos(ang);
+            double w1i = sin(ang);
+            double w2r = cos(2.0 * ang);
+            double w2i = sin(2.0 * ang);
+            double t0r = out[k].re;
+            double t0i = out[k].im;
+            double t1r = out[m + k].re * w1r - out[m + k].im * w1i;
+            double t1i = out[m + k].re * w1i + out[m + k].im * w1r;
+            double t2r = out[2 * m + k].re * w2r - out[2 * m + k].im * w2i;
+            double t2i = out[2 * m + k].re * w2i + out[2 * m + k].im * w2r;
+            double sr = t1r + t2r;
+            double si = t1i + t2i;
+            double dr = t1r - t2r;
+            double di = t1i - t2i;
+            out[k].re = t0r + sr;
+            out[k].im = t0i + si;
+            out[m + k].re = t0r - 0.5 * sr + 0.86602540378443864676 * di;
+            out[m + k].im = t0i - 0.5 * si - 0.86602540378443864676 * dr;
+            out[2 * m + k].re = t0r - 0.5 * sr - 0.86602540378443864676 * di;
+            out[2 * m + k].im = t0i - 0.5 * si + 0.86602540378443864676 * dr;
+        }
+    }
+}
+
+/* Bluestein chirp-z: FFT of arbitrary n via convolution at size m. */
+static void bluestein12(bcpx* in, bcpx* out, int n) {
+    int m = 1;
+    while (m < 2 * n - 1) {
+        m <<= 1;
+    }
+    bcpx* a = (bcpx*)malloc(m * sizeof(bcpx));
+    bcpx* b = (bcpx*)malloc(m * sizeof(bcpx));
+    bcpx* chirp = (bcpx*)malloc(n * sizeof(bcpx));
+    for (int k = 0; k < n; k++) {
+        int k2 = (int)(((long)k * (long)k) % (long)(2 * n));
+        double ang = -M_PI * (double)k2 / (double)n;
+        chirp[k].re = cos(ang);
+        chirp[k].im = sin(ang);
+    }
+    for (int i = 0; i < m; i++) {
+        a[i].re = 0.0;
+        a[i].im = 0.0;
+        b[i].re = 0.0;
+        b[i].im = 0.0;
+    }
+    for (int k = 0; k < n; k++) {
+        a[k].re = in[k].re * chirp[k].re - in[k].im * chirp[k].im;
+        a[k].im = in[k].re * chirp[k].im + in[k].im * chirp[k].re;
+        b[k].re = chirp[k].re;
+        b[k].im = -chirp[k].im;
+    }
+    for (int k = 1; k < n; k++) {
+        b[m - k].re = chirp[k].re;
+        b[m - k].im = -chirp[k].im;
+    }
+    rad2_12(a, m, -1.0);
+    rad2_12(b, m, -1.0);
+    for (int i = 0; i < m; i++) {
+        double re = a[i].re * b[i].re - a[i].im * b[i].im;
+        double im = a[i].re * b[i].im + a[i].im * b[i].re;
+        a[i].re = re;
+        a[i].im = im;
+    }
+    rad2_12(a, m, 1.0);
+    double scale = 1.0 / (double)m;
+    for (int k = 0; k < n; k++) {
+        double re = a[k].re * scale;
+        double im = a[k].im * scale;
+        out[k].re = re * chirp[k].re - im * chirp[k].im;
+        out[k].im = re * chirp[k].im + im * chirp[k].re;
+    }
+    free(chirp);
+    free(b);
+    free(a);
+}
+
+void fft_blue(bcpx* in, bcpx* out, int n) {
+    if (n < 1) {
+        return;
+    }
+    if (is_pow2_12(n)) {
+        for (int i = 0; i < n; i++) {
+            out[i] = in[i];
+        }
+        rad2_12(out, n, -1.0);
+        return;
+    }
+    if (smooth23(n)) {
+        mixed23(in, out, n, 1);
+        return;
+    }
+    bluestein12(in, out, n);
+}

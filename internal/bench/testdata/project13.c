@@ -1,0 +1,36 @@
+/*
+ * project13 "c99dit": decimation-in-time radix-2 FFT over C99 _Complex,
+ * with twiddles computed per butterfly via cexp. Style notes (Table 1):
+ * C99 complex representation, for loops, minimal optimization.
+ */
+#include <complex.h>
+#include <math.h>
+
+void fft_c99_dit(double complex* x, int n) {
+    /* Bit-reversal permutation. */
+    int j = 0;
+    for (int i = 1; i < n; i++) {
+        int bit = n >> 1;
+        for (; j & bit; bit >>= 1) {
+            j ^= bit;
+        }
+        j |= bit;
+        if (i < j) {
+            double complex t = x[i];
+            x[i] = x[j];
+            x[j] = t;
+        }
+    }
+    for (int len = 2; len <= n; len <<= 1) {
+        for (int start = 0; start < n; start += len) {
+            for (int k = 0; k < len / 2; k++) {
+                double complex w =
+                    cexp(-2.0 * M_PI * I * (double)k / (double)len);
+                double complex u = x[start + k];
+                double complex v = x[start + k + len / 2] * w;
+                x[start + k] = u + v;
+                x[start + k + len / 2] = u - v;
+            }
+        }
+    }
+}

@@ -1,0 +1,61 @@
+/*
+ * project14 "splitarrays": MiBench-style radix-2 FFT over SEPARATE real
+ * and imaginary arrays (no complex type at all). Style notes (Table 1):
+ * twiddles computed in the FFT with sin/cos, for loops, minimal
+ * optimization. This is the corpus's data-mismatch stress test: the
+ * adapter must gather/scatter between split arrays and the accelerator's
+ * interleaved format.
+ */
+#include <math.h>
+
+static int bit_count(int n) {
+    int bits = 0;
+    for (int m = n; m > 1; m >>= 1) {
+        bits++;
+    }
+    return bits;
+}
+
+static int reverse_index(int i, int bits) {
+    int rev = 0;
+    for (int b = 0; b < bits; b++) {
+        rev = (rev << 1) | (i & 1);
+        i >>= 1;
+    }
+    return rev;
+}
+
+void fft_split(double* re, double* im, int n) {
+    int bits = bit_count(n);
+    for (int i = 0; i < n; i++) {
+        int r = reverse_index(i, bits);
+        if (i < r) {
+            double tr = re[i];
+            double ti = im[i];
+            re[i] = re[r];
+            im[i] = im[r];
+            re[r] = tr;
+            im[r] = ti;
+        }
+    }
+    for (int len = 2; len <= n; len <<= 1) {
+        int half = len / 2;
+        double ang = -2.0 * M_PI / (double)len;
+        for (int start = 0; start < n; start += len) {
+            for (int k = 0; k < half; k++) {
+                double wr = cos(ang * (double)k);
+                double wi = sin(ang * (double)k);
+                int top = start + k;
+                int bot = start + k + half;
+                double tr = re[bot] * wr - im[bot] * wi;
+                double ti = re[bot] * wi + im[bot] * wr;
+                double ar = re[top];
+                double ai = im[top];
+                re[top] = ar + tr;
+                im[top] = ai + ti;
+                re[bot] = ar - tr;
+                im[bot] = ai - ti;
+            }
+        }
+    }
+}

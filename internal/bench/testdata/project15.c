@@ -1,0 +1,48 @@
+/*
+ * project15 "purerec": purely recursive FFT over C99 complex supporting
+ * any length: even lengths split radix-2, odd lengths fall back to a
+ * recursive DFT formulation. Style notes (Table 1): recursion only (no
+ * iterative stages), twiddles computed via cexp, C99 complex, minimal
+ * optimization.
+ */
+#include <complex.h>
+#include <math.h>
+#include <stdlib.h>
+
+static void rec15(double complex* x, int n, int stride, double complex* out) {
+    if (n == 1) {
+        out[0] = x[0];
+        return;
+    }
+    if (n % 2 == 0) {
+        int half = n / 2;
+        rec15(x, half, 2 * stride, out);
+        rec15(x + stride, half, 2 * stride, out + half);
+        for (int k = 0; k < half; k++) {
+            double complex w = cexp(-2.0 * M_PI * I * (double)k / (double)n);
+            double complex even = out[k];
+            double complex odd = out[k + half] * w;
+            out[k] = even + odd;
+            out[k + half] = even - odd;
+        }
+        return;
+    }
+    /* Odd length: direct transform of the strided sequence. */
+    for (int k = 0; k < n; k++) {
+        double complex sum = 0.0;
+        for (int j = 0; j < n; j++) {
+            sum += x[j * stride] *
+                cexp(-2.0 * M_PI * I * (double)((j * k) % n) / (double)n);
+        }
+        out[k] = sum;
+    }
+}
+
+void fft_recursive(double complex* buf, int n) {
+    double complex* out = (double complex*)malloc(n * sizeof(double complex));
+    rec15(buf, n, 1, out);
+    for (int i = 0; i < n; i++) {
+        buf[i] = out[i];
+    }
+    free(out);
+}

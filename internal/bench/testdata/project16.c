@@ -1,0 +1,18 @@
+/*
+ * project16 "dft20": a textbook O(n^2) DFT, out-of-place, C99 complex.
+ * The kind of 20-line reference implementation that tops GitHub search
+ * results (Table 1: DFT, no twiddle handling, no optimization).
+ */
+#include <complex.h>
+#include <math.h>
+
+void dft(double complex* in, double complex* out, int n) {
+    for (int k = 0; k < n; k++) {
+        double complex sum = 0.0;
+        for (int j = 0; j < n; j++) {
+            double angle = -2.0 * M_PI * (double)j * (double)k / (double)n;
+            sum += in[j] * cexp(angle * I);
+        }
+        out[k] = sum;
+    }
+}

@@ -1,0 +1,19 @@
+/*
+ * project17 "dft12": the smallest corpus member — an in-place DFT in a
+ * dozen lines (Table 1: DFT, C99 complex, for loops, no optimization).
+ */
+#include <complex.h>
+#include <math.h>
+
+void dft_small(double complex* x, int n) {
+    double complex out[n];
+    for (int k = 0; k < n; k++) {
+        out[k] = 0.0;
+        for (int j = 0; j < n; j++) {
+            out[k] += x[j] * cexp(-2.0 * M_PI * I * (double)j * (double)k / (double)n);
+        }
+    }
+    for (int k = 0; k < n; k++) {
+        x[k] = out[k];
+    }
+}

@@ -1,0 +1,57 @@
+/*
+ * project18 "magspectrum" (UNSUPPORTED: interface incompatibility).
+ * Computes the magnitude spectrum of a real signal: real input, magnitude
+ * output. No complex output exists for the accelerator to produce, so
+ * binding synthesis finds candidates but IO testing rejects them all.
+ */
+#include <math.h>
+#include <stdlib.h>
+
+void fft_mag(double* signal, double* mags, int n) {
+    double* re = (double*)malloc(n * sizeof(double));
+    double* im = (double*)malloc(n * sizeof(double));
+    for (int i = 0; i < n; i++) {
+        re[i] = signal[i];
+        im[i] = 0.0;
+    }
+    /* Radix-2 over the scratch arrays. */
+    int j = 0;
+    for (int i = 1; i < n; i++) {
+        int bit = n >> 1;
+        for (; j & bit; bit >>= 1) {
+            j ^= bit;
+        }
+        j |= bit;
+        if (i < j) {
+            double tr = re[i];
+            double ti = im[i];
+            re[i] = re[j];
+            im[i] = im[j];
+            re[j] = tr;
+            im[j] = ti;
+        }
+    }
+    for (int len = 2; len <= n; len <<= 1) {
+        double ang = -2.0 * M_PI / (double)len;
+        for (int start = 0; start < n; start += len) {
+            for (int k = 0; k < len / 2; k++) {
+                double wr = cos(ang * (double)k);
+                double wi = sin(ang * (double)k);
+                int bot = start + k + len / 2;
+                double tr = re[bot] * wr - im[bot] * wi;
+                double ti = re[bot] * wi + im[bot] * wr;
+                double ar = re[start + k];
+                double ai = im[start + k];
+                re[start + k] = ar + tr;
+                im[start + k] = ai + ti;
+                re[bot] = ar - tr;
+                im[bot] = ai - ti;
+            }
+        }
+    }
+    for (int i = 0; i < n; i++) {
+        mags[i] = sqrt(re[i] * re[i] + im[i] * im[i]);
+    }
+    free(re);
+    free(im);
+}

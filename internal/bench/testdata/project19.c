@@ -1,0 +1,54 @@
+/*
+ * project19 "fft2d" (UNSUPPORTED: interface incompatibility).
+ * A two-dimensional FFT over a flattened row-major grid. The interface is
+ * a 2D transform; no 1D accelerator call is IO-equivalent to it.
+ */
+#include <complex.h>
+#include <math.h>
+#include <stdlib.h>
+
+static void row_fft(double complex* x, int n) {
+    for (int len = n; len >= 2; len /= 2) {
+        for (int i = 0; i < n; i += len) {
+            for (int k = 0; k < len / 2; k++) {
+                double complex w =
+                    cexp(-2.0 * M_PI * I * (double)k / (double)len);
+                double complex u = x[i + k];
+                double complex v = x[i + k + len / 2];
+                x[i + k] = u + v;
+                x[i + k + len / 2] = (u - v) * w;
+            }
+        }
+    }
+    int j = 0;
+    for (int i = 1; i < n; i++) {
+        int bit = n >> 1;
+        for (; j & bit; bit >>= 1) {
+            j ^= bit;
+        }
+        j |= bit;
+        if (i < j) {
+            double complex t = x[i];
+            x[i] = x[j];
+            x[j] = t;
+        }
+    }
+}
+
+void fft2d(double complex* grid, int rows, int cols) {
+    /* Transform every row, then every column. */
+    for (int r = 0; r < rows; r++) {
+        row_fft(grid + r * cols, cols);
+    }
+    double complex* col = (double complex*)malloc(rows * sizeof(double complex));
+    for (int c = 0; c < cols; c++) {
+        for (int r = 0; r < rows; r++) {
+            col[r] = grid[r * cols + c];
+        }
+        row_fft(col, rows);
+        for (int r = 0; r < rows; r++) {
+            grid[r * cols + c] = col[r];
+        }
+    }
+    free(col);
+}

@@ -1,0 +1,34 @@
+/*
+ * project20 "realhalf" (UNSUPPORTED: interface incompatibility).
+ * In-place real FFT with FFTW-style "halfcomplex" packing: the single
+ * real array holds r0, r1, ..., r_{n/2}, i_{n/2-1}, ..., i_1 afterwards.
+ * One real array cannot bind to the complex-in/complex-out accelerator
+ * interface.
+ */
+#include <math.h>
+#include <stdlib.h>
+
+void rfft(double* x, int n) {
+    double* re = (double*)malloc(n * sizeof(double));
+    double* im = (double*)malloc(n * sizeof(double));
+    for (int k = 0; k < n; k++) {
+        double sre = 0.0;
+        double sim = 0.0;
+        for (int j = 0; j < n; j++) {
+            double ang = -2.0 * M_PI * (double)j * (double)k / (double)n;
+            sre += x[j] * cos(ang);
+            sim += x[j] * sin(ang);
+        }
+        re[k] = sre;
+        im[k] = sim;
+    }
+    /* Halfcomplex packing. */
+    for (int k = 0; k <= n / 2; k++) {
+        x[k] = re[k];
+    }
+    for (int k = 1; k < n - n / 2; k++) {
+        x[n - k] = im[k];
+    }
+    free(re);
+    free(im);
+}

@@ -1,0 +1,48 @@
+/*
+ * project21 "voidgeneric" (UNSUPPORTED: void* pointer).
+ * A "generic" FFT that takes its buffer as void* plus an element size —
+ * the type information FACC needs is erased, so no binding is generated.
+ */
+#include <math.h>
+
+typedef struct {
+    double re;
+    double im;
+} vc21;
+
+void fft_generic(void* data, int n, int elem_size) {
+    if (elem_size != 16) {
+        return; /* only double-pair elements supported */
+    }
+    vc21* x = (vc21*)data;
+    int j = 0;
+    for (int i = 1; i < n; i++) {
+        int bit = n >> 1;
+        for (; j & bit; bit >>= 1) {
+            j ^= bit;
+        }
+        j |= bit;
+        if (i < j) {
+            vc21 t = x[i];
+            x[i] = x[j];
+            x[j] = t;
+        }
+    }
+    for (int len = 2; len <= n; len <<= 1) {
+        double ang = -2.0 * M_PI / (double)len;
+        for (int start = 0; start < n; start += len) {
+            for (int k = 0; k < len / 2; k++) {
+                double wr = cos(ang * (double)k);
+                double wi = sin(ang * (double)k);
+                vc21 a = x[start + k];
+                vc21 b = x[start + k + len / 2];
+                double tr = b.re * wr - b.im * wi;
+                double ti = b.re * wi + b.im * wr;
+                x[start + k].re = a.re + tr;
+                x[start + k].im = a.im + ti;
+                x[start + k + len / 2].re = a.re - tr;
+                x[start + k + len / 2].im = a.im - ti;
+            }
+        }
+    }
+}

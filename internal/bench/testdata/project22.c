@@ -1,0 +1,57 @@
+/*
+ * project22 "voidkind" (UNSUPPORTED: void* pointer).
+ * A framework-style dispatch function: void* buffers plus a transform-kind
+ * selector. Type erasure defeats binding synthesis.
+ */
+#include <math.h>
+
+typedef struct {
+    float re;
+    float im;
+} vc22;
+
+static void kernel22(vc22* x, int n) {
+    for (int len = n; len >= 2; len /= 2) {
+        double ang = -2.0 * M_PI / (double)len;
+        for (int i = 0; i < n; i += len) {
+            for (int k = 0; k < len / 2; k++) {
+                double wr = cos(ang * (double)k);
+                double wi = sin(ang * (double)k);
+                vc22 a = x[i + k];
+                vc22 b = x[i + k + len / 2];
+                x[i + k].re = a.re + b.re;
+                x[i + k].im = a.im + b.im;
+                double dr = a.re - b.re;
+                double di = a.im - b.im;
+                x[i + k + len / 2].re = (float)(dr * wr - di * wi);
+                x[i + k + len / 2].im = (float)(dr * wi + di * wr);
+            }
+        }
+    }
+    int j = 0;
+    for (int i = 1; i < n; i++) {
+        int bit = n >> 1;
+        for (; j & bit; bit >>= 1) {
+            j ^= bit;
+        }
+        j |= bit;
+        if (i < j) {
+            vc22 t = x[i];
+            x[i] = x[j];
+            x[j] = t;
+        }
+    }
+}
+
+int transform(void* in, void* out, int n, int kind) {
+    if (kind != 0) {
+        return -1; /* only the complex FFT kind is implemented */
+    }
+    vc22* src = (vc22*)in;
+    vc22* dst = (vc22*)out;
+    for (int i = 0; i < n; i++) {
+        dst[i] = src[i];
+    }
+    kernel22(dst, n);
+    return 0;
+}

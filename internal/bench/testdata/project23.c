@@ -1,0 +1,48 @@
+/*
+ * project23 "verbose" (UNSUPPORTED: printf).
+ * An FFT that logs progress to stdout mid-transform. The IO is observable
+ * behavior an accelerator cannot reproduce, so FACC refuses the region.
+ */
+#include <math.h>
+#include <stdlib.h>
+
+typedef struct {
+    double re;
+    double im;
+} vc23;
+
+void fft_verbose(vc23* x, int n) {
+    printf("fft: starting %d-point transform\n", n);
+    int j = 0;
+    for (int i = 1; i < n; i++) {
+        int bit = n >> 1;
+        for (; j & bit; bit >>= 1) {
+            j ^= bit;
+        }
+        j |= bit;
+        if (i < j) {
+            vc23 t = x[i];
+            x[i] = x[j];
+            x[j] = t;
+        }
+    }
+    for (int len = 2; len <= n; len <<= 1) {
+        printf("fft: stage len=%d\n", len);
+        double ang = -2.0 * M_PI / (double)len;
+        for (int start = 0; start < n; start += len) {
+            for (int k = 0; k < len / 2; k++) {
+                double wr = cos(ang * (double)k);
+                double wi = sin(ang * (double)k);
+                vc23 a = x[start + k];
+                vc23 b = x[start + k + len / 2];
+                double tr = b.re * wr - b.im * wi;
+                double ti = b.re * wi + b.im * wr;
+                x[start + k].re = a.re + tr;
+                x[start + k].im = a.im + ti;
+                x[start + k + len / 2].re = a.re - tr;
+                x[start + k + len / 2].im = a.im - ti;
+            }
+        }
+    }
+    printf("fft: done\n");
+}

@@ -1,0 +1,42 @@
+/*
+ * project24 "rowplan" (UNSUPPORTED: nested memory structure).
+ * Batch FFT over an array of row pointers (complex**). The nested
+ * allocation structure (pointer-to-pointer) is outside FACC's binding
+ * model.
+ */
+#include <complex.h>
+#include <math.h>
+
+static void one_row(double complex* x, int n) {
+    int j = 0;
+    for (int i = 1; i < n; i++) {
+        int bit = n >> 1;
+        for (; j & bit; bit >>= 1) {
+            j ^= bit;
+        }
+        j |= bit;
+        if (i < j) {
+            double complex t = x[i];
+            x[i] = x[j];
+            x[j] = t;
+        }
+    }
+    for (int len = 2; len <= n; len <<= 1) {
+        for (int start = 0; start < n; start += len) {
+            for (int k = 0; k < len / 2; k++) {
+                double complex w =
+                    cexp(-2.0 * M_PI * I * (double)k / (double)len);
+                double complex u = x[start + k];
+                double complex v = x[start + k + len / 2] * w;
+                x[start + k] = u + v;
+                x[start + k + len / 2] = u - v;
+            }
+        }
+    }
+}
+
+void fft_rows(double complex** rows, int nrows, int n) {
+    for (int r = 0; r < nrows; r++) {
+        one_row(rows[r], n);
+    }
+}

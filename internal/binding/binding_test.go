@@ -1,0 +1,358 @@
+package binding
+
+import (
+	"strings"
+	"testing"
+
+	"facc/internal/accel"
+	"facc/internal/analysis"
+	"facc/internal/minic"
+)
+
+func enumSrc(t *testing.T, src, fn string, spec *accel.Spec, profile *analysis.Profile) []*Candidate {
+	t.Helper()
+	f, err := minic.ParseAndCheck("t.c", src)
+	if err != nil {
+		t.Fatalf("frontend: %v", err)
+	}
+	fd := f.Func(fn)
+	if fd == nil {
+		t.Fatalf("no function %q", fn)
+	}
+	fi := analysis.AnalyzeFunc(f, fd)
+	return Enumerate(fi, spec, profile, Options{})
+}
+
+const inPlaceStructSrc = `
+typedef struct { float re; float im; } cpx;
+void fft(cpx* x, int n) {
+    for (int i = 0; i < n; i++) {
+        float t = x[i].re;
+        x[i].re = x[i].im;
+        x[i].im = t;
+    }
+}`
+
+func TestEnumerateInPlaceStruct(t *testing.T) {
+	cands := enumSrc(t, inPlaceStructSrc, "fft", accel.NewFFTA(), nil)
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	top := cands[0]
+	if !top.InPlace || top.Input.Layout != LayoutStruct || top.Input.Param != "x" {
+		t.Errorf("top candidate = %s", top)
+	}
+	if top.Length.Param != "n" || top.Length.Conv != ConvIdentity {
+		t.Errorf("top length = %+v", top.Length)
+	}
+	// The field-name heuristic must rank re=0,im=1 first.
+	if top.Input.ReOff != 0 || top.Input.ImOff != 1 {
+		t.Errorf("field order = re@%d im@%d", top.Input.ReOff, top.Input.ImOff)
+	}
+	// Both field orders must appear somewhere (generate-and-test decides).
+	foundSwapped := false
+	for _, c := range cands {
+		if c.Input.ReOff == 1 {
+			foundSwapped = true
+		}
+	}
+	if !foundSwapped {
+		t.Error("swapped field order not enumerated")
+	}
+}
+
+func TestEnumerateOutOfPlaceC99(t *testing.T) {
+	src := `
+#include <complex.h>
+void fft(double complex* in, double complex* out, int n) {
+    for (int i = 0; i < n; i++) out[i] = in[i];
+}`
+	cands := enumSrc(t, src, "fft", accel.NewFFTA(), nil)
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	top := cands[0]
+	if top.InPlace {
+		t.Error("should be out-of-place")
+	}
+	if top.Input.Param != "in" || top.Output.Param != "out" {
+		t.Errorf("top = %s", top)
+	}
+	if top.Input.Layout != LayoutC99 {
+		t.Errorf("layout = %s", top.Input.Layout)
+	}
+}
+
+func TestEnumerateSplitArrays(t *testing.T) {
+	src := `
+void fft(float* real, float* imag, int n) {
+    for (int i = 0; i < n; i++) {
+        float t = real[i];
+        real[i] = imag[i];
+        imag[i] = t;
+    }
+}`
+	cands := enumSrc(t, src, "fft", accel.NewPowerQuad(), nil)
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	top := cands[0]
+	if top.Input.Layout != LayoutSplit || top.Input.ReParam != "real" || top.Input.ImParam != "imag" {
+		t.Errorf("top = %s", top)
+	}
+	// Swapped order must also be present.
+	swapped := false
+	for _, c := range cands {
+		if c.Input.Layout == LayoutSplit && c.Input.ReParam == "imag" {
+			swapped = true
+		}
+	}
+	if !swapped {
+		t.Error("swapped split order not enumerated")
+	}
+}
+
+func TestExp2ConversionRequiresSmallRange(t *testing.T) {
+	src := `
+typedef struct { float re; float im; } cpx;
+void fft(cpx* x, int logn) {
+    int n = 1 << logn;
+    for (int i = 0; i < n; i++) x[i].re = x[i].im;
+}`
+	// Profile says logn in {6..10}: 2^n plausible.
+	small := analysis.NewProfile()
+	for _, v := range []int64{6, 8, 10} {
+		small.ObserveInt("logn", v)
+	}
+	cands := enumSrc(t, src, "fft", accel.NewFFTA(), small)
+	foundExp2 := false
+	for _, c := range cands {
+		if c.Length.Conv == ConvExp2 && c.Length.Param == "logn" {
+			foundExp2 = true
+		}
+	}
+	if !foundExp2 {
+		t.Error("2^n conversion not offered for small-range parameter")
+	}
+
+	// Profile says the parameter ranges to 1024: 2^1024 is absurd and the
+	// range heuristic must prune it (paper Fig. 6).
+	big := analysis.NewProfile()
+	for _, v := range []int64{64, 256, 1024} {
+		big.ObserveInt("logn", v)
+	}
+	cands = enumSrc(t, src, "fft", accel.NewFFTA(), big)
+	for _, c := range cands {
+		if c.Length.Conv == ConvExp2 {
+			t.Errorf("range heuristic failed to prune 2^n for wide range: %s", c)
+		}
+	}
+}
+
+func TestRangeHeuristicPrunesOutOfDomain(t *testing.T) {
+	// Profile says n is always 8..16 — outside FFTA's [64, 65536].
+	p := analysis.NewProfile()
+	p.ObserveInt("n", 8)
+	p.ObserveInt("n", 16)
+	cands := enumSrc(t, inPlaceStructSrc, "fft", accel.NewFFTA(), p)
+	for _, c := range cands {
+		if c.Length.Param == "n" && c.Length.Conv == ConvIdentity {
+			t.Errorf("identity binding should be pruned for out-of-domain range: %s", c)
+		}
+	}
+	// Disabling the heuristic brings it back.
+	f, _ := minic.ParseAndCheck("t.c", inPlaceStructSrc)
+	fi := analysis.AnalyzeFunc(f, f.Func("fft"))
+	cands = Enumerate(fi, accel.NewFFTA(), p, Options{DisableRangeHeuristic: true})
+	found := false
+	for _, c := range cands {
+		if c.Length.Param == "n" && c.Length.Conv == ConvIdentity {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("ablation switch did not restore pruned binding")
+	}
+}
+
+func TestFlagPinning(t *testing.T) {
+	src := `
+typedef struct { float re; float im; } cpx;
+void fft(cpx* x, int n, int inverse) {
+    for (int i = 0; i < n; i++) {
+        if (inverse) x[i].im = -x[i].im;
+        x[i].re = x[i].re;
+    }
+}`
+	p := analysis.NewProfile()
+	p.ObserveInt("inverse", 0)
+	p.ObserveInt("inverse", 1)
+	p.ObserveInt("n", 1024)
+	cands := enumSrc(t, src, "fft", accel.NewFFTA(), p)
+	pinned0, pinned1, free := false, false, false
+	for _, c := range cands {
+		for _, pin := range c.Pins {
+			if pin.Param == "inverse" && pin.Value == 0 {
+				pinned0 = true
+			}
+			if pin.Param == "inverse" && pin.Value == 1 {
+				pinned1 = true
+			}
+		}
+		for _, fp := range c.FreeParams {
+			if fp == "inverse" {
+				free = true
+			}
+		}
+	}
+	if !pinned0 || !pinned1 || !free {
+		t.Errorf("pin enumeration incomplete: pin0=%v pin1=%v free=%v", pinned0, pinned1, free)
+	}
+}
+
+func TestDirectionBindingForFFTW(t *testing.T) {
+	src := `
+typedef struct { float re; float im; } cpx;
+void fft(cpx* x, int n, int sign) {
+    for (int i = 0; i < n; i++) {
+        if (sign > 0) x[i].im = -x[i].im;
+        x[i].re = x[i].re;
+    }
+}`
+	p := analysis.NewProfile()
+	p.ObserveInt("sign", 0)
+	p.ObserveInt("sign", 1)
+	p.ObserveInt("n", 256)
+	cands := enumSrc(t, src, "fft", accel.NewFFTWLib(), p)
+	constant, mapped := false, false
+	for _, c := range cands {
+		if c.Direction == nil {
+			continue
+		}
+		if c.Direction.Param == "" {
+			constant = true
+		} else if c.Direction.Param == "sign" && len(c.Direction.Map) == 2 {
+			mapped = true
+		}
+	}
+	if !constant || !mapped {
+		t.Errorf("direction enumeration: constant=%v mapped=%v", constant, mapped)
+	}
+}
+
+func TestFFTWGeneratesMoreCandidatesThanHardware(t *testing.T) {
+	ffta := enumSrc(t, inPlaceStructSrc, "fft", accel.NewFFTA(), nil)
+	pq := enumSrc(t, inPlaceStructSrc, "fft", accel.NewPowerQuad(), nil)
+	fftw := enumSrc(t, inPlaceStructSrc, "fft", accel.NewFFTWLib(), nil)
+	if len(ffta) != len(pq) {
+		t.Errorf("FFTA (%d) and PowerQuad (%d) should produce identical candidate counts (Fig. 16)",
+			len(ffta), len(pq))
+	}
+	if len(fftw) <= len(ffta) {
+		t.Errorf("FFTW (%d) should produce more candidates than FFTA (%d) (Fig. 16)",
+			len(fftw), len(ffta))
+	}
+}
+
+func TestFixedLengthConstantBinding(t *testing.T) {
+	src := `
+typedef struct { float re; float im; } cpx;
+void fft64(cpx* x) {
+    for (int i = 0; i < 64; i++) {
+        x[i].re = x[i].re + x[i].im;
+        x[i].im = x[i].im;
+    }
+}`
+	cands := enumSrc(t, src, "fft64", accel.NewFFTA(), nil)
+	found := false
+	for _, c := range cands {
+		if c.Length.Param == "" && c.Length.Const == 64 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("constant length 64 not enumerated (got %d candidates)", len(cands))
+	}
+}
+
+func TestNoCandidateForPrintf(t *testing.T) {
+	src := `
+typedef struct { float re; float im; } cpx;
+void fft(cpx* x, int n) {
+    for (int i = 0; i < n; i++) {
+        printf("%f\n", x[i].re);
+        x[i].re = 0;
+    }
+}`
+	if cands := enumSrc(t, src, "fft", accel.NewFFTA(), nil); len(cands) != 0 {
+		t.Errorf("printf function should have no candidates, got %d", len(cands))
+	}
+}
+
+func TestNoCandidateForVoidPtr(t *testing.T) {
+	src := `void fft(void* data, int n, int esize) { }`
+	if cands := enumSrc(t, src, "fft", accel.NewFFTA(), nil); len(cands) != 0 {
+		t.Errorf("void* function should have no candidates, got %d", len(cands))
+	}
+}
+
+func TestNoCandidateForNestedPointers(t *testing.T) {
+	src := `
+void fft2d(double** rows, int n) {
+    for (int i = 0; i < n; i++) rows[i][0] = 0;
+}`
+	if cands := enumSrc(t, src, "fft2d", accel.NewFFTA(), nil); len(cands) != 0 {
+		t.Errorf("nested-pointer function should have no candidates, got %d", len(cands))
+	}
+}
+
+func TestCandidateKeysUnique(t *testing.T) {
+	cands := enumSrc(t, inPlaceStructSrc, "fft", accel.NewFFTWLib(), nil)
+	seen := map[string]bool{}
+	for _, c := range cands {
+		if seen[c.Key()] {
+			t.Errorf("duplicate candidate key %q", c.Key())
+		}
+		seen[c.Key()] = true
+	}
+}
+
+func TestMaxCandidatesCap(t *testing.T) {
+	f, _ := minic.ParseAndCheck("t.c", inPlaceStructSrc)
+	fi := analysis.AnalyzeFunc(f, f.Func("fft"))
+	cands := Enumerate(fi, accel.NewFFTWLib(), nil, Options{MaxCandidates: 2})
+	if len(cands) != 2 {
+		t.Errorf("cap not applied: %d", len(cands))
+	}
+}
+
+func TestLengthConvApply(t *testing.T) {
+	if ConvIdentity.Apply(64) != 64 {
+		t.Error("identity conversion")
+	}
+	if ConvExp2.Apply(6) != 64 {
+		t.Error("2^n conversion")
+	}
+	if ConvExp2.Apply(40) != -1 || ConvExp2.Apply(-1) != -1 {
+		t.Error("2^n out-of-range guard")
+	}
+}
+
+func TestReturnIgnoredFlag(t *testing.T) {
+	src := `
+typedef struct { float re; float im; } cpx;
+int fft(cpx* x, int n) {
+    for (int i = 0; i < n; i++) x[i].re = x[i].im;
+    return 0;
+}`
+	cands := enumSrc(t, src, "fft", accel.NewFFTA(), nil)
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	if !cands[0].ReturnIgnored {
+		t.Error("non-void return not flagged")
+	}
+	if !strings.Contains(cands[0].String(), "ffta") {
+		t.Errorf("String() = %q", cands[0].String())
+	}
+}

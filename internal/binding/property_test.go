@@ -1,0 +1,104 @@
+package binding
+
+import (
+	"testing"
+	"testing/quick"
+
+	"facc/internal/accel"
+	"facc/internal/analysis"
+	"facc/internal/minic"
+)
+
+// Property: candidate keys are unique and the single-read invariant holds
+// for every enumeration (unless the ablation switch lifts it), across
+// randomized profiles.
+func TestPropertyEnumerationInvariants(t *testing.T) {
+	f, err := minic.ParseAndCheck("t.c", `
+typedef struct { float re; float im; } cpx;
+void fft(cpx* x, int n, int mode, int extra) {
+    for (int i = 0; i < n; i++) {
+        if (mode) x[i].re = x[i].re + (float)extra;
+        x[i].im = x[i].im;
+    }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi := analysis.AnalyzeFunc(f, f.Func("fft"))
+
+	prop := func(nVals []uint16, modeVals []uint8, specIdx uint8) bool {
+		prof := analysis.NewProfile()
+		for _, v := range nVals {
+			prof.ObserveInt("n", int64(v))
+		}
+		for _, v := range modeVals {
+			prof.ObserveInt("mode", int64(v%2))
+		}
+		spec := accel.Specs()[int(specIdx)%3]
+		cands := Enumerate(fi, spec, prof, Options{})
+		seen := map[string]bool{}
+		for _, c := range cands {
+			k := c.Key()
+			if seen[k] {
+				return false // duplicate candidate
+			}
+			seen[k] = true
+			// Single-read: no user parameter consumed twice.
+			used := map[string]int{}
+			for _, p := range c.Input.Params() {
+				used[p]++
+			}
+			if !c.InPlace {
+				for _, p := range c.Output.Params() {
+					used[p]++
+				}
+			}
+			if c.Length.Param != "" {
+				used[c.Length.Param]++
+			}
+			if c.Direction != nil && c.Direction.Param != "" {
+				used[c.Direction.Param]++
+			}
+			for _, pin := range c.Pins {
+				used[pin.Param]++
+			}
+			for _, fp := range c.FreeParams {
+				used[fp]++
+			}
+			for _, n := range used {
+				if n > 1 {
+					return false // double read
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every candidate's length binding is either a parameter of the
+// function or a constant inside the spec domain.
+func TestPropertyLengthBindingsWellFormed(t *testing.T) {
+	f, err := minic.ParseAndCheck("t.c", `
+typedef struct { float re; float im; } cpx;
+void fft64(cpx* x) {
+    for (int i = 0; i < 64; i++) x[i].re = x[i].im;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi := analysis.AnalyzeFunc(f, f.Func("fft64"))
+	for _, spec := range accel.Specs() {
+		for _, c := range Enumerate(fi, spec, nil, Options{}) {
+			if c.Length.Param != "" {
+				t.Errorf("%s: no int params exist, yet length bound to %q",
+					spec.Name, c.Length.Param)
+			}
+			if !spec.Supports(int(c.Length.Const)) {
+				t.Errorf("%s: constant length %d outside domain", spec.Name, c.Length.Const)
+			}
+		}
+	}
+}

@@ -1,0 +1,296 @@
+// Package codegen prints synthesized adapters as C source — the artifact
+// the developer signs off on (paper §2.3, Fig. 3). The emitted function is
+// a drop-in replacement for the user function: same signature, range check
+// with software fallback, pre/post bindings around the accelerator call,
+// and the post-behavioral patch.
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"facc/internal/accel"
+	"facc/internal/binding"
+	"facc/internal/minic"
+	"facc/internal/synth"
+)
+
+// Prelude returns the helper definitions adapters rely on, emitted once
+// per translation unit.
+func Prelude() string {
+	return `/* Helpers emitted by FACC. */
+typedef struct { float re; float im; } float_complex;
+
+static int is_power_of_two(int n) {
+    return n > 0 && (n & (n - 1)) == 0;
+}
+
+static void bit_reverse_permute(float_complex* x, int n) {
+    int j = 0;
+    for (int i = 1; i < n; i++) {
+        int bit = n >> 1;
+        for (; j & bit; bit >>= 1) j ^= bit;
+        j |= bit;
+        if (i < j) {
+            float_complex t = x[i];
+            x[i] = x[j];
+            x[j] = t;
+        }
+    }
+}
+`
+}
+
+// Extern returns the prototype of the target's API call, so translation
+// units containing an adapter are self-contained (the symbol is provided
+// by the vendor SDK / library at link time).
+func Extern(spec *accel.Spec) string {
+	var params []string
+	for _, p := range spec.Params {
+		params = append(params, declString(p.Type, p.Name))
+	}
+	return fmt.Sprintf("void %s(%s);\n", spec.CallName, strings.Join(params, ", "))
+}
+
+// Emit renders the adapter for ad, wrapping user function fn.
+func Emit(ad *synth.Adapter, fn *minic.FuncDecl) string {
+	g := &gen{ad: ad, fn: fn, spec: ad.Cand.Spec}
+	return g.emit()
+}
+
+type gen struct {
+	ad   *synth.Adapter
+	fn   *minic.FuncDecl
+	spec *accel.Spec
+	b    strings.Builder
+	ind  int
+}
+
+func (g *gen) p(format string, args ...any) {
+	g.b.WriteString(strings.Repeat("    ", g.ind))
+	fmt.Fprintf(&g.b, format, args...)
+	g.b.WriteString("\n")
+}
+
+func (g *gen) emit() string {
+	fn := g.fn
+	var params []string
+	for _, prm := range fn.Params {
+		params = append(params, paramDecl(prm))
+	}
+	ret := typeName(fn.Type.Ret)
+	g.p("/* Drop-in replacement for %s, targeting %s (%s).", fn.Name, g.spec.Name, g.spec.DomainDescription())
+	g.p(" * Validated by IO-equivalence on %d fuzzed inputs; developer sign-off required. */",
+		g.ad.TestsPassed)
+	g.p("%s %s_accel(%s) {", ret, fn.Name, strings.Join(params, ", "))
+	g.ind++
+
+	lenExpr := g.lengthExpr()
+	g.p("/* Range check: fall back to software outside the accelerator domain. */")
+	g.p("if (%s) {", g.ad.Check.CCondition(lenExpr))
+	g.ind++
+	g.p("int __len = %s;", lenExpr)
+	g.emitBuffers()
+	g.emitPreBinding()
+	g.emitCall()
+	g.emitPostBehavior()
+	g.emitPostBinding()
+	if g.ad.ReturnConst != nil {
+		g.p("return %d;", *g.ad.ReturnConst)
+	} else if fn.Type.Ret.Kind != minic.TVoid {
+		g.p("return 0;")
+	}
+	g.ind--
+	g.p("} else {")
+	g.ind++
+	g.p("/* Fallback to the original user code. */")
+	var args []string
+	for _, prm := range fn.Params {
+		args = append(args, prm.Name)
+	}
+	if fn.Type.Ret.Kind != minic.TVoid {
+		g.p("return %s(%s);", fn.Name, strings.Join(args, ", "))
+	} else {
+		g.p("%s(%s);", fn.Name, strings.Join(args, ", "))
+	}
+	g.ind--
+	g.p("}")
+
+	g.ind--
+	g.p("}")
+	return g.b.String()
+}
+
+// lengthExpr renders the accelerator length in terms of user variables.
+func (g *gen) lengthExpr() string {
+	lb := g.ad.Cand.Length
+	if lb.Param == "" {
+		return fmt.Sprintf("%d", lb.Const)
+	}
+	if lb.Conv == binding.ConvExp2 {
+		return fmt.Sprintf("(1 << %s)", lb.Param)
+	}
+	return lb.Param
+}
+
+// emitBuffers declares the accelerator-side buffers, honoring alignment.
+func (g *gen) emitBuffers() {
+	align := ""
+	if g.spec.AlignmentBytes > 0 {
+		align = fmt.Sprintf("__attribute__((aligned(%d))) ", g.spec.AlignmentBytes)
+	}
+	g.p("/* Accelerator buffers (%s is out-of-place). */", g.spec.Name)
+	g.p("%sfloat_complex __acc_in[__len];", align)
+	g.p("%sfloat_complex __acc_out[__len];", align)
+}
+
+// emitPreBinding converts user data into the accelerator's format.
+func (g *gen) emitPreBinding() {
+	in := g.ad.Cand.Input
+	g.p("/* Pre-binding: user representation -> accelerator format. */")
+	switch in.Layout {
+	case binding.LayoutC99:
+		g.p("for (int __i = 0; __i < __len; __i++) {")
+		g.p("    __acc_in[__i].re = (float)creal(%s[__i]);", in.Param)
+		g.p("    __acc_in[__i].im = (float)cimag(%s[__i]);", in.Param)
+		g.p("}")
+	case binding.LayoutStruct:
+		reF, imF := structFieldNames(in)
+		g.p("for (int __i = 0; __i < __len; __i++) {")
+		g.p("    __acc_in[__i].re = (float)%s[__i].%s;", in.Param, reF)
+		g.p("    __acc_in[__i].im = (float)%s[__i].%s;", in.Param, imF)
+		g.p("}")
+	case binding.LayoutSplit:
+		g.p("for (int __i = 0; __i < __len; __i++) {")
+		g.p("    __acc_in[__i].re = (float)%s[__i];", in.ReParam)
+		g.p("    __acc_in[__i].im = (float)%s[__i];", in.ImParam)
+		g.p("}")
+	}
+}
+
+// emitCall invokes the accelerator API.
+func (g *gen) emitCall() {
+	var args []string
+	for _, p := range g.spec.Params {
+		switch p.Role {
+		case accel.RoleInput:
+			args = append(args, "__acc_in")
+		case accel.RoleOutput:
+			args = append(args, "__acc_out")
+		case accel.RoleLength:
+			args = append(args, "__len")
+		case accel.RoleDirection:
+			args = append(args, g.directionExpr())
+		case accel.RoleFlags:
+			args = append(args, fmt.Sprintf("%d", g.ad.Cand.Flags[p.Name]))
+		}
+	}
+	g.p("/* Accelerator call. */")
+	g.p("%s(%s);", g.spec.CallName, strings.Join(args, ", "))
+}
+
+func (g *gen) directionExpr() string {
+	d := g.ad.Cand.Direction
+	if d == nil {
+		return "0"
+	}
+	if d.Param == "" {
+		return fmt.Sprintf("%d", d.Constant)
+	}
+	// Two-valued mapping rendered as a conditional.
+	var keys []int64
+	for k := range d.Map {
+		keys = append(keys, k)
+	}
+	if len(keys) == 2 {
+		lo, hi := keys[0], keys[1]
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return fmt.Sprintf("(%s == %d ? %d : %d)", d.Param, lo, d.Map[lo], d.Map[hi])
+	}
+	return fmt.Sprintf("%d", d.Constant)
+}
+
+// emitPostBehavior patches the accelerator output (denormalize, ...).
+func (g *gen) emitPostBehavior() {
+	if g.ad.Post.IsIdentity() {
+		return
+	}
+	g.p("/* Post-behavioral patch: %s. */", g.ad.Post)
+	for _, line := range g.ad.Post.CCode("__acc_out", "__len") {
+		g.p("%s", line)
+	}
+}
+
+// emitPostBinding writes the accelerator output back in the user's format.
+func (g *gen) emitPostBinding() {
+	out := g.ad.Cand.Output
+	g.p("/* Post-binding: accelerator format -> user representation. */")
+	switch out.Layout {
+	case binding.LayoutC99:
+		elem := "double complex"
+		if out.Elem != nil && out.Elem.Kind == minic.TComplexFloat {
+			elem = "float complex"
+		}
+		g.p("for (int __i = 0; __i < __len; __i++) {")
+		g.p("    %s[__i] = (%s)(__acc_out[__i].re + __acc_out[__i].im * I);", out.Param, elem)
+		g.p("}")
+	case binding.LayoutStruct:
+		reF, imF := structFieldNames(out)
+		g.p("for (int __i = 0; __i < __len; __i++) {")
+		g.p("    %s[__i].%s = __acc_out[__i].re;", out.Param, reF)
+		g.p("    %s[__i].%s = __acc_out[__i].im;", out.Param, imF)
+		g.p("}")
+	case binding.LayoutSplit:
+		g.p("for (int __i = 0; __i < __len; __i++) {")
+		g.p("    %s[__i] = __acc_out[__i].re;", out.ReParam)
+		g.p("    %s[__i] = __acc_out[__i].im;", out.ImParam)
+		g.p("}")
+	}
+}
+
+// structFieldNames resolves the user struct's field names for the bound
+// real/imaginary offsets.
+func structFieldNames(b binding.ArrayBinding) (re, im string) {
+	re, im = "re", "im"
+	if b.Elem != nil && b.Elem.Kind == minic.TStruct && len(b.Elem.Fields) == 2 {
+		re = b.Elem.Fields[b.ReOff].Name
+		im = b.Elem.Fields[b.ImOff].Name
+	}
+	return re, im
+}
+
+func paramDecl(prm *minic.VarDecl) string {
+	return declString(prm.Type, prm.Name)
+}
+
+func declString(t *minic.Type, name string) string {
+	switch t.Kind {
+	case minic.TPointer:
+		return declString(t.Elem, "*"+name)
+	case minic.TArray:
+		return declString(t.Elem, name+"[]")
+	default:
+		return typeName(t) + " " + name
+	}
+}
+
+func typeName(t *minic.Type) string {
+	switch t.Kind {
+	case minic.TStruct:
+		if t.StructName != "" {
+			if t.FromTypedef {
+				return t.StructName
+			}
+			return "struct " + t.StructName
+		}
+		return "struct {}"
+	case minic.TComplexFloat:
+		return "float complex"
+	case minic.TComplexDouble:
+		return "double complex"
+	default:
+		return t.String()
+	}
+}

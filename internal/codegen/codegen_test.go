@@ -1,0 +1,154 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"facc/internal/accel"
+	"facc/internal/analysis"
+	"facc/internal/minic"
+	"facc/internal/synth"
+)
+
+// userSrc is an in-place DFT that supports any length, so a profile mixing
+// power-of-two and awkward sizes is realistic and the hardware targets need
+// their full range checks.
+const userSrc = `
+#include <math.h>
+typedef struct { double re; double im; } cpx;
+void fft(cpx* x, int n) {
+    cpx out[n];
+    for (int k = 0; k < n; k++) {
+        double sre = 0.0;
+        double sim = 0.0;
+        for (int j = 0; j < n; j++) {
+            double a = -2.0 * M_PI * (double)j * (double)k / (double)n;
+            sre += x[j].re * cos(a) - x[j].im * sin(a);
+            sim += x[j].re * sin(a) + x[j].im * cos(a);
+        }
+        out[k].re = sre;
+        out[k].im = sim;
+    }
+    for (int k = 0; k < n; k++) x[k] = out[k];
+}`
+
+func makeAdapter(t *testing.T, spec *accel.Spec) (*synth.Adapter, *minic.FuncDecl) {
+	t.Helper()
+	f, err := minic.ParseAndCheck("t.c", userSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := f.Func("fft")
+	// The value-profiling environment: the application passes a mix of
+	// lengths, some outside each accelerator's domain — so the emitted
+	// adapter needs the full range check, and fuzzing sticks to the
+	// supported subset.
+	prof := analysis.NewProfile()
+	for _, v := range []int64{32, 64, 100, 128, 70000} {
+		prof.ObserveInt("n", v)
+	}
+	res, err := synth.Synthesize(f, fn, spec, prof, synth.Options{NumTests: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Adapter == nil {
+		t.Fatalf("no adapter: %s", res.FailReason)
+	}
+	return res.Adapter, fn
+}
+
+func TestEmitFFTAAdapter(t *testing.T) {
+	ad, fn := makeAdapter(t, accel.NewFFTA())
+	src := Emit(ad, fn)
+	wants := []string{
+		"void fft_accel(cpx *x, int n)",
+		"is_power_of_two(n)",
+		"n >= 64",
+		"n <= 65536",
+		"__attribute__((aligned(64))) float_complex __acc_in[__len];",
+		"__acc_in[__i].re = (float)x[__i].re;",
+		"accel_cfft(__acc_in, __acc_out, __len);",
+		"__acc_out[__k].re *= (float)__len;", // denormalize the FFTA
+		"x[__i].re = __acc_out[__i].re;",
+		"fft(x, n);", // fallback
+	}
+	for _, w := range wants {
+		if !strings.Contains(src, w) {
+			t.Errorf("emitted adapter missing %q\n%s", w, src)
+		}
+	}
+}
+
+func TestEmitPowerQuadIdentityPost(t *testing.T) {
+	ad, fn := makeAdapter(t, accel.NewPowerQuad())
+	src := Emit(ad, fn)
+	if strings.Contains(src, "Post-behavioral") {
+		t.Errorf("PowerQuad adapter should need no post-behavior:\n%s", src)
+	}
+	if !strings.Contains(src, "pq_cfft(__acc_in, __acc_out, __len);") {
+		t.Errorf("missing PowerQuad call:\n%s", src)
+	}
+	if strings.Contains(src, "aligned") {
+		t.Error("PowerQuad has no alignment requirement")
+	}
+}
+
+func TestEmitFFTWDirectionAndFlags(t *testing.T) {
+	ad, fn := makeAdapter(t, accel.NewFFTWLib())
+	src := Emit(ad, fn)
+	if !strings.Contains(src, "fftw_call(__acc_in, __acc_out, __len, -1, ") {
+		t.Errorf("FFTW call should pass specialized forward direction:\n%s", src)
+	}
+}
+
+func TestPreludeCompilesUnderMiniC(t *testing.T) {
+	// The prelude must itself be valid MiniC (minus the GCC attribute).
+	src := Prelude()
+	if _, err := minic.ParseAndCheck("prelude.c", src); err != nil {
+		t.Fatalf("prelude does not parse: %v", err)
+	}
+}
+
+func TestEmitReturnConstant(t *testing.T) {
+	src := `
+#include <math.h>
+typedef struct { double re; double im; } cpx;
+int fft(cpx* x, int n) {
+    cpx out[n];
+    for (int k = 0; k < n; k++) {
+        double sre = 0.0;
+        double sim = 0.0;
+        for (int j = 0; j < n; j++) {
+            double a = -2.0 * M_PI * (double)j * (double)k / (double)n;
+            sre += x[j].re * cos(a) - x[j].im * sin(a);
+            sim += x[j].re * sin(a) + x[j].im * cos(a);
+        }
+        out[k].re = sre;
+        out[k].im = sim;
+    }
+    for (int k = 0; k < n; k++) x[k] = out[k];
+    return 0;
+}`
+	f, err := minic.ParseAndCheck("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := analysis.NewProfile()
+	prof.ObserveInt("n", 16)
+	prof.ObserveInt("n", 32)
+	res, err := synth.Synthesize(f, f.Func("fft"), accel.NewPowerQuad(), prof,
+		synth.Options{NumTests: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Adapter == nil {
+		t.Fatalf("no adapter: %s", res.FailReason)
+	}
+	out := Emit(res.Adapter, f.Func("fft"))
+	if !strings.Contains(out, "return 0;") {
+		t.Errorf("missing learned constant return:\n%s", out)
+	}
+	if !strings.Contains(out, "return fft(x, n);") {
+		t.Errorf("fallback must forward the return value:\n%s", out)
+	}
+}

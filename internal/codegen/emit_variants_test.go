@@ -1,0 +1,143 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"facc/internal/accel"
+	"facc/internal/analysis"
+	"facc/internal/minic"
+	"facc/internal/synth"
+)
+
+func synthAdapter(t *testing.T, src, fn string, spec *accel.Spec,
+	profile map[string][]int64) (*synth.Adapter, *minic.FuncDecl) {
+	t.Helper()
+	f, err := minic.ParseAndCheck("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := analysis.NewProfile()
+	for name, vals := range profile {
+		for _, v := range vals {
+			prof.ObserveInt(name, v)
+		}
+	}
+	res, err := synth.Synthesize(f, f.Func(fn), spec, prof, synth.Options{NumTests: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Adapter == nil {
+		t.Fatalf("no adapter: %s", res.FailReason)
+	}
+	return res.Adapter, f.Func(fn)
+}
+
+func TestEmitSplitArrayAdapter(t *testing.T) {
+	src := `
+#include <math.h>
+void fft_sp(double* re, double* im, int n) {
+    double ore[n];
+    double oim[n];
+    for (int k = 0; k < n; k++) {
+        double sre = 0.0;
+        double sim = 0.0;
+        for (int j = 0; j < n; j++) {
+            double a = -2.0 * M_PI * (double)j * (double)k / (double)n;
+            sre += re[j] * cos(a) - im[j] * sin(a);
+            sim += re[j] * sin(a) + im[j] * cos(a);
+        }
+        ore[k] = sre;
+        oim[k] = sim;
+    }
+    for (int k = 0; k < n; k++) {
+        re[k] = ore[k];
+        im[k] = oim[k];
+    }
+}`
+	ad, fn := synthAdapter(t, src, "fft_sp", accel.NewPowerQuad(),
+		map[string][]int64{"n": {16, 32}})
+	out := Emit(ad, fn)
+	for _, w := range []string{
+		"void fft_sp_accel(double *re, double *im, int n)",
+		"__acc_in[__i].re = (float)re[__i];",
+		"__acc_in[__i].im = (float)im[__i];",
+		"re[__i] = __acc_out[__i].re;",
+		"im[__i] = __acc_out[__i].im;",
+	} {
+		if !strings.Contains(out, w) {
+			t.Errorf("split adapter missing %q:\n%s", w, out)
+		}
+	}
+}
+
+func TestEmitExp2LengthAdapter(t *testing.T) {
+	src := `
+#include <math.h>
+typedef struct { double re; double im; } cpx;
+void fft_log(cpx* x, int logn) {
+    int n = 1 << logn;
+    cpx out[n];
+    for (int k = 0; k < n; k++) {
+        double sre = 0.0;
+        double sim = 0.0;
+        for (int j = 0; j < n; j++) {
+            double a = -2.0 * M_PI * (double)j * (double)k / (double)n;
+            sre += x[j].re * cos(a) - x[j].im * sin(a);
+            sim += x[j].re * sin(a) + x[j].im * cos(a);
+        }
+        out[k].re = sre;
+        out[k].im = sim;
+    }
+    for (int k = 0; k < n; k++) x[k] = out[k];
+}`
+	ad, fn := synthAdapter(t, src, "fft_log", accel.NewPowerQuad(),
+		map[string][]int64{"logn": {4, 5}})
+	out := Emit(ad, fn)
+	if !strings.Contains(out, "int __len = (1 << logn);") {
+		t.Errorf("2^n length conversion not emitted:\n%s", out)
+	}
+	// The profile (4..5 → 16..32) stays inside the PowerQuad domain and
+	// 1<<k is a power of two by construction, so the minimal check can
+	// drop everything.
+	if strings.Contains(out, "is_power_of_two") {
+		t.Errorf("redundant pow2 check for 1<<logn:\n%s", out)
+	}
+}
+
+func TestEmitC99Adapter(t *testing.T) {
+	src := `
+#include <math.h>
+#include <complex.h>
+void fft_c(double complex* in, double complex* out, int n) {
+    for (int k = 0; k < n; k++) {
+        double complex sum = 0.0;
+        for (int j = 0; j < n; j++) {
+            sum += in[j] * cexp(-2.0 * M_PI * I * (double)j * (double)k / (double)n);
+        }
+        out[k] = sum;
+    }
+}`
+	ad, fn := synthAdapter(t, src, "fft_c", accel.NewPowerQuad(),
+		map[string][]int64{"n": {16, 32}})
+	out := Emit(ad, fn)
+	for _, w := range []string{
+		"__acc_in[__i].re = (float)creal(in[__i]);",
+		"__acc_in[__i].im = (float)cimag(in[__i]);",
+		"out[__i] = (double complex)(__acc_out[__i].re + __acc_out[__i].im * I);",
+	} {
+		if !strings.Contains(out, w) {
+			t.Errorf("c99 adapter missing %q:\n%s", w, out)
+		}
+	}
+}
+
+func TestExternPrototypes(t *testing.T) {
+	if got := Extern(accel.NewFFTA()); got !=
+		"void accel_cfft(float_complex *input, float_complex *output, int len);\n" {
+		t.Errorf("FFTA extern = %q", got)
+	}
+	if got := Extern(accel.NewFFTWLib()); !strings.Contains(got, "int direction, int flags") {
+		t.Errorf("FFTW extern = %q", got)
+	}
+}

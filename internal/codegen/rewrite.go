@@ -1,0 +1,111 @@
+package codegen
+
+import (
+	"facc/internal/minic"
+)
+
+// RewriteCalls renames every call to oldName (outside oldName itself and
+// outside the adapter) to newName, in place — the paper's final step:
+// "user code is now replaced with a call to the adapter" (Fig. 1). The
+// original function stays defined because the adapter's range-check
+// fallback still calls it. Returns the number of call sites rewritten.
+func RewriteCalls(f *minic.File, oldName, newName string) int {
+	n := 0
+	for _, fn := range f.Funcs {
+		if fn.Body == nil || fn.Name == oldName || fn.Name == newName {
+			continue
+		}
+		n += rewriteStmt(fn.Body, oldName, newName)
+	}
+	return n
+}
+
+func rewriteStmt(s minic.Stmt, oldName, newName string) int {
+	n := 0
+	switch st := s.(type) {
+	case nil:
+	case *minic.ExprStmt:
+		n += rewriteExpr(st.X, oldName, newName)
+	case *minic.DeclStmt:
+		for _, d := range st.Decls {
+			n += rewriteExpr(d.Init, oldName, newName)
+			if d.Type != nil {
+				n += rewriteExpr(d.Type.ArrayLenExpr, oldName, newName)
+			}
+		}
+	case *minic.BlockStmt:
+		for _, sub := range st.List {
+			n += rewriteStmt(sub, oldName, newName)
+		}
+	case *minic.IfStmt:
+		n += rewriteExpr(st.Cond, oldName, newName)
+		n += rewriteStmt(st.Then, oldName, newName)
+		n += rewriteStmt(st.Else, oldName, newName)
+	case *minic.ForStmt:
+		n += rewriteStmt(st.Init, oldName, newName)
+		n += rewriteExpr(st.Cond, oldName, newName)
+		n += rewriteExpr(st.Post, oldName, newName)
+		n += rewriteStmt(st.Body, oldName, newName)
+	case *minic.WhileStmt:
+		n += rewriteExpr(st.Cond, oldName, newName)
+		n += rewriteStmt(st.Body, oldName, newName)
+	case *minic.SwitchStmt:
+		n += rewriteExpr(st.Tag, oldName, newName)
+		for _, cc := range st.Cases {
+			n += rewriteExpr(cc.Value, oldName, newName)
+			for _, sub := range cc.Body {
+				n += rewriteStmt(sub, oldName, newName)
+			}
+		}
+	case *minic.ReturnStmt:
+		n += rewriteExpr(st.Value, oldName, newName)
+	}
+	return n
+}
+
+func rewriteExpr(e minic.Expr, oldName, newName string) int {
+	n := 0
+	switch x := e.(type) {
+	case nil:
+	case *minic.CallExpr:
+		if id, ok := x.Fun.(*minic.IdentExpr); ok && x.Builtin == "" &&
+			id.Func != nil && id.Func.Name == oldName {
+			id.Name = newName
+			id.Func = nil // resolution refreshes on the next Check
+			n++
+		}
+		n += rewriteExpr(x.Fun, oldName, newName)
+		for _, a := range x.Args {
+			n += rewriteExpr(a, oldName, newName)
+		}
+	case *minic.UnaryExpr:
+		n += rewriteExpr(x.X, oldName, newName)
+	case *minic.BinaryExpr:
+		n += rewriteExpr(x.L, oldName, newName)
+		n += rewriteExpr(x.R, oldName, newName)
+	case *minic.AssignExpr:
+		n += rewriteExpr(x.L, oldName, newName)
+		n += rewriteExpr(x.R, oldName, newName)
+	case *minic.CondExpr:
+		n += rewriteExpr(x.Cond, oldName, newName)
+		n += rewriteExpr(x.Then, oldName, newName)
+		n += rewriteExpr(x.Else, oldName, newName)
+	case *minic.IndexExpr:
+		n += rewriteExpr(x.X, oldName, newName)
+		n += rewriteExpr(x.Index, oldName, newName)
+	case *minic.MemberExpr:
+		n += rewriteExpr(x.X, oldName, newName)
+	case *minic.CastExpr:
+		n += rewriteExpr(x.X, oldName, newName)
+	case *minic.CommaExpr:
+		n += rewriteExpr(x.L, oldName, newName)
+		n += rewriteExpr(x.R, oldName, newName)
+	case *minic.SizeofExpr:
+		n += rewriteExpr(x.X, oldName, newName)
+	case *minic.InitListExpr:
+		for _, it := range x.Items {
+			n += rewriteExpr(it, oldName, newName)
+		}
+	}
+	return n
+}

@@ -1,0 +1,269 @@
+// Package core orchestrates the FACC pipeline (paper Fig. 4): candidate
+// detection with the neural classifier, value profiling, binding/range/
+// behavioral synthesis, generate-and-test IO fuzzing, and C adapter
+// emission. The root facc package re-exports this as the public API.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"facc/internal/accel"
+	"facc/internal/analysis"
+	"facc/internal/codegen"
+	"facc/internal/gnn"
+	"facc/internal/minic"
+	"facc/internal/ojclone"
+	"facc/internal/progml"
+	"facc/internal/synth"
+)
+
+// Classifier wraps the trained GCN used for candidate detection. A nil
+// Classifier makes the pipeline consider every function (pure
+// generate-and-test, no search-space pruning).
+type Classifier struct {
+	Model    *gnn.GCN
+	FFTClass int
+	TopK     int // paper default: 3
+}
+
+// TrainClassifier builds the OJClone-style dataset and trains the
+// ProGraML-based classifier with the paper's protocol.
+func TrainClassifier(perClass int, seed int64) (*Classifier, error) {
+	ds, err := ojclone.Build(perClass, seed)
+	if err != nil {
+		return nil, err
+	}
+	model := gnn.Fit(ds.Graphs, ds.NumClasses(), gnn.TrainConfig{Seed: seed})
+	return &Classifier{Model: model, FFTClass: ds.FFTClass, TopK: 3}, nil
+}
+
+// CandidateFunctions returns the functions of f the classifier labels FFT
+// within its top-k, most-confident first. Helper functions reachable only
+// as callees of another candidate are filtered (the region rooted at the
+// caller subsumes them).
+func (c *Classifier) CandidateFunctions(f *minic.File) []string {
+	type scored struct {
+		name string
+		p    float64
+	}
+	var out []scored
+	for _, fn := range f.Funcs {
+		if fn.Body == nil {
+			continue
+		}
+		g := progml.BuildRegionGraph(f, fn)
+		probs := c.Model.Predict(g)
+		top := c.Model.TopK(g, c.TopK)
+		for _, cls := range top {
+			if cls == c.FFTClass {
+				out = append(out, scored{fn.Name, probs[c.FFTClass]})
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].p != out[j].p {
+			return out[i].p > out[j].p
+		}
+		return out[i].name < out[j].name
+	})
+	names := make([]string, len(out))
+	for i, s := range out {
+		names[i] = s.name
+	}
+	return names
+}
+
+// Options configures a compilation.
+type Options struct {
+	// Entry pins the function to compile; empty means "use the
+	// classifier" (or all functions when no classifier is set).
+	Entry string
+	// ProfileValues is the value-profiling environment: observed values
+	// per scalar parameter name.
+	ProfileValues map[string][]int64
+	// Synth forwards engine options (test count, tolerance, ablations).
+	Synth synth.Options
+	// Classifier used for candidate detection (may be nil).
+	Classifier *Classifier
+	// AllRegions compiles every candidate region instead of stopping at
+	// the first success (Fig. 1 replaces each detected FFT).
+	AllRegions bool
+}
+
+// FunctionResult is the outcome for one candidate region.
+type FunctionResult struct {
+	Function string
+	Result   *synth.Result
+	AdapterC string // non-empty on success
+	Elapsed  time.Duration
+}
+
+// Compilation is the outcome of compiling one translation unit to one
+// target.
+type Compilation struct {
+	Target    *accel.Spec
+	File      *minic.File
+	Functions []*FunctionResult
+	Elapsed   time.Duration
+}
+
+// Success returns the first successful function result, or nil.
+func (c *Compilation) Success() *FunctionResult {
+	for _, fr := range c.Functions {
+		if fr.AdapterC != "" {
+			return fr
+		}
+	}
+	return nil
+}
+
+// FailReason summarizes why nothing compiled (Fig. 8 categories), or ""
+// on success.
+func (c *Compilation) FailReason() string {
+	if c.Success() != nil {
+		return ""
+	}
+	if len(c.Functions) == 0 {
+		return "no-candidate-region"
+	}
+	// Report the most specific reason among candidates: printf/void*/
+	// nested-memory beat generic interface incompatibility.
+	reason := ""
+	for _, fr := range c.Functions {
+		r := fr.Result.FailReason
+		switch r {
+		case "printf", "void-pointer", "nested-memory":
+			return r
+		case "":
+		default:
+			if reason == "" {
+				reason = r
+			}
+		}
+	}
+	if reason == "" {
+		reason = "interface-incompatibility"
+	}
+	return reason
+}
+
+// BuildProfile converts an observed-values table into a Profile.
+func BuildProfile(values map[string][]int64) *analysis.Profile {
+	if values == nil {
+		return nil
+	}
+	p := analysis.NewProfile()
+	for name, vals := range values {
+		for _, v := range vals {
+			p.ObserveInt(name, v)
+		}
+	}
+	return p
+}
+
+// CompileSource parses, checks and compiles MiniC source against a target.
+func CompileSource(name, src string, spec *accel.Spec, opts Options) (*Compilation, error) {
+	f, err := minic.ParseAndCheck(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileFile(f, spec, opts)
+}
+
+// CompileFile runs the pipeline on a checked file.
+func CompileFile(f *minic.File, spec *accel.Spec, opts Options) (*Compilation, error) {
+	start := time.Now()
+	comp := &Compilation{Target: spec, File: f}
+
+	var candidates []string
+	switch {
+	case opts.Entry != "":
+		candidates = []string{opts.Entry}
+	case opts.Classifier != nil:
+		candidates = opts.Classifier.CandidateFunctions(f)
+	default:
+		for _, fn := range f.Funcs {
+			if fn.Body != nil {
+				candidates = append(candidates, fn.Name)
+			}
+		}
+	}
+
+	profile := BuildProfile(opts.ProfileValues)
+	for _, name := range candidates {
+		fn := f.Func(name)
+		if fn == nil {
+			return nil, fmt.Errorf("core: no function %q", name)
+		}
+		t0 := time.Now()
+		res, err := synth.Synthesize(f, fn, spec, profile, opts.Synth)
+		if err != nil {
+			return nil, err
+		}
+		fr := &FunctionResult{Function: name, Result: res, Elapsed: time.Since(t0)}
+		if res.Adapter != nil {
+			fr.AdapterC = codegen.Prelude() + codegen.Extern(spec) + "\n" +
+				codegen.Emit(res.Adapter, fn)
+		}
+		comp.Functions = append(comp.Functions, fr)
+		if fr.AdapterC != "" && !opts.AllRegions {
+			break // drop-in replacement found; stop at the best candidate
+		}
+	}
+	comp.Elapsed = time.Since(start)
+	return comp, nil
+}
+
+// IntegratedUnit renders the whole application with acceleration woven in
+// (paper Fig. 1): call sites of each replaced function are rewritten to
+// its adapter, the originals stay (the fallback path needs them), and the
+// adapters are appended. The result is a complete C translation unit.
+func (c *Compilation) IntegratedUnit() (string, error) {
+	successes := c.Successes()
+	if len(successes) == 0 {
+		return "", fmt.Errorf("core: nothing compiled; no unit to integrate")
+	}
+	// Re-parse for a private AST to mutate.
+	f, err := minic.Parse(c.File.Name, minic.PrintFile(c.File))
+	if err != nil {
+		return "", fmt.Errorf("core: reprint: %w", err)
+	}
+	if err := minic.Check(f); err != nil {
+		return "", fmt.Errorf("core: recheck: %w", err)
+	}
+	var adapters strings.Builder
+	for _, s := range successes {
+		codegen.RewriteCalls(f, s.Function, s.Function+"_accel")
+		body := s.AdapterC
+		// Strip the shared prelude from all but the first adapter.
+		if adapters.Len() > 0 {
+			if idx := strings.Index(body, "/* Drop-in replacement"); idx >= 0 {
+				body = body[idx:]
+			}
+		}
+		adapters.WriteString(body)
+		adapters.WriteString("\n")
+	}
+	unit := minic.PrintFile(f) + "\n" + adapters.String()
+	// The integrated unit must still be valid (prototypes for adapters
+	// appear after their call sites, which MiniC resolves file-wide).
+	if _, err := minic.ParseAndCheck(c.File.Name+".integrated", unit); err != nil {
+		return "", fmt.Errorf("core: integrated unit invalid: %w", err)
+	}
+	return unit, nil
+}
+
+// Successes returns every function that compiled (AllRegions mode).
+func (c *Compilation) Successes() []*FunctionResult {
+	var out []*FunctionResult
+	for _, fr := range c.Functions {
+		if fr.AdapterC != "" {
+			out = append(out, fr)
+		}
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+// Package eval regenerates every table and figure of the paper's
+// evaluation (Table 1, Figures 8-16). Each experiment prints the same
+// rows/series the paper reports; EXPERIMENTS.md records paper-reported vs.
+// measured values. Performance numbers come from the modeled platforms in
+// internal/accel — absolute times are synthetic, ratios are the result.
+package eval
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"facc/internal/accel"
+	"facc/internal/bench"
+	"facc/internal/interp"
+)
+
+// Measurement is one (benchmark, size) software execution profile.
+type Measurement struct {
+	Bench    *bench.Benchmark
+	N        int
+	Counters interp.Counters
+}
+
+// SoftwareTime returns the modeled time of the original software on a host.
+func (m *Measurement) SoftwareTime(p accel.Platform) float64 {
+	return p.Time(m.Counters)
+}
+
+// AccelTime returns the modeled time of the FACC adapter on a target.
+func AccelTime(spec *accel.Spec, n int) float64 { return spec.Time(n) }
+
+// Speedup returns software-on-host / adapter-on-target.
+func Speedup(m *Measurement, spec *accel.Spec) float64 {
+	return m.SoftwareTime(accel.HostFor(spec.Name)) / AccelTime(spec, m.N)
+}
+
+// DSPSpeedup returns the ProGraML-classifier baseline: the same software
+// moved to the SHARC DSP core, compared against the Cortex-A5 host.
+func DSPSpeedup(m *Measurement) float64 {
+	return m.SoftwareTime(accel.CortexA5) / accel.DSPOffloadTime(m.Counters)
+}
+
+// Profiler measures and caches benchmark executions.
+type Profiler struct {
+	runners map[int]*bench.Runner
+	cache   map[[2]int]*Measurement
+	rng     *rand.Rand
+}
+
+// NewProfiler returns an empty measurement cache.
+func NewProfiler() *Profiler {
+	return &Profiler{
+		runners: map[int]*bench.Runner{},
+		cache:   map[[2]int]*Measurement{},
+		rng:     rand.New(rand.NewSource(20260705)),
+	}
+}
+
+// Supports reports whether benchmark b can run at size n (per its
+// documented length domain).
+func Supports(b *bench.Benchmark, n int) bool { return b.SupportsSize(n) }
+
+// Measure runs benchmark b at size n (cached).
+func (p *Profiler) Measure(b *bench.Benchmark, n int) (*Measurement, error) {
+	key := [2]int{b.ID, n}
+	if m, ok := p.cache[key]; ok {
+		return m, nil
+	}
+	if !Supports(b, n) {
+		return nil, fmt.Errorf("eval: %s does not support n=%d", b.Name, n)
+	}
+	r, ok := p.runners[b.ID]
+	if !ok {
+		var err error
+		r, err = bench.NewRunner(b)
+		if err != nil {
+			return nil, err
+		}
+		p.runners[b.ID] = r
+	}
+	in := make([]complex128, n)
+	for i := range in {
+		in[i] = complex(p.rng.NormFloat64(), p.rng.NormFloat64())
+	}
+	c, err := r.MeasureCounters(in)
+	if err != nil {
+		return nil, err
+	}
+	m := &Measurement{Bench: b, N: n, Counters: c}
+	p.cache[key] = m
+	return m, nil
+}
+
+// GeoMean computes the geometric mean of positive values.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}

@@ -1,0 +1,62 @@
+package fft
+
+import "fmt"
+
+// Half-complex ("packed") real-transform support, matching the layout
+// FFTW's r2hc transforms and the corpus's project20 use: for a length-n
+// real input, the packed buffer holds
+//
+//	r0, r1, ..., r_{n/2}, i_{ceil(n/2)-1}, ..., i_1
+//
+// exploiting the conjugate symmetry X[n-k] = conj(X[k]) of real-input
+// spectra.
+
+// PackHalfComplex converts a full complex spectrum of a real signal into
+// the packed representation. The spectrum must be conjugate-symmetric.
+func PackHalfComplex(spec []complex128) []float64 {
+	n := len(spec)
+	out := make([]float64, n)
+	for k := 0; k <= n/2; k++ {
+		out[k] = real(spec[k])
+	}
+	for k := 1; k < n-n/2; k++ {
+		out[n-k] = imag(spec[k])
+	}
+	return out
+}
+
+// UnpackHalfComplex reconstructs the full complex spectrum from the packed
+// representation.
+func UnpackHalfComplex(packed []float64) []complex128 {
+	n := len(packed)
+	out := make([]complex128, n)
+	if n == 0 {
+		return out
+	}
+	out[0] = complex(packed[0], 0)
+	for k := 1; k < n-n/2; k++ {
+		re := packed[k]
+		im := packed[n-k]
+		out[k] = complex(re, im)
+		out[n-k] = complex(re, -im)
+	}
+	if n%2 == 0 {
+		out[n/2] = complex(packed[n/2], 0)
+	}
+	return out
+}
+
+// RFFTPacked computes the half-complex packed spectrum of a real signal.
+func RFFTPacked(in []float64) []float64 {
+	return PackHalfComplex(RFFT(in))
+}
+
+// IRFFTPacked inverts RFFTPacked (normalized).
+func IRFFTPacked(packed []float64) ([]float64, error) {
+	spec := UnpackHalfComplex(packed)
+	out := IRFFT(spec)
+	if len(out) != len(packed) {
+		return nil, fmt.Errorf("fft: packed inverse length mismatch")
+	}
+	return out, nil
+}

@@ -1,0 +1,115 @@
+package fft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"facc/internal/interp"
+	"facc/internal/minic"
+)
+
+func TestHalfComplexRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, n := range []int{1, 2, 3, 8, 9, 16, 17, 64} {
+		in := make([]float64, n)
+		for i := range in {
+			in[i] = rng.NormFloat64()
+		}
+		packed := RFFTPacked(in)
+		if len(packed) != n {
+			t.Fatalf("n=%d: packed length %d", n, len(packed))
+		}
+		back, err := IRFFTPacked(packed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range in {
+			if math.Abs(back[i]-in[i]) > 1e-9*(1+math.Abs(in[i])) {
+				t.Fatalf("n=%d: roundtrip diverges at %d: %g vs %g", n, i, back[i], in[i])
+			}
+		}
+	}
+}
+
+func TestPackUnpackInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	n := 16
+	in := make([]float64, n)
+	for i := range in {
+		in[i] = rng.NormFloat64()
+	}
+	spec := RFFT(in)
+	packed := PackHalfComplex(spec)
+	unpacked := UnpackHalfComplex(packed)
+	if e := MaxError(unpacked, spec); e > 1e-12 {
+		t.Errorf("unpack(pack(spec)) error %g", e)
+	}
+}
+
+// TestPackedMatchesCorpusProject20: our library's packed layout must be
+// byte-for-byte the layout the corpus's real-FFT program produces — the
+// same convention, independently implemented.
+func TestPackedMatchesCorpusProject20(t *testing.T) {
+	src := `
+#include <math.h>
+#include <stdlib.h>
+void rfft(double* x, int n) {
+    double* re = (double*)malloc(n * sizeof(double));
+    double* im = (double*)malloc(n * sizeof(double));
+    for (int k = 0; k < n; k++) {
+        double sre = 0.0;
+        double sim = 0.0;
+        for (int j = 0; j < n; j++) {
+            double ang = -2.0 * M_PI * (double)j * (double)k / (double)n;
+            sre += x[j] * cos(ang);
+            sim += x[j] * sin(ang);
+        }
+        re[k] = sre;
+        im[k] = sim;
+    }
+    for (int k = 0; k <= n / 2; k++) {
+        x[k] = re[k];
+    }
+    for (int k = 1; k < n - n / 2; k++) {
+        x[n - k] = im[k];
+    }
+    free(re);
+    free(im);
+}`
+	f, err := minic.ParseAndCheck("p20like.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := interp.NewMachine(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	for _, n := range []int{8, 9, 16} {
+		in := make([]float64, n)
+		for i := range in {
+			in[i] = rng.NormFloat64()
+		}
+		arr, err := m.NewArray("x", minic.Double, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.SetFloatArray(arr, in); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.CallNamed("rfft", []interp.Value{arr, interp.IntValue(int64(n))}); err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.GetFloatArray(arr, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := RFFTPacked(in)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-8*(1+math.Abs(want[i])) {
+				t.Fatalf("n=%d: packed layout diverges at %d: %g vs %g", n, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package gnn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Graph is one classified sample: node features plus normalized adjacency.
+type Graph struct {
+	X     *Mat // N x F node features
+	Adj   *Adj
+	Label int
+}
+
+// GCN is the two-layer graph convolutional classifier:
+//
+//	H1 = ReLU(Â X W0)
+//	H2 = ReLU(Â H1 W1)
+//	g  = maxpool_nodes(H2)
+//	y  = softmax(g W2 + b)
+type GCN struct {
+	W0, W1, W2 *Mat
+	B          []float64
+	InDim      int
+	Hidden     int
+	Classes    int
+}
+
+// NewGCN builds a model with Glorot-initialized weights.
+func NewGCN(inDim, hidden, classes int, rng *rand.Rand) *GCN {
+	m := &GCN{
+		W0:      NewMat(inDim, hidden),
+		W1:      NewMat(hidden, hidden),
+		W2:      NewMat(hidden, classes),
+		B:       make([]float64, classes),
+		InDim:   inDim,
+		Hidden:  hidden,
+		Classes: classes,
+	}
+	GlorotInit(m.W0, rng)
+	GlorotInit(m.W1, rng)
+	GlorotInit(m.W2, rng)
+	return m
+}
+
+// forwardState keeps intermediates for backprop.
+type forwardState struct {
+	ax     *Mat // Â X
+	h1     *Mat
+	mask1  []bool
+	ah1    *Mat // Â H1
+	h2     *Mat
+	mask2  []bool
+	pooled []float64
+	argmax []int // per hidden dim, which node won the max-pool
+	logits []float64
+}
+
+func (m *GCN) forward(g *Graph) *forwardState {
+	st := &forwardState{}
+	st.ax = g.Adj.Apply(g.X)
+	st.h1 = MatMul(st.ax, m.W0)
+	st.mask1 = ReLU(st.h1)
+	st.ah1 = g.Adj.Apply(st.h1)
+	st.h2 = MatMul(st.ah1, m.W1)
+	st.mask2 = ReLU(st.h2)
+
+	st.pooled = make([]float64, m.Hidden)
+	st.argmax = make([]int, m.Hidden)
+	for j := 0; j < m.Hidden; j++ {
+		best := math.Inf(-1)
+		bestI := 0
+		for i := 0; i < st.h2.R; i++ {
+			if v := st.h2.At(i, j); v > best {
+				best = v
+				bestI = i
+			}
+		}
+		st.pooled[j] = best
+		st.argmax[j] = bestI
+	}
+	st.logits = make([]float64, m.Classes)
+	for c := 0; c < m.Classes; c++ {
+		s := m.B[c]
+		for j := 0; j < m.Hidden; j++ {
+			s += st.pooled[j] * m.W2.At(j, c)
+		}
+		st.logits[c] = s
+	}
+	return st
+}
+
+// Predict returns class probabilities for a graph.
+func (m *GCN) Predict(g *Graph) []float64 {
+	return Softmax(m.forward(g).logits)
+}
+
+// PredictClass returns the argmax class.
+func (m *GCN) PredictClass(g *Graph) int {
+	p := m.Predict(g)
+	best, bestC := math.Inf(-1), 0
+	for c, v := range p {
+		if v > best {
+			best, bestC = v, c
+		}
+	}
+	return bestC
+}
+
+// TopK returns the k most probable classes in descending order.
+func (m *GCN) TopK(g *Graph, k int) []int {
+	p := m.Predict(g)
+	idx := make([]int, len(p))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Partial selection sort — k is tiny.
+	for i := 0; i < k && i < len(idx); i++ {
+		for j := i + 1; j < len(idx); j++ {
+			if p[idx[j]] > p[idx[i]] {
+				idx[i], idx[j] = idx[j], idx[i]
+			}
+		}
+	}
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}
+
+// grads mirrors the parameter shapes.
+type grads struct {
+	w0, w1, w2 *Mat
+	b          []float64
+}
+
+func (m *GCN) newGrads() *grads {
+	return &grads{
+		w0: NewMat(m.W0.R, m.W0.C),
+		w1: NewMat(m.W1.R, m.W1.C),
+		w2: NewMat(m.W2.R, m.W2.C),
+		b:  make([]float64, m.Classes),
+	}
+}
+
+// backward accumulates gradients of the cross-entropy loss for one graph
+// into gs and returns the loss value.
+func (m *GCN) backward(g *Graph, gs *grads) float64 {
+	st := m.forward(g)
+	probs := Softmax(st.logits)
+	loss := -math.Log(math.Max(probs[g.Label], 1e-12))
+
+	// dlogits = probs - onehot(y)
+	dlogits := make([]float64, m.Classes)
+	copy(dlogits, probs)
+	dlogits[g.Label] -= 1
+
+	// W2 / b and pooled gradient.
+	dpooled := make([]float64, m.Hidden)
+	for c := 0; c < m.Classes; c++ {
+		gs.b[c] += dlogits[c]
+		for j := 0; j < m.Hidden; j++ {
+			gs.w2.Add(j, c, st.pooled[j]*dlogits[c])
+			dpooled[j] += m.W2.At(j, c) * dlogits[c]
+		}
+	}
+
+	// Max-pool backward: gradient flows to the winning node only.
+	dh2 := NewMat(st.h2.R, st.h2.C)
+	for j := 0; j < m.Hidden; j++ {
+		dh2.Set(st.argmax[j], j, dpooled[j])
+	}
+	// ReLU backward.
+	for i, on := range st.mask2 {
+		if !on {
+			dh2.A[i] = 0
+		}
+	}
+	// H2 = (Â H1) W1.
+	dW1 := MatMulT1(st.ah1, dh2)
+	for i := range dW1.A {
+		gs.w1.A[i] += dW1.A[i]
+	}
+	dah1 := MatMulT2(dh2, m.W1)
+	// Â is symmetric, so d(H1) = Â dah1.
+	dh1 := g.Adj.Apply(dah1)
+	for i, on := range st.mask1 {
+		if !on {
+			dh1.A[i] = 0
+		}
+	}
+	dW0 := MatMulT1(st.ax, dh1)
+	for i := range dW0.A {
+		gs.w0.A[i] += dW0.A[i]
+	}
+	return loss
+}

@@ -1,0 +1,212 @@
+// Package gnn is a pure-Go graph convolutional network: the stand-in for
+// the paper's PyTorch/DGL ProGraML classifier. It implements the same
+// architecture (two graph-convolution layers, max-pool readout, linear
+// classification head), trained with Adam + weight decay and early
+// stopping, with gradients derived by hand.
+package gnn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Mat is a dense row-major float64 matrix.
+type Mat struct {
+	R, C int
+	A    []float64
+}
+
+// NewMat returns a zero matrix.
+func NewMat(r, c int) *Mat {
+	return &Mat{R: r, C: c, A: make([]float64, r*c)}
+}
+
+// At returns element (i, j).
+func (m *Mat) At(i, j int) float64 { return m.A[i*m.C+j] }
+
+// Set writes element (i, j).
+func (m *Mat) Set(i, j int, v float64) { m.A[i*m.C+j] = v }
+
+// Add accumulates into element (i, j).
+func (m *Mat) Add(i, j int, v float64) { m.A[i*m.C+j] += v }
+
+// Clone copies the matrix.
+func (m *Mat) Clone() *Mat {
+	out := NewMat(m.R, m.C)
+	copy(out.A, m.A)
+	return out
+}
+
+// Zero clears all elements.
+func (m *Mat) Zero() {
+	for i := range m.A {
+		m.A[i] = 0
+	}
+}
+
+// MatMul returns a @ b.
+func MatMul(a, b *Mat) *Mat {
+	if a.C != b.R {
+		panic(fmt.Sprintf("gnn: matmul shape mismatch %dx%d @ %dx%d", a.R, a.C, b.R, b.C))
+	}
+	out := NewMat(a.R, b.C)
+	for i := 0; i < a.R; i++ {
+		arow := a.A[i*a.C : (i+1)*a.C]
+		orow := out.A[i*b.C : (i+1)*b.C]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.A[k*b.C : (k+1)*b.C]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulT1 returns aᵀ @ b.
+func MatMulT1(a, b *Mat) *Mat {
+	if a.R != b.R {
+		panic("gnn: matmulT1 shape mismatch")
+	}
+	out := NewMat(a.C, b.C)
+	for k := 0; k < a.R; k++ {
+		arow := a.A[k*a.C : (k+1)*a.C]
+		brow := b.A[k*b.C : (k+1)*b.C]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.A[i*b.C : (i+1)*b.C]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulT2 returns a @ bᵀ.
+func MatMulT2(a, b *Mat) *Mat {
+	if a.C != b.C {
+		panic("gnn: matmulT2 shape mismatch")
+	}
+	out := NewMat(a.R, b.R)
+	for i := 0; i < a.R; i++ {
+		arow := a.A[i*a.C : (i+1)*a.C]
+		for j := 0; j < b.R; j++ {
+			brow := b.A[j*b.C : (j+1)*b.C]
+			s := 0.0
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			out.A[i*b.R+j] = s
+		}
+	}
+	return out
+}
+
+// ReLU applies max(0, x) in place and returns the mask of active units.
+func ReLU(m *Mat) []bool {
+	mask := make([]bool, len(m.A))
+	for i, v := range m.A {
+		if v > 0 {
+			mask[i] = true
+		} else {
+			m.A[i] = 0
+		}
+	}
+	return mask
+}
+
+// GlorotInit fills m with Glorot-uniform random weights.
+func GlorotInit(m *Mat, rng *rand.Rand) {
+	limit := math.Sqrt(6.0 / float64(m.R+m.C))
+	for i := range m.A {
+		m.A[i] = (rng.Float64()*2 - 1) * limit
+	}
+}
+
+// Softmax returns softmax(x) for a logit vector.
+func Softmax(x []float64) []float64 {
+	maxv := math.Inf(-1)
+	for _, v := range x {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	sum := 0.0
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = math.Exp(v - maxv)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// Adj is a normalized sparse adjacency: Â = D^{-1/2}(A+I)D^{-1/2} stored
+// as an edge list with weights.
+type Adj struct {
+	N   int
+	Src []int32
+	Dst []int32
+	W   []float64
+}
+
+// NewAdj builds the symmetric normalized adjacency from an undirected edge
+// list (self-loops added automatically; duplicate edges are fine).
+func NewAdj(n int, edges [][2]int) *Adj {
+	seen := map[[2]int]bool{}
+	deg := make([]float64, n)
+	var pairs [][2]int
+	addEdge := func(a, b int) {
+		key := [2]int{a, b}
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		pairs = append(pairs, key)
+		deg[a]++
+	}
+	for i := 0; i < n; i++ {
+		addEdge(i, i)
+	}
+	for _, e := range edges {
+		a, b := e[0], e[1]
+		if a < 0 || a >= n || b < 0 || b >= n || a == b {
+			continue
+		}
+		addEdge(a, b)
+		addEdge(b, a)
+	}
+	adj := &Adj{N: n}
+	for _, p := range pairs {
+		adj.Src = append(adj.Src, int32(p[0]))
+		adj.Dst = append(adj.Dst, int32(p[1]))
+		adj.W = append(adj.W, 1.0/math.Sqrt(deg[p[0]]*deg[p[1]]))
+	}
+	return adj
+}
+
+// Apply returns Â @ x.
+func (a *Adj) Apply(x *Mat) *Mat {
+	if x.R != a.N {
+		panic("gnn: adjacency/feature shape mismatch")
+	}
+	out := NewMat(x.R, x.C)
+	for i := range a.Src {
+		s, d, w := int(a.Src[i]), int(a.Dst[i]), a.W[i]
+		srow := x.A[d*x.C : (d+1)*x.C]
+		orow := out.A[s*x.C : (s+1)*x.C]
+		for j, v := range srow {
+			orow[j] += w * v
+		}
+	}
+	return out
+}

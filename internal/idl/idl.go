@@ -1,0 +1,302 @@
+// Package idl reimplements the paper's constraint-based baseline (IDL,
+// Ginsbach et al. ASPLOS'18) at the fidelity the comparison needs: a
+// pattern is an abstracted instruction sequence extracted from a reference
+// implementation (constants and identifiers become constraint variables),
+// and a candidate matches only if its own sequence is identical under a
+// consistent variable renaming. This is exactly the brittleness the paper
+// demonstrates: the pattern hand-built from benchmark 0 matches benchmark 0
+// and nothing else (Fig. 9), and pattern prefixes stop matching anything
+// else well before 50 atoms (Fig. 12).
+package idl
+
+import (
+	"fmt"
+	"strings"
+
+	"facc/internal/minic"
+)
+
+// Atom is one abstracted instruction of a pattern: an opcode plus operand
+// slots. Identifier operands are canonically renamed (first occurrence =
+// v0, then v1, ...) so patterns are name-independent but shape-exact;
+// integer constants are kept (they are structural: radix, bit counts).
+type Atom struct {
+	Op   string
+	Args []string
+}
+
+func (a Atom) String() string {
+	if len(a.Args) == 0 {
+		return a.Op
+	}
+	return a.Op + "(" + strings.Join(a.Args, ",") + ")"
+}
+
+// Pattern is an abstracted instruction sequence.
+type Pattern []Atom
+
+// String renders the pattern one atom per line.
+func (p Pattern) String() string {
+	var b strings.Builder
+	for _, a := range p {
+		b.WriteString(a.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Extract builds the pattern of a function (with callees appended in call
+// order, mirroring region extraction).
+func Extract(f *minic.File, fn *minic.FuncDecl) Pattern {
+	ex := &extractor{
+		file:    f,
+		names:   map[string]string{},
+		visited: map[string]bool{fn.Name: true},
+	}
+	ex.fn(fn)
+	for i := 0; i < len(ex.queue); i++ {
+		callee := ex.queue[i]
+		if cf := f.Func(callee); cf != nil && cf.Body != nil {
+			ex.fn(cf)
+		}
+	}
+	return ex.out
+}
+
+type extractor struct {
+	file    *minic.File
+	out     Pattern
+	names   map[string]string
+	visited map[string]bool
+	queue   []string
+}
+
+func (ex *extractor) emit(op string, args ...string) {
+	ex.out = append(ex.out, Atom{Op: op, Args: args})
+}
+
+// canon canonically renames an identifier.
+func (ex *extractor) canon(name string) string {
+	if v, ok := ex.names[name]; ok {
+		return v
+	}
+	v := fmt.Sprintf("v%d", len(ex.names))
+	ex.names[name] = v
+	return v
+}
+
+func (ex *extractor) fn(fn *minic.FuncDecl) {
+	// The arity is not part of the leading atom: real IDL patterns match
+	// common prologues before diverging (paper Fig. 12), and parameter
+	// atoms follow one by one.
+	ex.emit("func")
+	for _, p := range fn.Params {
+		ex.emit("param", typeShape(p.Type), ex.canon(p.Name))
+	}
+	ex.emit("body")
+	ex.stmt(fn.Body)
+}
+
+// typeShape abstracts a type to its structural shape.
+func typeShape(t *minic.Type) string {
+	t2 := t.Decay()
+	switch {
+	case t2 == nil:
+		return "?"
+	case t2.Kind == minic.TPointer:
+		return "ptr:" + typeShape(t2.Elem)
+	case t2.Kind == minic.TStruct:
+		return fmt.Sprintf("struct%d", len(t2.Fields))
+	case t2.IsComplex():
+		return "complex"
+	case t2.IsFloat():
+		return "float"
+	case t2.IsInteger():
+		return "int"
+	default:
+		return t2.String()
+	}
+}
+
+func (ex *extractor) stmt(s minic.Stmt) {
+	switch st := s.(type) {
+	case nil:
+	case *minic.ExprStmt:
+		ex.expr(st.X)
+	case *minic.DeclStmt:
+		for _, d := range st.Decls {
+			ex.emit("decl", typeShape(d.Type), ex.canon(d.Name))
+			if d.Init != nil {
+				ex.expr(d.Init)
+			}
+		}
+	case *minic.BlockStmt:
+		for _, sub := range st.List {
+			ex.stmt(sub)
+		}
+	case *minic.IfStmt:
+		ex.emit("if")
+		ex.expr(st.Cond)
+		ex.stmt(st.Then)
+		if st.Else != nil {
+			ex.emit("else")
+			ex.stmt(st.Else)
+		}
+		ex.emit("endif")
+	case *minic.ForStmt:
+		ex.emit("for")
+		ex.stmt(st.Init)
+		if st.Cond != nil {
+			ex.expr(st.Cond)
+		}
+		if st.Post != nil {
+			ex.expr(st.Post)
+		}
+		ex.stmt(st.Body)
+		ex.emit("endfor")
+	case *minic.WhileStmt:
+		if st.Do {
+			ex.emit("dowhile")
+		} else {
+			ex.emit("while")
+		}
+		ex.expr(st.Cond)
+		ex.stmt(st.Body)
+		ex.emit("endwhile")
+	case *minic.SwitchStmt:
+		ex.emit("switch")
+		ex.expr(st.Tag)
+		for _, cc := range st.Cases {
+			if cc.IsDefault {
+				ex.emit("default")
+			} else {
+				ex.emit("case")
+				ex.expr(cc.Value)
+			}
+			for _, sub := range cc.Body {
+				ex.stmt(sub)
+			}
+		}
+		ex.emit("endswitch")
+	case *minic.BreakStmt:
+		ex.emit("break")
+	case *minic.ContinueStmt:
+		ex.emit("continue")
+	case *minic.ReturnStmt:
+		ex.emit("return")
+		if st.Value != nil {
+			ex.expr(st.Value)
+		}
+	}
+}
+
+func (ex *extractor) expr(e minic.Expr) {
+	switch x := e.(type) {
+	case nil:
+	case *minic.IntLitExpr:
+		ex.emit("const", fmt.Sprintf("%d", x.Value))
+	case *minic.FloatLitExpr:
+		ex.emit("fconst")
+	case *minic.ImaginaryLitExpr:
+		ex.emit("iconst")
+	case *minic.StringLitExpr:
+		ex.emit("sconst")
+	case *minic.IdentExpr:
+		ex.emit("use", ex.canon(x.Name))
+	case *minic.UnaryExpr:
+		op := "un:" + x.Op.String()
+		if x.Post {
+			op = "post:" + x.Op.String()
+		}
+		ex.emit(op)
+		ex.expr(x.X)
+	case *minic.BinaryExpr:
+		ex.emit("bin:" + x.Op.String())
+		ex.expr(x.L)
+		ex.expr(x.R)
+	case *minic.AssignExpr:
+		ex.emit("asn:" + x.Op.String())
+		ex.expr(x.L)
+		ex.expr(x.R)
+	case *minic.CondExpr:
+		ex.emit("sel")
+		ex.expr(x.Cond)
+		ex.expr(x.Then)
+		ex.expr(x.Else)
+	case *minic.CallExpr:
+		if x.Builtin != "" {
+			ex.emit("call:" + x.Builtin)
+		} else if id, ok := x.Fun.(*minic.IdentExpr); ok && id.Func != nil {
+			if !ex.visited[id.Func.Name] {
+				ex.visited[id.Func.Name] = true
+				ex.queue = append(ex.queue, id.Func.Name)
+			}
+			ex.emit("call", ex.canon(id.Func.Name))
+		} else {
+			ex.emit("icall")
+		}
+		for _, a := range x.Args {
+			ex.expr(a)
+		}
+	case *minic.IndexExpr:
+		ex.emit("index")
+		ex.expr(x.X)
+		ex.expr(x.Index)
+	case *minic.MemberExpr:
+		op := "member"
+		if x.Arrow {
+			op = "arrow"
+		}
+		ex.emit(op, fmt.Sprintf("f%d", x.FieldIndex))
+		ex.expr(x.X)
+	case *minic.CastExpr:
+		ex.emit("cast", typeShape(x.To))
+		ex.expr(x.X)
+	case *minic.SizeofExpr:
+		ex.emit("sizeof")
+		if x.X != nil {
+			ex.expr(x.X)
+		}
+	case *minic.CommaExpr:
+		ex.expr(x.L)
+		ex.expr(x.R)
+	case *minic.InitListExpr:
+		ex.emit("initlist", fmt.Sprintf("%d", len(x.Items)))
+		for _, it := range x.Items {
+			ex.expr(it)
+		}
+	}
+}
+
+// MatchPrefix reports how many leading atoms of pattern match the
+// candidate's sequence (both canonically renamed at extraction).
+func MatchPrefix(pattern, candidate Pattern) int {
+	n := 0
+	for i := range pattern {
+		if i >= len(candidate) {
+			return n
+		}
+		if !atomEqual(pattern[i], candidate[i]) {
+			return n
+		}
+		n++
+	}
+	return n
+}
+
+// Matches reports whether candidate matches the full pattern exactly.
+func Matches(pattern, candidate Pattern) bool {
+	return len(pattern) == len(candidate) && MatchPrefix(pattern, candidate) == len(pattern)
+}
+
+func atomEqual(a, b Atom) bool {
+	if a.Op != b.Op || len(a.Args) != len(b.Args) {
+		return false
+	}
+	for i := range a.Args {
+		if a.Args[i] != b.Args[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,134 @@
+package idl
+
+import (
+	"testing"
+
+	"facc/internal/bench"
+	"facc/internal/minic"
+)
+
+func extractBench(t *testing.T, b *bench.Benchmark) Pattern {
+	t.Helper()
+	f, err := minic.ParseAndCheck(b.File, b.Source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Extract(f, f.Func(b.Entry))
+}
+
+func TestPatternMatchesItself(t *testing.T) {
+	b0 := bench.Suite()[0]
+	p := extractBench(t, b0)
+	if len(p) < 50 {
+		t.Fatalf("benchmark 0 pattern only %d atoms", len(p))
+	}
+	if !Matches(p, extractBench(t, b0)) {
+		t.Error("pattern does not match its own source")
+	}
+}
+
+func TestPatternIsNameIndependent(t *testing.T) {
+	src1 := `
+void f(double* data, int n) {
+    for (int i = 0; i < n; i++) data[i] = data[i] * 2.0;
+}`
+	src2 := `
+void g(double* samples, int count) {
+    for (int k = 0; k < count; k++) samples[k] = samples[k] * 2.0;
+}`
+	f1, err := minic.ParseAndCheck("a.c", src1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := minic.ParseAndCheck("b.c", src2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := Extract(f1, f1.Func("f"))
+	p2 := Extract(f2, f2.Func("g"))
+	if !Matches(p1, p2) {
+		t.Error("alpha-renamed functions should match")
+	}
+}
+
+func TestPatternIsShapeBrittle(t *testing.T) {
+	// The same loop with i++ replaced by i += 1 must NOT match — this is
+	// the brittleness the paper demonstrates.
+	src1 := `
+void f(double* d, int n) {
+    for (int i = 0; i < n; i++) d[i] = 0.0;
+}`
+	src2 := `
+void f(double* d, int n) {
+    for (int i = 0; i < n; i += 1) d[i] = 0.0;
+}`
+	f1, _ := minic.ParseAndCheck("a.c", src1)
+	f2, _ := minic.ParseAndCheck("b.c", src2)
+	if Matches(Extract(f1, f1.Func("f")), Extract(f2, f2.Func("f"))) {
+		t.Error("structurally different code matched")
+	}
+}
+
+// TestFigure9: the pattern authored from benchmark 0 matches exactly one
+// corpus member — benchmark 0 itself.
+func TestFigure9IDLMatchesOnlyItsSource(t *testing.T) {
+	pattern := extractBench(t, bench.Suite()[0])
+	matched := 0
+	for _, b := range bench.Suite() {
+		if Matches(pattern, extractBench(t, b)) {
+			matched++
+			if b.ID != 0 {
+				t.Errorf("pattern unexpectedly matched benchmark %d (%s)", b.ID, b.Name)
+			}
+		}
+	}
+	if matched != 1 {
+		t.Errorf("pattern matched %d benchmarks, want exactly 1", matched)
+	}
+}
+
+// TestFigure12: prefix-match counts decay with pattern length; by 50 atoms
+// only the source benchmark remains.
+func TestFigure12PrefixDecay(t *testing.T) {
+	pattern := extractBench(t, bench.Suite()[0])
+	var all []Pattern
+	for _, b := range bench.Suite() {
+		all = append(all, extractBench(t, b))
+	}
+	countAt := func(l int) int {
+		n := 0
+		for _, p := range all {
+			if MatchPrefix(pattern[:l], p) == l {
+				n++
+			}
+		}
+		return n
+	}
+	c1 := countAt(1)
+	if c1 < 2 {
+		t.Errorf("one-atom prefix matches %d benchmarks; expected several", c1)
+	}
+	c50 := countAt(50)
+	if c50 != 1 {
+		t.Errorf("50-atom prefix matches %d benchmarks, want 1 (paper Fig. 12)", c50)
+	}
+	// Monotone non-increasing.
+	prev := len(all) + 1
+	for _, l := range []int{1, 5, 10, 20, 50, len(pattern)} {
+		c := countAt(l)
+		if c > prev {
+			t.Errorf("prefix match count increased at length %d", l)
+		}
+		prev = c
+	}
+}
+
+func TestAtomString(t *testing.T) {
+	a := Atom{Op: "bin:+", Args: []string{"v0", "v1"}}
+	if a.String() != "bin:+(v0,v1)" {
+		t.Errorf("atom string = %q", a.String())
+	}
+	if (Atom{Op: "for"}).String() != "for" {
+		t.Error("bare atom string")
+	}
+}

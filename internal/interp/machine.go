@@ -1,0 +1,523 @@
+package interp
+
+import (
+	"bytes"
+	"fmt"
+
+	"facc/internal/minic"
+)
+
+// FaultKind classifies runtime faults. Generate-and-test uses these the way
+// the paper uses AddressSanitizer: a fault under a candidate binding is
+// evidence the binding (e.g. an inferred length variable) is wrong.
+type FaultKind int
+
+// Fault kinds.
+const (
+	FaultNone FaultKind = iota
+	FaultOutOfBounds
+	FaultNullDeref
+	FaultUseAfterFree
+	FaultDoubleFree
+	FaultBadCast
+	FaultDivZero
+	FaultStackOverflow
+	FaultFuelExhausted
+	FaultBadPointerOp
+	FaultUnsupported
+	FaultAssert
+	FaultExit
+)
+
+var faultNames = map[FaultKind]string{
+	FaultOutOfBounds: "out-of-bounds", FaultNullDeref: "null-deref",
+	FaultUseAfterFree: "use-after-free", FaultDoubleFree: "double-free",
+	FaultBadCast: "bad-cast", FaultDivZero: "division-by-zero",
+	FaultStackOverflow: "stack-overflow", FaultFuelExhausted: "fuel-exhausted",
+	FaultBadPointerOp: "bad-pointer-op", FaultUnsupported: "unsupported",
+	FaultAssert: "assertion-failure", FaultExit: "exit",
+}
+
+func (k FaultKind) String() string {
+	if s, ok := faultNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("fault(%d)", int(k))
+}
+
+// RuntimeError is a fault raised during interpretation.
+type RuntimeError struct {
+	Kind FaultKind
+	Pos  minic.Pos
+	Msg  string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("%s: %s: %s", e.Pos, e.Kind, e.Msg)
+}
+
+// FaultOf extracts the fault kind from an error (FaultNone if not a
+// RuntimeError).
+func FaultOf(err error) FaultKind {
+	if re, ok := err.(*RuntimeError); ok {
+		return re.Kind
+	}
+	return FaultNone
+}
+
+// Counters tallies executed operations; the accel package converts these
+// into platform cycle estimates.
+type Counters struct {
+	IntOps    int64
+	FloatOps  int64 // adds/subs/muls (complex ops decompose into these)
+	FloatDivs int64
+	Loads     int64
+	Stores    int64
+	Branches  int64
+	Calls     int64
+	MathCalls int64 // libm calls (sin, cos, ...)
+	Allocs    int64
+	Steps     int64
+}
+
+// Total returns the unweighted operation total.
+func (c Counters) Total() int64 {
+	return c.IntOps + c.FloatOps + c.FloatDivs + c.Loads + c.Stores +
+		c.Branches + c.Calls + c.MathCalls
+}
+
+// Machine interprets one MiniC translation unit. The zero value is not
+// usable; call NewMachine.
+type Machine struct {
+	File     *minic.File
+	Out      bytes.Buffer // captured printf/puts output
+	Counters Counters
+	MaxSteps int64 // fuel; 0 means DefaultMaxSteps
+	MaxDepth int   // call depth limit; 0 means DefaultMaxDepth
+
+	// Observe, when non-nil, is called with every scalar value assigned
+	// to a named variable — FACC's value-profiling hook.
+	Observe func(name string, v Value)
+
+	globals     map[*minic.VarDecl]Pointer
+	funcs       map[string]*minic.FuncDecl
+	nextAllocID int
+	liveAllocs  int
+	steps       int64
+	depth       int
+	exitCode    int
+}
+
+// Defaults for fuel and stack depth.
+const (
+	DefaultMaxSteps = 200_000_000
+	DefaultMaxDepth = 4096
+)
+
+type ctrl int
+
+const (
+	ctrlNone ctrl = iota
+	ctrlBreak
+	ctrlContinue
+	ctrlReturn
+)
+
+type frame struct {
+	fn     *minic.FuncDecl
+	locals map[*minic.VarDecl]Pointer
+	ret    Value
+}
+
+// NewMachine builds a machine for f and evaluates global initializers.
+// f must have been checked with minic.Check.
+func NewMachine(f *minic.File) (*Machine, error) {
+	m := &Machine{
+		File:     f,
+		MaxSteps: DefaultMaxSteps,
+		MaxDepth: DefaultMaxDepth,
+		globals:  map[*minic.VarDecl]Pointer{},
+		funcs:    map[string]*minic.FuncDecl{},
+	}
+	for _, fn := range f.Funcs {
+		if prev, ok := m.funcs[fn.Name]; !ok || prev.Body == nil {
+			m.funcs[fn.Name] = fn
+		}
+	}
+	gf := &frame{locals: map[*minic.VarDecl]Pointer{}}
+	for _, g := range f.Globals {
+		p, err := m.allocVar(gf, g)
+		if err != nil {
+			return nil, err
+		}
+		m.globals[g] = p
+	}
+	return m, nil
+}
+
+// Reset clears counters, output and fuel so the machine can run another
+// call with fresh measurements. Global state persists (as it would in a
+// process), which benchmark 11's twiddle-factor memoization relies on.
+func (m *Machine) Reset() {
+	m.Counters = Counters{}
+	m.Out.Reset()
+	m.steps = 0
+}
+
+func (m *Machine) fault(pos minic.Pos, kind FaultKind, format string, args ...any) error {
+	return &RuntimeError{Kind: kind, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (m *Machine) step(pos minic.Pos) error {
+	m.steps++
+	m.Counters.Steps++
+	max := m.MaxSteps
+	if max == 0 {
+		max = DefaultMaxSteps
+	}
+	if m.steps > max {
+		return m.fault(pos, FaultFuelExhausted, "step limit %d exceeded", max)
+	}
+	return nil
+}
+
+// CallNamed invokes the named function with the given argument values.
+func (m *Machine) CallNamed(name string, args []Value) (Value, error) {
+	fn, ok := m.funcs[name]
+	if !ok || fn.Body == nil {
+		return Value{}, fmt.Errorf("interp: no function %q", name)
+	}
+	return m.Call(fn, args)
+}
+
+// Call invokes fn with args (converted to parameter types).
+func (m *Machine) Call(fn *minic.FuncDecl, args []Value) (Value, error) {
+	maxDepth := m.MaxDepth
+	if maxDepth == 0 {
+		maxDepth = DefaultMaxDepth
+	}
+	if m.depth >= maxDepth {
+		return Value{}, m.fault(fn.Pos, FaultStackOverflow,
+			"call depth %d exceeded in %s", maxDepth, fn.Name)
+	}
+	if len(args) != len(fn.Params) {
+		return Value{}, fmt.Errorf("interp: %s expects %d args, got %d",
+			fn.Name, len(fn.Params), len(args))
+	}
+	m.depth++
+	defer func() { m.depth-- }()
+	m.Counters.Calls++
+
+	fr := &frame{fn: fn, locals: map[*minic.VarDecl]Pointer{}}
+	for i, prm := range fn.Params {
+		av, err := Convert(args[i], prm.Type)
+		if err != nil {
+			return Value{}, m.fault(fn.Pos, FaultBadCast, "argument %d to %s: %v", i+1, fn.Name, err)
+		}
+		// Value profiling observes parameter values too — the paper's
+		// profiling environment records what each call site passes.
+		if m.Observe != nil && av.K == VInt {
+			m.Observe(prm.Name, av)
+		}
+		p := Pointer{Alloc: m.NewAlloc(prm.Name, prm.Type, 1), Elem: prm.Type}
+		if err := m.StoreObject(p, prm.Type, av, fn.Pos); err != nil {
+			return Value{}, err
+		}
+		fr.locals[prm] = p
+	}
+	c, err := m.execStmt(fr, fn.Body)
+	if err != nil {
+		return Value{}, err
+	}
+	if c == ctrlReturn {
+		return fr.ret, nil
+	}
+	return VoidValue(), nil
+}
+
+// allocVar allocates storage for a declaration and runs its initializer.
+func (m *Machine) allocVar(fr *frame, v *minic.VarDecl) (Pointer, error) {
+	t := v.Type
+	var a *Alloc
+	switch {
+	case t.Kind == minic.TArray && t.ArrayLen >= 0:
+		a = m.NewAlloc(v.Name, t.Elem, t.ArrayLen)
+	case t.Kind == minic.TArray && t.ArrayLenExpr != nil:
+		n, err := m.evalExpr(fr, t.ArrayLenExpr)
+		if err != nil {
+			return Pointer{}, err
+		}
+		if n.Int() < 0 {
+			return Pointer{}, m.fault(v.Pos, FaultOutOfBounds, "negative VLA length %d", n.Int())
+		}
+		if FlatSize(t.Elem) == 0 {
+			return Pointer{}, m.fault(v.Pos, FaultUnsupported, "VLA of dynamically sized element")
+		}
+		a = m.NewAlloc(v.Name, t.Elem, int(n.Int()))
+	case t.Kind == minic.TArray:
+		// Incomplete array with no initializer-completed length.
+		return Pointer{}, m.fault(v.Pos, FaultUnsupported, "array %q has unknown length", v.Name)
+	default:
+		a = m.NewAlloc(v.Name, t, 1)
+	}
+	m.Counters.Allocs++
+	p := Pointer{Alloc: a, Elem: t}
+	if v.Init != nil {
+		if err := m.runInit(fr, p, t, v.Init, v); err != nil {
+			return Pointer{}, err
+		}
+	}
+	return p, nil
+}
+
+// runInit stores an initializer (scalar or brace list) into storage at p.
+func (m *Machine) runInit(fr *frame, p Pointer, t *minic.Type, init minic.Expr, v *minic.VarDecl) error {
+	il, isList := init.(*minic.InitListExpr)
+	if !isList {
+		val, err := m.evalExpr(fr, init)
+		if err != nil {
+			return err
+		}
+		if v != nil && m.Observe != nil && val.K != VStruct && val.K != VVoid {
+			m.Observe(v.Name, val)
+		}
+		return m.StoreObject(p, t.Decay(), val, init.NodePos())
+	}
+	switch t.Kind {
+	case minic.TArray:
+		per := FlatSize(t.Elem)
+		for i, item := range il.Items {
+			ep := Pointer{Alloc: p.Alloc, Off: p.Off + i*per, Elem: t.Elem}
+			if err := m.runInit(fr, ep, t.Elem, item, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	case minic.TStruct:
+		for i, item := range il.Items {
+			ft := t.Fields[i].Type
+			fp := Pointer{Alloc: p.Alloc, Off: p.Off + fieldOffset(t, i), Elem: ft}
+			if err := m.runInit(fr, fp, ft, item, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		if len(il.Items) == 1 {
+			return m.runInit(fr, p, t, il.Items[0], v)
+		}
+		return m.fault(il.Pos, FaultBadCast, "scalar initializer list for %s", t)
+	}
+}
+
+// ---- Statements ----
+
+func (m *Machine) execStmt(fr *frame, s minic.Stmt) (ctrl, error) {
+	if s == nil {
+		return ctrlNone, nil
+	}
+	if err := m.step(s.NodePos()); err != nil {
+		return ctrlNone, err
+	}
+	switch st := s.(type) {
+	case *minic.ExprStmt:
+		_, err := m.evalExpr(fr, st.X)
+		return ctrlNone, err
+	case *minic.DeclStmt:
+		for _, d := range st.Decls {
+			// Function-scoped statics allocate and initialize once and
+			// persist across calls (C semantics).
+			if d.Storage == minic.SCStatic {
+				if p, ok := m.globals[d]; ok {
+					fr.locals[d] = p
+					continue
+				}
+				p, err := m.allocVar(fr, d)
+				if err != nil {
+					return ctrlNone, err
+				}
+				m.globals[d] = p
+				fr.locals[d] = p
+				continue
+			}
+			p, err := m.allocVar(fr, d)
+			if err != nil {
+				return ctrlNone, err
+			}
+			fr.locals[d] = p
+		}
+		return ctrlNone, nil
+	case *minic.BlockStmt:
+		for _, sub := range st.List {
+			c, err := m.execStmt(fr, sub)
+			if err != nil || c != ctrlNone {
+				return c, err
+			}
+		}
+		return ctrlNone, nil
+	case *minic.IfStmt:
+		cond, err := m.evalExpr(fr, st.Cond)
+		if err != nil {
+			return ctrlNone, err
+		}
+		m.Counters.Branches++
+		if !cond.IsZero() {
+			return m.execStmt(fr, st.Then)
+		}
+		return m.execStmt(fr, st.Else)
+	case *minic.ForStmt:
+		if st.Init != nil {
+			if _, err := m.execStmt(fr, st.Init); err != nil {
+				return ctrlNone, err
+			}
+		}
+		for {
+			if st.Cond != nil {
+				cond, err := m.evalExpr(fr, st.Cond)
+				if err != nil {
+					return ctrlNone, err
+				}
+				m.Counters.Branches++
+				if cond.IsZero() {
+					return ctrlNone, nil
+				}
+			}
+			c, err := m.execStmt(fr, st.Body)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if c == ctrlBreak {
+				return ctrlNone, nil
+			}
+			if c == ctrlReturn {
+				return c, nil
+			}
+			if st.Post != nil {
+				if _, err := m.evalExpr(fr, st.Post); err != nil {
+					return ctrlNone, err
+				}
+			}
+			if err := m.step(st.Pos); err != nil {
+				return ctrlNone, err
+			}
+		}
+	case *minic.WhileStmt:
+		if st.Do {
+			for {
+				c, err := m.execStmt(fr, st.Body)
+				if err != nil {
+					return ctrlNone, err
+				}
+				if c == ctrlBreak {
+					return ctrlNone, nil
+				}
+				if c == ctrlReturn {
+					return c, nil
+				}
+				cond, err := m.evalExpr(fr, st.Cond)
+				if err != nil {
+					return ctrlNone, err
+				}
+				m.Counters.Branches++
+				if cond.IsZero() {
+					return ctrlNone, nil
+				}
+				if err := m.step(st.Pos); err != nil {
+					return ctrlNone, err
+				}
+			}
+		}
+		for {
+			cond, err := m.evalExpr(fr, st.Cond)
+			if err != nil {
+				return ctrlNone, err
+			}
+			m.Counters.Branches++
+			if cond.IsZero() {
+				return ctrlNone, nil
+			}
+			c, err := m.execStmt(fr, st.Body)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if c == ctrlBreak {
+				return ctrlNone, nil
+			}
+			if c == ctrlReturn {
+				return c, nil
+			}
+			if err := m.step(st.Pos); err != nil {
+				return ctrlNone, err
+			}
+		}
+	case *minic.SwitchStmt:
+		tag, err := m.evalExpr(fr, st.Tag)
+		if err != nil {
+			return ctrlNone, err
+		}
+		m.Counters.Branches++
+		match := -1
+		for i, cc := range st.Cases {
+			if cc.IsDefault {
+				continue
+			}
+			cv, err := m.evalExpr(fr, cc.Value)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if cv.Int() == tag.Int() {
+				match = i
+				break
+			}
+		}
+		if match < 0 {
+			for i, cc := range st.Cases {
+				if cc.IsDefault {
+					match = i
+					break
+				}
+			}
+		}
+		if match < 0 {
+			return ctrlNone, nil
+		}
+		// Fall through subsequent cases until break/return.
+		for i := match; i < len(st.Cases); i++ {
+			for _, sub := range st.Cases[i].Body {
+				c, err := m.execStmt(fr, sub)
+				if err != nil {
+					return ctrlNone, err
+				}
+				switch c {
+				case ctrlBreak:
+					return ctrlNone, nil
+				case ctrlReturn, ctrlContinue:
+					return c, nil
+				}
+			}
+		}
+		return ctrlNone, nil
+	case *minic.BreakStmt:
+		return ctrlBreak, nil
+	case *minic.ContinueStmt:
+		return ctrlContinue, nil
+	case *minic.ReturnStmt:
+		if st.Value != nil {
+			v, err := m.evalExpr(fr, st.Value)
+			if err != nil {
+				return ctrlNone, err
+			}
+			rt := fr.fn.Type.Ret
+			cv, err := Convert(v, rt.Decay())
+			if err != nil {
+				return ctrlNone, m.fault(st.Pos, FaultBadCast, "return: %v", err)
+			}
+			fr.ret = cv
+		} else {
+			fr.ret = VoidValue()
+		}
+		return ctrlReturn, nil
+	default:
+		return ctrlNone, m.fault(s.NodePos(), FaultUnsupported, "statement %T", s)
+	}
+}

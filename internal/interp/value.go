@@ -1,0 +1,261 @@
+// Package interp is a bounds-checked tree-walking interpreter for MiniC.
+// It plays two roles in FACC: it executes user FFT code during IO-based
+// generate-and-test (with AddressSanitizer-style fault detection standing
+// in for the paper's ASan runs), and it counts executed operations to feed
+// the platform performance models used by the evaluation harness.
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"facc/internal/minic"
+)
+
+// ValueKind discriminates Value.
+type ValueKind int
+
+// Value kinds.
+const (
+	VVoid ValueKind = iota
+	VInt
+	VFloat
+	VComplex
+	VPointer
+	VStruct
+)
+
+// Value is a runtime MiniC value. Struct values hold their flattened
+// scalar leaves in Fields, mirroring memory layout.
+type Value struct {
+	K ValueKind
+	T *minic.Type
+
+	I      int64
+	F      float64
+	C      complex128
+	P      Pointer
+	Fields []Value
+}
+
+// IntValue returns an int-typed value.
+func IntValue(i int64) Value { return Value{K: VInt, T: minic.Int, I: i} }
+
+// LongValue returns a long-typed value.
+func LongValue(i int64) Value { return Value{K: VInt, T: minic.Long, I: i} }
+
+// FloatValue returns a value of the given real floating type. float values
+// are rounded through float32 to model single-precision hardware.
+func FloatValue(f float64, t *minic.Type) Value {
+	if t.Kind == minic.TFloat {
+		f = float64(float32(f))
+	}
+	return Value{K: VFloat, T: t, F: f}
+}
+
+// ComplexValue returns a complex value of the given complex type, rounding
+// through complex64 for float _Complex.
+func ComplexValue(c complex128, t *minic.Type) Value {
+	if t.Kind == minic.TComplexFloat {
+		c = complex128(complex64(c))
+	}
+	return Value{K: VComplex, T: t, C: c}
+}
+
+// PointerValue wraps a pointer.
+func PointerValue(p Pointer, t *minic.Type) Value {
+	return Value{K: VPointer, T: t, P: p}
+}
+
+// VoidValue is the result of void expressions.
+func VoidValue() Value { return Value{K: VVoid, T: minic.Void} }
+
+// IsZero reports whether the value is zero/null (for conditions).
+func (v Value) IsZero() bool {
+	switch v.K {
+	case VInt:
+		return v.I == 0
+	case VFloat:
+		return v.F == 0
+	case VComplex:
+		return v.C == 0
+	case VPointer:
+		return v.P.IsNull()
+	default:
+		return true
+	}
+}
+
+// Float returns the value as a float64 (integers widen).
+func (v Value) Float() float64 {
+	switch v.K {
+	case VFloat:
+		return v.F
+	case VInt:
+		return float64(v.I)
+	case VComplex:
+		return real(v.C)
+	default:
+		return 0
+	}
+}
+
+// Complex returns the value as a complex128.
+func (v Value) Complex() complex128 {
+	switch v.K {
+	case VComplex:
+		return v.C
+	case VFloat:
+		return complex(v.F, 0)
+	case VInt:
+		return complex(float64(v.I), 0)
+	default:
+		return 0
+	}
+}
+
+// Int returns the value as an int64 (floats truncate toward zero).
+func (v Value) Int() int64 {
+	switch v.K {
+	case VInt:
+		return v.I
+	case VFloat:
+		return int64(v.F)
+	case VComplex:
+		return int64(real(v.C))
+	default:
+		return 0
+	}
+}
+
+func (v Value) String() string {
+	switch v.K {
+	case VVoid:
+		return "void"
+	case VInt:
+		return fmt.Sprintf("%d", v.I)
+	case VFloat:
+		return fmt.Sprintf("%g", v.F)
+	case VComplex:
+		return fmt.Sprintf("(%g%+gi)", real(v.C), imag(v.C))
+	case VPointer:
+		return v.P.String()
+	case VStruct:
+		return fmt.Sprintf("struct{%d leaves}", len(v.Fields))
+	default:
+		return "?"
+	}
+}
+
+// Convert coerces v to type t following C conversion rules. Pointer/int
+// conversions are allowed; struct conversions require identical types.
+func Convert(v Value, t *minic.Type) (Value, error) {
+	switch {
+	case t.Kind == minic.TVoid:
+		return VoidValue(), nil
+	case t.IsInteger():
+		var i int64
+		switch v.K {
+		case VInt:
+			i = v.I
+		case VFloat:
+			i = int64(v.F)
+		case VComplex:
+			i = int64(real(v.C))
+		case VPointer:
+			i = v.P.AsInt()
+		default:
+			return Value{}, fmt.Errorf("cannot convert %s to %s", v.T, t)
+		}
+		return truncInt(i, t), nil
+	case t.IsFloat():
+		switch v.K {
+		case VInt, VFloat, VComplex:
+			return FloatValue(v.Float(), t), nil
+		default:
+			return Value{}, fmt.Errorf("cannot convert %s to %s", v.T, t)
+		}
+	case t.IsComplex():
+		switch v.K {
+		case VInt, VFloat, VComplex:
+			return ComplexValue(v.Complex(), t), nil
+		default:
+			return Value{}, fmt.Errorf("cannot convert %s to %s", v.T, t)
+		}
+	case t.Kind == minic.TPointer:
+		switch v.K {
+		case VPointer:
+			p := v.P
+			// Retyping a pointer changes its view; void* keeps the
+			// original view so round-trips through void* are lossless.
+			if t.Elem.Kind != minic.TVoid {
+				p.Elem = t.Elem
+			}
+			return Value{K: VPointer, T: t, P: p}, nil
+		case VInt:
+			if v.I == 0 {
+				return Value{K: VPointer, T: t, P: Pointer{}}, nil
+			}
+			return Value{}, fmt.Errorf("cannot convert non-zero integer %d to pointer", v.I)
+		default:
+			return Value{}, fmt.Errorf("cannot convert %s to %s", v.T, t)
+		}
+	case t.Kind == minic.TStruct:
+		if v.K != VStruct {
+			return Value{}, fmt.Errorf("cannot convert %s to %s", v.T, t)
+		}
+		out := v
+		out.T = t
+		return out, nil
+	default:
+		return Value{}, fmt.Errorf("cannot convert %s to %s", v.T, t)
+	}
+}
+
+// truncInt narrows an integer to the width/signedness of t.
+func truncInt(i int64, t *minic.Type) Value {
+	switch t.Kind {
+	case minic.TChar:
+		if t.Unsigned {
+			i = int64(uint8(i))
+		} else {
+			i = int64(int8(i))
+		}
+	case minic.TInt:
+		if t.Unsigned {
+			i = int64(uint32(i))
+		} else {
+			i = int64(int32(i))
+		}
+	}
+	return Value{K: VInt, T: t, I: i}
+}
+
+// zeroValue builds the zero value for a scalar/pointer leaf type.
+func zeroValue(t *minic.Type) Value {
+	switch {
+	case t.IsInteger():
+		return Value{K: VInt, T: t}
+	case t.IsFloat():
+		return Value{K: VFloat, T: t}
+	case t.IsComplex():
+		return Value{K: VComplex, T: t}
+	case t.Kind == minic.TPointer:
+		return Value{K: VPointer, T: t}
+	default:
+		return Value{K: VVoid, T: t}
+	}
+}
+
+// almostEqual compares floats with combined absolute/relative tolerance.
+func almostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= tol*scale
+}

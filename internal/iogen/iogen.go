@@ -1,0 +1,231 @@
+// Package iogen generates the random IO examples generate-and-test feeds
+// to candidate adapters (paper §6.1): lengths are drawn from the
+// intersection of the accelerator domain and the user code's profiled
+// range, biased toward small sizes that run quickly; length variables are
+// assigned before the arrays they measure (the topological order the paper
+// describes); scalar flags honor pins and direction maps.
+package iogen
+
+import (
+	"math/rand"
+	"sort"
+
+	"facc/internal/accel"
+	"facc/internal/analysis"
+	"facc/internal/binding"
+)
+
+// Case is one generated test input.
+type Case struct {
+	// UserLen is the value given to the user's length variable (before
+	// the candidate's conversion); AccelLen is after conversion.
+	UserLen  int64
+	AccelLen int64
+	// Scalars assigns every non-length integer parameter.
+	Scalars map[string]int64
+	// Input is the complex test signal.
+	Input []complex128
+}
+
+// Generator produces test cases for one candidate.
+type Generator struct {
+	rng   *rand.Rand
+	cand  *binding.Candidate
+	prof  *analysis.Profile
+	sizes []int64 // accelerator lengths to draw from, ascending
+}
+
+// New builds a generator. profile may be nil.
+func New(seed int64, cand *binding.Candidate, profile *analysis.Profile) *Generator {
+	g := &Generator{
+		rng:  rand.New(rand.NewSource(seed)),
+		cand: cand,
+		prof: profile,
+	}
+	g.sizes = g.candidateSizes()
+	return g
+}
+
+// candidateSizes computes the accelerator lengths to test, smallest first
+// (the paper's bias toward small, fast examples).
+func (g *Generator) candidateSizes() []int64 {
+	spec := g.cand.Spec
+	var pool []int64
+	add := func(n int64) {
+		if n > 0 && spec.Supports(int(n)) {
+			pool = append(pool, n)
+		}
+	}
+	if g.cand.Length.Param == "" {
+		add(g.cand.Length.Const)
+	} else if r := g.profRange(); r != nil && r.Distinct() != nil {
+		for _, v := range r.Distinct() {
+			add(g.cand.Length.Conv.Apply(v))
+		}
+	} else if r != nil {
+		// Wide profiled interval: probe powers of two inside it.
+		for n := int64(1); n <= r.Max && n <= int64(spec.MaxN); n <<= 1 {
+			if conv := g.cand.Length.Conv.Apply(n); conv > 0 {
+				if n >= r.Min {
+					add(g.cand.Length.Conv.Apply(n))
+				}
+			}
+		}
+	}
+	if len(pool) == 0 && g.profRange() != nil && g.profRange().Count > 0 {
+		// The profiled range and the accelerator domain are disjoint:
+		// the candidate is untestable (and the adapter would never fire).
+		return nil
+	}
+	if len(pool) == 0 {
+		// No profile: small members of the accelerator domain.
+		if spec.PowerOfTwoOnly {
+			for n := int64(spec.MinN); n <= int64(spec.MaxN) && n <= 1024; n <<= 1 {
+				add(n)
+			}
+		} else {
+			for _, n := range []int64{4, 8, 12, 16, 20, 27, 64, 100, 128} {
+				add(n)
+			}
+		}
+	}
+	sort.Slice(pool, func(i, j int) bool { return pool[i] < pool[j] })
+	// Dedup.
+	out := pool[:0]
+	var last int64 = -1
+	for _, n := range pool {
+		if n != last {
+			out = append(out, n)
+			last = n
+		}
+	}
+	// Bias toward small examples (paper §6.1): once small sizes exist,
+	// drop the expensive tail — equivalence at small n plus the range
+	// check covers the rest.
+	const maxTestSize = 256
+	smallEnough := 0
+	for _, n := range out {
+		if n <= maxTestSize {
+			smallEnough++
+		}
+	}
+	if smallEnough > 0 {
+		out = out[:smallEnough]
+	}
+	return out
+}
+
+func (g *Generator) profRange() *analysis.Range {
+	if g.prof == nil || g.cand.Length.Param == "" {
+		return nil
+	}
+	return g.prof.Range(g.cand.Length.Param)
+}
+
+// Viable reports whether any testable size exists (empty domain ∩ range
+// means the candidate is untestable and must be rejected).
+func (g *Generator) Viable() bool { return len(g.sizes) > 0 }
+
+// Cases generates count test cases. Sizes cycle through the pool smallest
+// first so early failures are cheap; the remainder sample the pool.
+func (g *Generator) Cases(count int) []Case {
+	if !g.Viable() {
+		return nil
+	}
+	out := make([]Case, 0, count)
+	for i := 0; i < count; i++ {
+		var an int64
+		if i < len(g.sizes) {
+			an = g.sizes[i]
+		} else {
+			an = g.sizes[g.rng.Intn(len(g.sizes))]
+		}
+		c := Case{AccelLen: an, Scalars: map[string]int64{}}
+		// Invert the conversion to get the user-level value.
+		switch g.cand.Length.Conv {
+		case binding.ConvExp2:
+			c.UserLen = int64(log2(an))
+		default:
+			c.UserLen = an
+		}
+		g.fillScalars(&c, i)
+		c.Input = g.signal(int(an))
+		out = append(out, c)
+	}
+	return out
+}
+
+// fillScalars assigns pinned, direction-mapped and free scalar parameters.
+// Free parameters are deliberately randomized (including values unlike the
+// length) so bindings that secretly depend on them are caught.
+func (g *Generator) fillScalars(c *Case, caseIdx int) {
+	for _, pin := range g.cand.Pins {
+		c.Scalars[pin.Param] = pin.Value
+	}
+	if d := g.cand.Direction; d != nil && d.Param != "" {
+		keys := make([]int64, 0, len(d.Map))
+		for k := range d.Map {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		c.Scalars[d.Param] = keys[caseIdx%len(keys)]
+	}
+	for _, name := range g.cand.FreeParams {
+		if _, done := c.Scalars[name]; done {
+			continue
+		}
+		if r := g.profOf(name); r != nil && r.Distinct() != nil {
+			vals := r.Distinct()
+			c.Scalars[name] = vals[g.rng.Intn(len(vals))]
+		} else {
+			c.Scalars[name] = int64(g.rng.Intn(7)) - 1
+		}
+	}
+}
+
+func (g *Generator) profOf(name string) *analysis.Range {
+	if g.prof == nil {
+		return nil
+	}
+	return g.prof.Range(name)
+}
+
+// signal draws a random complex test vector with unit-scale components.
+func (g *Generator) signal(n int) []complex128 {
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = complex(g.rng.NormFloat64(), g.rng.NormFloat64())
+	}
+	return out
+}
+
+func log2(n int64) int {
+	k := 0
+	for n > 1 {
+		n >>= 1
+		k++
+	}
+	return k
+}
+
+// FallbackSizes returns lengths in the user's profiled range that the
+// accelerator does NOT support — used to test that the fallback path
+// preserves behavior.
+func FallbackSizes(spec *accel.Spec, profile *analysis.Profile, lengthParam string, conv binding.LengthConv) []int64 {
+	if profile == nil || lengthParam == "" {
+		return nil
+	}
+	r := profile.Range(lengthParam)
+	if r == nil {
+		return nil
+	}
+	var out []int64
+	if vals := r.Distinct(); vals != nil {
+		for _, v := range vals {
+			if an := conv.Apply(v); an <= 0 || !spec.Supports(int(an)) {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}

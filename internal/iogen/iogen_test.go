@@ -1,0 +1,163 @@
+package iogen
+
+import (
+	"testing"
+
+	"facc/internal/accel"
+	"facc/internal/analysis"
+	"facc/internal/binding"
+)
+
+func baseCand(spec *accel.Spec) *binding.Candidate {
+	return &binding.Candidate{
+		Spec:   spec,
+		Length: binding.LengthBinding{Param: "n", Conv: binding.ConvIdentity},
+	}
+}
+
+func TestSizesRespectDomainWithoutProfile(t *testing.T) {
+	g := New(1, baseCand(accel.NewFFTA()), nil)
+	if !g.Viable() {
+		t.Fatal("not viable")
+	}
+	for _, c := range g.Cases(12) {
+		if !accel.NewFFTA().Supports(int(c.AccelLen)) {
+			t.Errorf("generated unsupported size %d", c.AccelLen)
+		}
+		if len(c.Input) != int(c.AccelLen) {
+			t.Errorf("input length %d != %d", len(c.Input), c.AccelLen)
+		}
+	}
+}
+
+func TestSizesBiasedSmallFirst(t *testing.T) {
+	g := New(1, baseCand(accel.NewFFTA()), nil)
+	cases := g.Cases(4)
+	if cases[0].AccelLen != 64 {
+		t.Errorf("first case size = %d, want smallest (64)", cases[0].AccelLen)
+	}
+	for i := 1; i < len(cases) && i < 3; i++ {
+		if cases[i].AccelLen < cases[i-1].AccelLen {
+			t.Errorf("sizes not ascending early: %d then %d", cases[i-1].AccelLen, cases[i].AccelLen)
+		}
+	}
+}
+
+func TestSizesFromProfile(t *testing.T) {
+	p := analysis.NewProfile()
+	p.ObserveInt("n", 128)
+	p.ObserveInt("n", 512)
+	g := New(1, baseCand(accel.NewFFTA()), p)
+	for _, c := range g.Cases(8) {
+		if c.AccelLen != 128 && c.AccelLen != 512 {
+			t.Errorf("size %d outside profiled set", c.AccelLen)
+		}
+	}
+}
+
+func TestNonViableWhenDomainAndProfileDisjoint(t *testing.T) {
+	p := analysis.NewProfile()
+	p.ObserveInt("n", 8) // FFTA MinN is 64
+	g := New(1, baseCand(accel.NewFFTA()), p)
+	if g.Viable() {
+		t.Error("8-point-only profile should be non-viable on FFTA")
+	}
+	if g.Cases(3) != nil {
+		t.Error("non-viable generator must produce no cases")
+	}
+}
+
+func TestExp2UserLenInversion(t *testing.T) {
+	cand := &binding.Candidate{
+		Spec:   accel.NewFFTA(),
+		Length: binding.LengthBinding{Param: "logn", Conv: binding.ConvExp2},
+	}
+	p := analysis.NewProfile()
+	p.ObserveInt("logn", 6)
+	p.ObserveInt("logn", 8)
+	g := New(1, cand, p)
+	for _, c := range g.Cases(4) {
+		if 1<<uint(c.UserLen) != c.AccelLen {
+			t.Errorf("UserLen %d does not invert to AccelLen %d", c.UserLen, c.AccelLen)
+		}
+	}
+}
+
+func TestConstLength(t *testing.T) {
+	cand := &binding.Candidate{
+		Spec:   accel.NewFFTA(),
+		Length: binding.LengthBinding{Const: 64},
+	}
+	g := New(1, cand, nil)
+	for _, c := range g.Cases(3) {
+		if c.AccelLen != 64 {
+			t.Errorf("size = %d, want 64", c.AccelLen)
+		}
+	}
+}
+
+func TestPinsAndDirectionScalars(t *testing.T) {
+	cand := baseCand(accel.NewFFTWLib())
+	cand.Pins = []binding.ScalarPin{{Param: "mode", Value: 3}}
+	cand.Direction = &binding.DirectionSource{Param: "inv",
+		Map: map[int64]int64{0: -1, 1: 1}}
+	g := New(1, cand, nil)
+	cases := g.Cases(6)
+	saw0, saw1 := false, false
+	for _, c := range cases {
+		if c.Scalars["mode"] != 3 {
+			t.Errorf("pinned scalar = %d", c.Scalars["mode"])
+		}
+		switch c.Scalars["inv"] {
+		case 0:
+			saw0 = true
+		case 1:
+			saw1 = true
+		default:
+			t.Errorf("direction scalar = %d, not in map", c.Scalars["inv"])
+		}
+	}
+	if !saw0 || !saw1 {
+		t.Error("both direction values must be exercised")
+	}
+}
+
+func TestFreeParamsRandomized(t *testing.T) {
+	cand := baseCand(accel.NewPowerQuad())
+	cand.FreeParams = []string{"junk"}
+	g := New(7, cand, nil)
+	distinct := map[int64]bool{}
+	for _, c := range g.Cases(20) {
+		distinct[c.Scalars["junk"]] = true
+	}
+	if len(distinct) < 2 {
+		t.Error("free parameter should take multiple values")
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	a := New(99, baseCand(accel.NewPowerQuad()), nil).Cases(5)
+	b := New(99, baseCand(accel.NewPowerQuad()), nil).Cases(5)
+	for i := range a {
+		if a[i].AccelLen != b[i].AccelLen || a[i].Input[0] != b[i].Input[0] {
+			t.Fatal("generator not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestFallbackSizes(t *testing.T) {
+	p := analysis.NewProfile()
+	for _, v := range []int64{64, 100, 8192 * 16} {
+		p.ObserveInt("n", v)
+	}
+	fb := FallbackSizes(accel.NewFFTA(), p, "n", binding.ConvIdentity)
+	want := map[int64]bool{100: true, 8192 * 16: true}
+	if len(fb) != 2 {
+		t.Fatalf("fallback sizes = %v", fb)
+	}
+	for _, v := range fb {
+		if !want[v] {
+			t.Errorf("unexpected fallback size %d", v)
+		}
+	}
+}

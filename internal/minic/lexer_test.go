@@ -1,0 +1,245 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []Kind {
+	out := make([]Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestTokenizeBasics(t *testing.T) {
+	toks, err := Tokenize("t.c", "int x = 42;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{KwInt, Ident, Assign, IntLit, Semi}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+	if toks[3].IntVal != 42 {
+		t.Errorf("IntVal = %d, want 42", toks[3].IntVal)
+	}
+}
+
+func TestTokenizeOperators(t *testing.T) {
+	src := "a += b << 2; c->d++; e >= f && g != h; x <<= 1; y >>= 2; p ... "
+	toks, err := Tokenize("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []Kind
+	for _, tk := range toks {
+		switch tk.Kind {
+		case Ident, IntLit, Semi:
+		default:
+			ops = append(ops, tk.Kind)
+		}
+	}
+	want := []Kind{PlusAssign, Shl, Arrow, PlusPlus, Ge, AndAnd, NotEq, ShlAssign, ShrAssign, Ellipsis}
+	if len(ops) != len(want) {
+		t.Fatalf("ops = %v, want %v", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("op %d: got %s, want %s", i, ops[i], want[i])
+		}
+	}
+}
+
+func TestTokenizeNumbers(t *testing.T) {
+	cases := []struct {
+		src     string
+		isFloat bool
+		fval    float64
+		ival    int64
+	}{
+		{"123", false, 0, 123},
+		{"0x1F", false, 0, 31},
+		{"1.5", true, 1.5, 0},
+		{"1e3", true, 1000, 0},
+		{"2.5e-2", true, 0.025, 0},
+		{"1.0f", true, 1.0, 0},
+		{".5", true, 0.5, 0},
+		{"100L", false, 0, 100},
+		{"7u", false, 0, 7},
+	}
+	for _, c := range cases {
+		toks, err := Tokenize("t.c", c.src)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		if len(toks) != 1 {
+			t.Fatalf("%s: got %d tokens", c.src, len(toks))
+		}
+		tk := toks[0]
+		if c.isFloat {
+			if tk.Kind != FloatLit || tk.FloatVal != c.fval {
+				t.Errorf("%s: got %v %v, want float %v", c.src, tk.Kind, tk.FloatVal, c.fval)
+			}
+		} else {
+			if tk.Kind != IntLit || tk.IntVal != c.ival {
+				t.Errorf("%s: got %v %v, want int %v", c.src, tk.Kind, tk.IntVal, c.ival)
+			}
+		}
+	}
+}
+
+func TestTokenizeComments(t *testing.T) {
+	src := `
+int a; // line comment
+/* block */ int b;
+/* multi
+   line
+   comment */ int c;
+int /* inline */ d;
+`
+	toks, err := Tokenize("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, tk := range toks {
+		if tk.Kind == Ident {
+			names = append(names, tk.Text)
+		}
+	}
+	if strings.Join(names, ",") != "a,b,c,d" {
+		t.Errorf("identifiers = %v", names)
+	}
+}
+
+func TestTokenizeStringsAndChars(t *testing.T) {
+	toks, err := Tokenize("t.c", `printf("hi\n%d", 'x');`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Kind != StringLit || toks[2].Text != "hi\n%d" {
+		t.Errorf("string = %q", toks[2].Text)
+	}
+	if toks[4].Kind != CharLit || toks[4].IntVal != 'x' {
+		t.Errorf("char = %v", toks[4])
+	}
+}
+
+func TestPreprocessorDefine(t *testing.T) {
+	src := `
+#include <math.h>
+#define SIZE 64
+#define TWO_PI (2.0 * M_PI)
+int arr[SIZE];
+double x = TWO_PI;
+`
+	toks, err := Tokenize("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// arr[64]
+	found := false
+	for i, tk := range toks {
+		if tk.Kind == Ident && tk.Text == "arr" {
+			if toks[i+2].Kind != IntLit || toks[i+2].IntVal != 64 {
+				t.Errorf("SIZE expanded to %v", toks[i+2])
+			}
+			found = true
+		}
+		if tk.Kind == Ident && (tk.Text == "SIZE" || tk.Text == "TWO_PI" || tk.Text == "M_PI") {
+			t.Errorf("macro %s not expanded", tk.Text)
+		}
+	}
+	if !found {
+		t.Error("arr declaration not found")
+	}
+}
+
+func TestPredefinedMacros(t *testing.T) {
+	toks, err := Tokenize("t.c", "double p = M_PI; void* q = NULL;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawPi, sawNull := false, false
+	for _, tk := range toks {
+		if tk.Kind == FloatLit && tk.FloatVal > 3.14 && tk.FloatVal < 3.15 {
+			sawPi = true
+		}
+		if tk.Kind == IntLit && tk.IntVal == 0 {
+			sawNull = true
+		}
+	}
+	if !sawPi || !sawNull {
+		t.Errorf("M_PI expanded=%v NULL expanded=%v", sawPi, sawNull)
+	}
+}
+
+func TestFunctionLikeMacroRejected(t *testing.T) {
+	_, err := Tokenize("t.c", "#define SQ(x) ((x)*(x))\nint y = SQ(3);")
+	if err == nil {
+		t.Fatal("expected error for function-like macro")
+	}
+	if !strings.Contains(err.Error(), "function-like macro") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{`"unterminated`, "'a", "@"} {
+		if _, err := Tokenize("t.c", src); err == nil {
+			t.Errorf("%q: expected lex error", src)
+		}
+	}
+}
+
+func TestTokenPositions(t *testing.T) {
+	toks, err := Tokenize("f.c", "int\n  x;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("int at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("x at %v, want 2:3", toks[1].Pos)
+	}
+	if got := toks[1].Pos.String(); got != "f.c:2:3" {
+		t.Errorf("Pos.String() = %q", got)
+	}
+}
+
+func TestComplexKeyword(t *testing.T) {
+	for _, src := range []string{"float _Complex z;", "float complex z;", "double complex w;"} {
+		toks, err := Tokenize("t.c", src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if toks[1].Kind != KwComplex {
+			t.Errorf("%s: second token = %s, want complex keyword", src, toks[1].Kind)
+		}
+	}
+}
+
+func TestImaginaryUnitMacro(t *testing.T) {
+	toks, err := Tokenize("t.c", "double complex z = 3.0 + 2.0*I;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	saw := false
+	for _, tk := range toks {
+		if tk.Kind == Ident && tk.Text == "__I__" {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Error("I did not expand to __I__")
+	}
+}

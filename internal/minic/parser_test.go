@@ -1,0 +1,391 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := Parse("test.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f
+}
+
+func mustCheck(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := ParseAndCheck("test.c", src)
+	if err != nil {
+		t.Fatalf("parse+check: %v", err)
+	}
+	return f
+}
+
+func TestParseSimpleFunction(t *testing.T) {
+	f := mustParse(t, `
+int add(int a, int b) {
+    return a + b;
+}`)
+	if len(f.Funcs) != 1 {
+		t.Fatalf("funcs = %d", len(f.Funcs))
+	}
+	fn := f.Funcs[0]
+	if fn.Name != "add" || len(fn.Params) != 2 || fn.Type.Ret.Kind != TInt {
+		t.Errorf("unexpected signature: %s %v", fn.Name, fn.Type)
+	}
+	if fn.Body == nil || len(fn.Body.List) != 1 {
+		t.Fatalf("body missing")
+	}
+	if _, ok := fn.Body.List[0].(*ReturnStmt); !ok {
+		t.Errorf("body[0] = %T, want ReturnStmt", fn.Body.List[0])
+	}
+}
+
+func TestParseStructTypedef(t *testing.T) {
+	f := mustParse(t, `
+typedef struct {
+    float real;
+    float imag;
+} complex_t;
+
+complex_t make(float r, float i) {
+    complex_t c;
+    c.real = r;
+    c.imag = i;
+    return c;
+}`)
+	if len(f.Typedefs) != 1 {
+		t.Fatalf("typedefs = %d", len(f.Typedefs))
+	}
+	td := f.Typedefs[0]
+	if td.Name != "complex_t" || td.Type.Kind != TStruct || len(td.Type.Fields) != 2 {
+		t.Errorf("typedef = %+v", td)
+	}
+	if td.Type.StructName != "complex_t" {
+		t.Errorf("anonymous struct should adopt typedef name, got %q", td.Type.StructName)
+	}
+}
+
+func TestParseNamedStruct(t *testing.T) {
+	f := mustParse(t, `
+struct point { int x; int y; };
+int getx(struct point* p) { return p->x; }
+`)
+	if len(f.Structs) != 1 || f.Structs[0].Name != "point" {
+		t.Fatalf("structs = %+v", f.Structs)
+	}
+	fn := f.Funcs[0]
+	pt := fn.Params[0].Type
+	if pt.Kind != TPointer || pt.Elem.Kind != TStruct || pt.Elem.StructName != "point" {
+		t.Errorf("param type = %s", pt)
+	}
+}
+
+func TestParsePointerAndArrayDeclarators(t *testing.T) {
+	f := mustParse(t, `
+float* p;
+float arr[16];
+float mat[4][4];
+float* ptrs[8];
+int n;
+`)
+	types := map[string]string{}
+	for _, g := range f.Globals {
+		types[g.Name] = g.Type.String()
+	}
+	want := map[string]string{
+		"p":    "float*",
+		"arr":  "float[16]",
+		"mat":  "float[4][4]",
+		"ptrs": "float*[8]",
+		"n":    "int",
+	}
+	for name, w := range want {
+		if types[name] != w {
+			t.Errorf("%s: got %s, want %s", name, types[name], w)
+		}
+	}
+}
+
+func TestParseVLA(t *testing.T) {
+	f := mustParse(t, `
+void work(int n) {
+    float buf[n];
+    buf[0] = 1.0f;
+}`)
+	ds := f.Funcs[0].Body.List[0].(*DeclStmt)
+	typ := ds.Decls[0].Type
+	if typ.Kind != TArray || typ.ArrayLen >= 0 || typ.ArrayLenExpr == nil {
+		t.Errorf("VLA type = %+v", typ)
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	f := mustParse(t, `
+int classify(int x) {
+    if (x < 0) return -1;
+    else if (x == 0) return 0;
+    for (int i = 0; i < 10; i++) x += i;
+    while (x > 100) x /= 2;
+    do { x--; } while (x > 50);
+    switch (x) {
+    case 1: return 1;
+    case 2:
+    case 3: return 23;
+    default: break;
+    }
+    return x;
+}`)
+	body := f.Funcs[0].Body.List
+	if len(body) != 6 {
+		t.Fatalf("statements = %d, want 6", len(body))
+	}
+	if _, ok := body[0].(*IfStmt); !ok {
+		t.Errorf("body[0] = %T", body[0])
+	}
+	if _, ok := body[1].(*ForStmt); !ok {
+		t.Errorf("body[1] = %T", body[1])
+	}
+	ws, ok := body[2].(*WhileStmt)
+	if !ok || ws.Do {
+		t.Errorf("body[2] = %T (do=%v)", body[2], ok && ws.Do)
+	}
+	dw, ok := body[3].(*WhileStmt)
+	if !ok || !dw.Do {
+		t.Errorf("body[3] = %T, want do-while", body[3])
+	}
+	sw, ok := body[4].(*SwitchStmt)
+	if !ok {
+		t.Fatalf("body[4] = %T, want switch", body[4])
+	}
+	if len(sw.Cases) != 4 {
+		t.Errorf("cases = %d, want 4", len(sw.Cases))
+	}
+	if !sw.Cases[3].IsDefault {
+		t.Error("last case should be default")
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	f := mustParse(t, "int x = 1 + 2 * 3;")
+	be := f.Globals[0].Init.(*BinaryExpr)
+	if be.Op != Plus {
+		t.Fatalf("root op = %s, want +", be.Op)
+	}
+	r := be.R.(*BinaryExpr)
+	if r.Op != Star {
+		t.Errorf("right op = %s, want *", r.Op)
+	}
+}
+
+func TestParseTernaryAndLogical(t *testing.T) {
+	f := mustParse(t, "int x = 1 < 2 && 3 > 2 ? 10 : 20;")
+	ce, ok := f.Globals[0].Init.(*CondExpr)
+	if !ok {
+		t.Fatalf("init = %T", f.Globals[0].Init)
+	}
+	if _, ok := ce.Cond.(*BinaryExpr); !ok {
+		t.Errorf("cond = %T", ce.Cond)
+	}
+}
+
+func TestParseCastAndSizeof(t *testing.T) {
+	f := mustParse(t, `
+void work(void) {
+    double d = (double)3;
+    float* p = (float*)malloc(16 * sizeof(float));
+    long s = sizeof d;
+}`)
+	body := f.Funcs[0].Body.List
+	d0 := body[0].(*DeclStmt).Decls[0]
+	if _, ok := d0.Init.(*CastExpr); !ok {
+		t.Errorf("d init = %T, want cast", d0.Init)
+	}
+	d2 := body[2].(*DeclStmt).Decls[0]
+	if se, ok := d2.Init.(*SizeofExpr); !ok || se.X == nil {
+		t.Errorf("s init = %T, want sizeof expr", d2.Init)
+	}
+}
+
+func TestParseInitializerLists(t *testing.T) {
+	f := mustParse(t, `
+float w[4] = {1.0f, 0.0f, -1.0f, 0.0f};
+int grid[2][2] = {{1, 2}, {3, 4}};
+`)
+	il, ok := f.Globals[0].Init.(*InitListExpr)
+	if !ok || len(il.Items) != 4 {
+		t.Fatalf("w init = %T", f.Globals[0].Init)
+	}
+	il2 := f.Globals[1].Init.(*InitListExpr)
+	if len(il2.Items) != 2 {
+		t.Fatalf("grid rows = %d", len(il2.Items))
+	}
+	if _, ok := il2.Items[0].(*InitListExpr); !ok {
+		t.Errorf("grid[0] = %T", il2.Items[0])
+	}
+}
+
+func TestParseIncompleteArrayCompletedByInit(t *testing.T) {
+	f := mustCheck(t, "int tab[] = {1, 2, 3, 4, 5};")
+	typ := f.Globals[0].Type
+	if typ.ArrayLen != 5 {
+		t.Errorf("inferred length = %d, want 5", typ.ArrayLen)
+	}
+}
+
+func TestParseEnum(t *testing.T) {
+	f := mustParse(t, `
+enum dir { FORWARD, BACKWARD = 5, SIDEWAYS };
+int x = BACKWARD;
+int y = SIDEWAYS;
+`)
+	if v := f.Globals[0].Init.(*IntLitExpr).Value; v != 5 {
+		t.Errorf("BACKWARD = %d", v)
+	}
+	if v := f.Globals[1].Init.(*IntLitExpr).Value; v != 6 {
+		t.Errorf("SIDEWAYS = %d", v)
+	}
+}
+
+func TestParseRecursiveFunction(t *testing.T) {
+	f := mustCheck(t, `
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}`)
+	ret := f.Funcs[0].Body.List[1].(*ReturnStmt)
+	be := ret.Value.(*BinaryExpr)
+	call := be.L.(*CallExpr)
+	id := call.Fun.(*IdentExpr)
+	if id.Func == nil || id.Func.Name != "fib" {
+		t.Error("recursive call not resolved")
+	}
+}
+
+func TestParsePrototypeThenDefinition(t *testing.T) {
+	f := mustCheck(t, `
+void helper(int n);
+void caller(void) { helper(3); }
+void helper(int n) { }
+`)
+	count := 0
+	for _, fn := range f.Funcs {
+		if fn.Name == "helper" {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Fatalf("helper decls = %d", count)
+	}
+}
+
+func TestParseComplexProgram(t *testing.T) {
+	mustCheck(t, `
+#include <complex.h>
+#include <math.h>
+
+void dft(double complex* in, double complex* out, int n) {
+    for (int k = 0; k < n; k++) {
+        double complex sum = 0;
+        for (int j = 0; j < n; j++) {
+            double angle = -2.0 * M_PI * j * k / n;
+            sum += in[j] * (cos(angle) + sin(angle) * I);
+        }
+        out[k] = sum;
+    }
+}`)
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"int x = ;",
+		"int f( {",
+		"void f(void) { if (x { } }",
+		"void f(void) { goto done; }",
+		"int 3x;",
+		"void f(void) { return 1 }",
+	}
+	for _, src := range cases {
+		if _, err := Parse("t.c", src); err == nil {
+			t.Errorf("%q: expected parse error", src)
+		}
+	}
+}
+
+func TestParseWhileTrueBreak(t *testing.T) {
+	f := mustCheck(t, `
+int count(int n) {
+    int i = 0;
+    while (1) {
+        if (i >= n) break;
+        i++;
+    }
+    return i;
+}`)
+	ws := f.Funcs[0].Body.List[1].(*WhileStmt)
+	if lit, ok := ws.Cond.(*IntLitExpr); !ok || lit.Value != 1 {
+		t.Errorf("while cond = %v", ws.Cond)
+	}
+}
+
+func TestParsePointerArithmetic(t *testing.T) {
+	mustCheck(t, `
+float sum(float* data, int n) {
+    float* end = data + n;
+    float total = 0.0f;
+    while (data < end) {
+        total += *data++;
+    }
+    return total;
+}`)
+}
+
+func TestParseFunctionPointerParamDegradesToVoidPtr(t *testing.T) {
+	f := mustParse(t, "void apply(void (*fn)(int), int x) { }")
+	pt := f.Funcs[0].Params[0].Type
+	if !pt.IsVoidPointer() {
+		t.Errorf("function pointer param = %s, want void*", pt)
+	}
+}
+
+func TestPrintRoundTrip(t *testing.T) {
+	src := `
+typedef struct {
+    float re;
+    float im;
+} cpx;
+
+int is_pow2(int n) {
+    return n > 0 && (n & (n - 1)) == 0;
+}
+
+void scale(cpx* data, int n, float f) {
+    for (int i = 0; i < n; i++) {
+        data[i].re = data[i].re * f;
+        data[i].im = data[i].im * f;
+    }
+}`
+	f1 := mustCheck(t, src)
+	printed := PrintFile(f1)
+	f2, err := ParseAndCheck("printed.c", printed)
+	if err != nil {
+		t.Fatalf("re-parse printed source: %v\nsource:\n%s", err, printed)
+	}
+	if len(f2.Funcs) != len(f1.Funcs) {
+		t.Errorf("function count changed: %d -> %d", len(f1.Funcs), len(f2.Funcs))
+	}
+	p2 := PrintFile(f2)
+	if printed != p2 {
+		t.Errorf("printing not idempotent:\n--- first ---\n%s\n--- second ---\n%s", printed, p2)
+	}
+}
+
+func TestExprString(t *testing.T) {
+	f := mustParse(t, "int x = (1 + 2) * f(3, 4);")
+	s := ExprString(f.Globals[0].Init)
+	if !strings.Contains(s, "1 + 2") || !strings.Contains(s, "f(3, 4)") {
+		t.Errorf("ExprString = %q", s)
+	}
+}

@@ -1,0 +1,386 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseAndCheck parses src and runs the type checker.
+func ParseAndCheck(file, src string) (*File, error) {
+	f, err := Parse(file, src)
+	if err != nil {
+		return nil, err
+	}
+	if err := Check(f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Printer renders AST nodes back to C source. The output is valid C for
+// everything MiniC accepts; FACC uses it to emit user-visible adapters.
+type Printer struct {
+	b      strings.Builder
+	indent int
+}
+
+// PrintFile renders a whole translation unit.
+func PrintFile(f *File) string {
+	p := &Printer{}
+	for _, td := range f.Typedefs {
+		if td.Type.Kind == TStruct {
+			p.printStructTypedef(td)
+		} else {
+			p.printf("typedef %s;\n", declString(td.Type, td.Name))
+		}
+	}
+	for _, sd := range f.Structs {
+		p.printStructDef(sd.Type)
+		p.printf(";\n")
+	}
+	for _, g := range f.Globals {
+		p.printVarDecl(g)
+		p.printf(";\n")
+	}
+	for _, fn := range f.Funcs {
+		p.PrintFunc(fn)
+	}
+	return p.b.String()
+}
+
+// PrintFunc renders one function definition (or prototype).
+func (p *Printer) PrintFunc(fn *FuncDecl) {
+	var params []string
+	for i, prm := range fn.Params {
+		name := prm.Name
+		if name == "" {
+			name = fmt.Sprintf("arg%d", i)
+		}
+		params = append(params, declString(prm.Type, name))
+	}
+	sig := fmt.Sprintf("%s %s(%s)", typeString(fn.Type.Ret), fn.Name, strings.Join(params, ", "))
+	if fn.Body == nil {
+		p.printf("%s;\n", sig)
+		return
+	}
+	p.printf("%s ", sig)
+	p.printBlock(fn.Body)
+	p.printf("\n")
+}
+
+// String returns everything printed so far.
+func (p *Printer) String() string { return p.b.String() }
+
+func (p *Printer) printf(format string, args ...any) {
+	fmt.Fprintf(&p.b, format, args...)
+}
+
+func (p *Printer) line() {
+	p.b.WriteString("\n")
+	p.b.WriteString(strings.Repeat("    ", p.indent))
+}
+
+func (p *Printer) printStructTypedef(td *TypedefDecl) {
+	p.printf("typedef ")
+	p.printStructDef(td.Type)
+	p.printf(" %s;\n", td.Name)
+}
+
+func (p *Printer) printStructDef(t *Type) {
+	// A typedef-adopted name is not a struct tag; print anonymously so
+	// the output round-trips.
+	if t.StructName != "" && !t.FromTypedef {
+		p.printf("struct %s {", t.StructName)
+	} else {
+		p.printf("struct {")
+	}
+	p.indent++
+	for _, f := range t.Fields {
+		p.line()
+		p.printf("%s;", declString(f.Type, f.Name))
+	}
+	p.indent--
+	p.line()
+	p.printf("}")
+}
+
+func (p *Printer) printVarDecl(v *VarDecl) {
+	if v.Storage == SCStatic {
+		p.printf("static ")
+	}
+	p.printf("%s", declString(v.Type, v.Name))
+	if v.Init != nil {
+		p.printf(" = %s", ExprString(v.Init))
+	}
+}
+
+// declString renders "type name" with C declarator syntax (arrays and
+// pointers attach to the name).
+func declString(t *Type, name string) string {
+	switch t.Kind {
+	case TArray:
+		n := ""
+		if t.ArrayLen >= 0 {
+			n = fmt.Sprintf("%d", t.ArrayLen)
+		} else if t.ArrayLenExpr != nil {
+			n = ExprString(t.ArrayLenExpr)
+		}
+		return declString(t.Elem, fmt.Sprintf("%s[%s]", name, n))
+	case TPointer:
+		if t.Elem.Kind == TArray || t.Elem.Kind == TFunc {
+			return declString(t.Elem, "(*"+name+")")
+		}
+		return declString(t.Elem, "*"+name)
+	case TFunc:
+		var params []string
+		for _, prm := range t.Params {
+			params = append(params, declString(prm.Type, prm.Name))
+		}
+		return declString(t.Ret, fmt.Sprintf("%s(%s)", name, strings.Join(params, ", ")))
+	default:
+		return typeString(t) + " " + name
+	}
+}
+
+// typeString renders a type for use where no declarator name is needed.
+func typeString(t *Type) string {
+	switch t.Kind {
+	case TStruct:
+		if t.StructName != "" {
+			if t.FromTypedef {
+				return t.StructName
+			}
+			return "struct " + t.StructName
+		}
+		return t.String()
+	case TPointer:
+		return typeString(t.Elem) + "*"
+	case TComplexFloat:
+		return "float complex"
+	case TComplexDouble:
+		return "double complex"
+	default:
+		return t.String()
+	}
+}
+
+// ---- Statements ----
+
+func (p *Printer) printBlock(b *BlockStmt) {
+	p.printf("{")
+	p.indent++
+	for _, s := range b.List {
+		p.line()
+		p.printStmt(s)
+	}
+	p.indent--
+	p.line()
+	p.printf("}")
+}
+
+func (p *Printer) printStmt(s Stmt) {
+	switch st := s.(type) {
+	case *ExprStmt:
+		p.printf("%s;", ExprString(st.X))
+	case *DeclStmt:
+		for i, d := range st.Decls {
+			if i > 0 {
+				p.line()
+			}
+			p.printVarDecl(d)
+			p.printf(";")
+		}
+	case *BlockStmt:
+		p.printBlock(st)
+	case *IfStmt:
+		p.printf("if (%s) ", ExprString(st.Cond))
+		p.printStmtAsBlock(st.Then)
+		if st.Else != nil {
+			p.printf(" else ")
+			p.printStmtAsBlock(st.Else)
+		}
+	case *ForStmt:
+		init := ""
+		if st.Init != nil {
+			switch is := st.Init.(type) {
+			case *ExprStmt:
+				init = ExprString(is.X)
+			case *DeclStmt:
+				var parts []string
+				for _, d := range is.Decls {
+					s := declString(d.Type, d.Name)
+					if d.Init != nil {
+						s += " = " + ExprString(d.Init)
+					}
+					parts = append(parts, s)
+				}
+				init = strings.Join(parts, ", ")
+			}
+		}
+		cond := ""
+		if st.Cond != nil {
+			cond = ExprString(st.Cond)
+		}
+		post := ""
+		if st.Post != nil {
+			post = ExprString(st.Post)
+		}
+		p.printf("for (%s; %s; %s) ", init, cond, post)
+		p.printStmtAsBlock(st.Body)
+	case *WhileStmt:
+		if st.Do {
+			p.printf("do ")
+			p.printStmtAsBlock(st.Body)
+			p.printf(" while (%s);", ExprString(st.Cond))
+		} else {
+			p.printf("while (%s) ", ExprString(st.Cond))
+			p.printStmtAsBlock(st.Body)
+		}
+	case *SwitchStmt:
+		p.printf("switch (%s) {", ExprString(st.Tag))
+		for _, cc := range st.Cases {
+			p.line()
+			if cc.IsDefault {
+				p.printf("default:")
+			} else {
+				p.printf("case %s:", ExprString(cc.Value))
+			}
+			p.indent++
+			for _, sub := range cc.Body {
+				p.line()
+				p.printStmt(sub)
+			}
+			p.indent--
+		}
+		p.line()
+		p.printf("}")
+	case *BreakStmt:
+		p.printf("break;")
+	case *ContinueStmt:
+		p.printf("continue;")
+	case *ReturnStmt:
+		if st.Value == nil {
+			p.printf("return;")
+		} else {
+			p.printf("return %s;", ExprString(st.Value))
+		}
+	default:
+		p.printf("/* unprintable %T */;", s)
+	}
+}
+
+func (p *Printer) printStmtAsBlock(s Stmt) {
+	if b, ok := s.(*BlockStmt); ok {
+		p.printBlock(b)
+		return
+	}
+	p.printf("{")
+	p.indent++
+	p.line()
+	p.printStmt(s)
+	p.indent--
+	p.line()
+	p.printf("}")
+}
+
+// ---- Expressions ----
+
+// ExprString renders an expression to C source.
+func ExprString(e Expr) string {
+	switch x := e.(type) {
+	case *IntLitExpr:
+		return fmt.Sprintf("%d", x.Value)
+	case *FloatLitExpr:
+		s := fmt.Sprintf("%g", x.Value)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		if x.Float32 {
+			s += "f"
+		}
+		return s
+	case *StringLitExpr:
+		return quoteC(x.Value)
+	case *ImaginaryLitExpr:
+		return "I"
+	case *IdentExpr:
+		return x.Name
+	case *UnaryExpr:
+		if x.Post {
+			return fmt.Sprintf("%s%s", parenExpr(x.X), x.Op)
+		}
+		return fmt.Sprintf("%s%s", x.Op, parenExpr(x.X))
+	case *BinaryExpr:
+		return fmt.Sprintf("%s %s %s", parenExpr(x.L), x.Op, parenExpr(x.R))
+	case *AssignExpr:
+		return fmt.Sprintf("%s %s %s", ExprString(x.L), x.Op, ExprString(x.R))
+	case *CondExpr:
+		return fmt.Sprintf("%s ? %s : %s", parenExpr(x.Cond), ExprString(x.Then), ExprString(x.Else))
+	case *CallExpr:
+		var args []string
+		for _, a := range x.Args {
+			args = append(args, ExprString(a))
+		}
+		return fmt.Sprintf("%s(%s)", ExprString(x.Fun), strings.Join(args, ", "))
+	case *IndexExpr:
+		return fmt.Sprintf("%s[%s]", parenExpr(x.X), ExprString(x.Index))
+	case *MemberExpr:
+		op := "."
+		if x.Arrow {
+			op = "->"
+		}
+		return fmt.Sprintf("%s%s%s", parenExpr(x.X), op, x.Name)
+	case *CastExpr:
+		return fmt.Sprintf("(%s)%s", typeString(x.To), parenExpr(x.X))
+	case *SizeofExpr:
+		if x.OfType != nil {
+			return fmt.Sprintf("sizeof(%s)", typeString(x.OfType))
+		}
+		return fmt.Sprintf("sizeof %s", parenExpr(x.X))
+	case *CommaExpr:
+		return fmt.Sprintf("%s, %s", ExprString(x.L), ExprString(x.R))
+	case *InitListExpr:
+		var items []string
+		for _, it := range x.Items {
+			items = append(items, ExprString(it))
+		}
+		return "{" + strings.Join(items, ", ") + "}"
+	default:
+		return fmt.Sprintf("/* %T */", e)
+	}
+}
+
+// parenExpr wraps compound sub-expressions in parentheses. Emitting a few
+// redundant parentheses keeps the printer simple and the output unambiguous.
+func parenExpr(e Expr) string {
+	switch e.(type) {
+	case *IntLitExpr, *FloatLitExpr, *IdentExpr, *CallExpr, *IndexExpr,
+		*MemberExpr, *StringLitExpr, *ImaginaryLitExpr:
+		return ExprString(e)
+	default:
+		return "(" + ExprString(e) + ")"
+	}
+}
+
+func quoteC(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}

@@ -1,0 +1,100 @@
+package minic
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// The frontend must never panic, whatever garbage it is fed: truncations,
+// deletions and character swaps over real corpus-shaped sources must all
+// produce either a File or an error.
+
+const robustBase = `
+#include <math.h>
+typedef struct { double re; double im; } cpx;
+static const float w[4] = {1.0f, 0.0f, -1.0f, 0.0f};
+int helper(int n) { return n & (n - 1); }
+void fft(cpx* x, int n, int inverse) {
+    double s = inverse ? 1.0 : -1.0;
+    for (int len = 2; len <= n; len <<= 1) {
+        for (int i = 0; i < n; i += len) {
+            for (int k = 0; k < len / 2; k++) {
+                double a = s * 2.0 * M_PI * (double)k / (double)len;
+                cpx u = x[i + k];
+                x[i + k].re = u.re + cos(a);
+                x[i + k].im = u.im + sin(a);
+            }
+        }
+    }
+}`
+
+func TestParserNeverPanicsOnTruncation(t *testing.T) {
+	for i := 0; i < len(robustBase); i += 7 {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on truncation at %d: %v", i, r)
+				}
+			}()
+			_, _ = ParseAndCheck("trunc.c", robustBase[:i])
+		}()
+	}
+}
+
+func TestParserNeverPanicsOnMutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(12345))
+	chars := []byte(`{}()[];,*&+-<>=!%^~.0123456789abcdefgxyz"'`)
+	for trial := 0; trial < 300; trial++ {
+		b := []byte(robustBase)
+		for k := 0; k < 1+rng.Intn(6); k++ {
+			pos := rng.Intn(len(b))
+			switch rng.Intn(3) {
+			case 0:
+				b[pos] = chars[rng.Intn(len(chars))]
+			case 1:
+				b = append(b[:pos], b[pos+1:]...)
+			case 2:
+				b = append(b[:pos], append([]byte{chars[rng.Intn(len(chars))]}, b[pos:]...)...)
+			}
+		}
+		src := string(b)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on mutated source (trial %d): %v\n%s", trial, r, src)
+				}
+			}()
+			_, _ = ParseAndCheck("mut.c", src)
+		}()
+	}
+}
+
+func TestDeepNestingDoesNotOverflow(t *testing.T) {
+	// Pathological but bounded nesting.
+	var b strings.Builder
+	b.WriteString("int f(int x) { return ")
+	const depth = 200
+	for i := 0; i < depth; i++ {
+		b.WriteString("(1 + ")
+	}
+	b.WriteString("x")
+	for i := 0; i < depth; i++ {
+		b.WriteString(")")
+	}
+	b.WriteString("; }")
+	if _, err := ParseAndCheck("deep.c", b.String()); err != nil {
+		t.Fatalf("deep nesting rejected: %v", err)
+	}
+}
+
+func TestErrorPositionsPointAtOffendingLine(t *testing.T) {
+	src := "int a;\nint b;\nint c = ;\n"
+	_, err := Parse("pos.c", src)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "pos.c:3:") {
+		t.Errorf("error %q should point at line 3", err)
+	}
+}

@@ -1,0 +1,191 @@
+// Package minic implements a lexer, parser and type checker for MiniC, the
+// C subset FACC consumes. MiniC covers the constructs observed in the
+// paper's 25-program FFT benchmark suite: structs and typedefs, C99 complex
+// types, pointers with arithmetic, fixed and variable-length arrays, the
+// full statement repertoire (for / while / do-while / switch / recursion)
+// and a small libc/libm builtin surface (malloc, printf, sin, cexp, ...).
+package minic
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. Keyword kinds follow the punctuation block.
+const (
+	EOF Kind = iota
+	Ident
+	IntLit
+	FloatLit
+	CharLit
+	StringLit
+
+	// Punctuation and operators.
+	LParen   // (
+	RParen   // )
+	LBrace   // {
+	RBrace   // }
+	LBracket // [
+	RBracket // ]
+	Comma    // ,
+	Semi     // ;
+	Colon    // :
+	Question // ?
+	Arrow    // ->
+	Dot      // .
+	Ellipsis // ...
+
+	Plus       // +
+	Minus      // -
+	Star       // *
+	Slash      // /
+	Percent    // %
+	Amp        // &
+	Pipe       // |
+	Caret      // ^
+	Tilde      // ~
+	Not        // !
+	Assign     // =
+	Lt         // <
+	Gt         // >
+	PlusPlus   // ++
+	MinusMinus // --
+	Shl        // <<
+	Shr        // >>
+	Le         // <=
+	Ge         // >=
+	EqEq       // ==
+	NotEq      // !=
+	AndAnd     // &&
+	OrOr       // ||
+
+	PlusAssign    // +=
+	MinusAssign   // -=
+	StarAssign    // *=
+	SlashAssign   // /=
+	PercentAssign // %=
+	AmpAssign     // &=
+	PipeAssign    // |=
+	CaretAssign   // ^=
+	ShlAssign     // <<=
+	ShrAssign     // >>=
+
+	// Keywords.
+	KwVoid
+	KwChar
+	KwShort
+	KwInt
+	KwLong
+	KwFloat
+	KwDouble
+	KwSigned
+	KwUnsigned
+	KwComplex // "_Complex" or "complex"
+	KwStruct
+	KwUnion
+	KwEnum
+	KwTypedef
+	KwConst
+	KwStatic
+	KwExtern
+	KwInline
+	KwVolatile
+	KwRestrict
+	KwSizeof
+	KwIf
+	KwElse
+	KwFor
+	KwWhile
+	KwDo
+	KwSwitch
+	KwCase
+	KwDefault
+	KwBreak
+	KwContinue
+	KwReturn
+	KwGoto
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", Ident: "identifier", IntLit: "integer literal",
+	FloatLit: "float literal", CharLit: "char literal", StringLit: "string literal",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}", LBracket: "[",
+	RBracket: "]", Comma: ",", Semi: ";", Colon: ":", Question: "?",
+	Arrow: "->", Dot: ".", Ellipsis: "...",
+	Plus: "+", Minus: "-", Star: "*", Slash: "/", Percent: "%", Amp: "&",
+	Pipe: "|", Caret: "^", Tilde: "~", Not: "!", Assign: "=", Lt: "<",
+	Gt: ">", PlusPlus: "++", MinusMinus: "--", Shl: "<<", Shr: ">>",
+	Le: "<=", Ge: ">=", EqEq: "==", NotEq: "!=", AndAnd: "&&", OrOr: "||",
+	PlusAssign: "+=", MinusAssign: "-=", StarAssign: "*=", SlashAssign: "/=",
+	PercentAssign: "%=", AmpAssign: "&=", PipeAssign: "|=", CaretAssign: "^=",
+	ShlAssign: "<<=", ShrAssign: ">>=",
+	KwVoid: "void", KwChar: "char", KwShort: "short", KwInt: "int",
+	KwLong: "long", KwFloat: "float", KwDouble: "double", KwSigned: "signed",
+	KwUnsigned: "unsigned", KwComplex: "complex", KwStruct: "struct",
+	KwUnion: "union", KwEnum: "enum", KwTypedef: "typedef", KwConst: "const",
+	KwStatic: "static", KwExtern: "extern", KwInline: "inline",
+	KwVolatile: "volatile", KwRestrict: "restrict", KwSizeof: "sizeof",
+	KwIf: "if", KwElse: "else", KwFor: "for", KwWhile: "while", KwDo: "do",
+	KwSwitch: "switch", KwCase: "case", KwDefault: "default",
+	KwBreak: "break", KwContinue: "continue", KwReturn: "return", KwGoto: "goto",
+}
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"void": KwVoid, "char": KwChar, "short": KwShort, "int": KwInt,
+	"long": KwLong, "float": KwFloat, "double": KwDouble,
+	"signed": KwSigned, "unsigned": KwUnsigned,
+	"_Complex": KwComplex, "complex": KwComplex,
+	"struct": KwStruct, "union": KwUnion, "enum": KwEnum,
+	"typedef": KwTypedef, "const": KwConst, "static": KwStatic,
+	"extern": KwExtern, "inline": KwInline, "volatile": KwVolatile,
+	"restrict": KwRestrict, "__restrict": KwRestrict,
+	"sizeof": KwSizeof, "if": KwIf, "else": KwElse, "for": KwFor,
+	"while": KwWhile, "do": KwDo, "switch": KwSwitch, "case": KwCase,
+	"default": KwDefault, "break": KwBreak, "continue": KwContinue,
+	"return": KwReturn, "goto": KwGoto,
+}
+
+// Pos is a source position.
+type Pos struct {
+	File string
+	Line int // 1-based
+	Col  int // 1-based, in bytes
+}
+
+// String formats the position as file:line:col.
+func (p Pos) String() string {
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// Token is a single lexical token.
+type Token struct {
+	Kind Kind
+	Text string // raw text (identifiers, literals); decoded for strings
+	Pos  Pos
+
+	IntVal       int64   // valid when Kind == IntLit or CharLit
+	FloatVal     float64 // valid when Kind == FloatLit
+	IsFloat32Lit bool    // float literal carried an 'f' suffix
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident, IntLit, FloatLit, CharLit:
+		return t.Text
+	case StringLit:
+		return fmt.Sprintf("%q", t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

@@ -1,0 +1,421 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TypeKind discriminates Type.
+type TypeKind int
+
+// Type kinds.
+const (
+	TVoid TypeKind = iota
+	TChar
+	TInt
+	TLong
+	TFloat
+	TDouble
+	TComplexFloat  // float _Complex
+	TComplexDouble // double _Complex
+	TPointer
+	TArray // fixed or variable length
+	TStruct
+	TFunc
+)
+
+// Type describes a MiniC type. Types are compared structurally with Same.
+type Type struct {
+	Kind TypeKind
+
+	// Pointer / array element type.
+	Elem *Type
+
+	// Array length: a constant if ArrayLen >= 0, variable (VLA) if
+	// ArrayLen < 0 with the length expression in ArrayLenExpr, or an
+	// incomplete array (e.g. parameter "float x[]") if both are unset.
+	ArrayLen     int
+	ArrayLenExpr Expr
+
+	// Struct fields (nil Elem).
+	StructName string
+	Fields     []Field
+	// FromTypedef is set when StructName is a typedef alias (usable
+	// without the "struct" keyword) rather than a struct tag.
+	FromTypedef bool
+
+	// Function signature.
+	Ret      *Type
+	Params   []Param
+	Variadic bool
+
+	Unsigned bool
+}
+
+// Field is a struct member.
+type Field struct {
+	Name string
+	Type *Type
+}
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	Type *Type
+}
+
+// Prebuilt singleton types for the scalar kinds.
+var (
+	Void          = &Type{Kind: TVoid}
+	Char          = &Type{Kind: TChar}
+	Int           = &Type{Kind: TInt}
+	UInt          = &Type{Kind: TInt, Unsigned: true}
+	Long          = &Type{Kind: TLong}
+	ULong         = &Type{Kind: TLong, Unsigned: true}
+	Float         = &Type{Kind: TFloat}
+	Double        = &Type{Kind: TDouble}
+	ComplexFloat  = &Type{Kind: TComplexFloat}
+	ComplexDouble = &Type{Kind: TComplexDouble}
+)
+
+// PointerTo returns a pointer type to elem.
+func PointerTo(elem *Type) *Type { return &Type{Kind: TPointer, Elem: elem} }
+
+// ArrayOf returns a fixed-length array type.
+func ArrayOf(elem *Type, n int) *Type {
+	return &Type{Kind: TArray, Elem: elem, ArrayLen: n}
+}
+
+// IncompleteArrayOf returns an array type of unknown length ("T x[]").
+func IncompleteArrayOf(elem *Type) *Type {
+	return &Type{Kind: TArray, Elem: elem, ArrayLen: -1}
+}
+
+// VLAOf returns a variable-length array type with the given length
+// expression.
+func VLAOf(elem *Type, n Expr) *Type {
+	return &Type{Kind: TArray, Elem: elem, ArrayLen: -1, ArrayLenExpr: n}
+}
+
+// IsInteger reports whether t is an integer type (char/int/long).
+func (t *Type) IsInteger() bool {
+	return t != nil && (t.Kind == TChar || t.Kind == TInt || t.Kind == TLong)
+}
+
+// IsFloat reports whether t is a real floating type.
+func (t *Type) IsFloat() bool {
+	return t != nil && (t.Kind == TFloat || t.Kind == TDouble)
+}
+
+// IsComplex reports whether t is a complex floating type.
+func (t *Type) IsComplex() bool {
+	return t != nil && (t.Kind == TComplexFloat || t.Kind == TComplexDouble)
+}
+
+// IsArithmetic reports whether t supports arithmetic operators.
+func (t *Type) IsArithmetic() bool {
+	return t.IsInteger() || t.IsFloat() || t.IsComplex()
+}
+
+// IsScalar reports whether t is arithmetic or a pointer.
+func (t *Type) IsScalar() bool {
+	return t.IsArithmetic() || (t != nil && t.Kind == TPointer)
+}
+
+// IsVoidPointer reports whether t is void*.
+func (t *Type) IsVoidPointer() bool {
+	return t != nil && t.Kind == TPointer && t.Elem.Kind == TVoid
+}
+
+// Same reports structural type equality. Struct types compare by name when
+// both are named, otherwise by fields. VLA lengths are ignored (any two
+// VLAs of the same element type are the same type for checking purposes).
+func (t *Type) Same(u *Type) bool {
+	if t == u {
+		return true
+	}
+	if t == nil || u == nil || t.Kind != u.Kind || t.Unsigned != u.Unsigned {
+		return false
+	}
+	switch t.Kind {
+	case TPointer:
+		return t.Elem.Same(u.Elem)
+	case TArray:
+		if !t.Elem.Same(u.Elem) {
+			return false
+		}
+		if t.ArrayLen >= 0 && u.ArrayLen >= 0 {
+			return t.ArrayLen == u.ArrayLen
+		}
+		return true
+	case TStruct:
+		if t.StructName != "" && u.StructName != "" {
+			return t.StructName == u.StructName
+		}
+		if len(t.Fields) != len(u.Fields) {
+			return false
+		}
+		for i := range t.Fields {
+			if t.Fields[i].Name != u.Fields[i].Name || !t.Fields[i].Type.Same(u.Fields[i].Type) {
+				return false
+			}
+		}
+		return true
+	case TFunc:
+		if !t.Ret.Same(u.Ret) || len(t.Params) != len(u.Params) || t.Variadic != u.Variadic {
+			return false
+		}
+		for i := range t.Params {
+			if !t.Params[i].Type.Same(u.Params[i].Type) {
+				return false
+			}
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// FieldIndex returns the index of the named field, or -1.
+func (t *Type) FieldIndex(name string) int {
+	for i, f := range t.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Sizeof returns the byte size of t using a conventional LP64 layout.
+// VLAs and incomplete arrays return 0 (size not statically known).
+func (t *Type) Sizeof() int {
+	switch t.Kind {
+	case TVoid:
+		return 1 // GNU-style, lets void* arithmetic degrade gracefully
+	case TChar:
+		return 1
+	case TInt:
+		return 4
+	case TLong:
+		return 8
+	case TFloat:
+		return 4
+	case TDouble:
+		return 8
+	case TComplexFloat:
+		return 8
+	case TComplexDouble:
+		return 16
+	case TPointer:
+		return 8
+	case TArray:
+		if t.ArrayLen < 0 {
+			return 0
+		}
+		return t.ArrayLen * t.Elem.Sizeof()
+	case TStruct:
+		size := 0
+		for _, f := range t.Fields {
+			a := f.Type.Alignof()
+			if r := size % a; r != 0 {
+				size += a - r
+			}
+			size += f.Type.Sizeof()
+		}
+		if a := t.Alignof(); size%a != 0 {
+			size += a - size%a
+		}
+		return size
+	default:
+		return 8
+	}
+}
+
+// Alignof returns the alignment of t under the same layout as Sizeof.
+func (t *Type) Alignof() int {
+	switch t.Kind {
+	case TArray:
+		return t.Elem.Alignof()
+	case TStruct:
+		a := 1
+		for _, f := range t.Fields {
+			if fa := f.Type.Alignof(); fa > a {
+				a = fa
+			}
+		}
+		return a
+	case TComplexFloat:
+		return 4
+	case TComplexDouble:
+		return 8
+	default:
+		s := t.Sizeof()
+		if s > 8 {
+			return 8
+		}
+		if s == 0 {
+			return 1
+		}
+		return s
+	}
+}
+
+// String renders the type in C-ish syntax.
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	switch t.Kind {
+	case TVoid:
+		return "void"
+	case TChar:
+		return withSign(t, "char")
+	case TInt:
+		return withSign(t, "int")
+	case TLong:
+		return withSign(t, "long")
+	case TFloat:
+		return "float"
+	case TDouble:
+		return "double"
+	case TComplexFloat:
+		return "float _Complex"
+	case TComplexDouble:
+		return "double _Complex"
+	case TPointer:
+		return t.Elem.String() + "*"
+	case TArray:
+		if t.ArrayLen >= 0 {
+			return fmt.Sprintf("%s[%d]", t.Elem, t.ArrayLen)
+		}
+		return t.Elem.String() + "[]"
+	case TStruct:
+		if t.StructName != "" {
+			return "struct " + t.StructName
+		}
+		var b strings.Builder
+		b.WriteString("struct {")
+		for i, f := range t.Fields {
+			if i > 0 {
+				b.WriteString("; ")
+			}
+			fmt.Fprintf(&b, "%s %s", f.Type, f.Name)
+		}
+		b.WriteString("}")
+		return b.String()
+	case TFunc:
+		var b strings.Builder
+		b.WriteString(t.Ret.String())
+		b.WriteString(" (")
+		for i, p := range t.Params {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(p.Type.String())
+		}
+		if t.Variadic {
+			b.WriteString(", ...")
+		}
+		b.WriteString(")")
+		return b.String()
+	default:
+		return fmt.Sprintf("Type(%d)", t.Kind)
+	}
+}
+
+func withSign(t *Type, base string) string {
+	if t.Unsigned {
+		return "unsigned " + base
+	}
+	return base
+}
+
+// ComplexElem returns the real component type of a complex type
+// (float for float _Complex, double for double _Complex).
+func (t *Type) ComplexElem() *Type {
+	switch t.Kind {
+	case TComplexFloat:
+		return Float
+	case TComplexDouble:
+		return Double
+	default:
+		return nil
+	}
+}
+
+// rank orders arithmetic types for usual arithmetic conversions.
+func rank(t *Type) int {
+	switch t.Kind {
+	case TChar:
+		return 1
+	case TInt:
+		return 2
+	case TLong:
+		return 3
+	case TFloat:
+		return 4
+	case TDouble:
+		return 5
+	case TComplexFloat:
+		return 6
+	case TComplexDouble:
+		return 7
+	default:
+		return 0
+	}
+}
+
+// UsualArith returns the common type of a binary arithmetic expression.
+func UsualArith(a, b *Type) *Type {
+	// Complex contaminates: complex op real → complex of the wider base.
+	if a.IsComplex() || b.IsComplex() {
+		if a.Kind == TComplexDouble || b.Kind == TComplexDouble ||
+			a.Kind == TDouble || b.Kind == TDouble {
+			return ComplexDouble
+		}
+		return ComplexFloat
+	}
+	if rank(a) >= rank(b) {
+		if a.IsInteger() && rank(a) < rank(Int) {
+			return Int // integer promotion
+		}
+		return a
+	}
+	if b.IsInteger() && rank(b) < rank(Int) {
+		return Int
+	}
+	return b
+}
+
+// ConvertibleTo reports whether a value of type t can be converted
+// (implicitly, in MiniC's forgiving model) to u.
+func (t *Type) ConvertibleTo(u *Type) bool {
+	if t.Same(u) {
+		return true
+	}
+	if t.IsArithmetic() && u.IsArithmetic() {
+		// Complex→real drops the imaginary part; C allows it.
+		return true
+	}
+	if t.Kind == TPointer && u.Kind == TPointer {
+		return t.IsVoidPointer() || u.IsVoidPointer() || t.Elem.Same(u.Elem)
+	}
+	if t.Kind == TArray && u.Kind == TPointer {
+		return t.Elem.Same(u.Elem) || u.IsVoidPointer()
+	}
+	if t.IsInteger() && u.Kind == TPointer {
+		return true // 0 → NULL; MiniC does not track constant-ness here
+	}
+	if t.Kind == TPointer && u.IsInteger() {
+		return true
+	}
+	return false
+}
+
+// Decay converts array types to pointer types (for rvalue contexts).
+func (t *Type) Decay() *Type {
+	if t != nil && t.Kind == TArray {
+		return PointerTo(t.Elem)
+	}
+	return t
+}

@@ -1,0 +1,687 @@
+// Package ojclone procedurally generates the algorithm-classification
+// dataset standing in for the paper's OJClone corpus (Mou et al.): many
+// classes of small programs, each class containing stylistically diverse
+// implementations of the same task, plus FFT as the added class (drawn
+// from the benchmark corpus, exactly as the paper does). The class count
+// is reduced from 105 to 40+FFT — the substitution and its effect are
+// recorded in DESIGN.md / EXPERIMENTS.md.
+package ojclone
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// style carries the per-variant stylistic choices.
+type style struct {
+	rng *rand.Rand
+	// identifier pools
+	arr, idx, tmp, acc, lim string
+	useWhile                bool
+	declareUpFront          bool
+}
+
+func newStyle(rng *rand.Rand) *style {
+	arrs := []string{"a", "arr", "data", "buf", "v", "xs", "values"}
+	idxs := []string{"i", "j", "k", "pos", "it", "p"}
+	tmps := []string{"t", "tmp", "swap", "hold", "aux"}
+	accs := []string{"s", "sum", "acc", "total", "result", "r"}
+	lims := []string{"n", "len", "count", "size", "m"}
+	pick := func(pool []string) string { return pool[rng.Intn(len(pool))] }
+	st := &style{
+		rng: rng,
+		arr: pick(arrs), tmp: pick(tmps), acc: pick(accs), lim: pick(lims),
+		useWhile:       rng.Intn(3) == 0,
+		declareUpFront: rng.Intn(2) == 0,
+	}
+	st.idx = pick(idxs)
+	return st
+}
+
+// loop renders a counting loop in the variant's preferred style.
+func (st *style) loop(v, from, to, body string) string {
+	if st.useWhile {
+		return fmt.Sprintf("    int %s = %s;\n    while (%s < %s) {\n%s        %s++;\n    }\n",
+			v, from, v, to, indent(body), v)
+	}
+	return fmt.Sprintf("    for (int %s = %s; %s < %s; %s++) {\n%s    }\n",
+		v, from, v, to, v, indent(body))
+}
+
+func indent(body string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		b.WriteString("        ")
+		b.WriteString(line)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Class is one dataset class: a name and a variant generator.
+type Class struct {
+	Name string
+	Gen  func(st *style) string
+}
+
+// Classes returns the 40 non-FFT classes.
+func Classes() []Class {
+	return []Class{
+		{"bubblesort", genBubble},
+		{"insertionsort", genInsertion},
+		{"selectionsort", genSelection},
+		{"binarysearch", genBinSearch},
+		{"linearsearch", genLinSearch},
+		{"matmul", genMatMul},
+		{"transpose", genTranspose},
+		{"dotproduct", genDot},
+		{"reversearray", genReverse},
+		{"sumarray", genSum},
+		{"maxarray", genMax},
+		{"minarray", genMin},
+		{"average", genAverage},
+		{"fibonacci", genFib},
+		{"factorial", genFact},
+		{"gcd", genGCD},
+		{"isprime", genIsPrime},
+		{"sieve", genSieve},
+		{"intpower", genPow},
+		{"countequal", genCountEqual},
+		{"histogram", genHistogram},
+		{"prefixsum", genPrefixSum},
+		{"movingaverage", genMovingAvg},
+		{"polyeval", genPolyEval},
+		{"vecnorm", genNorm},
+		{"scalearray", genScale},
+		{"arraycopy", genArrayCopy},
+		{"rotatearray", genRotate},
+		{"interleave", genInterleave},
+		{"maxsubarray", genKadane},
+		{"collatz", genCollatz},
+		{"digitalroot", genDigitalRoot},
+		{"checksum", genChecksum},
+		{"runlength", genRunLength},
+		{"matvec", genMatVec},
+		{"heapify", genHeapify},
+		{"minmaxnorm", genNormalizeMinMax},
+		{"popcount", genBinaryDigits},
+		{"triangular", genTriangular},
+		{"stacksim", genStackSim},
+	}
+}
+
+func genBubble(st *style) string {
+	a, n, t := st.arr, st.lim, st.tmp
+	inner := fmt.Sprintf(
+		"if (%s[%s] > %s[%s + 1]) {\n    int %s = %s[%s];\n    %s[%s] = %s[%s + 1];\n    %s[%s + 1] = %s;\n}\n",
+		a, "j", a, "j", t, a, "j", a, "j", a, "j", a, "j", t)
+	body := st.loop("j", "0", n+" - i - 1", inner)
+	return fmt.Sprintf("void sort_it(int* %s, int %s) {\n%s}\n",
+		a, n, st.loop("i", "0", n+" - 1", body))
+}
+
+func genInsertion(st *style) string {
+	a, n := st.arr, st.lim
+	return fmt.Sprintf(`void sort_it(int* %[1]s, int %[2]s) {
+    for (int i = 1; i < %[2]s; i++) {
+        int key = %[1]s[i];
+        int j = i - 1;
+        while (j >= 0 && %[1]s[j] > key) {
+            %[1]s[j + 1] = %[1]s[j];
+            j--;
+        }
+        %[1]s[j + 1] = key;
+    }
+}
+`, a, n)
+}
+
+func genSelection(st *style) string {
+	a, n, t := st.arr, st.lim, st.tmp
+	return fmt.Sprintf(`void sort_it(int* %[1]s, int %[2]s) {
+    for (int i = 0; i < %[2]s - 1; i++) {
+        int best = i;
+        for (int j = i + 1; j < %[2]s; j++) {
+            if (%[1]s[j] < %[1]s[best]) {
+                best = j;
+            }
+        }
+        int %[3]s = %[1]s[i];
+        %[1]s[i] = %[1]s[best];
+        %[1]s[best] = %[3]s;
+    }
+}
+`, a, n, t)
+}
+
+func genBinSearch(st *style) string {
+	a, n := st.arr, st.lim
+	return fmt.Sprintf(`int find(int* %[1]s, int %[2]s, int want) {
+    int lo = 0;
+    int hi = %[2]s - 1;
+    while (lo <= hi) {
+        int mid = lo + (hi - lo) / 2;
+        if (%[1]s[mid] == want) {
+            return mid;
+        }
+        if (%[1]s[mid] < want) {
+            lo = mid + 1;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    return -1;
+}
+`, a, n)
+}
+
+func genLinSearch(st *style) string {
+	a, n := st.arr, st.lim
+	body := fmt.Sprintf("if (%s[%s] == want) {\n    return %s;\n}\n", a, st.idx, st.idx)
+	return fmt.Sprintf("int find(int* %s, int %s, int want) {\n%s    return -1;\n}\n",
+		a, n, st.loop(st.idx, "0", n, body))
+}
+
+func genMatMul(st *style) string {
+	n := st.lim
+	return fmt.Sprintf(`void multiply(double* a, double* b, double* c, int %[1]s) {
+    for (int i = 0; i < %[1]s; i++) {
+        for (int j = 0; j < %[1]s; j++) {
+            double %[2]s = 0.0;
+            for (int k = 0; k < %[1]s; k++) {
+                %[2]s += a[i * %[1]s + k] * b[k * %[1]s + j];
+            }
+            c[i * %[1]s + j] = %[2]s;
+        }
+    }
+}
+`, n, st.acc)
+}
+
+func genTranspose(st *style) string {
+	n, t := st.lim, st.tmp
+	return fmt.Sprintf(`void transpose(double* mat, int %[1]s) {
+    for (int i = 0; i < %[1]s; i++) {
+        for (int j = i + 1; j < %[1]s; j++) {
+            double %[2]s = mat[i * %[1]s + j];
+            mat[i * %[1]s + j] = mat[j * %[1]s + i];
+            mat[j * %[1]s + i] = %[2]s;
+        }
+    }
+}
+`, n, t)
+}
+
+func genDot(st *style) string {
+	n, acc := st.lim, st.acc
+	body := fmt.Sprintf("%s += a[%s] * b[%s];\n", acc, st.idx, st.idx)
+	return fmt.Sprintf("double dot(double* a, double* b, int %s) {\n    double %s = 0.0;\n%s    return %s;\n}\n",
+		n, acc, st.loop(st.idx, "0", n, body), acc)
+}
+
+func genReverse(st *style) string {
+	a, n, t := st.arr, st.lim, st.tmp
+	return fmt.Sprintf(`void reverse(int* %[1]s, int %[2]s) {
+    int lo = 0;
+    int hi = %[2]s - 1;
+    while (lo < hi) {
+        int %[3]s = %[1]s[lo];
+        %[1]s[lo] = %[1]s[hi];
+        %[1]s[hi] = %[3]s;
+        lo++;
+        hi--;
+    }
+}
+`, a, n, t)
+}
+
+func genSum(st *style) string {
+	a, n, acc := st.arr, st.lim, st.acc
+	body := fmt.Sprintf("%s += %s[%s];\n", acc, a, st.idx)
+	return fmt.Sprintf("int total(int* %s, int %s) {\n    int %s = 0;\n%s    return %s;\n}\n",
+		a, n, acc, st.loop(st.idx, "0", n, body), acc)
+}
+
+func genMax(st *style) string {
+	a, n := st.arr, st.lim
+	body := fmt.Sprintf("if (%s[%s] > best) {\n    best = %s[%s];\n}\n", a, st.idx, a, st.idx)
+	return fmt.Sprintf("int largest(int* %s, int %s) {\n    int best = %s[0];\n%s    return best;\n}\n",
+		a, n, a, st.loop(st.idx, "1", n, body))
+}
+
+func genMin(st *style) string {
+	a, n := st.arr, st.lim
+	body := fmt.Sprintf("if (%s[%s] < best) {\n    best = %s[%s];\n}\n", a, st.idx, a, st.idx)
+	return fmt.Sprintf("int smallest(int* %s, int %s) {\n    int best = %s[0];\n%s    return best;\n}\n",
+		a, n, a, st.loop(st.idx, "1", n, body))
+}
+
+func genAverage(st *style) string {
+	a, n, acc := st.arr, st.lim, st.acc
+	body := fmt.Sprintf("%s += %s[%s];\n", acc, a, st.idx)
+	return fmt.Sprintf("double mean(double* %s, int %s) {\n    double %s = 0.0;\n%s    return %s / (double)%s;\n}\n",
+		a, n, acc, st.loop(st.idx, "0", n, body), acc, n)
+}
+
+func genFib(st *style) string {
+	if st.rng.Intn(2) == 0 {
+		return `int fib(int n) {
+    if (n < 2) {
+        return n;
+    }
+    return fib(n - 1) + fib(n - 2);
+}
+`
+	}
+	return `int fib(int n) {
+    int a = 0;
+    int b = 1;
+    for (int i = 0; i < n; i++) {
+        int next = a + b;
+        a = b;
+        b = next;
+    }
+    return a;
+}
+`
+}
+
+func genFact(st *style) string {
+	if st.rng.Intn(2) == 0 {
+		return `long fact(int n) {
+    if (n <= 1) {
+        return 1;
+    }
+    return (long)n * fact(n - 1);
+}
+`
+	}
+	acc := st.acc
+	return fmt.Sprintf(`long fact(int n) {
+    long %[1]s = 1;
+    for (int i = 2; i <= n; i++) {
+        %[1]s = %[1]s * (long)i;
+    }
+    return %[1]s;
+}
+`, acc)
+}
+
+func genGCD(st *style) string {
+	if st.rng.Intn(2) == 0 {
+		return `int gcd(int a, int b) {
+    if (b == 0) {
+        return a;
+    }
+    return gcd(b, a % b);
+}
+`
+	}
+	return `int gcd(int a, int b) {
+    while (b != 0) {
+        int r = a % b;
+        a = b;
+        b = r;
+    }
+    return a;
+}
+`
+}
+
+func genIsPrime(st *style) string {
+	return `int is_prime(int n) {
+    if (n < 2) {
+        return 0;
+    }
+    for (int d = 2; d * d <= n; d++) {
+        if (n % d == 0) {
+            return 0;
+        }
+    }
+    return 1;
+}
+`
+}
+
+func genSieve(st *style) string {
+	a, n := st.arr, st.lim
+	return fmt.Sprintf(`int sieve(int* %[1]s, int %[2]s) {
+    for (int i = 0; i < %[2]s; i++) {
+        %[1]s[i] = 1;
+    }
+    %[1]s[0] = 0;
+    if (%[2]s > 1) {
+        %[1]s[1] = 0;
+    }
+    int found = 0;
+    for (int p = 2; p < %[2]s; p++) {
+        if (%[1]s[p]) {
+            found++;
+            for (int q = p + p; q < %[2]s; q += p) {
+                %[1]s[q] = 0;
+            }
+        }
+    }
+    return found;
+}
+`, a, n)
+}
+
+func genPow(st *style) string {
+	acc := st.acc
+	return fmt.Sprintf(`long ipow(int base, int exp) {
+    long %[1]s = 1;
+    long b = (long)base;
+    while (exp > 0) {
+        if (exp & 1) {
+            %[1]s = %[1]s * b;
+        }
+        b = b * b;
+        exp >>= 1;
+    }
+    return %[1]s;
+}
+`, acc)
+}
+
+func genCountEqual(st *style) string {
+	a, n, acc := st.arr, st.lim, st.acc
+	body := fmt.Sprintf("if (%s[%s] == want) {\n    %s++;\n}\n", a, st.idx, acc)
+	return fmt.Sprintf("int count_equal(int* %s, int %s, int want) {\n    int %s = 0;\n%s    return %s;\n}\n",
+		a, n, acc, st.loop(st.idx, "0", n, body), acc)
+}
+
+func genHistogram(st *style) string {
+	a, n := st.arr, st.lim
+	return fmt.Sprintf(`void histogram(int* %[1]s, int %[2]s, int* bins, int nbins) {
+    for (int b = 0; b < nbins; b++) {
+        bins[b] = 0;
+    }
+    for (int i = 0; i < %[2]s; i++) {
+        int slot = %[1]s[i] %% nbins;
+        if (slot < 0) {
+            slot += nbins;
+        }
+        bins[slot]++;
+    }
+}
+`, a, n)
+}
+
+func genPrefixSum(st *style) string {
+	a, n, acc := st.arr, st.lim, st.acc
+	return fmt.Sprintf(`void prefix(int* %[1]s, int %[2]s) {
+    int %[3]s = 0;
+    for (int i = 0; i < %[2]s; i++) {
+        %[3]s += %[1]s[i];
+        %[1]s[i] = %[3]s;
+    }
+}
+`, a, n, acc)
+}
+
+func genMovingAvg(st *style) string {
+	n := st.lim
+	return fmt.Sprintf(`void smooth(double* in, double* out, int %[1]s, int w) {
+    for (int i = 0; i < %[1]s; i++) {
+        double %[2]s = 0.0;
+        int cnt = 0;
+        for (int j = i - w; j <= i + w; j++) {
+            if (j >= 0 && j < %[1]s) {
+                %[2]s += in[j];
+                cnt++;
+            }
+        }
+        out[i] = %[2]s / (double)cnt;
+    }
+}
+`, n, st.acc)
+}
+
+func genPolyEval(st *style) string {
+	a, n, acc := st.arr, st.lim, st.acc
+	return fmt.Sprintf(`double eval(double* %[1]s, int %[2]s, double x) {
+    double %[3]s = 0.0;
+    for (int i = %[2]s - 1; i >= 0; i--) {
+        %[3]s = %[3]s * x + %[1]s[i];
+    }
+    return %[3]s;
+}
+`, a, n, acc)
+}
+
+func genNorm(st *style) string {
+	a, n, acc := st.arr, st.lim, st.acc
+	body := fmt.Sprintf("%s += %s[%s] * %s[%s];\n", acc, a, st.idx, a, st.idx)
+	return fmt.Sprintf("double norm(double* %s, int %s) {\n    double %s = 0.0;\n%s    return sqrt(%s);\n}\n",
+		a, n, acc, st.loop(st.idx, "0", n, body), acc)
+}
+
+func genScale(st *style) string {
+	a, n := st.arr, st.lim
+	body := fmt.Sprintf("%s[%s] = %s[%s] * f;\n", a, st.idx, a, st.idx)
+	return fmt.Sprintf("void scale(double* %s, int %s, double f) {\n%s}\n",
+		a, n, st.loop(st.idx, "0", n, body))
+}
+
+func genArrayCopy(st *style) string {
+	a, n := st.arr, st.lim
+	body := fmt.Sprintf("dst[%s] = %s[%s];\n", st.idx, a, st.idx)
+	return fmt.Sprintf("void copy_all(int* %s, int* dst, int %s) {\n%s}\n",
+		a, n, st.loop(st.idx, "0", n, body))
+}
+
+func genRotate(st *style) string {
+	a, n, t := st.arr, st.lim, st.tmp
+	return fmt.Sprintf(`void rotate_one(int* %[1]s, int %[2]s) {
+    if (%[2]s < 2) {
+        return;
+    }
+    int %[3]s = %[1]s[0];
+    for (int i = 0; i < %[2]s - 1; i++) {
+        %[1]s[i] = %[1]s[i + 1];
+    }
+    %[1]s[%[2]s - 1] = %[3]s;
+}
+`, a, n, t)
+}
+
+func genInterleave(st *style) string {
+	n := st.lim
+	return fmt.Sprintf(`void interleave(int* a, int* b, int* out, int %[1]s) {
+    for (int i = 0; i < %[1]s; i++) {
+        out[2 * i] = a[i];
+        out[2 * i + 1] = b[i];
+    }
+}
+`, n)
+}
+
+func genKadane(st *style) string {
+	a, n := st.arr, st.lim
+	return fmt.Sprintf(`int best_run(int* %[1]s, int %[2]s) {
+    int best = %[1]s[0];
+    int cur = %[1]s[0];
+    for (int i = 1; i < %[2]s; i++) {
+        if (cur < 0) {
+            cur = 0;
+        }
+        cur += %[1]s[i];
+        if (cur > best) {
+            best = cur;
+        }
+    }
+    return best;
+}
+`, a, n)
+}
+
+func genCollatz(st *style) string {
+	acc := st.acc
+	return fmt.Sprintf(`int collatz_steps(int n) {
+    int %[1]s = 0;
+    while (n > 1) {
+        if (n %% 2 == 0) {
+            n = n / 2;
+        } else {
+            n = 3 * n + 1;
+        }
+        %[1]s++;
+    }
+    return %[1]s;
+}
+`, acc)
+}
+
+func genDigitalRoot(st *style) string {
+	acc := st.acc
+	return fmt.Sprintf(`int digital_root(int n) {
+    while (n >= 10) {
+        int %[1]s = 0;
+        while (n > 0) {
+            %[1]s += n %% 10;
+            n /= 10;
+        }
+        n = %[1]s;
+    }
+    return n;
+}
+`, acc)
+}
+
+func genChecksum(st *style) string {
+	a, n, acc := st.arr, st.lim, st.acc
+	body := fmt.Sprintf("%s = (%s * 31 + %s[%s]) & 0xFFFF;\n", acc, acc, a, st.idx)
+	return fmt.Sprintf("int checksum(int* %s, int %s) {\n    int %s = 7;\n%s    return %s;\n}\n",
+		a, n, acc, st.loop(st.idx, "0", n, body), acc)
+}
+
+func genRunLength(st *style) string {
+	a, n := st.arr, st.lim
+	return fmt.Sprintf(`int count_runs(int* %[1]s, int %[2]s) {
+    if (%[2]s == 0) {
+        return 0;
+    }
+    int runs = 1;
+    for (int i = 1; i < %[2]s; i++) {
+        if (%[1]s[i] != %[1]s[i - 1]) {
+            runs++;
+        }
+    }
+    return runs;
+}
+`, a, n)
+}
+
+func genMatVec(st *style) string {
+	n := st.lim
+	return fmt.Sprintf(`void matvec(double* mat, double* vec, double* out, int %[1]s) {
+    for (int i = 0; i < %[1]s; i++) {
+        double %[2]s = 0.0;
+        for (int j = 0; j < %[1]s; j++) {
+            %[2]s += mat[i * %[1]s + j] * vec[j];
+        }
+        out[i] = %[2]s;
+    }
+}
+`, n, st.acc)
+}
+
+func genHeapify(st *style) string {
+	a, n := st.arr, st.lim
+	return fmt.Sprintf(`void sift_down(int* %[1]s, int %[2]s, int root) {
+    while (2 * root + 1 < %[2]s) {
+        int child = 2 * root + 1;
+        if (child + 1 < %[2]s && %[1]s[child + 1] > %[1]s[child]) {
+            child++;
+        }
+        if (%[1]s[root] >= %[1]s[child]) {
+            return;
+        }
+        int t = %[1]s[root];
+        %[1]s[root] = %[1]s[child];
+        %[1]s[child] = t;
+        root = child;
+    }
+}
+`, a, n)
+}
+
+func genNormalizeMinMax(st *style) string {
+	a, n := st.arr, st.lim
+	return fmt.Sprintf(`void normalize(double* %[1]s, int %[2]s) {
+    double lo = %[1]s[0];
+    double hi = %[1]s[0];
+    for (int i = 1; i < %[2]s; i++) {
+        if (%[1]s[i] < lo) {
+            lo = %[1]s[i];
+        }
+        if (%[1]s[i] > hi) {
+            hi = %[1]s[i];
+        }
+    }
+    double span = hi - lo;
+    if (span == 0.0) {
+        return;
+    }
+    for (int i = 0; i < %[2]s; i++) {
+        %[1]s[i] = (%[1]s[i] - lo) / span;
+    }
+}
+`, a, n)
+}
+
+func genBinaryDigits(st *style) string {
+	acc := st.acc
+	return fmt.Sprintf(`int popcount(int n) {
+    int %[1]s = 0;
+    while (n != 0) {
+        %[1]s += n & 1;
+        n = (n >> 1) & 0x7FFFFFFF;
+    }
+    return %[1]s;
+}
+`, acc)
+}
+
+func genTriangular(st *style) string {
+	acc := st.acc
+	if st.rng.Intn(2) == 0 {
+		return fmt.Sprintf(`long triangular(int n) {
+    long %[1]s = 0;
+    for (int i = 1; i <= n; i++) {
+        %[1]s += (long)i;
+    }
+    return %[1]s;
+}
+`, acc)
+	}
+	return `long triangular(int n) {
+    return (long)n * (long)(n + 1) / 2;
+}
+`
+}
+
+func genStackSim(st *style) string {
+	a, n := st.arr, st.lim
+	return fmt.Sprintf(`int balance(int* ops, int %[2]s, int* %[1]s, int cap) {
+    int top = 0;
+    for (int i = 0; i < %[2]s; i++) {
+        if (ops[i] > 0) {
+            if (top >= cap) {
+                return -1;
+            }
+            %[1]s[top] = ops[i];
+            top++;
+        } else {
+            if (top == 0) {
+                return -1;
+            }
+            top--;
+        }
+    }
+    return top;
+}
+`, a, n)
+}

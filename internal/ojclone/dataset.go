@@ -1,0 +1,167 @@
+package ojclone
+
+import (
+	"fmt"
+	"math/rand"
+
+	"facc/internal/bench"
+	"facc/internal/gnn"
+	"facc/internal/minic"
+	"facc/internal/progml"
+)
+
+// Dataset is the labeled graph corpus used by the Fig. 11 experiment.
+type Dataset struct {
+	Graphs     []*gnn.Graph
+	ClassNames []string
+	FFTClass   int // label index of the FFT class
+}
+
+// Build generates the dataset: perClass instances of each algorithm class
+// plus the FFT class. FFT instances come from the benchmark corpus (as the
+// paper does), topped up with DFT variants when perClass exceeds the
+// corpus size.
+func Build(perClass int, seed int64) (*Dataset, error) {
+	rng := rand.New(rand.NewSource(seed))
+	ds := &Dataset{}
+	for _, cls := range Classes() {
+		ds.ClassNames = append(ds.ClassNames, cls.Name)
+	}
+	ds.FFTClass = len(ds.ClassNames)
+	ds.ClassNames = append(ds.ClassNames, "fft")
+
+	for label, cls := range Classes() {
+		for v := 0; v < perClass; v++ {
+			st := newStyle(rng)
+			src := "#include <math.h>\n" + cls.Gen(st)
+			g, err := graphFromSource(fmt.Sprintf("%s_%d.c", cls.Name, v), src)
+			if err != nil {
+				return nil, fmt.Errorf("ojclone: class %s variant %d: %w", cls.Name, v, err)
+			}
+			g.Label = label
+			ds.Graphs = append(ds.Graphs, g)
+		}
+	}
+
+	// FFT class from the benchmark corpus.
+	added := 0
+	for _, b := range bench.SupportedSuite() {
+		if added >= perClass {
+			break
+		}
+		f, err := minic.ParseAndCheck(b.File, b.Source())
+		if err != nil {
+			return nil, fmt.Errorf("ojclone: corpus %s: %w", b.Name, err)
+		}
+		fn := f.Func(b.Entry)
+		g := progml.BuildRegionGraph(f, fn)
+		g.Label = ds.FFTClass
+		ds.Graphs = append(ds.Graphs, g)
+		added++
+	}
+	for added < perClass {
+		st := newStyle(rng)
+		src := "#include <math.h>\n#include <complex.h>\n" + genDFTVariant(st)
+		g, err := graphFromSource(fmt.Sprintf("fft_extra_%d.c", added), src)
+		if err != nil {
+			return nil, err
+		}
+		g.Label = ds.FFTClass
+		ds.Graphs = append(ds.Graphs, g)
+		added++
+	}
+	return ds, nil
+}
+
+// genDFTVariant synthesizes additional FFT-class members beyond the
+// benchmark corpus (the paper has 20 GitHub snippets; our corpus has 18).
+func genDFTVariant(st *style) string {
+	if st.rng.Intn(2) == 0 {
+		return fmt.Sprintf(`void dft_v(double complex* in, double complex* out, int %[1]s) {
+    for (int k = 0; k < %[1]s; k++) {
+        double complex %[2]s = 0.0;
+        for (int j = 0; j < %[1]s; j++) {
+            %[2]s += in[j] * cexp(-2.0 * M_PI * I * (double)j * (double)k / (double)%[1]s);
+        }
+        out[k] = %[2]s;
+    }
+}
+`, st.lim, st.acc)
+	}
+	return fmt.Sprintf(`typedef struct { double re; double im; } dcpx;
+void dft_v(dcpx* %[1]s, dcpx* out, int %[2]s) {
+    for (int k = 0; k < %[2]s; k++) {
+        double sre = 0.0;
+        double sim = 0.0;
+        for (int j = 0; j < %[2]s; j++) {
+            double ang = -2.0 * M_PI * (double)j * (double)k / (double)%[2]s;
+            sre += %[1]s[j].re * cos(ang) - %[1]s[j].im * sin(ang);
+            sim += %[1]s[j].re * sin(ang) + %[1]s[j].im * cos(ang);
+        }
+        out[k].re = sre;
+        out[k].im = sim;
+    }
+}
+`, st.arr, st.lim)
+}
+
+func graphFromSource(name, src string) (*gnn.Graph, error) {
+	f, err := minic.ParseAndCheck(name, src)
+	if err != nil {
+		return nil, err
+	}
+	if len(f.Funcs) == 0 {
+		return nil, fmt.Errorf("ojclone: %s has no functions", name)
+	}
+	// The region is rooted at the last function (entry convention).
+	entry := f.Funcs[len(f.Funcs)-1]
+	return progml.BuildRegionGraph(f, entry), nil
+}
+
+// Fold is one cross-validation split.
+type Fold struct {
+	Train, Test []*gnn.Graph
+}
+
+// KFolds performs a stratified k-fold split with at most trainPerClass
+// training instances per class (the Fig. 11 x-axis).
+func (ds *Dataset) KFolds(k, trainPerClass int, seed int64) []Fold {
+	rng := rand.New(rand.NewSource(seed))
+	byClass := map[int][]*gnn.Graph{}
+	maxLabel := 0
+	for _, g := range ds.Graphs {
+		byClass[g.Label] = append(byClass[g.Label], g)
+		if g.Label > maxLabel {
+			maxLabel = g.Label
+		}
+	}
+	folds := make([]Fold, k)
+	// Iterate classes in label order so splits are reproducible (map
+	// iteration order would leak into the rng consumption order).
+	for label := 0; label <= maxLabel; label++ {
+		graphs := byClass[label]
+		if len(graphs) == 0 {
+			continue
+		}
+		perm := rng.Perm(len(graphs))
+		for fi := 0; fi < k; fi++ {
+			// Test slice: the fi-th chunk; train from the rest.
+			lo := fi * len(graphs) / k
+			hi := (fi + 1) * len(graphs) / k
+			trainAdded := 0
+			for pi, gi := range perm {
+				g := graphs[gi]
+				if pi >= lo && pi < hi {
+					folds[fi].Test = append(folds[fi].Test, g)
+				} else if trainPerClass <= 0 || trainAdded < trainPerClass {
+					folds[fi].Train = append(folds[fi].Train, g)
+					trainAdded++
+				}
+			}
+		}
+	}
+	return folds
+}
+
+// NumClasses returns the class count including FFT.
+func (ds *Dataset) NumClasses() int { return len(ds.ClassNames) }

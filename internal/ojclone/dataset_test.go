@@ -1,0 +1,107 @@
+package ojclone
+
+import (
+	"math/rand"
+	"testing"
+
+	"facc/internal/gnn"
+	"facc/internal/minic"
+)
+
+func TestAllClassVariantsParse(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, cls := range Classes() {
+		for v := 0; v < 5; v++ {
+			st := newStyle(rng)
+			src := "#include <math.h>\n" + cls.Gen(st)
+			if _, err := minic.ParseAndCheck(cls.Name+".c", src); err != nil {
+				t.Errorf("%s variant %d: %v\n%s", cls.Name, v, err, src)
+			}
+		}
+	}
+}
+
+func TestBuildDataset(t *testing.T) {
+	ds, err := Build(4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumClasses() != 41 {
+		t.Fatalf("classes = %d, want 41 (40 + fft)", ds.NumClasses())
+	}
+	if len(ds.Graphs) != 41*4 {
+		t.Fatalf("graphs = %d, want %d", len(ds.Graphs), 41*4)
+	}
+	perClass := map[int]int{}
+	for _, g := range ds.Graphs {
+		perClass[g.Label]++
+		if g.X.R == 0 {
+			t.Fatal("empty graph in dataset")
+		}
+	}
+	for c := 0; c < ds.NumClasses(); c++ {
+		if perClass[c] != 4 {
+			t.Errorf("class %d has %d instances", c, perClass[c])
+		}
+	}
+	if ds.ClassNames[ds.FFTClass] != "fft" {
+		t.Errorf("FFT class mislabeled: %v", ds.ClassNames[ds.FFTClass])
+	}
+}
+
+func TestKFoldsStratified(t *testing.T) {
+	ds, err := Build(6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	folds := ds.KFolds(3, 0, 99)
+	if len(folds) != 3 {
+		t.Fatalf("folds = %d", len(folds))
+	}
+	testTotal := 0
+	for _, f := range folds {
+		testTotal += len(f.Test)
+		if len(f.Train) == 0 || len(f.Test) == 0 {
+			t.Fatal("empty fold split")
+		}
+	}
+	if testTotal != len(ds.Graphs) {
+		t.Errorf("test instances across folds = %d, want %d", testTotal, len(ds.Graphs))
+	}
+	// Capping train instances per class.
+	capped := ds.KFolds(3, 2, 99)
+	counts := map[int]int{}
+	for _, g := range capped[0].Train {
+		counts[g.Label]++
+	}
+	for c, n := range counts {
+		if n > 2 {
+			t.Errorf("class %d has %d train instances, cap was 2", c, n)
+		}
+	}
+}
+
+// TestFFTSeparability is the core classifier claim: with a handful of
+// training examples, FFT top-3 recall approaches 1 (paper Fig. 11).
+func TestFFTSeparability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training is slow")
+	}
+	ds, err := Build(8, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	folds := ds.KFolds(4, 6, 5)
+	f := folds[0]
+	model := gnn.Fit(f.Train, ds.NumClasses(), gnn.TrainConfig{
+		Hidden: 16, MaxEpochs: 40, Seed: 3,
+	})
+	recall := gnn.RecallForClass(model, f.Test, ds.FFTClass, 3)
+	if recall < 0.5 {
+		t.Errorf("FFT top-3 recall = %.2f, want >= 0.5 with 6 train examples", recall)
+	}
+	acc := gnn.TopKAccuracy(model, f.Test, 3)
+	if acc < 0.4 {
+		t.Errorf("overall top-3 accuracy = %.2f, suspiciously low", acc)
+	}
+}

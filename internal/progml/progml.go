@@ -1,0 +1,491 @@
+// Package progml builds ProGraML-style program graphs from checked MiniC
+// functions: one node per operation/statement with a categorical opcode
+// feature, and edges for AST data flow, sequential/loop control flow, and
+// calls. The paper builds these graphs over LLVM IR; MiniC's typed AST
+// carries the same signal for the classification task (the substitution is
+// recorded in DESIGN.md).
+package progml
+
+import (
+	"facc/internal/gnn"
+	"facc/internal/minic"
+)
+
+// Feature channels (one-hot opcode categories plus a few numeric hints).
+const (
+	FeatAddSub = iota
+	FeatMul
+	FeatDiv
+	FeatMod
+	FeatShift
+	FeatBitwise
+	FeatCompare
+	FeatLogic
+	FeatNeg
+	FeatAssign
+	FeatCompoundAssign
+	FeatIndex
+	FeatMember
+	FeatDeref
+	FeatAddrOf
+	FeatCast
+	FeatCallUser
+	FeatCallMath
+	FeatCallTrig // sin/cos/cexp family — highly FFT-indicative
+	FeatCallMem
+	FeatCallIO
+	FeatBranch
+	FeatLoop
+	FeatSwitch
+	FeatReturn
+	FeatConstInt
+	FeatConstFloat
+	FeatVarInt
+	FeatVarFloat
+	FeatVarComplex
+	FeatVarPointer
+	FeatVarStruct
+	FeatIncDec
+	FeatTernary
+	FeatRecursion
+	NumFeatures
+)
+
+// builder accumulates nodes and edges for one function.
+type builder struct {
+	fn    *minic.FuncDecl
+	feats []int // feature id per node
+	edges [][2]int
+}
+
+func (b *builder) node(feat int) int {
+	id := len(b.feats)
+	b.feats = append(b.feats, feat)
+	return id
+}
+
+func (b *builder) edge(a, c int) {
+	if a >= 0 && c >= 0 {
+		b.edges = append(b.edges, [2]int{a, c})
+	}
+}
+
+// BuildGraph converts one function into a gnn.Graph. The label is filled
+// in by the caller.
+func BuildGraph(fn *minic.FuncDecl) *gnn.Graph {
+	b := &builder{fn: fn}
+	entry := b.node(FeatBranch) // entry node anchors the control chain
+	if fn.Body != nil {
+		b.stmt(fn.Body, entry)
+	}
+	x := gnn.NewMat(len(b.feats), NumFeatures)
+	for i, f := range b.feats {
+		x.Set(i, f, 1)
+	}
+	return &gnn.Graph{X: x, Adj: gnn.NewAdj(len(b.feats), b.edges)}
+}
+
+// stmt adds nodes for a statement, chained to prev via a control edge, and
+// returns the statement's last node.
+func (b *builder) stmt(s minic.Stmt, prev int) int {
+	switch st := s.(type) {
+	case nil:
+		return prev
+	case *minic.ExprStmt:
+		n := b.expr(st.X)
+		b.edge(prev, n)
+		return n
+	case *minic.DeclStmt:
+		last := prev
+		for _, d := range st.Decls {
+			n := b.node(varFeature(d.Type))
+			b.edge(last, n)
+			if d.Init != nil {
+				b.edge(n, b.expr(d.Init))
+			}
+			last = n
+		}
+		return last
+	case *minic.BlockStmt:
+		last := prev
+		for _, sub := range st.List {
+			last = b.stmt(sub, last)
+		}
+		return last
+	case *minic.IfStmt:
+		n := b.node(FeatBranch)
+		b.edge(prev, n)
+		b.edge(n, b.expr(st.Cond))
+		thenEnd := b.stmt(st.Then, n)
+		elseEnd := b.stmt(st.Else, n)
+		join := b.node(FeatBranch)
+		b.edge(thenEnd, join)
+		b.edge(elseEnd, join)
+		return join
+	case *minic.ForStmt:
+		head := b.node(FeatLoop)
+		b.edge(prev, head)
+		if st.Init != nil {
+			b.stmt(st.Init, head)
+		}
+		if st.Cond != nil {
+			b.edge(head, b.expr(st.Cond))
+		}
+		bodyEnd := b.stmt(st.Body, head)
+		if st.Post != nil {
+			b.edge(bodyEnd, b.expr(st.Post))
+		}
+		b.edge(bodyEnd, head) // back edge
+		return head
+	case *minic.WhileStmt:
+		head := b.node(FeatLoop)
+		b.edge(prev, head)
+		b.edge(head, b.expr(st.Cond))
+		bodyEnd := b.stmt(st.Body, head)
+		b.edge(bodyEnd, head)
+		return head
+	case *minic.SwitchStmt:
+		n := b.node(FeatSwitch)
+		b.edge(prev, n)
+		b.edge(n, b.expr(st.Tag))
+		for _, cc := range st.Cases {
+			last := n
+			for _, sub := range cc.Body {
+				last = b.stmt(sub, last)
+			}
+		}
+		return n
+	case *minic.ReturnStmt:
+		n := b.node(FeatReturn)
+		b.edge(prev, n)
+		if st.Value != nil {
+			b.edge(n, b.expr(st.Value))
+		}
+		return n
+	case *minic.BreakStmt, *minic.ContinueStmt:
+		n := b.node(FeatBranch)
+		b.edge(prev, n)
+		return n
+	default:
+		return prev
+	}
+}
+
+// expr adds nodes for an expression tree rooted at e.
+func (b *builder) expr(e minic.Expr) int {
+	switch x := e.(type) {
+	case nil:
+		return -1
+	case *minic.IntLitExpr:
+		return b.node(FeatConstInt)
+	case *minic.FloatLitExpr:
+		return b.node(FeatConstFloat)
+	case *minic.ImaginaryLitExpr:
+		return b.node(FeatConstFloat)
+	case *minic.StringLitExpr:
+		return b.node(FeatConstInt)
+	case *minic.IdentExpr:
+		t := x.ResultType()
+		if x.Def != nil {
+			t = x.Def.Type
+		}
+		return b.node(varFeature(t))
+	case *minic.UnaryExpr:
+		feat := FeatNeg
+		switch x.Op {
+		case minic.Star:
+			feat = FeatDeref
+		case minic.Amp:
+			feat = FeatAddrOf
+		case minic.PlusPlus, minic.MinusMinus:
+			feat = FeatIncDec
+		case minic.Not, minic.Tilde:
+			feat = FeatLogic
+		}
+		n := b.node(feat)
+		b.edge(n, b.expr(x.X))
+		return n
+	case *minic.BinaryExpr:
+		n := b.node(binFeature(x.Op))
+		b.edge(n, b.expr(x.L))
+		b.edge(n, b.expr(x.R))
+		return n
+	case *minic.AssignExpr:
+		feat := FeatAssign
+		if x.Op != minic.Assign {
+			feat = FeatCompoundAssign
+		}
+		n := b.node(feat)
+		b.edge(n, b.expr(x.L))
+		b.edge(n, b.expr(x.R))
+		return n
+	case *minic.CondExpr:
+		n := b.node(FeatTernary)
+		b.edge(n, b.expr(x.Cond))
+		b.edge(n, b.expr(x.Then))
+		b.edge(n, b.expr(x.Else))
+		return n
+	case *minic.CallExpr:
+		n := b.node(callFeature(b.fn, x))
+		for _, a := range x.Args {
+			b.edge(n, b.expr(a))
+		}
+		return n
+	case *minic.IndexExpr:
+		n := b.node(FeatIndex)
+		b.edge(n, b.expr(x.X))
+		b.edge(n, b.expr(x.Index))
+		return n
+	case *minic.MemberExpr:
+		n := b.node(FeatMember)
+		b.edge(n, b.expr(x.X))
+		return n
+	case *minic.CastExpr:
+		n := b.node(FeatCast)
+		b.edge(n, b.expr(x.X))
+		return n
+	case *minic.SizeofExpr:
+		n := b.node(FeatConstInt)
+		if x.X != nil {
+			b.edge(n, b.expr(x.X))
+		}
+		return n
+	case *minic.CommaExpr:
+		n := b.expr(x.L)
+		r := b.expr(x.R)
+		b.edge(n, r)
+		return r
+	case *minic.InitListExpr:
+		n := b.node(FeatConstInt)
+		for _, it := range x.Items {
+			b.edge(n, b.expr(it))
+		}
+		return n
+	default:
+		return b.node(FeatConstInt)
+	}
+}
+
+func binFeature(op minic.Kind) int {
+	switch op {
+	case minic.Plus, minic.Minus:
+		return FeatAddSub
+	case minic.Star:
+		return FeatMul
+	case minic.Slash:
+		return FeatDiv
+	case minic.Percent:
+		return FeatMod
+	case minic.Shl, minic.Shr:
+		return FeatShift
+	case minic.Amp, minic.Pipe, minic.Caret:
+		return FeatBitwise
+	case minic.Lt, minic.Gt, minic.Le, minic.Ge, minic.EqEq, minic.NotEq:
+		return FeatCompare
+	case minic.AndAnd, minic.OrOr:
+		return FeatLogic
+	default:
+		return FeatAddSub
+	}
+}
+
+var trigBuiltins = map[string]bool{
+	"sin": true, "cos": true, "sinf": true, "cosf": true, "tan": true,
+	"cexp": true, "cexpf": true, "atan2": true, "atan2f": true,
+}
+
+var memBuiltins = map[string]bool{
+	"malloc": true, "calloc": true, "realloc": true, "free": true,
+	"memcpy": true, "memmove": true, "memset": true,
+}
+
+var ioBuiltins = map[string]bool{
+	"printf": true, "fprintf": true, "puts": true, "putchar": true,
+}
+
+func callFeature(owner *minic.FuncDecl, call *minic.CallExpr) int {
+	if call.Builtin != "" {
+		switch {
+		case trigBuiltins[call.Builtin]:
+			return FeatCallTrig
+		case memBuiltins[call.Builtin]:
+			return FeatCallMem
+		case ioBuiltins[call.Builtin]:
+			return FeatCallIO
+		default:
+			return FeatCallMath
+		}
+	}
+	if id, ok := call.Fun.(*minic.IdentExpr); ok && id.Func != nil &&
+		owner != nil && id.Func.Name == owner.Name {
+		return FeatRecursion
+	}
+	return FeatCallUser
+}
+
+func varFeature(t *minic.Type) int {
+	t = t.Decay()
+	switch {
+	case t == nil:
+		return FeatVarInt
+	case t.IsComplex():
+		return FeatVarComplex
+	case t.IsFloat():
+		return FeatVarFloat
+	case t.Kind == minic.TPointer:
+		return FeatVarPointer
+	case t.Kind == minic.TStruct:
+		return FeatVarStruct
+	default:
+		return FeatVarInt
+	}
+}
+
+// BuildFileGraphs builds one graph per defined function, merging the call
+// graph: helper functions called from an entry are inlined into its graph
+// (shallowly, by unioning node sets) so a classified "region" covers the
+// whole algorithm the way the paper's region detection does.
+func BuildFileGraphs(f *minic.File) map[string]*gnn.Graph {
+	out := map[string]*gnn.Graph{}
+	for _, fn := range f.Funcs {
+		if fn.Body == nil {
+			continue
+		}
+		out[fn.Name] = BuildRegionGraph(f, fn)
+	}
+	return out
+}
+
+// BuildRegionGraph builds the graph of fn with the bodies of its (direct
+// and transitive) callees appended, connected by call edges — the
+// classifiable "region".
+func BuildRegionGraph(f *minic.File, fn *minic.FuncDecl) *gnn.Graph {
+	visited := map[string]bool{fn.Name: true}
+	queue := []*minic.FuncDecl{fn}
+	var feats []int
+	var edges [][2]int
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		b := &builder{fn: cur}
+		entry := b.node(FeatBranch)
+		if cur.Body != nil {
+			b.stmt(cur.Body, entry)
+		}
+		base := len(feats)
+		feats = append(feats, b.feats...)
+		for _, e := range b.edges {
+			edges = append(edges, [2]int{e[0] + base, e[1] + base})
+		}
+		// Enqueue unvisited callees.
+		for _, callee := range calleesOf(cur) {
+			if visited[callee] {
+				continue
+			}
+			visited[callee] = true
+			if cf := f.Func(callee); cf != nil && cf.Body != nil {
+				queue = append(queue, cf)
+			}
+		}
+	}
+	x := gnn.NewMat(len(feats), NumFeatures)
+	for i, ft := range feats {
+		x.Set(i, ft, 1)
+	}
+	return &gnn.Graph{X: x, Adj: gnn.NewAdj(len(feats), edges)}
+}
+
+// calleesOf lists the user functions a function calls directly.
+func calleesOf(fn *minic.FuncDecl) []string {
+	seen := map[string]bool{}
+	var out []string
+	var walkE func(minic.Expr)
+	var walkS func(minic.Stmt)
+	walkE = func(e minic.Expr) {
+		switch x := e.(type) {
+		case nil:
+		case *minic.CallExpr:
+			if x.Builtin == "" {
+				if id, ok := x.Fun.(*minic.IdentExpr); ok && id.Func != nil && !seen[id.Func.Name] {
+					seen[id.Func.Name] = true
+					out = append(out, id.Func.Name)
+				}
+			}
+			walkE(x.Fun)
+			for _, a := range x.Args {
+				walkE(a)
+			}
+		case *minic.UnaryExpr:
+			walkE(x.X)
+		case *minic.BinaryExpr:
+			walkE(x.L)
+			walkE(x.R)
+		case *minic.AssignExpr:
+			walkE(x.L)
+			walkE(x.R)
+		case *minic.CondExpr:
+			walkE(x.Cond)
+			walkE(x.Then)
+			walkE(x.Else)
+		case *minic.IndexExpr:
+			walkE(x.X)
+			walkE(x.Index)
+		case *minic.MemberExpr:
+			walkE(x.X)
+		case *minic.CastExpr:
+			walkE(x.X)
+		case *minic.CommaExpr:
+			walkE(x.L)
+			walkE(x.R)
+		case *minic.SizeofExpr:
+			walkE(x.X)
+		case *minic.InitListExpr:
+			for _, it := range x.Items {
+				walkE(it)
+			}
+		}
+	}
+	walkS = func(s minic.Stmt) {
+		switch st := s.(type) {
+		case nil:
+		case *minic.ExprStmt:
+			walkE(st.X)
+		case *minic.DeclStmt:
+			for _, d := range st.Decls {
+				walkE(d.Init)
+				if d.Type != nil {
+					walkE(d.Type.ArrayLenExpr)
+				}
+			}
+		case *minic.BlockStmt:
+			for _, sub := range st.List {
+				walkS(sub)
+			}
+		case *minic.IfStmt:
+			walkE(st.Cond)
+			walkS(st.Then)
+			walkS(st.Else)
+		case *minic.ForStmt:
+			walkS(st.Init)
+			walkE(st.Cond)
+			walkE(st.Post)
+			walkS(st.Body)
+		case *minic.WhileStmt:
+			walkE(st.Cond)
+			walkS(st.Body)
+		case *minic.SwitchStmt:
+			walkE(st.Tag)
+			for _, cc := range st.Cases {
+				for _, sub := range cc.Body {
+					walkS(sub)
+				}
+			}
+		case *minic.ReturnStmt:
+			walkE(st.Value)
+		}
+	}
+	if fn.Body != nil {
+		walkS(fn.Body)
+	}
+	return out
+}

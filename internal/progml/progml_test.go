@@ -1,0 +1,163 @@
+package progml
+
+import (
+	"testing"
+
+	"facc/internal/bench"
+	"facc/internal/minic"
+)
+
+func build(t *testing.T, src, fn string) ( /*graph*/ *testGraph, *minic.File) {
+	t.Helper()
+	f, err := minic.ParseAndCheck("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := BuildRegionGraph(f, f.Func(fn))
+	return &testGraph{N: g.X.R, feats: g.X}, f
+}
+
+type testGraph struct {
+	N     int
+	feats interface{ At(i, j int) float64 }
+}
+
+func (g *testGraph) featureCount(feat int) int {
+	n := 0
+	for i := 0; i < g.N; i++ {
+		if g.feats.At(i, feat) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func TestGraphBasicShape(t *testing.T) {
+	g, _ := build(t, `
+int sum(int* a, int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) s += a[i];
+    return s;
+}`, "sum")
+	if g.N < 8 {
+		t.Fatalf("graph too small: %d nodes", g.N)
+	}
+	if g.featureCount(FeatLoop) != 1 {
+		t.Errorf("loop nodes = %d, want 1", g.featureCount(FeatLoop))
+	}
+	if g.featureCount(FeatReturn) != 1 {
+		t.Errorf("return nodes = %d, want 1", g.featureCount(FeatReturn))
+	}
+	if g.featureCount(FeatIndex) == 0 {
+		t.Error("no index node")
+	}
+}
+
+func TestTrigCallsMarked(t *testing.T) {
+	g, _ := build(t, `
+#include <math.h>
+double f(double x) { return sin(x) + cos(x) + sqrt(x); }`, "f")
+	if g.featureCount(FeatCallTrig) != 2 {
+		t.Errorf("trig calls = %d, want 2 (sin, cos)", g.featureCount(FeatCallTrig))
+	}
+	if g.featureCount(FeatCallMath) != 1 {
+		t.Errorf("math calls = %d, want 1 (sqrt)", g.featureCount(FeatCallMath))
+	}
+}
+
+func TestRecursionMarked(t *testing.T) {
+	g, _ := build(t, `
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}`, "fib")
+	if g.featureCount(FeatRecursion) != 2 {
+		t.Errorf("recursion nodes = %d, want 2", g.featureCount(FeatRecursion))
+	}
+}
+
+func TestComplexVarsMarked(t *testing.T) {
+	g, _ := build(t, `
+#include <complex.h>
+void f(double complex* x, int n) {
+    for (int i = 0; i < n; i++) x[i] = x[i] * x[i];
+}`, "f")
+	if g.featureCount(FeatVarComplex) == 0 && g.featureCount(FeatVarPointer) == 0 {
+		t.Error("no complex/pointer variable nodes")
+	}
+}
+
+func TestRegionGraphInlinesCallees(t *testing.T) {
+	soloSrc := `
+void entry(double* x, int n) {
+    for (int i = 0; i < n; i++) x[i] = 0.0;
+}`
+	callSrc := `
+void helper(double* x, int n) {
+    for (int i = 0; i < n; i++) x[i] = 0.0;
+}
+void entry(double* x, int n) {
+    helper(x, n);
+    for (int i = 0; i < n; i++) x[i] = 1.0;
+}`
+	solo, _ := build(t, soloSrc, "entry")
+	merged, _ := build(t, callSrc, "entry")
+	if merged.N <= solo.N {
+		t.Errorf("region graph should include callee: %d <= %d nodes", merged.N, solo.N)
+	}
+}
+
+func TestRecursiveCallGraphTerminates(t *testing.T) {
+	g, _ := build(t, `
+void a(int n);
+void b(int n) { a(n - 1); }
+void a(int n) { if (n > 0) b(n); }
+`, "a")
+	if g.N == 0 {
+		t.Fatal("empty graph")
+	}
+}
+
+func TestBuildFileGraphs(t *testing.T) {
+	f, err := minic.ParseAndCheck("t.c", `
+int one(void) { return 1; }
+int two(void) { return 2; }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := BuildFileGraphs(f)
+	if len(gs) != 2 {
+		t.Fatalf("graphs = %d, want 2", len(gs))
+	}
+	if gs["one"] == nil || gs["two"] == nil {
+		t.Error("missing per-function graphs")
+	}
+}
+
+// TestCorpusGraphsWellFormed builds the region graph of every corpus
+// program: non-trivial node counts, and every supported FFT entry carries
+// the trig-call signal the classifier leans on.
+func TestCorpusGraphsWellFormed(t *testing.T) {
+	for _, b := range bench.Suite() {
+		f, err := minic.ParseAndCheck(b.File, b.Source())
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		g := BuildRegionGraph(f, f.Func(b.Entry))
+		if g.X.R < 20 {
+			t.Errorf("%s: region graph only %d nodes", b.Name, g.X.R)
+		}
+		trig := 0
+		for i := 0; i < g.X.R; i++ {
+			if g.X.At(i, FeatCallTrig) > 0 {
+				trig++
+			}
+		}
+		// Every corpus program except the constant-table ones computes
+		// twiddles with sin/cos/cexp somewhere in its region.
+		if trig == 0 && b.Twiddles != "Constant" {
+			t.Errorf("%s: no trig-call nodes in region graph", b.Name)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Package rangecheck synthesizes the domain-mismatch guard (paper §5.2):
+// a predicate that admits exactly the inputs the accelerator supports,
+// narrowed by value-profiling information about what the user code actually
+// sees, with a fallback to the original software otherwise.
+package rangecheck
+
+import (
+	"fmt"
+	"strings"
+
+	"facc/internal/accel"
+	"facc/internal/analysis"
+	"facc/internal/binding"
+)
+
+// Check is a synthesized input guard. It is both executable (Pass, used by
+// the evaluation harness to route calls) and printable as C (CCondition).
+type Check struct {
+	Spec *accel.Spec
+
+	// Length constraints (over the converted accelerator length).
+	NeedPowerOfTwo bool
+	NeedMin        bool
+	MinN           int
+	NeedMax        bool
+	MaxN           int
+
+	// Pins from behavioral specialization of user scalars.
+	Pins []binding.ScalarPin
+
+	// Conv is the user→accelerator length conversion.
+	Conv binding.LengthConv
+	// LengthParam names the user length variable ("" when constant).
+	LengthParam string
+	ConstLength int64
+}
+
+// Build synthesizes the minimal check for a candidate: constraints the
+// profile proves always hold are omitted (the paper's "minimal possible
+// check with the static information available", with value profiling
+// standing in for static range analysis).
+func Build(cand *binding.Candidate, profile *analysis.Profile) *Check {
+	c := &Check{
+		Spec:           cand.Spec,
+		NeedPowerOfTwo: cand.Spec.PowerOfTwoOnly,
+		NeedMin:        true,
+		MinN:           cand.Spec.MinN,
+		NeedMax:        true,
+		MaxN:           cand.Spec.MaxN,
+		Pins:           cand.Pins,
+		Conv:           cand.Length.Conv,
+		LengthParam:    cand.Length.Param,
+		ConstLength:    cand.Length.Const,
+	}
+	if cand.Length.Param == "" {
+		// Constant length: decide statically, once.
+		n := cand.Length.Const
+		c.NeedMin = n < int64(cand.Spec.MinN)
+		c.NeedMax = n > int64(cand.Spec.MaxN)
+		c.NeedPowerOfTwo = c.NeedPowerOfTwo && (n&(n-1)) != 0
+		return c
+	}
+	if profile == nil {
+		return c
+	}
+	if r := profile.Range(cand.Length.Param); r != nil && r.Count > 0 {
+		lo, hi := c.Conv.Apply(r.Min), c.Conv.Apply(r.Max)
+		if lo >= int64(cand.Spec.MinN) {
+			c.NeedMin = false
+		}
+		if hi >= 0 && hi <= int64(cand.Spec.MaxN) {
+			c.NeedMax = false
+		}
+		if r.AllPowersOfTwo && c.Conv == binding.ConvIdentity {
+			c.NeedPowerOfTwo = false
+		}
+		if c.Conv == binding.ConvExp2 {
+			// 1<<k is a power of two by construction.
+			c.NeedPowerOfTwo = false
+		}
+	}
+	return c
+}
+
+// Pass evaluates the check against a user length value and scalar values.
+func (c *Check) Pass(userLen int64, scalars map[string]int64) bool {
+	n := c.ConstLength
+	if c.LengthParam != "" {
+		n = userLen
+	}
+	an := c.Conv.Apply(n)
+	if an <= 0 {
+		return false
+	}
+	if c.NeedPowerOfTwo && an&(an-1) != 0 {
+		return false
+	}
+	if c.NeedMin && an < int64(c.MinN) {
+		return false
+	}
+	if c.NeedMax && an > int64(c.MaxN) {
+		return false
+	}
+	for _, pin := range c.Pins {
+		if scalars[pin.Param] != pin.Value {
+			return false
+		}
+	}
+	return true
+}
+
+// AlwaysTrue reports whether the check degenerated to a constant pass
+// (profiling proved the whole domain safe and nothing is pinned).
+func (c *Check) AlwaysTrue() bool {
+	return !c.NeedPowerOfTwo && !c.NeedMin && !c.NeedMax && len(c.Pins) == 0
+}
+
+// CCondition renders the guard as a C boolean expression over the user's
+// variables. lenExpr is the C expression for the accelerator length.
+func (c *Check) CCondition(lenExpr string) string {
+	var parts []string
+	if c.NeedPowerOfTwo {
+		parts = append(parts, fmt.Sprintf("is_power_of_two(%s)", lenExpr))
+	}
+	if c.NeedMin {
+		parts = append(parts, fmt.Sprintf("%s >= %d", lenExpr, c.MinN))
+	}
+	if c.NeedMax {
+		parts = append(parts, fmt.Sprintf("%s <= %d", lenExpr, c.MaxN))
+	}
+	for _, pin := range c.Pins {
+		parts = append(parts, fmt.Sprintf("%s == %d", pin.Param, pin.Value))
+	}
+	if len(parts) == 0 {
+		return "1"
+	}
+	return strings.Join(parts, " && ")
+}

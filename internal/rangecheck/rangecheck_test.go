@@ -1,0 +1,161 @@
+package rangecheck
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"facc/internal/accel"
+	"facc/internal/analysis"
+	"facc/internal/binding"
+)
+
+func candFor(spec *accel.Spec) *binding.Candidate {
+	return &binding.Candidate{
+		Spec:   spec,
+		Length: binding.LengthBinding{Param: "n", Conv: binding.ConvIdentity},
+	}
+}
+
+func TestBuildFullCheckWithoutProfile(t *testing.T) {
+	c := Build(candFor(accel.NewFFTA()), nil)
+	if !c.NeedPowerOfTwo || !c.NeedMin || !c.NeedMax {
+		t.Errorf("check = %+v, want all constraints", c)
+	}
+	cond := c.CCondition("n")
+	for _, want := range []string{"is_power_of_two(n)", "n >= 64", "n <= 65536"} {
+		if !strings.Contains(cond, want) {
+			t.Errorf("condition %q missing %q", cond, want)
+		}
+	}
+}
+
+func TestBuildMinimalCheckWithProfile(t *testing.T) {
+	p := analysis.NewProfile()
+	for _, v := range []int64{64, 256, 1024} {
+		p.ObserveInt("n", v)
+	}
+	c := Build(candFor(accel.NewFFTA()), p)
+	if !c.AlwaysTrue() {
+		t.Errorf("profile proves domain; check = %q", c.CCondition("n"))
+	}
+	if c.CCondition("n") != "1" {
+		t.Errorf("condition = %q, want 1", c.CCondition("n"))
+	}
+}
+
+func TestBuildPartialCheck(t *testing.T) {
+	// Profile spans beyond MaxN and includes non-powers of two.
+	p := analysis.NewProfile()
+	for _, v := range []int64{100, 70000} {
+		p.ObserveInt("n", v)
+	}
+	c := Build(candFor(accel.NewFFTA()), p)
+	if !c.NeedPowerOfTwo || !c.NeedMax {
+		t.Errorf("check = %+v", c)
+	}
+	if c.NeedMin {
+		t.Error("min constraint should be dropped (profile min 100 >= 64)")
+	}
+}
+
+func TestPassSemantics(t *testing.T) {
+	c := Build(candFor(accel.NewFFTA()), nil)
+	cases := []struct {
+		n    int64
+		want bool
+	}{
+		{64, true}, {1024, true}, {65536, true},
+		{32, false}, {100, false}, {131072, false}, {0, false}, {-8, false},
+	}
+	for _, tc := range cases {
+		if got := c.Pass(tc.n, nil); got != tc.want {
+			t.Errorf("Pass(%d) = %v, want %v", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestPassWithPins(t *testing.T) {
+	cand := candFor(accel.NewFFTA())
+	cand.Pins = []binding.ScalarPin{{Param: "inverse", Value: 0}}
+	c := Build(cand, nil)
+	if c.Pass(64, map[string]int64{"inverse": 1}) {
+		t.Error("pinned scalar mismatch must fail")
+	}
+	if !c.Pass(64, map[string]int64{"inverse": 0}) {
+		t.Error("pinned scalar match must pass")
+	}
+	if !strings.Contains(c.CCondition("n"), "inverse == 0") {
+		t.Errorf("condition = %q", c.CCondition("n"))
+	}
+}
+
+func TestExp2Conversion(t *testing.T) {
+	cand := &binding.Candidate{
+		Spec:   accel.NewFFTA(),
+		Length: binding.LengthBinding{Param: "logn", Conv: binding.ConvExp2},
+	}
+	c := Build(cand, nil)
+	if c.NeedPowerOfTwo {
+		// Build without a profile keeps pow2... exp2 is pow2 by
+		// construction only when the profile path runs; semantic Pass
+		// must still work either way.
+		_ = c
+	}
+	if !c.Pass(10, nil) { // 2^10 = 1024, in domain
+		t.Error("Pass(logn=10) should hold")
+	}
+	if c.Pass(20, nil) { // 2^20 > 65536
+		t.Error("Pass(logn=20) should fail (above MaxN)")
+	}
+	if c.Pass(3, nil) { // 2^3 < 64
+		t.Error("Pass(logn=3) should fail (below MinN)")
+	}
+}
+
+func TestConstantLength(t *testing.T) {
+	cand := &binding.Candidate{
+		Spec:   accel.NewFFTA(),
+		Length: binding.LengthBinding{Const: 64},
+	}
+	c := Build(cand, nil)
+	if !c.AlwaysTrue() {
+		t.Errorf("constant 64 in domain; check = %+v", c)
+	}
+	bad := &binding.Candidate{
+		Spec:   accel.NewFFTA(),
+		Length: binding.LengthBinding{Const: 48},
+	}
+	c2 := Build(bad, nil)
+	if c2.Pass(48, nil) {
+		t.Error("constant 48 is not a power of two; Pass must fail")
+	}
+}
+
+// Property (testing/quick): whenever the check passes, the converted
+// length really is inside the accelerator's supported domain — the range
+// check is sound by construction when built without profile narrowing.
+func TestPropertyPassImpliesSupported(t *testing.T) {
+	f := func(nRaw int32, pinVal int8, specIdx uint8) bool {
+		spec := accel.Specs()[int(specIdx)%3]
+		cand := &binding.Candidate{
+			Spec:   spec,
+			Length: binding.LengthBinding{Param: "n", Conv: binding.ConvIdentity},
+			Pins:   []binding.ScalarPin{{Param: "flag", Value: int64(pinVal)}},
+		}
+		c := Build(cand, nil)
+		n := int64(nRaw)
+		scal := map[string]int64{"flag": int64(pinVal)}
+		if c.Pass(n, scal) && !spec.Supports(int(n)) {
+			return false
+		}
+		// Pin mismatch must always fail.
+		if c.Pass(n, map[string]int64{"flag": int64(pinVal) + 1}) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,121 @@
+package synth
+
+import (
+	"testing"
+
+	"facc/internal/accel"
+	"facc/internal/analysis"
+	"facc/internal/binding"
+	"facc/internal/minic"
+)
+
+// The AddressSanitizer role (paper §6.1): a hypothesis that binds the
+// wrong integer parameter as the array length makes the user code index
+// out of bounds (or transform the wrong prefix) under fuzzing, and the
+// candidate dies. The decoy parameter here takes the same plausible values
+// as the real length, so only dynamic evidence can tell them apart.
+const decoySrc = `
+#include <math.h>
+typedef struct { double re; double im; } cpx;
+void fft_decoy(cpx* x, int window, int n) {
+    cpx out[n];
+    for (int k = 0; k < n; k++) {
+        double sre = 0.0;
+        double sim = 0.0;
+        for (int j = 0; j < n; j++) {
+            double a = -2.0 * M_PI * (double)j * (double)k / (double)n;
+            sre += x[j].re * cos(a) - x[j].im * sin(a);
+            sim += x[j].re * sin(a) + x[j].im * cos(a);
+        }
+        out[k].re = sre;
+        out[k].im = sim;
+    }
+    for (int k = 0; k < n; k++) x[k] = out[k];
+}`
+
+func decoyProfile() *analysis.Profile {
+	p := analysis.NewProfile()
+	// Both parameters look like plausible FFT lengths.
+	for _, v := range []int64{16, 32, 64} {
+		p.ObserveInt("n", v)
+		p.ObserveInt("window", v)
+	}
+	return p
+}
+
+func TestWrongLengthBindingRejectedByFuzzing(t *testing.T) {
+	f, err := minic.ParseAndCheck("t.c", decoySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := f.Func("fft_decoy")
+	fi := analysis.AnalyzeFunc(f, fn)
+	spec := accel.NewPowerQuad()
+	prof := decoyProfile()
+
+	// Both length hypotheses must be enumerated...
+	cands := binding.Enumerate(fi, spec, prof, binding.Options{})
+	sawN, sawWindow := false, false
+	for _, c := range cands {
+		switch c.Length.Param {
+		case "n":
+			sawN = true
+		case "window":
+			sawWindow = true
+		}
+	}
+	if !sawN || !sawWindow {
+		t.Fatalf("length hypotheses incomplete: n=%v window=%v", sawN, sawWindow)
+	}
+
+	// ...and fuzzing must leave only the correct one standing.
+	res, err := Synthesize(f, fn, spec, prof, Options{NumTests: 8, ExhaustAll: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Adapter == nil {
+		t.Fatalf("no adapter: %s", res.FailReason)
+	}
+	if res.Adapter.Cand.Length.Param != "n" {
+		t.Errorf("winner bound length to %q, want n", res.Adapter.Cand.Length.Param)
+	}
+}
+
+// A buggy FFT (off-by-one that reads one element past the array) must be
+// caught by the interpreter's bounds checking during IO testing — no
+// adapter may be produced for code whose behavior includes UB.
+func TestOutOfBoundsUserCodeRejected(t *testing.T) {
+	src := `
+#include <math.h>
+typedef struct { double re; double im; } cpx;
+void fft_oob(cpx* x, int n) {
+    cpx out[n];
+    for (int k = 0; k < n; k++) {
+        double sre = 0.0;
+        double sim = 0.0;
+        for (int j = 0; j <= n; j++) { // off-by-one read
+            double a = -2.0 * M_PI * (double)j * (double)k / (double)n;
+            sre += x[j].re * cos(a);
+            sim += x[j].im * cos(a);
+        }
+        out[k].re = sre;
+        out[k].im = sim;
+    }
+    for (int k = 0; k < n; k++) x[k] = out[k];
+}`
+	f, err := minic.ParseAndCheck("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := analysis.NewProfile()
+	prof.ObserveInt("n", 16)
+	prof.ObserveInt("n", 32)
+	res, err := Synthesize(f, f.Func("fft_oob"), accel.NewPowerQuad(), prof,
+		Options{NumTests: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Adapter != nil {
+		t.Fatal("adapter produced for out-of-bounds user code")
+	}
+}

@@ -1,0 +1,347 @@
+// Package synth is FACC's generate-and-test engine (paper §6). It combines
+// binding candidates (§5.1), range checks (§5.2) and behavioral sketches
+// (§5.3) into candidate adapters, executes the user code in the MiniC
+// interpreter against each candidate on random IO examples, and returns the
+// unique surviving adapter. Interpreter faults under a candidate (the
+// AddressSanitizer role) reject that candidate.
+package synth
+
+import (
+	"fmt"
+	"math"
+
+	"facc/internal/accel"
+	"facc/internal/analysis"
+	"facc/internal/behave"
+	"facc/internal/binding"
+	"facc/internal/fft"
+	"facc/internal/interp"
+	"facc/internal/iogen"
+	"facc/internal/minic"
+	"facc/internal/rangecheck"
+)
+
+// Adapter is a validated drop-in replacement: the winning binding, the
+// synthesized range check, and the post-behavioral patch.
+type Adapter struct {
+	FuncName string
+	Cand     *binding.Candidate
+	Check    *rangecheck.Check
+	Post     behave.PostOp
+
+	// ReturnConst is the learned constant return value for non-void user
+	// functions (nil when the function returns void).
+	ReturnConst *int64
+
+	TestsPassed int
+}
+
+// Result reports a synthesis run.
+type Result struct {
+	Adapter *Adapter // nil when no candidate survived
+
+	Candidates  int // bindings enumerated (paper Fig. 16)
+	Tested      int // bindings actually fuzz-tested before success
+	Survivors   int // bindings that passed all tests (ties broken by priority)
+	TestsPerRun int
+	FailReason  string // classification when Adapter == nil
+}
+
+// Options tunes the engine.
+type Options struct {
+	NumTests  int     // IO examples per candidate (default 10)
+	Tolerance float64 // relative comparison tolerance (default 1e-3)
+	Seed      int64
+	Binding   binding.Options
+	// StopAtFirst stops at the first surviving candidate (default true
+	// behavior is used when false too — survivors are still counted only
+	// among tested candidates when this is set).
+	ExhaustAll bool
+}
+
+func (o *Options) defaults() {
+	if o.NumTests == 0 {
+		o.NumTests = 10
+	}
+	if o.Tolerance == 0 {
+		o.Tolerance = 2e-3
+	}
+	if o.Seed == 0 {
+		o.Seed = 424242
+	}
+}
+
+// Synthesize builds an adapter binding fn (in file f) to spec.
+func Synthesize(f *minic.File, fn *minic.FuncDecl, spec *accel.Spec,
+	profile *analysis.Profile, opts Options) (*Result, error) {
+	opts.defaults()
+	fi := analysis.AnalyzeFunc(f, fn)
+	res := &Result{TestsPerRun: opts.NumTests}
+	if fi.CallsPrintf {
+		res.FailReason = "printf"
+		return res, nil
+	}
+	if fi.UsesVoidPtr {
+		res.FailReason = "void-pointer"
+		return res, nil
+	}
+	if fi.NestedPointer {
+		res.FailReason = "nested-memory"
+		return res, nil
+	}
+	cands := binding.Enumerate(fi, spec, profile, opts.Binding)
+	res.Candidates = len(cands)
+	if len(cands) == 0 {
+		res.FailReason = "interface-incompatibility"
+		return res, nil
+	}
+	var winner *Adapter
+	for _, cand := range cands {
+		res.Tested++
+		ad, err := testCandidate(f, fn, cand, profile, opts)
+		if err != nil {
+			return nil, err
+		}
+		if ad == nil {
+			continue
+		}
+		res.Survivors++
+		if winner == nil {
+			winner = ad
+		}
+		if !opts.ExhaustAll {
+			break
+		}
+	}
+	if winner == nil {
+		res.FailReason = "interface-incompatibility"
+		return res, nil
+	}
+	winner.Check = rangecheck.Build(winner.Cand, profile)
+	res.Adapter = winner
+	return res, nil
+}
+
+// testCandidate fuzz-tests one binding candidate. It returns a validated
+// adapter, or nil when the candidate is behaviorally wrong or faults.
+func testCandidate(f *minic.File, fn *minic.FuncDecl, cand *binding.Candidate,
+	profile *analysis.Profile, opts Options) (*Adapter, error) {
+	gen := iogen.New(opts.Seed, cand, profile)
+	if !gen.Viable() {
+		return nil, nil
+	}
+	cases := gen.Cases(opts.NumTests)
+
+	// All post-behavioral sketches start alive; each case prunes.
+	alive := behave.Sketches()
+
+	machine, err := interp.NewMachine(f)
+	if err != nil {
+		return nil, fmt.Errorf("synth: %w", err)
+	}
+	machine.MaxSteps = 40_000_000
+
+	var returnVals []int64
+	sawReturn := false
+
+	for _, tc := range cases {
+		userOut, retVal, runErr := runUser(machine, fn, cand, tc)
+		if runErr != nil {
+			// Interpreter fault (OOB, etc.) — wrong binding.
+			return nil, nil
+		}
+		if retVal != nil {
+			sawReturn = true
+			returnVals = append(returnVals, *retVal)
+		}
+		accelOut, err := runAccel(cand, tc)
+		if err != nil {
+			// The accelerator rejected the input (should not happen for
+			// generated cases); treat as candidate failure.
+			return nil, nil
+		}
+		var next []behave.PostOp
+		for _, op := range alive {
+			patched := append([]complex128(nil), accelOut...)
+			op.Apply(patched)
+			if vectorsClose(userOut, patched, opts.Tolerance) {
+				next = append(next, op)
+			}
+		}
+		alive = next
+		if len(alive) == 0 {
+			return nil, nil
+		}
+	}
+
+	ad := &Adapter{
+		FuncName:    fn.Name,
+		Cand:        cand,
+		Post:        alive[0], // identity-first canonical order
+		TestsPassed: len(cases),
+	}
+	if cand.ReturnIgnored && sawReturn {
+		c := returnVals[0]
+		for _, v := range returnVals {
+			if v != c {
+				return nil, nil // return value depends on input; cannot reproduce
+			}
+		}
+		ad.ReturnConst = &c
+	}
+	return ad, nil
+}
+
+// runUser executes the user function under the candidate's interpretation
+// and returns the decoded complex output.
+func runUser(m *interp.Machine, fn *minic.FuncDecl, cand *binding.Candidate,
+	tc iogen.Case) ([]complex128, *int64, error) {
+	m.Reset() // fresh fuel and counters per case; globals persist
+	n := int(tc.AccelLen)
+	args := make([]interp.Value, len(fn.Params))
+	arrays := map[string]interp.Value{}
+
+	// Allocate and fill arrays mentioned by the binding; unbound pointer
+	// parameters get zeroed scratch of the same element count.
+	inParams := map[string]bool{}
+	for _, p := range cand.Input.Params() {
+		inParams[p] = true
+	}
+	outParams := map[string]bool{}
+	for _, p := range cand.Output.Params() {
+		outParams[p] = true
+	}
+
+	for i, prm := range fn.Params {
+		pt := prm.Type.Decay()
+		switch {
+		case pt.Kind == minic.TPointer:
+			elem := pt.Elem
+			arr, err := m.NewArray(prm.Name, elem, n)
+			if err != nil {
+				return nil, nil, err
+			}
+			arrays[prm.Name] = arr
+			args[i] = arr
+		case pt.IsInteger():
+			v := tc.Scalars[prm.Name]
+			if prm.Name == cand.Length.Param {
+				v = tc.UserLen
+			}
+			args[i] = interp.Value{K: interp.VInt, T: pt, I: v}
+		case pt.IsFloat():
+			args[i] = interp.FloatValue(0, pt)
+		default:
+			args[i] = interp.Value{K: interp.VInt, T: minic.Int}
+		}
+	}
+
+	// Encode the input signal through the candidate's layout.
+	if err := writeArray(m, cand.Input, arrays, tc.Input); err != nil {
+		return nil, nil, err
+	}
+
+	ret, err := m.Call(fn, args)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := readArray(m, cand.Output, arrays, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	var retConst *int64
+	if fn.Type.Ret.Kind != minic.TVoid && ret.K == interp.VInt {
+		v := ret.I
+		retConst = &v
+	}
+	return out, retConst, nil
+}
+
+// writeArray encodes vals into the user arrays per the binding layout.
+func writeArray(m *interp.Machine, b binding.ArrayBinding,
+	arrays map[string]interp.Value, vals []complex128) error {
+	switch b.Layout {
+	case binding.LayoutC99:
+		return m.SetComplexArray(arrays[b.Param], vals)
+	case binding.LayoutStruct:
+		return m.SetStructComplexArray(arrays[b.Param], vals, b.ReOff, b.ImOff)
+	case binding.LayoutSplit:
+		re := make([]float64, len(vals))
+		im := make([]float64, len(vals))
+		for i, v := range vals {
+			re[i], im[i] = real(v), imag(v)
+		}
+		if err := m.SetFloatArray(arrays[b.ReParam], re); err != nil {
+			return err
+		}
+		return m.SetFloatArray(arrays[b.ImParam], im)
+	default:
+		return fmt.Errorf("synth: unknown layout %v", b.Layout)
+	}
+}
+
+// readArray decodes n complex values from the user arrays per the layout.
+func readArray(m *interp.Machine, b binding.ArrayBinding,
+	arrays map[string]interp.Value, n int) ([]complex128, error) {
+	switch b.Layout {
+	case binding.LayoutC99:
+		return m.GetComplexArray(arrays[b.Param], n)
+	case binding.LayoutStruct:
+		return m.GetStructComplexArray(arrays[b.Param], n, b.ReOff, b.ImOff)
+	case binding.LayoutSplit:
+		re, err := m.GetFloatArray(arrays[b.ReParam], n)
+		if err != nil {
+			return nil, err
+		}
+		im, err := m.GetFloatArray(arrays[b.ImParam], n)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]complex128, n)
+		for i := range out {
+			out[i] = complex(re[i], im[i])
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("synth: unknown layout %v", b.Layout)
+	}
+}
+
+// runAccel produces the accelerator's output for the case.
+func runAccel(cand *binding.Candidate, tc iogen.Case) ([]complex128, error) {
+	dir := fft.Forward
+	if d := cand.Direction; d != nil {
+		av := d.Constant
+		if d.Param != "" {
+			av = d.Map[tc.Scalars[d.Param]]
+		}
+		if av == accel.FFTWBackward {
+			dir = fft.Inverse
+		}
+	}
+	return cand.Spec.Run(tc.Input, dir)
+}
+
+// vectorsClose compares complex vectors with a norm-scaled tolerance:
+// |a-b|∞ ≤ tol · (1 + |b|∞). This absorbs the single-precision hardware
+// datapath while still distinguishing swapped layouts, wrong directions and
+// missing normalization.
+func vectorsClose(a, b []complex128, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	norm := 0.0
+	for _, v := range b {
+		if m := math.Hypot(real(v), imag(v)); m > norm {
+			norm = m
+		}
+	}
+	limit := tol * (1 + norm)
+	for i := range a {
+		d := a[i] - b[i]
+		if math.Hypot(real(d), imag(d)) > limit {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,69 @@
+package facc
+
+import (
+	"strings"
+	"testing"
+
+	"facc/internal/accel"
+	"facc/internal/bench"
+	"facc/internal/minic"
+	"facc/internal/synth"
+)
+
+// TestCompileWithExecutedProfile drives the full paper workflow: build the
+// value profile by *running* the application driver (not hand tables),
+// then compile with it.
+func TestCompileWithExecutedProfile(t *testing.T) {
+	b, err := bench.ByName("iterdit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := bench.CollectProfile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := minic.ParseAndCheck(b.File, b.Source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := synth.Synthesize(f, f.Func(b.Entry), accel.NewFFTA(), prof,
+		synth.Options{NumTests: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Adapter == nil {
+		t.Fatalf("no adapter with executed profile: %s", res.FailReason)
+	}
+	if res.Adapter.Cand.Length.Param != "n" {
+		t.Errorf("length binding = %+v", res.Adapter.Cand.Length)
+	}
+	// The executed profile saw only powers of two within the FFTA domain,
+	// so the range check needs no power-of-two test...
+	check := res.Adapter.Check
+	if check.NeedPowerOfTwo {
+		t.Error("profiled pow2-only range should drop the pow2 check")
+	}
+	// ...but the profile's max (512) is inside the domain, so min/max
+	// constraints may drop as well; the check must still pass for the
+	// profiled values.
+	if !check.Pass(128, nil) {
+		t.Error("check rejects profiled value")
+	}
+}
+
+// TestMigratePublicAPI exercises facc.Migrate.
+func TestMigratePublicAPI(t *testing.T) {
+	mig, err := Migrate(TargetFFTW, TargetFFTA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(mig.EmitC(), "accel_cfft") {
+		t.Error("migration adapter missing target call")
+	}
+	if _, err := Migrate("tpu", TargetFFTA); err == nil {
+		t.Error("unknown source target should error")
+	}
+	if _, err := Migrate(TargetFFTW, "tpu"); err == nil {
+		t.Error("unknown dest target should error")
+	}
+}
