@@ -3,9 +3,12 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench repro repro-full examples fmt vet clean
+.PHONY: all build test test-short test-race bench repro repro-full examples fmt lint vet check clean
 
 all: build test
+
+# Tier-1 gate: formatting + vet + tests + race detector.
+check: lint test test-race
 
 build:
 	$(GO) build ./...
@@ -15,6 +18,9 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+test-race:
+	$(GO) test -race ./...
 
 # One testing.B benchmark per paper table/figure plus ablations.
 bench:
@@ -37,6 +43,12 @@ examples:
 
 fmt:
 	gofmt -w .
+
+# Fails when any file needs gofmt, then vets.
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
 
 vet:
 	$(GO) vet ./...

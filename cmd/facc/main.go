@@ -3,7 +3,13 @@
 //
 // Usage:
 //
-//	facc -target ffta [-entry fft] [-profile n=64,128,256] [-tests 10] file.c
+//	facc -target ffta [-entry fft] [-profile n=64,128,256] [-tests 10]
+//	     [-trace trace.json] [-metrics] file.c
+//
+// -trace writes a Chrome trace_event file (load in chrome://tracing or
+// https://ui.perfetto.dev) with one nested span per pipeline stage down to
+// individual fuzzed candidates; -metrics prints a human-readable summary of
+// stage timings and pipeline counters to stderr.
 //
 // Exit status: 0 on success (adapter printed to stdout), 1 when no adapter
 // could be synthesized (reason printed to stderr), 2 on usage/frontend
@@ -31,6 +37,10 @@ func main() {
 	output := flag.String("o", "", "write the adapter to this file instead of stdout")
 	integrate := flag.Bool("integrate", false,
 		"emit the whole rewritten translation unit (call sites redirected to the adapter)")
+	traceFile := flag.String("trace", "",
+		"write a Chrome trace_event file of the compilation pipeline")
+	metrics := flag.Bool("metrics", false,
+		"print stage timings and pipeline counters to stderr")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: facc [flags] file.c\n")
 		flag.PrintDefaults()
@@ -58,6 +68,9 @@ func main() {
 		ProfileValues: profile,
 		NumTests:      *tests,
 	}
+	if *traceFile != "" || *metrics {
+		opts.Trace = facc.NewTracer()
+	}
 	if *classify {
 		clf, err := facc.Train(12, 1)
 		if err != nil {
@@ -68,10 +81,35 @@ func main() {
 	}
 
 	res, err := facc.Compile(path, string(src), *target, opts)
+	exportObs := func() {
+		if opts.Trace == nil {
+			return
+		}
+		if *traceFile != "" {
+			f, err := os.Create(*traceFile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "facc: %v\n", err)
+				os.Exit(2)
+			}
+			werr := opts.Trace.WriteChromeTrace(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				fmt.Fprintf(os.Stderr, "facc: writing trace: %v\n", werr)
+				os.Exit(2)
+			}
+		}
+		if *metrics {
+			opts.Trace.WriteSummary(os.Stderr)
+		}
+	}
 	if err != nil {
+		exportObs()
 		fmt.Fprintf(os.Stderr, "facc: %v\n", err)
 		os.Exit(2)
 	}
+	exportObs()
 	if !res.OK() {
 		fmt.Fprintf(os.Stderr, "facc: no adapter synthesized: %s\n", res.FailReason())
 		os.Exit(1)

@@ -8,6 +8,7 @@
 //	faccbench                       # run everything
 //	faccbench -experiment fig13     # one experiment
 //	faccbench -experiment fig11 -full   # paper-size classifier protocol
+//	faccbench -experiment fig15 -trace corpus.json -metrics  # traced corpus compile
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 
 	"facc/internal/core"
 	"facc/internal/eval"
+	"facc/internal/obs"
 )
 
 func main() {
@@ -24,15 +26,47 @@ func main() {
 		"table1, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, ablation, or all")
 	full := flag.Bool("full", false, "use the paper-size Fig. 11 protocol (slow)")
 	tests := flag.Int("tests", 5, "IO examples per candidate during compilation")
+	traceFile := flag.String("trace", "",
+		"write a Chrome trace_event file of the corpus compilations")
+	metrics := flag.Bool("metrics", false,
+		"print stage timings and pipeline counters to stderr after the run")
 	flag.Parse()
 
-	if err := run(*experiment, *full, *tests); err != nil {
+	var tr *obs.Tracer
+	if *traceFile != "" || *metrics {
+		tr = obs.New()
+	}
+	err := run(*experiment, *full, *tests, tr)
+	if tr != nil {
+		if *traceFile != "" {
+			if werr := writeTrace(*traceFile, tr); werr != nil {
+				fmt.Fprintf(os.Stderr, "faccbench: %v\n", werr)
+				os.Exit(1)
+			}
+		}
+		if *metrics {
+			tr.WriteSummary(os.Stderr)
+		}
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "faccbench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, full bool, tests int) error {
+func writeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := tr.WriteChromeTrace(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+func run(experiment string, full bool, tests int, tr *obs.Tracer) error {
 	w := os.Stdout
 	sep := func() { fmt.Fprintln(w) }
 
@@ -47,7 +81,7 @@ func run(experiment string, full bool, tests int) error {
 		fmt.Fprintf(os.Stderr, "faccbench: compiling the corpus (%d targets x 25 programs)...\n",
 			len(targets))
 		var err error
-		outcomes, err = eval.CompileAll(targets, tests)
+		outcomes, err = eval.CompileAll(targets, tests, tr)
 		return err
 	}
 	allTargets := []string{"ffta", "powerquad", "fftw"}

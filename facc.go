@@ -32,6 +32,7 @@ import (
 	"facc/internal/bench"
 	"facc/internal/binding"
 	"facc/internal/core"
+	"facc/internal/obs"
 	"facc/internal/synth"
 )
 
@@ -70,7 +71,21 @@ type Options struct {
 	// switches from DESIGN.md.
 	DisableRangeHeuristic bool
 	DisableSingleRead     bool
+	// Trace, when non-nil, records hierarchical spans for every pipeline
+	// stage (parse → typecheck → classify → analyze → binding →
+	// per-candidate fuzzing → codegen) plus interpreter and accelerator
+	// metrics. Export with obs's Chrome-trace/JSONL/summary writers. Nil
+	// (the default) keeps the synthesis hot path uninstrumented — zero
+	// extra allocations in the fuzz loop.
+	Trace *Tracer
 }
+
+// Tracer collects hierarchical spans and metrics across a compilation; see
+// NewTracer. Safe for concurrent use by parallel compilations.
+type Tracer = obs.Tracer
+
+// NewTracer returns an empty tracer to pass via Options.Trace.
+func NewTracer() *Tracer { return obs.New() }
 
 // Classifier is the trained ProGraML-style candidate detector.
 type Classifier = core.Classifier
@@ -96,6 +111,7 @@ func Compile(name, source, target string, opts Options) (*Result, error) {
 		Entry:         opts.Entry,
 		ProfileValues: opts.ProfileValues,
 		Classifier:    opts.Classifier,
+		Trace:         opts.Trace,
 		Synth: synth.Options{
 			NumTests:  opts.NumTests,
 			Tolerance: opts.Tolerance,
@@ -138,17 +154,10 @@ func (r *Result) Function() string {
 // printf, void-pointer, nested-memory, interface-incompatibility), or "".
 func (r *Result) FailReason() string { return r.c.FailReason() }
 
-// Candidates returns the number of binding candidates enumerated for the
-// winning (or last attempted) function — the Fig. 16 metric.
-func (r *Result) Candidates() int {
-	if s := r.c.Success(); s != nil {
-		return s.Result.Candidates
-	}
-	if n := len(r.c.Functions); n > 0 {
-		return r.c.Functions[n-1].Result.Candidates
-	}
-	return 0
-}
+// Candidates returns the number of binding candidates enumerated across
+// every attempted function — the Fig. 16 metric for the whole translation
+// unit.
+func (r *Result) Candidates() int { return r.c.TotalCandidates() }
 
 // Report renders a per-function compilation report: candidates
 // enumerated, fuzz-tested, survivors, the winning binding, and timing —
@@ -163,7 +172,7 @@ func (r *Result) Report() string {
 		}
 		fmt.Fprintf(&b, "%-20s %-9s candidates=%d tested=%d survivors=%d time=%s",
 			fr.Function, status, fr.Result.Candidates, fr.Result.Tested,
-			fr.Result.Survivors, fr.Elapsed.Round(time.Millisecond))
+			fr.Result.Survivors, fmtDuration(fr.Elapsed))
 		if fr.Result.Adapter != nil {
 			fmt.Fprintf(&b, "\n%-20s binding: %s; post: %s; check: %s",
 				"", fr.Result.Adapter.Cand.Key(), fr.Result.Adapter.Post,
@@ -174,6 +183,16 @@ func (r *Result) Report() string {
 		b.WriteString("\n")
 	}
 	return b.String()
+}
+
+// fmtDuration renders a stage duration at microsecond resolution:
+// synthesis stages routinely finish in well under a millisecond, where
+// time.Duration.Round(time.Millisecond) prints an unhelpful "0s".
+func fmtDuration(d time.Duration) string {
+	if d < time.Second {
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	}
+	return fmt.Sprintf("%.2fs", d.Seconds())
 }
 
 // IntegratedUnit renders the whole translation unit with acceleration

@@ -3,9 +3,13 @@ package facc
 import (
 	"strings"
 	"testing"
+	"time"
 
+	"facc/internal/accel"
 	"facc/internal/bench"
+	"facc/internal/core"
 	"facc/internal/minic"
+	"facc/internal/synth"
 )
 
 const quickstartSrc = `
@@ -171,6 +175,148 @@ func TestClassifierFindsCorpusFFTs(t *testing.T) {
 	}
 	if res.Function() != b.Entry {
 		t.Errorf("compiled %q, want %q", res.Function(), b.Entry)
+	}
+}
+
+// TestCandidatesSumsAllFunctions: a translation unit with two candidate
+// regions must report the candidates enumerated across BOTH attempted
+// functions, not just the winner's (regression: Candidates() used to
+// return only the winning/last function's count, under-reporting the
+// Fig. 16 metric).
+func TestCandidatesSumsAllFunctions(t *testing.T) {
+	// scale() binds plausibly (complex array + length) but is not an FFT,
+	// so every candidate dies in fuzzing; fft() then compiles. Both are
+	// attempted because scale comes first in file order.
+	src := `
+#include <math.h>
+typedef struct { double re; double im; } cpx;
+void scale(cpx* x, int n) {
+    for (int i = 0; i < n; i++) {
+        x[i].re = x[i].re * 2.0;
+        x[i].im = x[i].im * 2.0;
+    }
+}` + strings.TrimPrefix(quickstartSrc, `
+#include <math.h>
+typedef struct { double re; double im; } cpx;`)
+	res, err := Compile("two.c", src, TargetFFTA, Options{
+		ProfileValues: map[string][]int64{"n": {64, 128}},
+		NumTests:      4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() || res.Function() != "fft" {
+		t.Fatalf("expected fft to compile; got ok=%v fn=%q (%s)",
+			res.OK(), res.Function(), res.FailReason())
+	}
+	fns := res.Raw().Functions
+	if len(fns) != 2 {
+		t.Fatalf("attempted %d functions, want 2", len(fns))
+	}
+	sum := 0
+	winner := 0
+	for _, fr := range fns {
+		sum += fr.Result.Candidates
+		if fr.AdapterC != "" {
+			winner = fr.Result.Candidates
+		}
+	}
+	if fns[0].Result.Candidates == 0 {
+		t.Fatal("scale enumerated no candidates; test premise broken")
+	}
+	if got := res.Candidates(); got != sum {
+		t.Errorf("Candidates() = %d, want sum %d", got, sum)
+	}
+	if res.Candidates() <= winner {
+		t.Errorf("Candidates() = %d does not exceed winner's %d; rejected region not counted",
+			res.Candidates(), winner)
+	}
+}
+
+// TestReportGolden pins the exact report layout, including the
+// microsecond-resolution time column (sub-millisecond stages used to
+// print an unhelpful time=0s).
+func TestReportGolden(t *testing.T) {
+	res := &Result{c: &core.Compilation{
+		Target: accel.NewFFTA(),
+		Functions: []*core.FunctionResult{
+			{
+				Function: "slow_path",
+				Result: &synth.Result{Candidates: 7, Tested: 7,
+					FailReason: "interface-incompatibility"},
+				Elapsed: 843 * time.Microsecond,
+			},
+			{
+				Function: "fft",
+				Result:   &synth.Result{Candidates: 12, Tested: 9},
+				Elapsed:  2500 * time.Millisecond,
+			},
+		},
+	}}
+	want := "target: ffta (powers of two in [64, 65536])\n" +
+		"slow_path            rejected  candidates=7 tested=7 survivors=0 time=0.84ms reason=interface-incompatibility\n" +
+		"fft                  rejected  candidates=12 tested=9 survivors=0 time=2.50s\n"
+	if got := res.Report(); got != want {
+		t.Errorf("report layout drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestFmtDuration(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "0.00ms"},
+		{42 * time.Microsecond, "0.04ms"},
+		{843 * time.Microsecond, "0.84ms"},
+		{time.Millisecond, "1.00ms"},
+		{999500 * time.Microsecond, "999.50ms"},
+		{time.Second, "1.00s"},
+		{2500 * time.Millisecond, "2.50s"},
+	}
+	for _, c := range cases {
+		if got := fmtDuration(c.d); got != c.want {
+			t.Errorf("fmtDuration(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+// TestTracedCompile: a caller-supplied tracer captures the full pipeline
+// hierarchy and the per-candidate fuzz spans carry test counts.
+func TestTracedCompile(t *testing.T) {
+	tr := NewTracer()
+	res, err := Compile("fft.c", quickstartSrc, TargetFFTA, Options{
+		ProfileValues: map[string][]int64{"n": {64, 128, 256}},
+		NumTests:      4,
+		Trace:         tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("compile failed: %s", res.FailReason())
+	}
+	for _, stage := range []string{"parse", "typecheck", "classify", "analyze",
+		"binding", "fuzz", "rangecheck", "codegen", "synthesize", "compile"} {
+		if len(tr.Find(stage)) == 0 {
+			t.Errorf("no %q span recorded", stage)
+		}
+	}
+	for _, fuzz := range tr.Find("fuzz") {
+		if fuzz.Attr("tests") == nil || fuzz.Attr("binding") == nil {
+			t.Errorf("fuzz span missing tests/binding attributes: %v", fuzz.Attrs)
+		}
+	}
+	if got := tr.Metrics().Counters()["synth.winners"]; got != 1 {
+		t.Errorf("synth.winners = %d, want 1", got)
+	}
+	if tr.Metrics().Counters()["accel.runs.ffta"] == 0 {
+		t.Error("accelerator run counter not incremented")
+	}
+	// The compilation's Elapsed must be the compile span's duration — one
+	// code path for experiments and observability.
+	if root := tr.Find("compile"); len(root) != 1 || root[0].Dur != res.Raw().Elapsed {
+		t.Errorf("Elapsed %v != compile span durations %v", res.Raw().Elapsed, root)
 	}
 }
 

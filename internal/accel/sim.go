@@ -12,6 +12,7 @@ import (
 // (normalization, bit-reversed output). dir is the logical direction the
 // caller wants; targets without a direction parameter only do Forward.
 func (s *Spec) Run(input []complex128, dir fft.Direction) ([]complex128, error) {
+	s.runs.Inc()
 	n := len(input)
 	if !s.Supports(n) {
 		return nil, &DomainError{Spec: s, N: n}

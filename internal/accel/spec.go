@@ -13,6 +13,7 @@ import (
 
 	"facc/internal/fft"
 	"facc/internal/minic"
+	"facc/internal/obs"
 )
 
 // Role classifies an accelerator API parameter for binding synthesis.
@@ -79,6 +80,16 @@ type Spec struct {
 	OverheadSec     float64
 	PerPointSec     float64
 	TransferPerElem float64
+
+	// runs counts simulator invocations when observability is attached
+	// (see Instrument); nil is a free no-op.
+	runs *obs.Counter
+}
+
+// Instrument attaches a metrics registry to the spec: every Run bumps the
+// per-target accel.runs.<name> counter. A nil registry detaches.
+func (s *Spec) Instrument(reg *obs.Registry) {
+	s.runs = reg.Counter("accel.runs." + s.Name)
 }
 
 // complexFloatStruct is the C-visible element type accelerator adapters

@@ -12,6 +12,7 @@ import (
 
 	"facc/internal/accel"
 	"facc/internal/minic"
+	"facc/internal/obs"
 )
 
 // ComplexLayout describes how user code represents an array of complex
@@ -213,6 +214,10 @@ type Options struct {
 	DisableSingleRead bool
 	// MaxCandidates caps enumeration (0 = unlimited).
 	MaxCandidates int
+	// Obs, when non-nil, receives enumeration metrics: binding.emitted,
+	// binding.candidates, and binding.pruned.<heuristic> counters (the
+	// enumerated-vs-pruned transparency of paper Fig. 16).
+	Obs *obs.Registry
 }
 
 // complexElemInfo describes how an element type encodes a complex sample.

@@ -6,6 +6,7 @@ import (
 	"facc/internal/accel"
 	"facc/internal/analysis"
 	"facc/internal/minic"
+	"facc/internal/obs"
 )
 
 // scored pairs a candidate with its heuristic priority so the most
@@ -31,16 +32,27 @@ func Enumerate(fi *analysis.FuncInfo, spec *accel.Spec, profile *analysis.Profil
 	})
 	cands := make([]*Candidate, 0, len(e.out))
 	seen := map[string]bool{}
+	dups, capped := 0, 0
 	for _, s := range e.out {
 		k := s.cand.Key()
 		if seen[k] {
+			dups++
 			continue
 		}
 		seen[k] = true
-		cands = append(cands, s.cand)
 		if opts.MaxCandidates > 0 && len(cands) >= opts.MaxCandidates {
-			break
+			capped++
+			continue
 		}
+		cands = append(cands, s.cand)
+	}
+	if opts.Obs != nil {
+		opts.Obs.Counter("binding.emitted").Add(int64(e.n))
+		opts.Obs.Counter("binding.candidates").Add(int64(len(cands)))
+		opts.Obs.Counter("binding.pruned.dedup").Add(int64(dups))
+		opts.Obs.Counter("binding.pruned.cap").Add(int64(capped))
+		opts.Obs.Histogram("binding.candidates_per_function", obs.CountBuckets).
+			Observe(float64(len(cands)))
 	}
 	return cands
 }
@@ -57,6 +69,15 @@ type enumerator struct {
 func (e *enumerator) emit(c *Candidate, score int) {
 	e.n++
 	e.out = append(e.out, scored{cand: c, score: score, order: e.n})
+}
+
+// prune tallies a heuristic rejection (binding.pruned.<heuristic>) — the
+// pruned-vs-enumerated accounting the summary exporter reports.
+func (e *enumerator) prune(heuristic string) {
+	if e.opts.Obs == nil {
+		return
+	}
+	e.opts.Obs.Counter("binding.pruned." + heuristic).Inc()
 }
 
 // arrayChoice is one hypothesis for the (input, output) array pair.
@@ -243,6 +264,7 @@ func (e *enumerator) lengthStage(ac arrayChoice) {
 	emitted := false
 	for rank, name := range ranked {
 		if usedSet[name] && !e.opts.DisableSingleRead {
+			e.prune("single-read")
 			continue
 		}
 		score := ac.score
@@ -254,6 +276,8 @@ func (e *enumerator) lengthStage(ac arrayChoice) {
 		if e.opts.DisableRangeHeuristic || r == nil || e.rangeOverlapsDomain(r, ConvIdentity) {
 			e.scalarStage(ac, LengthBinding{Param: name, Conv: ConvIdentity}, score+1, usedSet)
 			emitted = true
+		} else {
+			e.prune("range")
 		}
 		// 2^n conversion: only plausible when the profiled values are
 		// small exponents (paper Fig. 6's range-heuristic rejection).
@@ -266,6 +290,8 @@ func (e *enumerator) lengthStage(ac arrayChoice) {
 		if exp2OK {
 			e.scalarStage(ac, LengthBinding{Param: name, Conv: ConvExp2}, score, usedSet)
 			emitted = true
+		} else if r != nil && !e.opts.DisableRangeHeuristic {
+			e.prune("range-exp2")
 		}
 	}
 	if !emitted || len(ranked) == 0 {

@@ -15,6 +15,7 @@ import (
 	"facc/internal/codegen"
 	"facc/internal/gnn"
 	"facc/internal/minic"
+	"facc/internal/obs"
 	"facc/internal/ojclone"
 	"facc/internal/progml"
 	"facc/internal/synth"
@@ -92,6 +93,12 @@ type Options struct {
 	// AllRegions compiles every candidate region instead of stopping at
 	// the first success (Fig. 1 replaces each detected FFT).
 	AllRegions bool
+	// Trace, when non-nil, receives hierarchical spans for every pipeline
+	// stage (parse, typecheck, classify, analyze, binding, per-candidate
+	// fuzzing, codegen) plus interpreter/accelerator metrics. Nil disables
+	// hot-path instrumentation entirely; stage timings are still measured
+	// internally so Elapsed fields stay populated.
+	Trace *obs.Tracer
 }
 
 // FunctionResult is the outcome for one candidate region.
@@ -167,18 +174,41 @@ func BuildProfile(values map[string][]int64) *analysis.Profile {
 
 // CompileSource parses, checks and compiles MiniC source against a target.
 func CompileSource(name, src string, spec *accel.Spec, opts Options) (*Compilation, error) {
-	f, err := minic.ParseAndCheck(name, src)
+	fsp := opts.Trace.Span("frontend").Str("file", name)
+	psp := fsp.Child("parse")
+	f, err := minic.Parse(name, src)
+	psp.End()
+	if err != nil {
+		fsp.End()
+		return nil, err
+	}
+	tsp := fsp.Child("typecheck")
+	err = minic.Check(f)
+	tsp.End()
+	fsp.End()
 	if err != nil {
 		return nil, err
 	}
 	return CompileFile(f, spec, opts)
 }
 
-// CompileFile runs the pipeline on a checked file.
+// CompileFile runs the pipeline on a checked file. All stage timings —
+// including the Elapsed fields of the result — derive from tracer spans;
+// when opts.Trace is nil a private tracer supplies them, and the per-test
+// hot path inside synth runs uninstrumented.
 func CompileFile(f *minic.File, spec *accel.Spec, opts Options) (*Compilation, error) {
-	start := time.Now()
+	tr := opts.Trace
+	traced := tr != nil
+	if tr == nil {
+		tr = obs.New() // timing-only fallback; never reaches the fuzz loop
+	}
+	if traced {
+		spec.Instrument(tr.Metrics())
+	}
+	root := tr.Span("compile").Str("file", f.Name).Str("target", spec.Name)
 	comp := &Compilation{Target: spec, File: f}
 
+	csp := root.Child("classify")
 	var candidates []string
 	switch {
 	case opts.Entry != "":
@@ -192,30 +222,54 @@ func CompileFile(f *minic.File, spec *accel.Spec, opts Options) (*Compilation, e
 			}
 		}
 	}
+	csp.Int("candidates", int64(len(candidates))).End()
 
 	profile := BuildProfile(opts.ProfileValues)
 	for _, name := range candidates {
 		fn := f.Func(name)
 		if fn == nil {
+			root.End()
 			return nil, fmt.Errorf("core: no function %q", name)
 		}
-		t0 := time.Now()
-		res, err := synth.Synthesize(f, fn, spec, profile, opts.Synth)
+		ssp := root.Child("synthesize").Str("function", name)
+		sopts := opts.Synth
+		if traced {
+			sopts.Obs = ssp
+		}
+		res, err := synth.Synthesize(f, fn, spec, profile, sopts)
 		if err != nil {
+			ssp.End()
+			root.End()
 			return nil, err
 		}
-		fr := &FunctionResult{Function: name, Result: res, Elapsed: time.Since(t0)}
+		fr := &FunctionResult{Function: name, Result: res}
 		if res.Adapter != nil {
+			gsp := ssp.Child("codegen")
 			fr.AdapterC = codegen.Prelude() + codegen.Extern(spec) + "\n" +
 				codegen.Emit(res.Adapter, fn)
+			gsp.End()
 		}
+		fr.Elapsed = ssp.End()
 		comp.Functions = append(comp.Functions, fr)
 		if fr.AdapterC != "" && !opts.AllRegions {
 			break // drop-in replacement found; stop at the best candidate
 		}
 	}
-	comp.Elapsed = time.Since(start)
+	comp.Elapsed = root.End()
 	return comp, nil
+}
+
+// TotalCandidates sums the binding candidates enumerated across every
+// attempted function (the Fig. 16 search-space measure for the whole
+// translation unit).
+func (c *Compilation) TotalCandidates() int {
+	n := 0
+	for _, fr := range c.Functions {
+		if fr.Result != nil {
+			n += fr.Result.Candidates
+		}
+	}
+	return n
 }
 
 // IntegratedUnit renders the whole application with acceleration woven in

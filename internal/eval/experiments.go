@@ -17,6 +17,7 @@ import (
 	"facc/internal/gnn"
 	"facc/internal/idl"
 	"facc/internal/minic"
+	"facc/internal/obs"
 	"facc/internal/ojclone"
 	"facc/internal/synth"
 )
@@ -33,8 +34,11 @@ type CompileOutcome struct {
 
 // CompileAll runs FACC over the whole corpus for each target. Compilations
 // are independent, so they fan out across GOMAXPROCS workers; results come
-// back in deterministic (target, benchmark) order.
-func CompileAll(targets []string, numTests int) ([]*CompileOutcome, error) {
+// back in deterministic (target, benchmark) order. tr (may be nil) collects
+// spans and metrics across all compilations — the tracer is safe for
+// concurrent use, and each compilation gets its own root span, so Fig15
+// timings are exactly the span durations.
+func CompileAll(targets []string, numTests int, tr *obs.Tracer) ([]*CompileOutcome, error) {
 	suite := bench.Suite()
 	type job struct {
 		idx    int
@@ -61,7 +65,7 @@ func CompileAll(targets []string, numTests int) ([]*CompileOutcome, error) {
 		go func() {
 			defer wg.Done()
 			for j := range jobCh {
-				out[j.idx], errs[j.idx] = compileOne(j.target, j.b, numTests)
+				out[j.idx], errs[j.idx] = compileOne(j.target, j.b, numTests, tr)
 			}
 		}()
 	}
@@ -78,7 +82,7 @@ func CompileAll(targets []string, numTests int) ([]*CompileOutcome, error) {
 	return out, nil
 }
 
-func compileOne(target string, b *bench.Benchmark, numTests int) (*CompileOutcome, error) {
+func compileOne(target string, b *bench.Benchmark, numTests int, tr *obs.Tracer) (*CompileOutcome, error) {
 	spec, err := accel.SpecByName(target)
 	if err != nil {
 		return nil, err
@@ -90,21 +94,19 @@ func compileOne(target string, b *bench.Benchmark, numTests int) (*CompileOutcom
 	comp, err := core.CompileFile(f, spec, core.Options{
 		Entry:         b.Entry,
 		ProfileValues: b.ProfileValues,
+		Trace:         tr,
 		Synth:         synth.Options{NumTests: numTests},
 	})
 	if err != nil {
 		return nil, err
 	}
-	oc := &CompileOutcome{
+	return &CompileOutcome{
 		Bench: b, Target: target,
 		OK:         comp.Success() != nil,
 		FailReason: comp.FailReason(),
+		Candidates: comp.TotalCandidates(),
 		Elapsed:    comp.Elapsed,
-	}
-	if len(comp.Functions) > 0 {
-		oc.Candidates = comp.Functions[len(comp.Functions)-1].Result.Candidates
-	}
-	return oc, nil
+	}, nil
 }
 
 // Table1 prints the feature matrix of the supported corpus.

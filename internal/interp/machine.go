@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"facc/internal/minic"
+	"facc/internal/obs"
 )
 
 // FaultKind classifies runtime faults. Generate-and-test uses these the way
@@ -86,18 +87,41 @@ func (c Counters) Total() int64 {
 		c.Branches + c.Calls + c.MathCalls
 }
 
+// Add accumulates o into c field by field.
+func (c *Counters) Add(o Counters) {
+	c.IntOps += o.IntOps
+	c.FloatOps += o.FloatOps
+	c.FloatDivs += o.FloatDivs
+	c.Loads += o.Loads
+	c.Stores += o.Stores
+	c.Branches += o.Branches
+	c.Calls += o.Calls
+	c.MathCalls += o.MathCalls
+	c.Allocs += o.Allocs
+	c.Steps += o.Steps
+}
+
 // Machine interprets one MiniC translation unit. The zero value is not
 // usable; call NewMachine.
 type Machine struct {
 	File     *minic.File
 	Out      bytes.Buffer // captured printf/puts output
 	Counters Counters
+	// Totals accumulates the counters of every completed run: Reset folds
+	// Counters into it, so a fuzz loop that Resets per case can still
+	// report machine-lifetime totals (see TotalCounters).
+	Totals   Counters
 	MaxSteps int64 // fuel; 0 means DefaultMaxSteps
 	MaxDepth int   // call depth limit; 0 means DefaultMaxDepth
 
 	// Observe, when non-nil, is called with every scalar value assigned
 	// to a named variable — FACC's value-profiling hook.
 	Observe func(name string, v Value)
+
+	// Obs, when non-nil, receives fault counters (interp.faults and
+	// interp.faults.<kind>) — the observability hook. Nil is a no-op and
+	// costs nothing on the interpretation hot path.
+	Obs *obs.Registry
 
 	globals     map[*minic.VarDecl]Pointer
 	funcs       map[string]*minic.FuncDecl
@@ -159,12 +183,25 @@ func NewMachine(f *minic.File) (*Machine, error) {
 // call with fresh measurements. Global state persists (as it would in a
 // process), which benchmark 11's twiddle-factor memoization relies on.
 func (m *Machine) Reset() {
+	m.Totals.Add(m.Counters)
 	m.Counters = Counters{}
 	m.Out.Reset()
 	m.steps = 0
 }
 
+// TotalCounters returns the machine-lifetime operation counters: every
+// completed (Reset) run plus the current one.
+func (m *Machine) TotalCounters() Counters {
+	t := m.Totals
+	t.Add(m.Counters)
+	return t
+}
+
 func (m *Machine) fault(pos minic.Pos, kind FaultKind, format string, args ...any) error {
+	if m.Obs != nil {
+		m.Obs.Counter("interp.faults").Inc()
+		m.Obs.Counter("interp.faults." + kind.String()).Inc()
+	}
 	return &RuntimeError{Kind: kind, Pos: pos, Msg: fmt.Sprintf(format, args...)}
 }
 

@@ -1,0 +1,237 @@
+// Package obs is FACC's observability layer: a hierarchical span tracer
+// and a metrics registry (counters, gauges, fixed-bucket histograms) with
+// pluggable exporters (JSON-lines, Chrome trace_event, human-readable
+// summary). Every pipeline stage — parse, typecheck, classify, analysis,
+// binding enumeration, per-candidate IO fuzzing, range-check synthesis,
+// codegen — reports through it, and the evaluation harness derives its
+// timing figures (Fig. 15) from the same spans, so the experiments and
+// the observability layer are one code path.
+//
+// Everything is nil-safe: a nil *Tracer, *Span, *Registry, *Counter,
+// *Gauge or *Histogram is a no-op receiver, so instrumented hot paths pay
+// nothing (no allocations, no branches beyond the nil check) when tracing
+// is disabled. Stdlib only.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// AttrKind discriminates attribute values.
+type AttrKind uint8
+
+// Attribute kinds.
+const (
+	AttrInt AttrKind = iota
+	AttrFloat
+	AttrString
+)
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key  string
+	Kind AttrKind
+	I    int64
+	F    float64
+	S    string
+}
+
+// Value returns the attribute value as an interface (for export).
+func (a Attr) Value() any {
+	switch a.Kind {
+	case AttrFloat:
+		return a.F
+	case AttrString:
+		return a.S
+	default:
+		return a.I
+	}
+}
+
+// Tracer collects spans and owns a metrics registry. It is safe for
+// concurrent use: independent goroutines may open and end spans on the
+// same tracer (the evaluation harness fans compilations out across
+// workers against one tracer).
+type Tracer struct {
+	wall   time.Time // wall-clock anchor; span offsets are monotonic
+	nextID atomic.Int64
+
+	mu    sync.Mutex
+	spans []*Span // completed spans, in End order
+
+	reg *Registry
+}
+
+// New returns an empty tracer anchored at the current instant. The anchor
+// carries both the wall clock (for absolute timestamps in exports) and
+// the monotonic clock (for durations).
+func New() *Tracer {
+	return &Tracer{wall: time.Now(), reg: NewRegistry()}
+}
+
+// Metrics returns the tracer's metrics registry (nil on a nil tracer, so
+// chained counter/histogram calls degrade to no-ops).
+func (t *Tracer) Metrics() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// Start returns the tracer's wall-clock anchor.
+func (t *Tracer) Start() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.wall
+}
+
+// Span opens a new root span. End() must be called to record it.
+func (t *Tracer) Span(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	id := t.nextID.Add(1)
+	return &Span{
+		tr:    t,
+		ID:    id,
+		Root:  id,
+		Name:  name,
+		Start: time.Since(t.wall),
+	}
+}
+
+// Spans returns a snapshot of the completed spans in End order.
+func (t *Tracer) Spans() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Find returns the completed spans with the given name.
+func (t *Tracer) Find(name string) []*Span {
+	var out []*Span
+	for _, s := range t.Spans() {
+		if s.Name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Span is one timed pipeline stage. Fields are fixed at End(); a span must
+// be ended by the goroutine that uses it (the tracer may be shared, a
+// single span may not).
+type Span struct {
+	tr    *Tracer
+	ID    int64
+	Par   int64 // parent span ID; 0 for roots
+	Root  int64 // top-level ancestor ID (one exporter lane per root)
+	Name  string
+	Start time.Duration // offset from the tracer anchor
+	Dur   time.Duration // set by End
+	Attrs []Attr
+	ended bool
+}
+
+// Child opens a sub-span. Nil-safe: a nil receiver returns a nil span.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := s.tr.Span(name)
+	c.Par = s.ID
+	c.Root = s.Root
+	return c
+}
+
+// Tracer returns the owning tracer (nil on a nil span).
+func (s *Span) Tracer() *Tracer {
+	if s == nil {
+		return nil
+	}
+	return s.tr
+}
+
+// Metrics returns the owning tracer's registry (nil on a nil span).
+func (s *Span) Metrics() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.tr.reg
+}
+
+// Int attaches an integer attribute. Chainable and nil-safe.
+func (s *Span) Int(key string, v int64) *Span {
+	if s == nil {
+		return nil
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Kind: AttrInt, I: v})
+	return s
+}
+
+// Float attaches a float attribute. Chainable and nil-safe.
+func (s *Span) Float(key string, v float64) *Span {
+	if s == nil {
+		return nil
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Kind: AttrFloat, F: v})
+	return s
+}
+
+// Str attaches a string attribute. Chainable and nil-safe.
+func (s *Span) Str(key, v string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Kind: AttrString, S: v})
+	return s
+}
+
+// Attr returns the value of the named attribute, or nil.
+func (s *Span) Attr(key string) any {
+	if s == nil {
+		return nil
+	}
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Value()
+		}
+	}
+	return nil
+}
+
+// WallStart returns the span's absolute wall-clock start.
+func (s *Span) WallStart() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return s.tr.wall.Add(s.Start)
+}
+
+// End closes the span, records it on the tracer, feeds the stage-latency
+// histogram, and returns the span's duration. Idempotent; zero on a nil
+// span — callers use the return value as the stage's elapsed time.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	if s.ended {
+		return s.Dur
+	}
+	s.ended = true
+	s.Dur = time.Since(s.tr.wall) - s.Start
+	s.tr.mu.Lock()
+	s.tr.spans = append(s.tr.spans, s)
+	s.tr.mu.Unlock()
+	s.tr.reg.Histogram("stage."+s.Name+".ms", DurationBucketsMs).
+		Observe(float64(s.Dur) / float64(time.Millisecond))
+	return s.Dur
+}

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanHierarchyAndDurations(t *testing.T) {
+	tr := New()
+	root := tr.Span("compile").Str("file", "a.c")
+	child := root.Child("fuzz").Int("tests", 10)
+	time.Sleep(2 * time.Millisecond)
+	cd := child.End()
+	rd := root.End()
+
+	if cd <= 0 || rd < cd {
+		t.Fatalf("durations: child=%v root=%v", cd, rd)
+	}
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	// End order: child first.
+	if spans[0].Name != "fuzz" || spans[1].Name != "compile" {
+		t.Fatalf("span order: %s, %s", spans[0].Name, spans[1].Name)
+	}
+	if spans[0].Par != spans[1].ID || spans[0].Root != spans[1].ID {
+		t.Errorf("parent/root linkage: par=%d root=%d want %d",
+			spans[0].Par, spans[0].Root, spans[1].ID)
+	}
+	if got := spans[0].Attr("tests"); got != int64(10) {
+		t.Errorf("attr tests = %v, want 10", got)
+	}
+	if got := spans[1].Attr("file"); got != "a.c" {
+		t.Errorf("attr file = %v, want a.c", got)
+	}
+	// End is idempotent.
+	if again := child.End(); again != cd {
+		t.Errorf("second End returned %v, want %v", again, cd)
+	}
+	if len(tr.Spans()) != 2 {
+		t.Errorf("idempotent End appended a duplicate span")
+	}
+}
+
+func TestStageLatencyHistogramFedOnEnd(t *testing.T) {
+	tr := New()
+	tr.Span("analyze").End()
+	tr.Span("analyze").End()
+	var snap HistSnapshot
+	for _, h := range tr.Metrics().Histograms() {
+		if h.Name == "stage.analyze.ms" {
+			snap = h
+		}
+	}
+	if snap.Count != 2 {
+		t.Fatalf("stage histogram count = %d, want 2", snap.Count)
+	}
+}
+
+// TestNoopTracerZeroAllocsOnHotPath is the synthesis hot-path property:
+// with tracing disabled (nil tracer/span), the exact instrumentation
+// sequence the generate-and-test fuzz loop executes per candidate must
+// not allocate.
+func TestNoopTracerZeroAllocsOnHotPath(t *testing.T) {
+	var parent *Span // what synth.Options.Obs is when Options.Trace == nil
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := parent.Child("fuzz")
+		sp.Int("tests", 10)
+		sp.Str("outcome", "survived")
+		reg := sp.Metrics()
+		reg.Counter("interp.ops").Add(123456)
+		reg.Counter("interp.allocs").Add(7)
+		reg.Histogram("synth.tests_per_candidate", CountBuckets).Observe(10)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("no-op tracer hot path allocates %v times per run, want 0", allocs)
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Span("x")
+	if sp != nil {
+		t.Fatal("nil tracer produced a span")
+	}
+	if d := sp.End(); d != 0 {
+		t.Errorf("nil span End = %v", d)
+	}
+	if tr.Spans() != nil || tr.Metrics() != nil || tr.Find("x") != nil {
+		t.Error("nil tracer leaked state")
+	}
+	if v := tr.Metrics().Counter("c").Value(); v != 0 {
+		t.Errorf("nil counter value = %d", v)
+	}
+	tr.Metrics().Gauge("g").Set(1)
+	tr.Metrics().Histogram("h", CountBuckets).Observe(1)
+}
+
+func TestRegistryCountersGaugesHistograms(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(2)
+	r.Counter("a").Inc()
+	r.Counter("b").Inc()
+	if got := r.Counters()["a"]; got != 3 {
+		t.Errorf("counter a = %d, want 3", got)
+	}
+	r.Gauge("g").Set(2.5)
+	if got := r.Gauges()["g"]; got != 2.5 {
+		t.Errorf("gauge g = %g, want 2.5", got)
+	}
+
+	h := r.Histogram("h", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 0.7, 5, 50, 500} {
+		h.Observe(v)
+	}
+	snap := h.Snapshot()
+	if snap.Count != 5 || snap.Max != 500 {
+		t.Fatalf("snapshot count=%d max=%g", snap.Count, snap.Max)
+	}
+	wantCounts := []int64{2, 1, 1, 1}
+	for i, w := range wantCounts {
+		if snap.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, snap.Counts[i], w)
+		}
+	}
+	if q := snap.Quantile(0.5); q != 10 {
+		t.Errorf("p50 = %g, want 10 (median 5 lands in the <=10 bucket)", q)
+	}
+	if q := snap.Quantile(0.2); q != 1 {
+		t.Errorf("p20 = %g, want 1", q)
+	}
+	if q := snap.Quantile(1.0); q != 500 {
+		t.Errorf("p100 = %g, want 500 (overflow bucket reports max)", q)
+	}
+	if m := snap.Mean(); m < 111 || m > 112 {
+		t.Errorf("mean = %g", m)
+	}
+	// Same-name registration reuses the first bounds.
+	if h2 := r.Histogram("h", []float64{42}); h2.Snapshot().Count != 5 {
+		t.Error("histogram re-registration lost state")
+	}
+}
+
+// TestConcurrentTracerUse exercises the sharing pattern of the evaluation
+// harness: many workers opening root spans and bumping metrics on one
+// tracer (run under -race in `make check`).
+func TestConcurrentTracerUse(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				sp := tr.Span("compile")
+				sp.Child("fuzz").Int("tests", int64(i)).End()
+				sp.End()
+				tr.Metrics().Counter("runs").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Spans()); got != 8*50*2 {
+		t.Fatalf("spans = %d, want %d", got, 8*50*2)
+	}
+	if got := tr.Metrics().Counter("runs").Value(); got != 400 {
+		t.Fatalf("runs = %d, want 400", got)
+	}
+	ids := map[int64]bool{}
+	for _, s := range tr.Spans() {
+		if ids[s.ID] {
+			t.Fatalf("duplicate span id %d", s.ID)
+		}
+		ids[s.ID] = true
+	}
+}

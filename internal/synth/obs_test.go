@@ -1,0 +1,82 @@
+package synth
+
+import (
+	"testing"
+
+	"facc/internal/accel"
+	"facc/internal/minic"
+	"facc/internal/obs"
+)
+
+// TestNilObsInstrumentationZeroAllocs asserts the disabled-tracing property
+// the fuzz loop relies on: every instrumentation call testCandidate makes —
+// child-span creation, attribute chaining, metric lookups, observations,
+// End — is a free no-op on a nil span. If any of these ever allocates, the
+// hot path pays for observability even when it is switched off.
+func TestNilObsInstrumentationZeroAllocs(t *testing.T) {
+	var sp *obs.Span
+	allocs := testing.AllocsPerRun(500, func() {
+		fsp := sp.Child("fuzz").Str("binding", "key").Int("candidate", 1)
+		fsp.Str("outcome", "fault").Str("fault", "out-of-bounds")
+		m := fsp.Metrics()
+		m.Counter("interp.ops").Add(1)
+		m.Counter("synth.tests_run").Inc()
+		m.Histogram("synth.tests_per_candidate", obs.CountBuckets).Observe(3)
+		fsp.Int("tests", 3)
+		fsp.End()
+	})
+	if allocs != 0 {
+		t.Errorf("no-op tracer allocates %.0f per fuzz iteration, want 0", allocs)
+	}
+}
+
+// TestSynthesizeWithObsSpan: an attached span yields per-candidate fuzz
+// spans (with test counts and outcomes) and the search-space counters.
+func TestSynthesizeWithObsSpan(t *testing.T) {
+	f, err := minic.ParseAndCheck("t.c", radix2Struct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.New()
+	root := tr.Span("synthesize")
+	res, err := Synthesize(f, f.Func("fft"), accel.NewFFTA(), pow2Profile("n"),
+		Options{NumTests: 4, Obs: root})
+	root.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Adapter == nil {
+		t.Fatalf("no adapter: %s", res.FailReason)
+	}
+	fuzz := tr.Find("fuzz")
+	if len(fuzz) != res.Tested {
+		t.Fatalf("%d fuzz spans, want one per tested candidate (%d)",
+			len(fuzz), res.Tested)
+	}
+	survived := 0
+	for _, sp := range fuzz {
+		if sp.Attr("tests") == nil || sp.Attr("outcome") == nil {
+			t.Errorf("fuzz span missing attributes: %v", sp.Attrs)
+		}
+		if sp.Attr("outcome") == "survived" {
+			survived++
+		}
+	}
+	if survived != res.Survivors {
+		t.Errorf("%d survived spans, want %d", survived, res.Survivors)
+	}
+	c := tr.Metrics().Counters()
+	if c["synth.candidates_tested"] != int64(res.Tested) {
+		t.Errorf("synth.candidates_tested = %d, want %d",
+			c["synth.candidates_tested"], res.Tested)
+	}
+	if c["synth.winners"] != 1 {
+		t.Errorf("synth.winners = %d, want 1", c["synth.winners"])
+	}
+	if c["interp.ops"] == 0 {
+		t.Error("interpreter op counter not published")
+	}
+	if c["accel.runs.ffta"] != 0 {
+		t.Error("spec not instrumented here; accel counter should be absent")
+	}
+}

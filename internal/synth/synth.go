@@ -18,6 +18,7 @@ import (
 	"facc/internal/interp"
 	"facc/internal/iogen"
 	"facc/internal/minic"
+	"facc/internal/obs"
 	"facc/internal/rangecheck"
 )
 
@@ -57,6 +58,11 @@ type Options struct {
 	// behavior is used when false too — survivors are still counted only
 	// among tested candidates when this is set).
 	ExhaustAll bool
+	// Obs is the enclosing pipeline span: analysis, binding enumeration,
+	// per-candidate fuzzing and range-check synthesis report as children
+	// of it. Nil (the default) disables tracing with zero overhead — no
+	// allocations — on the generate-and-test hot path.
+	Obs *obs.Span
 }
 
 func (o *Options) defaults() {
@@ -75,7 +81,9 @@ func (o *Options) defaults() {
 func Synthesize(f *minic.File, fn *minic.FuncDecl, spec *accel.Spec,
 	profile *analysis.Profile, opts Options) (*Result, error) {
 	opts.defaults()
+	asp := opts.Obs.Child("analyze")
 	fi := analysis.AnalyzeFunc(f, fn)
+	asp.End()
 	res := &Result{TestsPerRun: opts.NumTests}
 	if fi.CallsPrintf {
 		res.FailReason = "printf"
@@ -89,7 +97,13 @@ func Synthesize(f *minic.File, fn *minic.FuncDecl, spec *accel.Spec,
 		res.FailReason = "nested-memory"
 		return res, nil
 	}
-	cands := binding.Enumerate(fi, spec, profile, opts.Binding)
+	bopts := opts.Binding
+	if opts.Obs != nil {
+		bopts.Obs = opts.Obs.Metrics()
+	}
+	bsp := opts.Obs.Child("binding")
+	cands := binding.Enumerate(fi, spec, profile, bopts)
+	bsp.Int("candidates", int64(len(cands))).End()
 	res.Candidates = len(cands)
 	if len(cands) == 0 {
 		res.FailReason = "interface-incompatibility"
@@ -98,7 +112,17 @@ func Synthesize(f *minic.File, fn *minic.FuncDecl, spec *accel.Spec,
 	var winner *Adapter
 	for _, cand := range cands {
 		res.Tested++
-		ad, err := testCandidate(f, fn, cand, profile, opts)
+		// Per-candidate fuzz span: attributes (binding key, tests run,
+		// outcome) are only computed when tracing is live, keeping the
+		// disabled path allocation-free.
+		var fsp *obs.Span
+		if opts.Obs != nil {
+			fsp = opts.Obs.Child("fuzz").
+				Str("binding", cand.Key()).
+				Int("candidate", int64(res.Tested))
+		}
+		ad, err := testCandidate(f, fn, cand, profile, opts, fsp)
+		fsp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -113,21 +137,32 @@ func Synthesize(f *minic.File, fn *minic.FuncDecl, spec *accel.Spec,
 			break
 		}
 	}
+	if opts.Obs != nil {
+		m := opts.Obs.Metrics()
+		m.Counter("synth.candidates_tested").Add(int64(res.Tested))
+		m.Counter("synth.survivors").Add(int64(res.Survivors))
+	}
 	if winner == nil {
 		res.FailReason = "interface-incompatibility"
 		return res, nil
 	}
+	rsp := opts.Obs.Child("rangecheck")
 	winner.Check = rangecheck.Build(winner.Cand, profile)
+	rsp.End()
 	res.Adapter = winner
+	opts.Obs.Metrics().Counter("synth.winners").Inc()
 	return res, nil
 }
 
 // testCandidate fuzz-tests one binding candidate. It returns a validated
-// adapter, or nil when the candidate is behaviorally wrong or faults.
+// adapter, or nil when the candidate is behaviorally wrong or faults. sp
+// (may be nil) receives test-count/outcome attributes and the machine's
+// interpreter-level counters.
 func testCandidate(f *minic.File, fn *minic.FuncDecl, cand *binding.Candidate,
-	profile *analysis.Profile, opts Options) (*Adapter, error) {
+	profile *analysis.Profile, opts Options, sp *obs.Span) (*Adapter, error) {
 	gen := iogen.New(opts.Seed, cand, profile)
 	if !gen.Viable() {
+		sp.Str("outcome", "not-viable")
 		return nil, nil
 	}
 	cases := gen.Cases(opts.NumTests)
@@ -141,13 +176,31 @@ func testCandidate(f *minic.File, fn *minic.FuncDecl, cand *binding.Candidate,
 	}
 	machine.MaxSteps = 40_000_000
 
+	ran := 0
+	if sp != nil {
+		machine.Obs = sp.Metrics()
+		defer func() {
+			sp.Int("tests", int64(ran))
+			tot := machine.TotalCounters()
+			m := sp.Metrics()
+			m.Counter("interp.ops").Add(tot.Total())
+			m.Counter("interp.allocs").Add(tot.Allocs)
+			m.Counter("interp.steps").Add(tot.Steps)
+			m.Counter("synth.tests_run").Add(int64(ran))
+			m.Histogram("synth.tests_per_candidate", obs.CountBuckets).
+				Observe(float64(ran))
+		}()
+	}
+
 	var returnVals []int64
 	sawReturn := false
 
 	for _, tc := range cases {
+		ran++
 		userOut, retVal, runErr := runUser(machine, fn, cand, tc)
 		if runErr != nil {
 			// Interpreter fault (OOB, etc.) — wrong binding.
+			sp.Str("outcome", "fault").Str("fault", interp.FaultOf(runErr).String())
 			return nil, nil
 		}
 		if retVal != nil {
@@ -158,6 +211,7 @@ func testCandidate(f *minic.File, fn *minic.FuncDecl, cand *binding.Candidate,
 		if err != nil {
 			// The accelerator rejected the input (should not happen for
 			// generated cases); treat as candidate failure.
+			sp.Str("outcome", "domain-error")
 			return nil, nil
 		}
 		var next []behave.PostOp
@@ -170,6 +224,7 @@ func testCandidate(f *minic.File, fn *minic.FuncDecl, cand *binding.Candidate,
 		}
 		alive = next
 		if len(alive) == 0 {
+			sp.Str("outcome", "behavior-mismatch")
 			return nil, nil
 		}
 	}
@@ -184,11 +239,14 @@ func testCandidate(f *minic.File, fn *minic.FuncDecl, cand *binding.Candidate,
 		c := returnVals[0]
 		for _, v := range returnVals {
 			if v != c {
-				return nil, nil // return value depends on input; cannot reproduce
+				// Return value depends on input; cannot reproduce.
+				sp.Str("outcome", "return-mismatch")
+				return nil, nil
 			}
 		}
 		ad.ReturnConst = &c
 	}
+	sp.Str("outcome", "survived")
 	return ad, nil
 }
 
