@@ -34,7 +34,7 @@ func BenchmarkTable1(b *testing.B) {
 
 func compileOutcomes(b *testing.B, targets []string) []*eval.CompileOutcome {
 	b.Helper()
-	outcomes, err := eval.CompileAll(targets, 4, nil)
+	outcomes, err := eval.CompileAll(targets, 4, nil, nil)
 	if err != nil {
 		b.Fatal(err)
 	}

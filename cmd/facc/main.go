@@ -4,12 +4,17 @@
 // Usage:
 //
 //	facc -target ffta [-entry fft] [-profile n=64,128,256] [-tests 10]
-//	     [-trace trace.json] [-metrics] file.c
+//	     [-trace trace.json] [-metrics] [-serve :9090]
+//	     [-journal prov.jsonl] [-explain] file.c
 //
 // -trace writes a Chrome trace_event file (load in chrome://tracing or
 // https://ui.perfetto.dev) with one nested span per pipeline stage down to
 // individual fuzzed candidates; -metrics prints a human-readable summary of
-// stage timings and pipeline counters to stderr.
+// stage timings and pipeline counters to stderr; -serve exposes the live
+// observability endpoints (/metrics Prometheus exposition, /status JSON,
+// /trace download, /debug/pprof) for the duration of the run; -journal
+// writes the synthesis provenance journal as JSONL; -explain renders it as
+// a human-readable "why was / wasn't this adapter synthesised" report.
 //
 // Exit status: 0 on success (adapter printed to stdout), 1 when no adapter
 // could be synthesized (reason printed to stderr), 2 on usage/frontend
@@ -24,6 +29,7 @@ import (
 	"strings"
 
 	"facc"
+	"facc/internal/obs/obsflag"
 )
 
 func main() {
@@ -37,10 +43,7 @@ func main() {
 	output := flag.String("o", "", "write the adapter to this file instead of stdout")
 	integrate := flag.Bool("integrate", false,
 		"emit the whole rewritten translation unit (call sites redirected to the adapter)")
-	traceFile := flag.String("trace", "",
-		"write a Chrome trace_event file of the compilation pipeline")
-	metrics := flag.Bool("metrics", false,
-		"print stage timings and pipeline counters to stderr")
+	of := obsflag.RegisterSynth(flag.CommandLine, "facc")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: facc [flags] file.c\n")
 		flag.PrintDefaults()
@@ -67,9 +70,12 @@ func main() {
 		Entry:         *entry,
 		ProfileValues: profile,
 		NumTests:      *tests,
+		Trace:         of.Tracer(),
+		Journal:       of.Journal(),
 	}
-	if *traceFile != "" || *metrics {
-		opts.Trace = facc.NewTracer()
+	if err := of.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "facc: %v\n", err)
+		os.Exit(2)
 	}
 	if *classify {
 		clf, err := facc.Train(12, 1)
@@ -81,35 +87,14 @@ func main() {
 	}
 
 	res, err := facc.Compile(path, string(src), *target, opts)
-	exportObs := func() {
-		if opts.Trace == nil {
-			return
-		}
-		if *traceFile != "" {
-			f, err := os.Create(*traceFile)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "facc: %v\n", err)
-				os.Exit(2)
-			}
-			werr := opts.Trace.WriteChromeTrace(f)
-			if cerr := f.Close(); werr == nil {
-				werr = cerr
-			}
-			if werr != nil {
-				fmt.Fprintf(os.Stderr, "facc: writing trace: %v\n", werr)
-				os.Exit(2)
-			}
-		}
-		if *metrics {
-			opts.Trace.WriteSummary(os.Stderr)
-		}
+	if ferr := of.Finish(); ferr != nil {
+		fmt.Fprintf(os.Stderr, "facc: %v\n", ferr)
+		os.Exit(2)
 	}
 	if err != nil {
-		exportObs()
 		fmt.Fprintf(os.Stderr, "facc: %v\n", err)
 		os.Exit(2)
 	}
-	exportObs()
 	if !res.OK() {
 		fmt.Fprintf(os.Stderr, "facc: no adapter synthesized: %s\n", res.FailReason())
 		os.Exit(1)

@@ -9,6 +9,7 @@
 //	faccbench -experiment fig13     # one experiment
 //	faccbench -experiment fig11 -full   # paper-size classifier protocol
 //	faccbench -experiment fig15 -trace corpus.json -metrics  # traced corpus compile
+//	faccbench -experiment fig8 -serve :9090  # watch the corpus compile live
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"facc/internal/core"
 	"facc/internal/eval"
 	"facc/internal/obs"
+	"facc/internal/obs/obsflag"
 )
 
 func main() {
@@ -26,27 +28,17 @@ func main() {
 		"table1, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, ablation, or all")
 	full := flag.Bool("full", false, "use the paper-size Fig. 11 protocol (slow)")
 	tests := flag.Int("tests", 5, "IO examples per candidate during compilation")
-	traceFile := flag.String("trace", "",
-		"write a Chrome trace_event file of the corpus compilations")
-	metrics := flag.Bool("metrics", false,
-		"print stage timings and pipeline counters to stderr after the run")
+	of := obsflag.RegisterSynth(flag.CommandLine, "faccbench")
 	flag.Parse()
 
-	var tr *obs.Tracer
-	if *traceFile != "" || *metrics {
-		tr = obs.New()
+	if err := of.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "faccbench: %v\n", err)
+		os.Exit(1)
 	}
-	err := run(*experiment, *full, *tests, tr)
-	if tr != nil {
-		if *traceFile != "" {
-			if werr := writeTrace(*traceFile, tr); werr != nil {
-				fmt.Fprintf(os.Stderr, "faccbench: %v\n", werr)
-				os.Exit(1)
-			}
-		}
-		if *metrics {
-			tr.WriteSummary(os.Stderr)
-		}
+	err := run(*experiment, *full, *tests, of.Tracer(), of.Journal())
+	if ferr := of.Finish(); ferr != nil {
+		fmt.Fprintf(os.Stderr, "faccbench: %v\n", ferr)
+		os.Exit(1)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "faccbench: %v\n", err)
@@ -54,19 +46,7 @@ func main() {
 	}
 }
 
-func writeTrace(path string, tr *obs.Tracer) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	werr := tr.WriteChromeTrace(f)
-	if cerr := f.Close(); werr == nil {
-		werr = cerr
-	}
-	return werr
-}
-
-func run(experiment string, full bool, tests int, tr *obs.Tracer) error {
+func run(experiment string, full bool, tests int, tr *obs.Tracer, j *obs.Journal) error {
 	w := os.Stdout
 	sep := func() { fmt.Fprintln(w) }
 
@@ -81,7 +61,7 @@ func run(experiment string, full bool, tests int, tr *obs.Tracer) error {
 		fmt.Fprintf(os.Stderr, "faccbench: compiling the corpus (%d targets x 25 programs)...\n",
 			len(targets))
 		var err error
-		outcomes, err = eval.CompileAll(targets, tests, tr)
+		outcomes, err = eval.CompileAll(targets, tests, tr, j)
 		return err
 	}
 	allTargets := []string{"ffta", "powerquad", "fftw"}

@@ -7,6 +7,13 @@
 //	faccclassify -cv                       # cross-validation curves
 //	faccclassify -cv -full                 # paper-size protocol
 //	faccclassify file.c                    # label the functions of a file
+//	faccclassify -trace clf.json -metrics file.c  # traced classification
+//
+// The shared observability flags (-trace, -metrics, -serve) match facc and
+// faccbench: -trace writes a Chrome trace_event file of the train/classify
+// stages, -metrics prints the stage/counter summary to stderr, -serve
+// exposes the live /metrics, /status, /trace and /debug/pprof endpoints
+// for the duration of the run.
 package main
 
 import (
@@ -17,20 +24,38 @@ import (
 	"facc/internal/core"
 	"facc/internal/eval"
 	"facc/internal/minic"
+	"facc/internal/obs/obsflag"
 )
 
 func main() {
 	cv := flag.Bool("cv", false, "run the cross-validation experiment")
 	full := flag.Bool("full", false, "paper-size protocol (20/class, 10 folds)")
 	perClass := flag.Int("perclass", 12, "training instances per class for file classification")
+	of := obsflag.Register(flag.CommandLine, "faccclassify")
 	flag.Parse()
+
+	if err := of.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "faccclassify: %v\n", err)
+		os.Exit(1)
+	}
+	tr := of.Tracer()
+	finish := func() {
+		if err := of.Finish(); err != nil {
+			fmt.Fprintf(os.Stderr, "faccclassify: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	if *cv {
 		cfg := eval.DefaultFig11()
 		if *full {
 			cfg = eval.PaperFig11()
 		}
-		if _, err := eval.Fig11(os.Stdout, cfg); err != nil {
+		sp := tr.Span("crossvalidate")
+		_, err := eval.Fig11(os.Stdout, cfg)
+		sp.End()
+		finish()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "faccclassify: %v\n", err)
 			os.Exit(1)
 		}
@@ -47,18 +72,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "faccclassify: %v\n", err)
 		os.Exit(2)
 	}
+	fsp := tr.Span("frontend").Str("file", path)
 	f, err := minic.ParseAndCheck(path, string(src))
+	fsp.End()
 	if err != nil {
+		finish()
 		fmt.Fprintf(os.Stderr, "faccclassify: %v\n", err)
 		os.Exit(2)
 	}
 	fmt.Fprintf(os.Stderr, "faccclassify: training (%d instances/class)...\n", *perClass)
+	tsp := tr.Span("train").Int("per_class", int64(*perClass))
 	clf, err := core.TrainClassifier(*perClass, 1)
+	tsp.End()
 	if err != nil {
+		finish()
 		fmt.Fprintf(os.Stderr, "faccclassify: %v\n", err)
 		os.Exit(1)
 	}
+	csp := tr.Span("classify").Str("file", path)
 	candidates := clf.CandidateFunctions(f)
+	csp.Int("candidates", int64(len(candidates))).End()
+	defer finish()
 	set := map[string]bool{}
 	for _, c := range candidates {
 		set[c] = true

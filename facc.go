@@ -78,6 +78,13 @@ type Options struct {
 	// (the default) keeps the synthesis hot path uninstrumented — zero
 	// extra allocations in the fuzz loop.
 	Trace *Tracer
+	// Journal, when non-nil, records the synthesis provenance stream —
+	// each binding candidate's lifecycle (emitted, pruned with the
+	// heuristic that killed it, fuzz verdict with counterexample,
+	// accepted). Render with Journal.WriteReport ("why was / wasn't this
+	// adapter synthesised") or export as JSONL. Nil (the default) costs
+	// nothing.
+	Journal *Journal
 }
 
 // Tracer collects hierarchical spans and metrics across a compilation; see
@@ -86,6 +93,12 @@ type Tracer = obs.Tracer
 
 // NewTracer returns an empty tracer to pass via Options.Trace.
 func NewTracer() *Tracer { return obs.New() }
+
+// Journal is the synthesis provenance journal; see Options.Journal.
+type Journal = obs.Journal
+
+// NewJournal returns an empty journal to pass via Options.Journal.
+func NewJournal() *Journal { return obs.NewJournal() }
 
 // Classifier is the trained ProGraML-style candidate detector.
 type Classifier = core.Classifier
@@ -112,6 +125,7 @@ func Compile(name, source, target string, opts Options) (*Result, error) {
 		ProfileValues: opts.ProfileValues,
 		Classifier:    opts.Classifier,
 		Trace:         opts.Trace,
+		Journal:       opts.Journal,
 		Synth: synth.Options{
 			NumTests:  opts.NumTests,
 			Tolerance: opts.Tolerance,

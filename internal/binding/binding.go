@@ -218,6 +218,11 @@ type Options struct {
 	// binding.candidates, and binding.pruned.<heuristic> counters (the
 	// enumerated-vs-pruned transparency of paper Fig. 16).
 	Obs *obs.Registry
+	// Journal, when non-nil, receives the provenance event stream: one
+	// "emitted" event per candidate that enters the test queue (with its
+	// binding key) and one "pruned" event per heuristic rejection (with
+	// the heuristic that killed it). Nil costs nothing.
+	Journal *obs.Journal
 }
 
 // complexElemInfo describes how an element type encodes a complex sample.

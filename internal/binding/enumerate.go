@@ -37,14 +37,20 @@ func Enumerate(fi *analysis.FuncInfo, spec *accel.Spec, profile *analysis.Profil
 		k := s.cand.Key()
 		if seen[k] {
 			dups++
+			opts.Journal.Record(obs.JournalEvent{Kind: obs.KindPruned,
+				Function: fi.Fn.Name, Heuristic: "dedup", Candidate: k})
 			continue
 		}
 		seen[k] = true
 		if opts.MaxCandidates > 0 && len(cands) >= opts.MaxCandidates {
 			capped++
+			opts.Journal.Record(obs.JournalEvent{Kind: obs.KindPruned,
+				Function: fi.Fn.Name, Heuristic: "cap", Candidate: k})
 			continue
 		}
 		cands = append(cands, s.cand)
+		opts.Journal.Record(obs.JournalEvent{Kind: obs.KindEmitted,
+			Function: fi.Fn.Name, Candidate: k})
 	}
 	if opts.Obs != nil {
 		opts.Obs.Counter("binding.emitted").Add(int64(e.n))
@@ -72,12 +78,14 @@ func (e *enumerator) emit(c *Candidate, score int) {
 }
 
 // prune tallies a heuristic rejection (binding.pruned.<heuristic>) — the
-// pruned-vs-enumerated accounting the summary exporter reports.
-func (e *enumerator) prune(heuristic string) {
-	if e.opts.Obs == nil {
-		return
+// pruned-vs-enumerated accounting the summary exporter reports — and
+// journals which hypothesis the heuristic killed.
+func (e *enumerator) prune(heuristic, detail string) {
+	if e.opts.Obs != nil {
+		e.opts.Obs.Counter("binding.pruned." + heuristic).Inc()
 	}
-	e.opts.Obs.Counter("binding.pruned." + heuristic).Inc()
+	e.opts.Journal.Record(obs.JournalEvent{Kind: obs.KindPruned,
+		Function: e.fi.Fn.Name, Heuristic: heuristic, Detail: detail})
 }
 
 // arrayChoice is one hypothesis for the (input, output) array pair.
@@ -264,7 +272,7 @@ func (e *enumerator) lengthStage(ac arrayChoice) {
 	emitted := false
 	for rank, name := range ranked {
 		if usedSet[name] && !e.opts.DisableSingleRead {
-			e.prune("single-read")
+			e.prune("single-read", "length="+name+" already bound to an array")
 			continue
 		}
 		score := ac.score
@@ -277,7 +285,7 @@ func (e *enumerator) lengthStage(ac arrayChoice) {
 			e.scalarStage(ac, LengthBinding{Param: name, Conv: ConvIdentity}, score+1, usedSet)
 			emitted = true
 		} else {
-			e.prune("range")
+			e.prune("range", "len=n("+name+") profiled values outside the accelerator domain")
 		}
 		// 2^n conversion: only plausible when the profiled values are
 		// small exponents (paper Fig. 6's range-heuristic rejection).
@@ -291,7 +299,7 @@ func (e *enumerator) lengthStage(ac arrayChoice) {
 			e.scalarStage(ac, LengthBinding{Param: name, Conv: ConvExp2}, score, usedSet)
 			emitted = true
 		} else if r != nil && !e.opts.DisableRangeHeuristic {
-			e.prune("range-exp2")
+			e.prune("range-exp2", "len=1<<"+name+" profiled values outside the accelerator domain")
 		}
 	}
 	if !emitted || len(ranked) == 0 {

@@ -99,6 +99,11 @@ type Options struct {
 	// hot-path instrumentation entirely; stage timings are still measured
 	// internally so Elapsed fields stay populated.
 	Trace *obs.Tracer
+	// Journal, when non-nil, records the synthesis provenance stream:
+	// every candidate's lifecycle from emission through pruning, fuzz
+	// verdict (with counterexample) and acceptance. Render it with
+	// obs.Journal.WriteReport or export it as JSONL. Nil costs nothing.
+	Journal *obs.Journal
 }
 
 // FunctionResult is the outcome for one candidate region.
@@ -206,6 +211,8 @@ func CompileFile(f *minic.File, spec *accel.Spec, opts Options) (*Compilation, e
 		spec.Instrument(tr.Metrics())
 	}
 	root := tr.Span("compile").Str("file", f.Name).Str("target", spec.Name)
+	opts.Journal.Record(obs.JournalEvent{Kind: obs.KindCompile,
+		Detail: f.Name + " → " + spec.Name})
 	comp := &Compilation{Target: spec, File: f}
 
 	csp := root.Child("classify")
@@ -233,6 +240,7 @@ func CompileFile(f *minic.File, spec *accel.Spec, opts Options) (*Compilation, e
 		}
 		ssp := root.Child("synthesize").Str("function", name)
 		sopts := opts.Synth
+		sopts.Journal = opts.Journal
 		if traced {
 			sopts.Obs = ssp
 		}
@@ -251,6 +259,12 @@ func CompileFile(f *minic.File, spec *accel.Spec, opts Options) (*Compilation, e
 		}
 		fr.Elapsed = ssp.End()
 		comp.Functions = append(comp.Functions, fr)
+		outcome := "rejected"
+		if fr.AdapterC != "" {
+			outcome = "replaced"
+		}
+		opts.Journal.Record(obs.JournalEvent{Kind: obs.KindResult,
+			Function: name, Outcome: outcome, Heuristic: res.FailReason})
 		if fr.AdapterC != "" && !opts.AllRegions {
 			break // drop-in replacement found; stop at the best candidate
 		}

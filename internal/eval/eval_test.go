@@ -118,7 +118,7 @@ func TestCompileAllAndFigures8_15_16(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full corpus compile")
 	}
-	outcomes, err := CompileAll([]string{"ffta", "powerquad", "fftw"}, 3, nil)
+	outcomes, err := CompileAll([]string{"ffta", "powerquad", "fftw"}, 3, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +259,7 @@ func TestFig9Output(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	outcomes, err := CompileAll([]string{"ffta"}, 3, nil)
+	outcomes, err := CompileAll([]string{"ffta"}, 3, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -37,8 +37,11 @@ type CompileOutcome struct {
 // back in deterministic (target, benchmark) order. tr (may be nil) collects
 // spans and metrics across all compilations — the tracer is safe for
 // concurrent use, and each compilation gets its own root span, so Fig15
-// timings are exactly the span durations.
-func CompileAll(targets []string, numTests int, tr *obs.Tracer) ([]*CompileOutcome, error) {
+// timings are exactly the span durations. j (may be nil) collects the
+// synthesis provenance journal across the whole corpus; event interleaving
+// between compilations follows worker scheduling, but each event names its
+// function, so per-function provenance stays coherent.
+func CompileAll(targets []string, numTests int, tr *obs.Tracer, j *obs.Journal) ([]*CompileOutcome, error) {
 	suite := bench.Suite()
 	type job struct {
 		idx    int
@@ -64,8 +67,8 @@ func CompileAll(targets []string, numTests int, tr *obs.Tracer) ([]*CompileOutco
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range jobCh {
-				out[j.idx], errs[j.idx] = compileOne(j.target, j.b, numTests, tr)
+			for jb := range jobCh {
+				out[jb.idx], errs[jb.idx] = compileOne(jb.target, jb.b, numTests, tr, j)
 			}
 		}()
 	}
@@ -82,7 +85,7 @@ func CompileAll(targets []string, numTests int, tr *obs.Tracer) ([]*CompileOutco
 	return out, nil
 }
 
-func compileOne(target string, b *bench.Benchmark, numTests int, tr *obs.Tracer) (*CompileOutcome, error) {
+func compileOne(target string, b *bench.Benchmark, numTests int, tr *obs.Tracer, j *obs.Journal) (*CompileOutcome, error) {
 	spec, err := accel.SpecByName(target)
 	if err != nil {
 		return nil, err
@@ -95,6 +98,7 @@ func compileOne(target string, b *bench.Benchmark, numTests int, tr *obs.Tracer)
 		Entry:         b.Entry,
 		ProfileValues: b.ProfileValues,
 		Trace:         tr,
+		Journal:       j,
 		Synth:         synth.Options{NumTests: numTests},
 	})
 	if err != nil {

@@ -139,9 +139,29 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 	return nil
 }
 
+// errWriter latches the first write error so a long sequence of Fprintf
+// calls can be checked once at the end.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) Write(p []byte) (int, error) {
+	if ew.err != nil {
+		return 0, ew.err
+	}
+	n, err := ew.w.Write(p)
+	if err != nil {
+		ew.err = err
+	}
+	return n, err
+}
+
 // WriteSummary renders a human-readable per-run report: per-stage span
-// aggregates, then counters, gauges and histogram quantiles.
-func (t *Tracer) WriteSummary(w io.Writer) error {
+// aggregates, then counters, gauges and histogram quantiles. The first
+// write error aborts the report and is returned.
+func (t *Tracer) WriteSummary(out io.Writer) error {
+	w := &errWriter{w: out}
 	type agg struct {
 		name            string
 		count           int64
@@ -203,11 +223,21 @@ func (t *Tracer) WriteSummary(w io.Writer) error {
 				h.Name, h.Count, h.Mean(), h.Quantile(0.5), h.Quantile(0.9), h.Max)
 		}
 	}
-	return nil
+	return w.err
 }
 
+// fmtMs renders a duration at the unit that keeps it readable — µs for
+// sub-millisecond stages, ms for the common case, s for multi-second
+// totals — matching Result.Report()'s adaptive formatting.
 func fmtMs(d time.Duration) string {
-	return fmt.Sprintf("%.3fms", float64(d)/float64(time.Millisecond))
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	case d < time.Second:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
 }
 
 func sortedKeys[V any](m map[string]V) []string {

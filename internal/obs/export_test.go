@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -106,6 +107,47 @@ func TestWriteJSONL(t *testing.T) {
 	// The two span ends feed stage histograms, plus the explicit one.
 	if types["counter"] != 1 || types["gauge"] != 1 || types["histogram"] != 3 {
 		t.Errorf("metric lines = %v", types)
+	}
+}
+
+// failWriter fails every write — the exporters must surface that.
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errSink }
+
+var errSink = errors.New("sink full")
+
+// TestWriteSummaryPropagatesWriteErrors: a failing writer must surface its
+// error (a full disk during -metrics export must not be silent).
+func TestWriteSummaryPropagatesWriteErrors(t *testing.T) {
+	tr := New()
+	tr.Span("analyze").End()
+	if err := tr.WriteSummary(failWriter{}); !errors.Is(err, errSink) {
+		t.Errorf("WriteSummary returned %v, want %v", err, errSink)
+	}
+}
+
+// TestFmtMsAdaptive: durations render at the readable unit — µs under a
+// millisecond, ms under a second, seconds beyond — so a 2.5 s total is not
+// printed as "2500.000ms".
+func TestFmtMsAdaptive(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "0.0µs"},
+		{42 * time.Microsecond, "42.0µs"},
+		{999 * time.Microsecond, "999.0µs"},
+		{time.Millisecond, "1.000ms"},
+		{843*time.Microsecond + 500*time.Nanosecond, "843.5µs"},
+		{250 * time.Millisecond, "250.000ms"},
+		{time.Second, "1.00s"},
+		{2500 * time.Millisecond, "2.50s"},
+	}
+	for _, c := range cases {
+		if got := fmtMs(c.d); got != c.want {
+			t.Errorf("fmtMs(%v) = %q, want %q", c.d, got, c.want)
+		}
 	}
 }
 

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestJournalRecordAndJSONL(t *testing.T) {
+	j := NewJournal()
+	j.Record(JournalEvent{Kind: KindCompile, Detail: "fft.c → ffta"})
+	j.Record(JournalEvent{Kind: KindEmitted, Function: "fft",
+		Candidate: "in=struct(x,re=0,im=1)"})
+	j.Record(JournalEvent{Kind: KindFuzz, Function: "fft",
+		Candidate: "in=struct(x,re=0,im=1)", Outcome: "survived", Tests: 10})
+
+	evs := j.Events()
+	if len(evs) != 3 || j.Len() != 3 {
+		t.Fatalf("events = %d, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != int64(i)+1 {
+			t.Errorf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := j.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var rec JournalEvent
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		lines++
+	}
+	if lines != 3 {
+		t.Errorf("JSONL lines = %d, want 3", lines)
+	}
+}
+
+func TestJournalNilSafe(t *testing.T) {
+	var j *Journal
+	j.Record(JournalEvent{Kind: KindFuzz}) // must not panic
+	if j.Events() != nil || j.Len() != 0 {
+		t.Error("nil journal not empty")
+	}
+	if err := j.WriteJSONL(&bytes.Buffer{}); err != nil {
+		t.Errorf("nil WriteJSONL: %v", err)
+	}
+	if err := j.WriteReport(&bytes.Buffer{}); err != nil {
+		t.Errorf("nil WriteReport: %v", err)
+	}
+}
+
+func TestJournalConcurrentRecord(t *testing.T) {
+	j := NewJournal()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				j.Record(JournalEvent{Kind: KindPruned, Heuristic: "range"})
+			}
+		}()
+	}
+	wg.Wait()
+	if j.Len() != 4000 {
+		t.Errorf("len = %d, want 4000", j.Len())
+	}
+	seen := map[int64]bool{}
+	for _, ev := range j.Events() {
+		if seen[ev.Seq] {
+			t.Fatalf("duplicate seq %d", ev.Seq)
+		}
+		seen[ev.Seq] = true
+	}
+}
+
+func TestJournalReport(t *testing.T) {
+	j := NewJournal()
+	j.Record(JournalEvent{Kind: KindCompile, Detail: "fft.c → ffta"})
+	j.Record(JournalEvent{Kind: KindFunction, Function: "fft", Detail: "ffta"})
+	j.Record(JournalEvent{Kind: KindPruned, Function: "fft",
+		Heuristic: "range", Detail: "len=n(m) outside domain"})
+	j.Record(JournalEvent{Kind: KindPruned, Function: "fft", Heuristic: "range"})
+	j.Record(JournalEvent{Kind: KindPruned, Function: "fft", Heuristic: "dedup"})
+	j.Record(JournalEvent{Kind: KindEmitted, Function: "fft", Candidate: "in=c99(x) len=n(n)"})
+	j.Record(JournalEvent{Kind: KindFuzz, Function: "fft",
+		Candidate: "in=c99(x) len=n(n)", Outcome: "behavior-mismatch", Tests: 2,
+		Counterexample: "n=8 input[8]=(1+0i)"})
+	j.Record(JournalEvent{Kind: KindEmitted, Function: "fft", Candidate: "in=c99(x) len=1<<n"})
+	j.Record(JournalEvent{Kind: KindFuzz, Function: "fft",
+		Candidate: "in=c99(x) len=1<<n", Outcome: "survived", Tests: 10})
+	j.Record(JournalEvent{Kind: KindAccepted, Function: "fft",
+		Candidate: "in=c99(x) len=1<<n", Tests: 10, Detail: "post=identity"})
+	j.Record(JournalEvent{Kind: KindResult, Function: "fft", Outcome: "replaced"})
+	j.Record(JournalEvent{Kind: KindFunction, Function: "dump", Detail: "ffta"})
+	j.Record(JournalEvent{Kind: KindGate, Function: "dump", Heuristic: "printf"})
+	j.Record(JournalEvent{Kind: KindResult, Function: "dump",
+		Outcome: "rejected", Heuristic: "printf"})
+
+	var buf bytes.Buffer
+	if err := j.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"provenance: fft.c → ffta",
+		"function fft — REPLACED",
+		"bindings: 2 emitted, 3 pruned (dedup ×1, range ×2)",
+		"candidate 1: in=c99(x) len=n(n)",
+		"fuzz: behavior-mismatch after 2 test(s)",
+		"counterexample: n=8 input[8]=(1+0i)",
+		"candidate 2: in=c99(x) len=1<<n",
+		"fuzz: survived after 10 test(s)",
+		"accepted: post=identity",
+		"function dump — REJECTED (printf)",
+		"gate: rejected — printf",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "at_us") || strings.Contains(out, "µs") {
+		t.Error("report leaks timestamps; it must be deterministic")
+	}
+}

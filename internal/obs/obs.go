@@ -14,6 +14,7 @@
 package obs
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -58,8 +59,9 @@ type Tracer struct {
 	wall   time.Time // wall-clock anchor; span offsets are monotonic
 	nextID atomic.Int64
 
-	mu    sync.Mutex
-	spans []*Span // completed spans, in End order
+	mu     sync.Mutex
+	spans  []*Span         // completed spans, in End order
+	active map[int64]*Span // started but not yet ended
 
 	reg *Registry
 }
@@ -68,7 +70,7 @@ type Tracer struct {
 // carries both the wall clock (for absolute timestamps in exports) and
 // the monotonic clock (for durations).
 func New() *Tracer {
-	return &Tracer{wall: time.Now(), reg: NewRegistry()}
+	return &Tracer{wall: time.Now(), reg: NewRegistry(), active: map[int64]*Span{}}
 }
 
 // Metrics returns the tracer's metrics registry (nil on a nil tracer, so
@@ -93,14 +95,67 @@ func (t *Tracer) Span(name string) *Span {
 	if t == nil {
 		return nil
 	}
+	s := t.newSpan(name)
+	s.Root = s.ID
+	t.register(s)
+	return s
+}
+
+// newSpan builds an unregistered span; the caller fixes Par/Root and then
+// registers it, so the live-span table never holds half-initialized spans.
+func (t *Tracer) newSpan(name string) *Span {
 	id := t.nextID.Add(1)
 	return &Span{
 		tr:    t,
 		ID:    id,
-		Root:  id,
 		Name:  name,
 		Start: time.Since(t.wall),
 	}
+}
+
+func (t *Tracer) register(s *Span) {
+	t.mu.Lock()
+	t.active[s.ID] = s
+	t.mu.Unlock()
+}
+
+// ActiveSpan is a point-in-time view of a started-but-unfinished span.
+// Only creation-time fields appear: attributes may still be chained by the
+// owning goroutine, so they are deliberately absent.
+type ActiveSpan struct {
+	ID    int64
+	Par   int64
+	Root  int64
+	Name  string
+	Start time.Duration // offset from the tracer anchor
+}
+
+// Active snapshots the spans that have been started but not ended, in
+// start order — the tracer's answer to "what is the pipeline doing right
+// now". Safe to call concurrently with span creation and End.
+func (t *Tracer) Active() []ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]ActiveSpan, 0, len(t.active))
+	for _, s := range t.active {
+		out = append(out, ActiveSpan{ID: s.ID, Par: s.Par, Root: s.Root,
+			Name: s.Name, Start: s.Start})
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// NumSpans returns the number of completed spans without copying them.
+func (t *Tracer) NumSpans() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
 }
 
 // Spans returns a snapshot of the completed spans in End order.
@@ -146,9 +201,10 @@ func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	c := s.tr.Span(name)
+	c := s.tr.newSpan(name)
 	c.Par = s.ID
 	c.Root = s.Root
+	s.tr.register(c)
 	return c
 }
 
@@ -229,6 +285,7 @@ func (s *Span) End() time.Duration {
 	s.ended = true
 	s.Dur = time.Since(s.tr.wall) - s.Start
 	s.tr.mu.Lock()
+	delete(s.tr.active, s.ID)
 	s.tr.spans = append(s.tr.spans, s)
 	s.tr.mu.Unlock()
 	s.tr.reg.Histogram("stage."+s.Name+".ms", DurationBucketsMs).

@@ -1,0 +1,130 @@
+// Package obsflag wires the shared observability flags into the FACC
+// command-line binaries so facc, faccbench and faccclassify expose the
+// same -trace/-metrics/-serve surface (and facc/faccbench additionally
+// -journal/-explain), with one implementation of the export plumbing.
+package obsflag
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"facc/internal/obs"
+	"facc/internal/obs/obshttp"
+)
+
+// Flags holds the parsed observability flag values and the sinks they
+// enable. The zero value (no flags set) enables nothing: Tracer() and
+// Journal() return nil and the pipeline runs uninstrumented.
+type Flags struct {
+	TraceFile   string
+	Metrics     bool
+	Serve       string
+	JournalFile string
+	Explain     bool
+
+	prog     string
+	tr       *obs.Tracer
+	j        *obs.Journal
+	shutdown func() error
+}
+
+// Register installs the shared tracing flags (-trace, -metrics, -serve)
+// on fs. prog names the binary in diagnostics.
+func Register(fs *flag.FlagSet, prog string) *Flags {
+	f := &Flags{prog: prog}
+	fs.StringVar(&f.TraceFile, "trace", "",
+		"write a Chrome trace_event file of the pipeline")
+	fs.BoolVar(&f.Metrics, "metrics", false,
+		"print stage timings and pipeline counters to stderr")
+	fs.StringVar(&f.Serve, "serve", "",
+		"serve live observability endpoints (/metrics, /status, /trace, /debug/pprof) on this address, e.g. :9090")
+	return f
+}
+
+// RegisterSynth additionally installs the provenance flags (-journal,
+// -explain) for binaries that run the synthesis pipeline.
+func RegisterSynth(fs *flag.FlagSet, prog string) *Flags {
+	f := Register(fs, prog)
+	fs.StringVar(&f.JournalFile, "journal", "",
+		"write the synthesis provenance journal (JSONL) to this file")
+	fs.BoolVar(&f.Explain, "explain", false,
+		"print the provenance report (why each adapter was / was not synthesised) to stderr")
+	return f
+}
+
+// Tracer returns the shared tracer, created on first use when any flag
+// needs one; nil when tracing is not requested, so the pipeline's hot
+// paths stay uninstrumented.
+func (f *Flags) Tracer() *obs.Tracer {
+	if f.tr == nil && (f.TraceFile != "" || f.Metrics || f.Serve != "") {
+		f.tr = obs.New()
+	}
+	return f.tr
+}
+
+// Journal returns the provenance journal, created on first use when
+// -journal or -explain is set; nil otherwise.
+func (f *Flags) Journal() *obs.Journal {
+	if f.j == nil && (f.JournalFile != "" || f.Explain) {
+		f.j = obs.NewJournal()
+	}
+	return f.j
+}
+
+// Start launches the observability HTTP server when -serve is set and
+// prints the bound address to stderr.
+func (f *Flags) Start() error {
+	if f.Serve == "" {
+		return nil
+	}
+	addr, shutdown, err := obshttp.Serve(f.Serve, f.Tracer(), f.Journal())
+	if err != nil {
+		return fmt.Errorf("%s: -serve %s: %w", f.prog, f.Serve, err)
+	}
+	f.shutdown = shutdown
+	fmt.Fprintf(os.Stderr, "%s: observability server on http://%s\n", f.prog, addr)
+	return nil
+}
+
+// Finish stops the server (it lives for the duration of the run) and
+// writes every requested export: the Chrome trace file, the stderr
+// summary, the JSONL journal, and the explain report. The first error is
+// returned after all exports are attempted.
+func (f *Flags) Finish() error {
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	if f.shutdown != nil {
+		keep(f.shutdown())
+	}
+	if f.TraceFile != "" && f.tr != nil {
+		keep(writeFile(f.TraceFile, f.tr.WriteChromeTrace))
+	}
+	if f.Metrics && f.tr != nil {
+		keep(f.tr.WriteSummary(os.Stderr))
+	}
+	if f.JournalFile != "" && f.j != nil {
+		keep(writeFile(f.JournalFile, f.j.WriteJSONL))
+	}
+	if f.Explain && f.j != nil {
+		keep(f.j.WriteReport(os.Stderr))
+	}
+	return first
+}
+
+func writeFile(path string, write func(io.Writer) error) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := write(out)
+	if cerr := out.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}

@@ -1,0 +1,202 @@
+// Package obshttp is FACC's live observability surface: an embedded HTTP
+// server exposing the in-process tracer, metrics registry and provenance
+// journal while a compilation (or a whole evaluation run) is underway.
+//
+// Endpoints:
+//
+//	/metrics        Prometheus text exposition of every counter/gauge/histogram
+//	/status         live JSON: in-flight compilations, current stage,
+//	                candidates tried/pruned, fuzz pass rate, uptime
+//	/trace          Chrome trace_event download of the spans completed so far
+//	/journal        provenance journal as JSONL (when a journal is attached)
+//	/debug/pprof/*  net/http/pprof profiling endpoints
+//
+// The server reads only snapshots (obs.Tracer and obs.Journal are safe for
+// concurrent use), so scraping never perturbs or blocks the pipeline.
+package obshttp
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+
+	"facc/internal/obs"
+)
+
+// Server exposes one tracer (and optionally one journal) over HTTP.
+type Server struct {
+	Tracer  *obs.Tracer
+	Journal *obs.Journal // may be nil; /journal then returns 404
+
+	start time.Time
+}
+
+// New returns a server over tr and j (j may be nil).
+func New(tr *obs.Tracer, j *obs.Journal) *Server {
+	return &Server{Tracer: tr, Journal: j, start: time.Now()}
+}
+
+// InFlight describes one live root span (one in-progress compilation).
+type InFlight struct {
+	Root string `json:"root"`
+	// Stage is the most recently started span still open under this root
+	// — "what is it doing right now".
+	Stage string  `json:"stage"`
+	AgeS  float64 `json:"age_s"`
+}
+
+// Status is the /status JSON document.
+type Status struct {
+	UptimeS        float64    `json:"uptime_s"`
+	InFlight       []InFlight `json:"in_flight"`
+	SpansCompleted int        `json:"spans_completed"`
+
+	CandidatesTested int64   `json:"candidates_tested"`
+	CandidatesPruned int64   `json:"candidates_pruned"`
+	Survivors        int64   `json:"survivors"`
+	Winners          int64   `json:"winners"`
+	TestsRun         int64   `json:"tests_run"`
+	FuzzPassRate     float64 `json:"fuzz_pass_rate"`
+
+	JournalEvents int `json:"journal_events"`
+
+	Counters map[string]int64   `json:"counters,omitempty"`
+	Gauges   map[string]float64 `json:"gauges,omitempty"`
+}
+
+// BuildStatus assembles the live status snapshot served at /status.
+func (s *Server) BuildStatus() Status {
+	st := Status{
+		UptimeS:        time.Since(s.start).Seconds(),
+		InFlight:       []InFlight{},
+		SpansCompleted: s.Tracer.NumSpans(),
+		JournalEvents:  s.Journal.Len(),
+	}
+
+	active := s.Tracer.Active()
+	now := time.Since(s.Tracer.Start())
+	type lane struct {
+		root   obs.ActiveSpan
+		deep   obs.ActiveSpan
+		rooted bool
+	}
+	lanes := map[int64]*lane{}
+	var order []int64
+	for _, sp := range active {
+		l := lanes[sp.Root]
+		if l == nil {
+			l = &lane{}
+			lanes[sp.Root] = l
+			order = append(order, sp.Root)
+		}
+		if sp.ID == sp.Root {
+			l.root, l.rooted = sp, true
+		}
+		// Active() is ID-ordered, so the last span seen per lane is the
+		// most recently started one — the current stage.
+		l.deep = sp
+	}
+	for _, id := range order {
+		l := lanes[id]
+		root := l.deep
+		if l.rooted {
+			root = l.root
+		}
+		st.InFlight = append(st.InFlight, InFlight{
+			Root:  root.Name,
+			Stage: l.deep.Name,
+			AgeS:  (now - root.Start).Seconds(),
+		})
+	}
+
+	reg := s.Tracer.Metrics()
+	st.Counters = reg.Counters()
+	st.Gauges = reg.Gauges()
+	st.CandidatesTested = st.Counters["synth.candidates_tested"]
+	st.Survivors = st.Counters["synth.survivors"]
+	st.Winners = st.Counters["synth.winners"]
+	st.TestsRun = st.Counters["synth.tests_run"]
+	for name, v := range st.Counters {
+		if strings.HasPrefix(name, "binding.pruned.") {
+			st.CandidatesPruned += v
+		}
+	}
+	if st.CandidatesTested > 0 {
+		st.FuzzPassRate = float64(st.Survivors) / float64(st.CandidatesTested)
+	}
+	return st
+}
+
+// Handler returns the route mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.index)
+	mux.HandleFunc("/metrics", s.metrics)
+	mux.HandleFunc("/status", s.status)
+	mux.HandleFunc("/trace", s.trace)
+	mux.HandleFunc("/journal", s.journal)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (s *Server) index(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("facc observability\n\n" +
+		"/metrics        Prometheus exposition\n" +
+		"/status         live pipeline status (JSON)\n" +
+		"/trace          Chrome trace_event download\n" +
+		"/journal        synthesis provenance journal (JSONL)\n" +
+		"/debug/pprof/   Go profiling\n"))
+}
+
+func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.Tracer.Metrics().WritePrometheus(w)
+}
+
+func (s *Server) status(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.BuildStatus())
+}
+
+func (s *Server) trace(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="facc-trace.json"`)
+	s.Tracer.WriteChromeTrace(w)
+}
+
+func (s *Server) journal(w http.ResponseWriter, r *http.Request) {
+	if s.Journal == nil {
+		http.Error(w, "no journal attached (run with -explain or -journal)",
+			http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	s.Journal.WriteJSONL(w)
+}
+
+// Serve binds addr (e.g. ":9090" or "127.0.0.1:0"), serves the handler in
+// a background goroutine, and returns the bound address plus a shutdown
+// function. The pipeline keeps running regardless of scrape traffic.
+func Serve(addr string, tr *obs.Tracer, j *obs.Journal) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: New(tr, j).Handler()}
+	go hs.Serve(ln)
+	return ln.Addr().String(), hs.Close, nil
+}

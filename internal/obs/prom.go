@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PromName sanitises a FACC metric name into a legal Prometheus metric
+// name: every run of characters outside [a-zA-Z0-9_:] becomes one '_'
+// (so "binding.pruned.single-read" → "facc_binding_pruned_single_read"),
+// and everything is namespaced under "facc_".
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 5)
+	b.WriteString("facc_")
+	pending := false
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+		if !ok {
+			pending = b.Len() > len("facc_")
+			continue
+		}
+		if pending {
+			b.WriteByte('_')
+			pending = false
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes every counter, gauge and histogram in the
+// Prometheus text exposition format (version 0.0.4), ready to be scraped
+// from an obshttp /metrics endpoint. Histograms come out as the standard
+// cumulative series: one `_bucket{le="..."}` sample per bound plus the
+// `le="+Inf"` total, then `_sum` and `_count`. Metric families appear in
+// sorted name order so output is deterministic. Nil-safe: a nil registry
+// writes nothing.
+func (r *Registry) WritePrometheus(out io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	w := &errWriter{w: out}
+
+	counters := r.Counters()
+	for _, name := range sortedKeys(counters) {
+		pn := PromName(name)
+		io.WriteString(w, "# TYPE "+pn+" counter\n")
+		io.WriteString(w, pn+" "+strconv.FormatInt(counters[name], 10)+"\n")
+	}
+
+	gauges := r.Gauges()
+	for _, name := range sortedKeys(gauges) {
+		pn := PromName(name)
+		io.WriteString(w, "# TYPE "+pn+" gauge\n")
+		io.WriteString(w, pn+" "+promFloat(gauges[name])+"\n")
+	}
+
+	for _, h := range r.Histograms() {
+		pn := PromName(h.Name)
+		io.WriteString(w, "# TYPE "+pn+" histogram\n")
+		var cum int64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			io.WriteString(w, pn+`_bucket{le="`+promFloat(bound)+`"} `+
+				strconv.FormatInt(cum, 10)+"\n")
+		}
+		io.WriteString(w, pn+`_bucket{le="+Inf"} `+
+			strconv.FormatInt(h.Count, 10)+"\n")
+		io.WriteString(w, pn+"_sum "+promFloat(h.Sum)+"\n")
+		io.WriteString(w, pn+"_count "+strconv.FormatInt(h.Count, 10)+"\n")
+	}
+	return w.err
+}
+
+// WritePrometheus exposes the tracer's registry (nil-safe).
+func (t *Tracer) WritePrometheus(w io.Writer) error {
+	return t.Metrics().WritePrometheus(w)
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"binding.pruned.single-read": "facc_binding_pruned_single_read",
+		"stage.compile.ms":           "facc_stage_compile_ms",
+		"synth.winners":              "facc_synth_winners",
+		"weird!!name":                "facc_weird_name",
+		".leading":                   "facc_leading",
+		"trailing.":                  "facc_trailing",
+		"a::b":                       "facc_a::b",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("synth.candidates_tested").Add(9)
+	r.Gauge("fuzz.pass_rate").Set(0.25)
+	h := r.Histogram("synth.tests_per_candidate", []float64{1, 5, 10})
+	for _, v := range []float64{0.5, 3, 3, 7, 100} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		"# TYPE facc_synth_candidates_tested counter\n" +
+			"facc_synth_candidates_tested 9\n",
+		"# TYPE facc_fuzz_pass_rate gauge\n" +
+			"facc_fuzz_pass_rate 0.25\n",
+		"# TYPE facc_synth_tests_per_candidate histogram\n",
+		`facc_synth_tests_per_candidate_bucket{le="1"} 1`,
+		`facc_synth_tests_per_candidate_bucket{le="5"} 3`,
+		`facc_synth_tests_per_candidate_bucket{le="10"} 4`,
+		`facc_synth_tests_per_candidate_bucket{le="+Inf"} 5`,
+		"facc_synth_tests_per_candidate_sum 113.5",
+		"facc_synth_tests_per_candidate_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Deterministic output: two writes are byte-identical.
+	var buf2 bytes.Buffer
+	if err := r.WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("exposition not deterministic across writes")
+	}
+}
+
+func TestWritePrometheusNilAndErrors(t *testing.T) {
+	var r *Registry
+	if err := r.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Errorf("nil registry: %v", err)
+	}
+	r = NewRegistry()
+	r.Counter("c").Inc()
+	if err := r.WritePrometheus(failWriter{}); err == nil {
+		t.Error("write error not propagated")
+	}
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestQuantileEdgeCases pins the histogram quantile contract at its
+// boundaries: empty snapshots report zero, q=0 clamps to the first
+// populated bucket, q=1 lands on the last populated bucket, and any
+// quantile that falls in the +Inf overflow bucket reports the observed
+// maximum rather than a bucket bound.
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty HistSnapshot
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty.Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+	if got := empty.Mean(); got != 0 {
+		t.Errorf("empty.Mean() = %g, want 0", got)
+	}
+
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1, 5, 10})
+	for _, v := range []float64{0.5, 3, 7} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %g, want first populated bound 1", got)
+	}
+	if got := s.Quantile(1); got != 10 {
+		t.Errorf("Quantile(1) = %g, want last populated bound 10", got)
+	}
+
+	// All mass beyond the final bound: every quantile is the overflow
+	// bucket, which must report the observed max, not +Inf or a bound.
+	over := r.Histogram("over", []float64{1, 5, 10})
+	over.Observe(250)
+	over.Observe(90)
+	so := over.Snapshot()
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := so.Quantile(q); got != 250 {
+			t.Errorf("overflow Quantile(%g) = %g, want observed max 250", q, got)
+		}
+	}
+
+	// q above 1 degrades to the max rather than panicking.
+	if got := s.Quantile(2); got != s.Max {
+		t.Errorf("Quantile(2) = %g, want max %g", got, s.Max)
+	}
+}
+
+// TestHistogramConcurrentObserveSnapshot exercises Observe racing with
+// Snapshot from many goroutines; run under -race (make test-race) this
+// verifies the histogram's locking discipline, and the final snapshot
+// must account for every observation exactly once.
+func TestHistogramConcurrentObserveSnapshot(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, perG = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := r.Histogram("contended", CountBuckets)
+			for i := 0; i < perG; i++ {
+				h.Observe(float64(i % 50))
+				if i%100 == 0 {
+					_ = h.Snapshot()
+					_ = r.Histograms()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := r.Histogram("contended", CountBuckets).Snapshot()
+	if s.Count != goroutines*perG {
+		t.Errorf("count = %d, want %d", s.Count, goroutines*perG)
+	}
+	var sum int64
+	for _, c := range s.Counts {
+		sum += c
+	}
+	if sum != s.Count {
+		t.Errorf("bucket counts sum to %d, want %d", sum, s.Count)
+	}
+	if s.Max != 49 {
+		t.Errorf("max = %g, want 49", s.Max)
+	}
+}

@@ -30,6 +30,22 @@ func TestNilObsInstrumentationZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestNilJournalZeroAllocs: the provenance journal obeys the same contract.
+// With no journal attached, the verdict helper (the only journal touchpoint
+// on the fuzz hot path) must not allocate — counterexample rendering is
+// gated behind the nil check at every call site, and Record on a nil
+// journal is free.
+func TestNilJournalZeroAllocs(t *testing.T) {
+	var j *obs.Journal
+	allocs := testing.AllocsPerRun(500, func() {
+		verdict(j, "fft", nil, "survived", 10, "", "")
+		j.Record(obs.JournalEvent{Kind: obs.KindFuzz})
+	})
+	if allocs != 0 {
+		t.Errorf("nil journal allocates %.0f per fuzz iteration, want 0", allocs)
+	}
+}
+
 // TestSynthesizeWithObsSpan: an attached span yields per-candidate fuzz
 // spans (with test counts and outcomes) and the search-space counters.
 func TestSynthesizeWithObsSpan(t *testing.T) {

@@ -9,6 +9,8 @@ package synth
 import (
 	"fmt"
 	"math"
+	"sort"
+	"strings"
 
 	"facc/internal/accel"
 	"facc/internal/analysis"
@@ -63,6 +65,11 @@ type Options struct {
 	// of it. Nil (the default) disables tracing with zero overhead — no
 	// allocations — on the generate-and-test hot path.
 	Obs *obs.Span
+	// Journal, when non-nil, records each candidate's lifecycle — gate
+	// verdicts, emitted/pruned bindings, fuzz verdicts with the first
+	// counterexample input on failure, and the accepted adapter. Nil (the
+	// default) costs nothing.
+	Journal *obs.Journal
 }
 
 func (o *Options) defaults() {
@@ -81,23 +88,29 @@ func (o *Options) defaults() {
 func Synthesize(f *minic.File, fn *minic.FuncDecl, spec *accel.Spec,
 	profile *analysis.Profile, opts Options) (*Result, error) {
 	opts.defaults()
+	opts.Journal.Record(obs.JournalEvent{Kind: obs.KindFunction,
+		Function: fn.Name, Detail: spec.Name})
 	asp := opts.Obs.Child("analyze")
 	fi := analysis.AnalyzeFunc(f, fn)
 	asp.End()
 	res := &Result{TestsPerRun: opts.NumTests}
-	if fi.CallsPrintf {
-		res.FailReason = "printf"
-		return res, nil
+	gate := ""
+	switch {
+	case fi.CallsPrintf:
+		gate = "printf"
+	case fi.UsesVoidPtr:
+		gate = "void-pointer"
+	case fi.NestedPointer:
+		gate = "nested-memory"
 	}
-	if fi.UsesVoidPtr {
-		res.FailReason = "void-pointer"
-		return res, nil
-	}
-	if fi.NestedPointer {
-		res.FailReason = "nested-memory"
+	if gate != "" {
+		res.FailReason = gate
+		opts.Journal.Record(obs.JournalEvent{Kind: obs.KindGate,
+			Function: fn.Name, Heuristic: gate})
 		return res, nil
 	}
 	bopts := opts.Binding
+	bopts.Journal = opts.Journal
 	if opts.Obs != nil {
 		bopts.Obs = opts.Obs.Metrics()
 	}
@@ -151,7 +164,71 @@ func Synthesize(f *minic.File, fn *minic.FuncDecl, spec *accel.Spec,
 	rsp.End()
 	res.Adapter = winner
 	opts.Obs.Metrics().Counter("synth.winners").Inc()
+	if opts.Journal != nil {
+		opts.Journal.Record(obs.JournalEvent{Kind: obs.KindAccepted,
+			Function: fn.Name, Candidate: winner.Cand.Key(),
+			Tests: winner.TestsPassed,
+			Detail: fmt.Sprintf("post=%s; check=%s", winner.Post,
+				winner.Check.CCondition(lenCExpr(winner.Cand.Length)))})
+	}
 	return res, nil
+}
+
+// lenCExpr renders a length binding as the C expression the generated
+// adapter guards on (mirrors codegen's lengthExpr), so journal "accepted"
+// events show the range check in the user's own terms.
+func lenCExpr(lb binding.LengthBinding) string {
+	if lb.Param == "" {
+		return fmt.Sprintf("%d", lb.Const)
+	}
+	if lb.Conv == binding.ConvExp2 {
+		return fmt.Sprintf("(1 << %s)", lb.Param)
+	}
+	return lb.Param
+}
+
+// verdict journals one candidate's generate-and-test outcome. The binding
+// key and counterexample are only rendered when a journal is attached, so
+// the disabled path stays allocation-free.
+func verdict(j *obs.Journal, fn string, cand *binding.Candidate,
+	outcome string, tests int, cex, detail string) {
+	if j == nil {
+		return
+	}
+	j.Record(obs.JournalEvent{Kind: obs.KindFuzz, Function: fn,
+		Candidate: cand.Key(), Outcome: outcome, Tests: tests,
+		Counterexample: cex, Detail: detail})
+}
+
+// renderCase renders a failing IO example compactly: the length binding's
+// user and accelerator values, every scalar assignment (sorted), and the
+// head of the input signal. Deterministic for fixed fuzz seeds.
+func renderCase(tc iogen.Case) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d", tc.UserLen)
+	if tc.AccelLen != tc.UserLen {
+		fmt.Fprintf(&b, " (accel_len=%d)", tc.AccelLen)
+	}
+	keys := make([]string, 0, len(tc.Scalars))
+	for k := range tc.Scalars {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%d", k, tc.Scalars[k])
+	}
+	fmt.Fprintf(&b, " input[%d]=", len(tc.Input))
+	for i, v := range tc.Input {
+		if i == 4 {
+			b.WriteString("…")
+			break
+		}
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "(%.3g%+.3gi)", real(v), imag(v))
+	}
+	return b.String()
 }
 
 // testCandidate fuzz-tests one binding candidate. It returns a validated
@@ -163,6 +240,8 @@ func testCandidate(f *minic.File, fn *minic.FuncDecl, cand *binding.Candidate,
 	gen := iogen.New(opts.Seed, cand, profile)
 	if !gen.Viable() {
 		sp.Str("outcome", "not-viable")
+		verdict(opts.Journal, fn.Name, cand, "not-viable", 0, "",
+			"no test sizes inside the accelerator domain")
 		return nil, nil
 	}
 	cases := gen.Cases(opts.NumTests)
@@ -201,6 +280,10 @@ func testCandidate(f *minic.File, fn *minic.FuncDecl, cand *binding.Candidate,
 		if runErr != nil {
 			// Interpreter fault (OOB, etc.) — wrong binding.
 			sp.Str("outcome", "fault").Str("fault", interp.FaultOf(runErr).String())
+			if opts.Journal != nil {
+				verdict(opts.Journal, fn.Name, cand, "fault", ran,
+					renderCase(tc), interp.FaultOf(runErr).String())
+			}
 			return nil, nil
 		}
 		if retVal != nil {
@@ -212,6 +295,10 @@ func testCandidate(f *minic.File, fn *minic.FuncDecl, cand *binding.Candidate,
 			// The accelerator rejected the input (should not happen for
 			// generated cases); treat as candidate failure.
 			sp.Str("outcome", "domain-error")
+			if opts.Journal != nil {
+				verdict(opts.Journal, fn.Name, cand, "domain-error", ran,
+					renderCase(tc), err.Error())
+			}
 			return nil, nil
 		}
 		var next []behave.PostOp
@@ -225,6 +312,10 @@ func testCandidate(f *minic.File, fn *minic.FuncDecl, cand *binding.Candidate,
 		alive = next
 		if len(alive) == 0 {
 			sp.Str("outcome", "behavior-mismatch")
+			if opts.Journal != nil {
+				verdict(opts.Journal, fn.Name, cand, "behavior-mismatch", ran,
+					renderCase(tc), "no post-behavioral sketch reproduces the user output")
+			}
 			return nil, nil
 		}
 	}
@@ -241,12 +332,17 @@ func testCandidate(f *minic.File, fn *minic.FuncDecl, cand *binding.Candidate,
 			if v != c {
 				// Return value depends on input; cannot reproduce.
 				sp.Str("outcome", "return-mismatch")
+				if opts.Journal != nil {
+					verdict(opts.Journal, fn.Name, cand, "return-mismatch", ran, "",
+						fmt.Sprintf("return value varies across inputs (%d vs %d)", c, v))
+				}
 				return nil, nil
 			}
 		}
 		ad.ReturnConst = &c
 	}
 	sp.Str("outcome", "survived")
+	verdict(opts.Journal, fn.Name, cand, "survived", len(cases), "", "")
 	return ad, nil
 }
 
