@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race bench repro repro-full examples fmt lint vet check clean
+.PHONY: all build test test-short test-race chaos bench repro repro-full examples fmt lint vet check clean
 
 all: build test
 
@@ -13,14 +13,21 @@ check: lint test test-race
 build:
 	$(GO) build ./...
 
+# -timeout 120s: a hung test is a robustness bug, not a slow machine —
+# fail it rather than letting CI stall.
 test:
-	$(GO) test ./...
+	$(GO) test -timeout 120s ./...
 
 test-short:
-	$(GO) test -short ./...
+	$(GO) test -short -timeout 120s ./...
 
 test-race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 120s ./...
+
+# Fault-tolerance suite under the race detector: fault injection, retry,
+# circuit breaker, panic isolation, deadline/cancellation plumbing.
+chaos:
+	$(GO) test -race -timeout 120s -run 'Chaos|FaultInject|Injector|Retry|Breaker|Harden|Panic|Fuel|StackOverflow|Cancel' ./...
 
 # One testing.B benchmark per paper table/figure plus ablations.
 bench:

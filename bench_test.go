@@ -6,6 +6,7 @@ package facc
 // custom metrics, so `go test -bench=.` reproduces the whole evaluation.
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -34,7 +35,7 @@ func BenchmarkTable1(b *testing.B) {
 
 func compileOutcomes(b *testing.B, targets []string) []*eval.CompileOutcome {
 	b.Helper()
-	outcomes, err := eval.CompileAll(targets, 4, nil, nil)
+	outcomes, err := eval.CompileAll(context.Background(), targets, 4, nil, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -216,7 +217,7 @@ func BenchmarkAblationIOTests(b *testing.B) {
 	spec := accel.NewPowerQuad()
 	for i := 0; i < b.N; i++ {
 		for _, tests := range []int{1, 4, 10} {
-			res, err := synth.Synthesize(f, fn, spec, profile, synth.Options{
+			res, err := synth.Synthesize(context.Background(), f, fn, spec, profile, synth.Options{
 				NumTests:   tests,
 				ExhaustAll: true,
 			})
@@ -251,7 +252,7 @@ func BenchmarkSynthesizeOne(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				res, err := synth.Synthesize(f, f.Func(bm.Entry), spec,
+				res, err := synth.Synthesize(context.Background(), f, f.Func(bm.Entry), spec,
 					core.BuildProfile(bm.ProfileValues), synth.Options{NumTests: 4})
 				if err != nil {
 					b.Fatal(err)

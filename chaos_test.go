@@ -1,0 +1,194 @@
+package facc
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"facc/internal/obs"
+)
+
+// chaosOptions is the shared baseline: the quickstart program compiled
+// against the FFTA with a small but real fuzz budget.
+func chaosOptions() Options {
+	return Options{
+		ProfileValues: map[string][]int64{"n": {64, 128, 256}},
+		NumTests:      4,
+	}
+}
+
+// TestChaosConvergesUnderTransientFaults is the headline robustness
+// property: with a seeded 30% transient-fault profile on every
+// accelerator call, retries absorb the faults and synthesis converges to
+// byte-for-byte the same adapter as the fault-free run.
+func TestChaosConvergesUnderTransientFaults(t *testing.T) {
+	clean, err := Compile("fft.c", quickstartSrc, TargetFFTA, chaosOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clean.OK() {
+		t.Fatalf("fault-free compile failed: %s", clean.FailReason())
+	}
+
+	opts := chaosOptions()
+	opts.Faults = &FaultProfile{ErrorRate: 0.3, Seed: 7}
+	tr := NewTracer()
+	opts.Trace = tr
+	faulty, err := Compile("fft.c", quickstartSrc, TargetFFTA, opts)
+	if err != nil {
+		t.Fatalf("compile under 30%% transient faults: %v", err)
+	}
+	if !faulty.OK() {
+		t.Fatalf("no adapter under faults: %s", faulty.FailReason())
+	}
+	if faulty.Function() != clean.Function() {
+		t.Fatalf("replaced %q under faults, %q without", faulty.Function(), clean.Function())
+	}
+	if faulty.AdapterC() != clean.AdapterC() {
+		t.Fatal("adapter under injected faults differs from the fault-free adapter")
+	}
+	c := tr.Metrics().Counters()
+	if c["accel.faults.injected.transient"] == 0 {
+		t.Fatal("the chaos run injected no faults; the test proved nothing")
+	}
+	if c["accel.retries"] == 0 {
+		t.Fatal("faults were injected but nothing retried")
+	}
+}
+
+// TestChaosDegradesWhenAcceleratorDies: with a 100% error rate the retry
+// budget always exhausts, the breaker opens, and the compile still
+// succeeds on the software-FFT fallback — graceful degradation, visible
+// in the metrics and the provenance journal.
+func TestChaosDegradesWhenAcceleratorDies(t *testing.T) {
+	base := chaosOptions()
+	// Enough IO tests that the accelerator is attempted past the breaker
+	// threshold (5 consecutive transient failures) before synthesis stops.
+	base.NumTests = 10
+	clean, err := Compile("fft.c", quickstartSrc, TargetFFTA, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := base
+	opts.Faults = &FaultProfile{ErrorRate: 1, Seed: 3}
+	tr := NewTracer()
+	j := NewJournal()
+	opts.Trace = tr
+	opts.Journal = j
+	res, err := Compile("fft.c", quickstartSrc, TargetFFTA, opts)
+	if err != nil {
+		t.Fatalf("compile with a dead accelerator: %v", err)
+	}
+	if !res.OK() {
+		t.Fatalf("no adapter despite software fallback: %s", res.FailReason())
+	}
+	if res.AdapterC() != clean.AdapterC() {
+		t.Fatal("degraded compile produced a different adapter")
+	}
+	c := tr.Metrics().Counters()
+	if c["accel.degraded_runs"] == 0 {
+		t.Fatal("accel.degraded_runs = 0: the breaker never degraded")
+	}
+	if c["accel.breaker.transitions.open"] == 0 {
+		t.Fatal("the breaker never opened under 100% faults")
+	}
+	if c["accel.retry.exhausted"] == 0 {
+		t.Fatal("retry budgets never exhausted under 100% faults")
+	}
+	degraded := false
+	for _, ev := range j.Events() {
+		if ev.Kind == obs.KindDegraded && ev.Outcome == "open" {
+			degraded = true
+		}
+	}
+	if !degraded {
+		t.Fatal("journal has no degraded/open event")
+	}
+}
+
+// TestChaosDeadlineReturnsPromptly: a compile with a 1ms deadline must
+// return a context error well within 100ms (the interpreter polls the
+// context inside the fuzz loop) and leak no goroutines.
+func TestChaosDeadlineReturnsPromptly(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	opts := chaosOptions()
+	opts.ProfileValues = map[string][]int64{"n": {256, 512, 1024}}
+	opts.NumTests = 50 // enough work that 1ms cannot possibly finish
+	opts.Deadline = time.Millisecond
+	start := time.Now()
+	_, err := Compile("fft.c", quickstartSrc, TargetFFTA, opts)
+	elapsed := time.Since(start)
+
+	if err == nil {
+		t.Fatal("compile beat a 1ms deadline; expected a context error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error does not unwrap to DeadlineExceeded: %v", err)
+	}
+	if elapsed > 100*time.Millisecond {
+		t.Fatalf("1ms deadline honored only after %v", elapsed)
+	}
+
+	// The pipeline is synchronous; the only transient goroutine is the
+	// deadline timer's, which cancel() reaps. Allow it a moment to exit.
+	settle := time.Now().Add(2 * time.Second)
+	after := runtime.NumGoroutine()
+	for after > before && time.Now().Before(settle) {
+		time.Sleep(10 * time.Millisecond)
+		after = runtime.NumGoroutine()
+	}
+	if after > before {
+		t.Fatalf("goroutines leaked across a deadline abort: %d before, %d after", before, after)
+	}
+}
+
+// TestChaosPreCancelledContext: CompileContext with an already-cancelled
+// context returns immediately with an error wrapping context.Canceled.
+func TestChaosPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := CompileContext(ctx, "fft.c", quickstartSrc, TargetFFTA, chaosOptions())
+	if err == nil {
+		t.Fatal("pre-cancelled compile succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not unwrap to context.Canceled: %v", err)
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("pre-cancelled compile took %v", d)
+	}
+}
+
+// TestChaosCandidateTimeoutCostsOneCandidate: an unmeetable per-candidate
+// budget rejects every candidate ("timeout" verdicts) but never turns
+// into a compile-level error — a hung candidate costs a candidate, not
+// the compilation.
+func TestChaosCandidateTimeoutCostsOneCandidate(t *testing.T) {
+	opts := chaosOptions()
+	opts.CandidateTimeout = time.Nanosecond
+	tr := NewTracer()
+	opts.Trace = tr
+	res, err := Compile("fft.c", quickstartSrc, TargetFFTA, opts)
+	if err != nil {
+		t.Fatalf("candidate timeouts escalated into a compile error: %v", err)
+	}
+	if res.OK() {
+		t.Fatal("an adapter survived a 1ns per-candidate budget")
+	}
+	if tr.Metrics().Counters()["synth.candidate_timeouts"] == 0 {
+		t.Fatal("no candidate timeouts counted")
+	}
+
+	// A generous budget changes nothing about the result.
+	opts = chaosOptions()
+	opts.CandidateTimeout = 10 * time.Second
+	res, err = Compile("fft.c", quickstartSrc, TargetFFTA, opts)
+	if err != nil || !res.OK() {
+		t.Fatalf("compile with a generous candidate budget: ok=%v err=%v", res.OK(), err)
+	}
+}

@@ -5,7 +5,9 @@
 //
 //	facc -target ffta [-entry fft] [-profile n=64,128,256] [-tests 10]
 //	     [-trace trace.json] [-metrics] [-serve :9090]
-//	     [-journal prov.jsonl] [-explain] file.c
+//	     [-journal prov.jsonl] [-explain]
+//	     [-timeout 30s] [-candidate-timeout 50ms] [-faults error=0.3,seed=7]
+//	     file.c
 //
 // -trace writes a Chrome trace_event file (load in chrome://tracing or
 // https://ui.perfetto.dev) with one nested span per pipeline stage down to
@@ -15,6 +17,13 @@
 // /trace download, /debug/pprof) for the duration of the run; -journal
 // writes the synthesis provenance journal as JSONL; -explain renders it as
 // a human-readable "why was / wasn't this adapter synthesised" report.
+//
+// Robustness: -timeout bounds the whole compilation's wall clock,
+// -candidate-timeout bounds fuzzing any one binding candidate (a hung
+// candidate costs one candidate, not the compile), and -faults injects
+// seeded accelerator faults (transient errors, value corruption, latency
+// spikes) while hardening the execution path with retries and a circuit
+// breaker that degrades to the pure-software FFT.
 //
 // Exit status: 0 on success (adapter printed to stdout), 1 when no adapter
 // could be synthesized (reason printed to stderr), 2 on usage/frontend
@@ -67,11 +76,21 @@ func main() {
 	}
 
 	opts := facc.Options{
-		Entry:         *entry,
-		ProfileValues: profile,
-		NumTests:      *tests,
-		Trace:         of.Tracer(),
-		Journal:       of.Journal(),
+		Entry:            *entry,
+		ProfileValues:    profile,
+		NumTests:         *tests,
+		Trace:            of.Tracer(),
+		Journal:          of.Journal(),
+		Deadline:         of.Timeout,
+		CandidateTimeout: of.CandidateTimeout,
+	}
+	if of.Faults != "" {
+		fp, err := facc.ParseFaultProfile(of.Faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "facc: -faults: %v\n", err)
+			os.Exit(2)
+		}
+		opts.Faults = &fp
 	}
 	if err := of.Start(); err != nil {
 		fmt.Fprintf(os.Stderr, "facc: %v\n", err)

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -35,7 +36,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "faccbench: %v\n", err)
 		os.Exit(1)
 	}
-	err := run(*experiment, *full, *tests, of.Tracer(), of.Journal())
+	if of.CandidateTimeout != 0 || of.Faults != "" {
+		fmt.Fprintf(os.Stderr, "faccbench: -candidate-timeout and -faults apply to facc only; ignoring\n")
+	}
+	ctx := context.Background()
+	if of.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, of.Timeout)
+		defer cancel()
+	}
+	err := run(ctx, *experiment, *full, *tests, of.Tracer(), of.Journal())
 	if ferr := of.Finish(); ferr != nil {
 		fmt.Fprintf(os.Stderr, "faccbench: %v\n", ferr)
 		os.Exit(1)
@@ -46,7 +56,7 @@ func main() {
 	}
 }
 
-func run(experiment string, full bool, tests int, tr *obs.Tracer, j *obs.Journal) error {
+func run(ctx context.Context, experiment string, full bool, tests int, tr *obs.Tracer, j *obs.Journal) error {
 	w := os.Stdout
 	sep := func() { fmt.Fprintln(w) }
 
@@ -61,7 +71,7 @@ func run(experiment string, full bool, tests int, tr *obs.Tracer, j *obs.Journal
 		fmt.Fprintf(os.Stderr, "faccbench: compiling the corpus (%d targets x 25 programs)...\n",
 			len(targets))
 		var err error
-		outcomes, err = eval.CompileAll(targets, tests, tr, j)
+		outcomes, err = eval.CompileAll(ctx, targets, tests, tr, j)
 		return err
 	}
 	allTargets := []string{"ffta", "powerquad", "fftw"}

@@ -24,6 +24,7 @@
 package facc
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -32,6 +33,7 @@ import (
 	"facc/internal/bench"
 	"facc/internal/binding"
 	"facc/internal/core"
+	"facc/internal/faultinject"
 	"facc/internal/obs"
 	"facc/internal/synth"
 )
@@ -85,6 +87,40 @@ type Options struct {
 	// adapter synthesised") or export as JSONL. Nil (the default) costs
 	// nothing.
 	Journal *Journal
+
+	// Deadline bounds the whole compilation's wall clock: past it the
+	// pipeline stops promptly (the interpreter polls it inside each fuzz
+	// run) and Compile returns an error wrapping
+	// context.DeadlineExceeded. Zero means no deadline. Callers that
+	// already hold a context should use CompileContext instead.
+	Deadline time.Duration
+	// CandidateTimeout bounds fuzzing one binding candidate. A candidate
+	// that exceeds it is rejected (a "timeout" verdict in the journal)
+	// and synthesis moves to the next candidate — a hung candidate costs
+	// one candidate, not the compile. Zero disables the budget.
+	CandidateTimeout time.Duration
+	// Faults, when non-nil, injects accelerator faults per the profile
+	// (transient errors, value corruption, latency spikes — seeded and
+	// deterministic) and hardens the execution path with retries and a
+	// circuit breaker that degrades to the pure-software FFT. Production
+	// use leaves this nil and still gets retry+breaker via Harden; the
+	// profile exists for chaos testing the pipeline's fault tolerance.
+	Faults *FaultProfile
+	// Harden installs the retry + circuit-breaker chain around the
+	// accelerator even with no fault profile (graceful degradation for a
+	// real flaky backend). Implied by Faults != nil.
+	Harden bool
+}
+
+// FaultProfile configures injected accelerator faults for chaos testing;
+// see Options.Faults. Rates are probabilities per accelerator call.
+type FaultProfile = faultinject.Profile
+
+// ParseFaultProfile parses the -faults flag syntax
+// ("error=0.3,corrupt=0.01,latency=0.1,seed=7"; all keys optional) into
+// a profile for Options.Faults.
+func ParseFaultProfile(s string) (FaultProfile, error) {
+	return faultinject.ParseProfile(s)
 }
 
 // Tracer collects hierarchical spans and metrics across a compilation; see
@@ -116,26 +152,74 @@ type Result struct {
 
 // Compile compiles MiniC source against a named target.
 func Compile(name, source, target string, opts Options) (*Result, error) {
+	return CompileContext(context.Background(), name, source, target, opts)
+}
+
+// CompileContext compiles MiniC source against a named target under ctx:
+// cancel it (or let Options.Deadline expire) and the pipeline stops
+// promptly — between candidates, between IO cases, and inside the
+// interpreter's step loop — returning an error that wraps ctx.Err().
+func CompileContext(ctx context.Context, name, source, target string, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Deadline)
+		defer cancel()
+	}
 	spec, err := accel.SpecByName(target)
 	if err != nil {
 		return nil, err
 	}
-	comp, err := core.CompileSource(name, source, spec, core.Options{
+	hardenSpec(spec, opts)
+	comp, err := core.CompileSource(ctx, name, source, spec, core.Options{
 		Entry:         opts.Entry,
 		ProfileValues: opts.ProfileValues,
 		Classifier:    opts.Classifier,
 		Trace:         opts.Trace,
 		Journal:       opts.Journal,
 		Synth: synth.Options{
-			NumTests:  opts.NumTests,
-			Tolerance: opts.Tolerance,
-			Binding:   bindingOptions(opts),
+			NumTests:         opts.NumTests,
+			Tolerance:        opts.Tolerance,
+			CandidateTimeout: opts.CandidateTimeout,
+			Binding:          bindingOptions(opts),
 		},
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &Result{c: comp}, nil
+}
+
+// hardenSpec installs the fault-tolerance chain (fault injector when a
+// profile is set, retry, circuit breaker with software-FFT degradation)
+// on the compilation's private spec instance. Breaker state changes are
+// journaled so -explain shows when and why the run degraded; counters
+// land in the tracer's registry, visible at /status and /metrics.
+func hardenSpec(spec *accel.Spec, opts Options) {
+	if opts.Faults == nil && !opts.Harden {
+		return
+	}
+	var profile FaultProfile
+	if opts.Faults != nil {
+		profile = *opts.Faults
+	}
+	var reg *obs.Registry
+	if opts.Trace != nil {
+		reg = opts.Trace.Metrics()
+	}
+	br := faultinject.Harden(spec, profile, reg)
+	if j := opts.Journal; j != nil {
+		br.OnStateChange = func(from, to faultinject.State) {
+			detail := fmt.Sprintf("accelerator breaker %s → %s", from, to)
+			if to == faultinject.Open {
+				detail += " (degrading to software FFT)"
+			}
+			j.Record(obs.JournalEvent{Kind: obs.KindDegraded,
+				Outcome: to.String(), Detail: detail})
+		}
+	}
 }
 
 func bindingOptions(opts Options) binding.Options {

@@ -81,6 +81,13 @@ type Spec struct {
 	PerPointSec     float64
 	TransferPerElem float64
 
+	// Exec, when non-nil, replaces the built-in simulator as the
+	// execution backend for Run. internal/faultinject installs decorated
+	// chains here (fault injection → retry → circuit breaker) so the
+	// synthesis pipeline exercises an unreliable platform without any
+	// change to its call sites. Nil runs the simulator directly.
+	Exec Runner
+
 	// runs counts simulator invocations when observability is attached
 	// (see Instrument); nil is a free no-op.
 	runs *obs.Counter

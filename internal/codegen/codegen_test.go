@@ -1,6 +1,7 @@
 package codegen
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -47,7 +48,7 @@ func makeAdapter(t *testing.T, spec *accel.Spec) (*synth.Adapter, *minic.FuncDec
 	for _, v := range []int64{32, 64, 100, 128, 70000} {
 		prof.ObserveInt("n", v)
 	}
-	res, err := synth.Synthesize(f, fn, spec, prof, synth.Options{NumTests: 4})
+	res, err := synth.Synthesize(context.Background(), f, fn, spec, prof, synth.Options{NumTests: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ int fft(cpx* x, int n) {
 	prof := analysis.NewProfile()
 	prof.ObserveInt("n", 16)
 	prof.ObserveInt("n", 32)
-	res, err := synth.Synthesize(f, f.Func("fft"), accel.NewPowerQuad(), prof,
+	res, err := synth.Synthesize(context.Background(), f, f.Func("fft"), accel.NewPowerQuad(), prof,
 		synth.Options{NumTests: 4})
 	if err != nil {
 		t.Fatal(err)

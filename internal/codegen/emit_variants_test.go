@@ -1,6 +1,7 @@
 package codegen
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -23,7 +24,7 @@ func synthAdapter(t *testing.T, src, fn string, spec *accel.Spec,
 			prof.ObserveInt(name, v)
 		}
 	}
-	res, err := synth.Synthesize(f, f.Func(fn), spec, prof, synth.Options{NumTests: 4})
+	res, err := synth.Synthesize(context.Background(), f, f.Func(fn), spec, prof, synth.Options{NumTests: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

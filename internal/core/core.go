@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -177,8 +178,10 @@ func BuildProfile(values map[string][]int64) *analysis.Profile {
 	return p
 }
 
-// CompileSource parses, checks and compiles MiniC source against a target.
-func CompileSource(name, src string, spec *accel.Spec, opts Options) (*Compilation, error) {
+// CompileSource parses, checks and compiles MiniC source against a
+// target. ctx (nil means Background) cancels the pipeline between and
+// inside candidate evaluations.
+func CompileSource(ctx context.Context, name, src string, spec *accel.Spec, opts Options) (*Compilation, error) {
 	fsp := opts.Trace.Span("frontend").Str("file", name)
 	psp := fsp.Child("parse")
 	f, err := minic.Parse(name, src)
@@ -194,14 +197,18 @@ func CompileSource(name, src string, spec *accel.Spec, opts Options) (*Compilati
 	if err != nil {
 		return nil, err
 	}
-	return CompileFile(f, spec, opts)
+	return CompileFile(ctx, f, spec, opts)
 }
 
 // CompileFile runs the pipeline on a checked file. All stage timings —
 // including the Elapsed fields of the result — derive from tracer spans;
 // when opts.Trace is nil a private tracer supplies them, and the per-test
-// hot path inside synth runs uninstrumented.
-func CompileFile(f *minic.File, spec *accel.Spec, opts Options) (*Compilation, error) {
+// hot path inside synth runs uninstrumented. ctx (nil means Background)
+// cancels the pipeline; the error then wraps ctx.Err().
+func CompileFile(ctx context.Context, f *minic.File, spec *accel.Spec, opts Options) (*Compilation, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	tr := opts.Trace
 	traced := tr != nil
 	if tr == nil {
@@ -233,6 +240,10 @@ func CompileFile(f *minic.File, spec *accel.Spec, opts Options) (*Compilation, e
 
 	profile := BuildProfile(opts.ProfileValues)
 	for _, name := range candidates {
+		if err := ctx.Err(); err != nil {
+			root.End()
+			return nil, fmt.Errorf("core: compilation cancelled: %w", err)
+		}
 		fn := f.Func(name)
 		if fn == nil {
 			root.End()
@@ -244,7 +255,7 @@ func CompileFile(f *minic.File, spec *accel.Spec, opts Options) (*Compilation, e
 		if traced {
 			sopts.Obs = ssp
 		}
-		res, err := synth.Synthesize(f, fn, spec, profile, sopts)
+		res, err := synth.Synthesize(ctx, f, fn, spec, profile, sopts)
 		if err != nil {
 			ssp.End()
 			root.End()

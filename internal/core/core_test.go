@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -32,7 +33,7 @@ void helper_scale(double* v, int n, double f) {
 }`
 
 func TestCompileSourcePinnedEntry(t *testing.T) {
-	comp, err := CompileSource("t.c", dftSrc, accel.NewPowerQuad(), Options{
+	comp, err := CompileSource(context.Background(), "t.c", dftSrc, accel.NewPowerQuad(), Options{
 		Entry:         "spectrum",
 		ProfileValues: map[string][]int64{"n": {16, 32, 64}},
 		Synth:         synth.Options{NumTests: 4},
@@ -58,7 +59,7 @@ func TestCompileSourcePinnedEntry(t *testing.T) {
 func TestCompileAllFunctionsWithoutClassifier(t *testing.T) {
 	// No Entry, no classifier: every function considered; generate-and-
 	// test rejects helper_scale and accepts spectrum.
-	comp, err := CompileSource("t.c", dftSrc, accel.NewPowerQuad(), Options{
+	comp, err := CompileSource(context.Background(), "t.c", dftSrc, accel.NewPowerQuad(), Options{
 		ProfileValues: map[string][]int64{"n": {16, 32}},
 		Synth:         synth.Options{NumTests: 4},
 	})
@@ -72,7 +73,7 @@ func TestCompileAllFunctionsWithoutClassifier(t *testing.T) {
 }
 
 func TestCompileUnknownEntry(t *testing.T) {
-	_, err := CompileSource("t.c", dftSrc, accel.NewFFTA(), Options{Entry: "nope"})
+	_, err := CompileSource(context.Background(), "t.c", dftSrc, accel.NewFFTA(), Options{Entry: "nope"})
 	if err == nil || !strings.Contains(err.Error(), "no function") {
 		t.Errorf("err = %v", err)
 	}
@@ -89,7 +90,7 @@ double plain(double* v, int n) {
     for (int i = 0; i < n; i++) s += v[i];
     return s;
 }`
-	comp, err := CompileSource("t.c", src, accel.NewFFTA(), Options{
+	comp, err := CompileSource(context.Background(), "t.c", src, accel.NewFFTA(), Options{
 		Synth: synth.Options{NumTests: 2},
 	})
 	if err != nil {
@@ -139,7 +140,7 @@ func TestClassifierCandidateOrdering(t *testing.T) {
 }
 
 func TestNoCandidateRegion(t *testing.T) {
-	comp, err := CompileSource("t.c", "int unused;", accel.NewFFTA(), Options{})
+	comp, err := CompileSource(context.Background(), "t.c", "int unused;", accel.NewFFTA(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +181,7 @@ void fwd_b(cpx* in, cpx* out, int n) {
         out[k].im = sim;
     }
 }`
-	comp, err := CompileSource("t.c", src, accel.NewPowerQuad(), Options{
+	comp, err := CompileSource(context.Background(), "t.c", src, accel.NewPowerQuad(), Options{
 		ProfileValues: map[string][]int64{"n": {16, 32}},
 		Synth:         synth.Options{NumTests: 4},
 		AllRegions:    true,
@@ -224,7 +225,7 @@ void process_block(cpx* buf, int n) {
         buf[i].im = buf[i].im * 0.5;
     }
 }`
-	comp, err := CompileSource("app.c", src, accel.NewPowerQuad(), Options{
+	comp, err := CompileSource(context.Background(), "app.c", src, accel.NewPowerQuad(), Options{
 		Entry:         "fft",
 		ProfileValues: map[string][]int64{"n": {16, 32}},
 		Synth:         synth.Options{NumTests: 4},
@@ -254,7 +255,7 @@ void process_block(cpx* buf, int n) {
 }
 
 func TestIntegratedUnitFailsWithNothingCompiled(t *testing.T) {
-	comp, err := CompileSource("t.c", "int x;", accel.NewFFTA(), Options{})
+	comp, err := CompileSource(context.Background(), "t.c", "int x;", accel.NewFFTA(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

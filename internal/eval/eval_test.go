@@ -2,14 +2,47 @@ package eval
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"math"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"facc/internal/accel"
 	"facc/internal/bench"
 	"facc/internal/core"
 )
+
+// TestCompileAllCancellation: cancelling the context stops the corpus
+// fan-out promptly — the call returns an error wrapping the context's,
+// and no worker goroutine outlives it.
+func TestCompileAllCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := CompileAll(ctx, []string{"ffta", "powerquad", "fftw"}, 4, nil, nil)
+	if err == nil {
+		t.Fatal("CompileAll succeeded under a cancelled context")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not unwrap to context.Canceled: %v", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("cancelled corpus compile took %v", d)
+	}
+	settle := time.Now().Add(2 * time.Second)
+	after := runtime.NumGoroutine()
+	for after > before && time.Now().Before(settle) {
+		time.Sleep(10 * time.Millisecond)
+		after = runtime.NumGoroutine()
+	}
+	if after > before {
+		t.Fatalf("workers leaked: %d goroutines before, %d after", before, after)
+	}
+}
 
 func TestGeoMean(t *testing.T) {
 	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
@@ -118,7 +151,7 @@ func TestCompileAllAndFigures8_15_16(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full corpus compile")
 	}
-	outcomes, err := CompileAll([]string{"ffta", "powerquad", "fftw"}, 3, nil, nil)
+	outcomes, err := CompileAll(context.Background(), []string{"ffta", "powerquad", "fftw"}, 3, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +292,7 @@ func TestFig9Output(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	outcomes, err := CompileAll([]string{"ffta"}, 3, nil, nil)
+	outcomes, err := CompileAll(context.Background(), []string{"ffta"}, 3, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -33,15 +34,22 @@ type CompileOutcome struct {
 }
 
 // CompileAll runs FACC over the whole corpus for each target. Compilations
-// are independent, so they fan out across GOMAXPROCS workers; results come
-// back in deterministic (target, benchmark) order. tr (may be nil) collects
+// are independent, so they fan out across a worker pool sized by
+// GOMAXPROCS (never unbounded); results come back in deterministic
+// (target, benchmark) order. ctx (nil means Background) cancels the run:
+// queued jobs are abandoned, in-flight compilations stop at their next
+// cancellation poll, and every worker has exited by the time CompileAll
+// returns — no goroutine outlives the call. tr (may be nil) collects
 // spans and metrics across all compilations — the tracer is safe for
 // concurrent use, and each compilation gets its own root span, so Fig15
 // timings are exactly the span durations. j (may be nil) collects the
 // synthesis provenance journal across the whole corpus; event interleaving
 // between compilations follows worker scheduling, but each event names its
 // function, so per-function provenance stays coherent.
-func CompileAll(targets []string, numTests int, tr *obs.Tracer, j *obs.Journal) ([]*CompileOutcome, error) {
+func CompileAll(ctx context.Context, targets []string, numTests int, tr *obs.Tracer, j *obs.Journal) ([]*CompileOutcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	suite := bench.Suite()
 	type job struct {
 		idx    int
@@ -68,15 +76,26 @@ func CompileAll(targets []string, numTests int, tr *obs.Tracer, j *obs.Journal) 
 		go func() {
 			defer wg.Done()
 			for jb := range jobCh {
-				out[jb.idx], errs[jb.idx] = compileOne(jb.target, jb.b, numTests, tr, j)
+				if ctx.Err() != nil {
+					return // drain stops below; abandon queued work
+				}
+				out[jb.idx], errs[jb.idx] = compileOne(ctx, jb.target, jb.b, numTests, tr, j)
 			}
 		}()
 	}
-	for _, j := range jobs {
-		jobCh <- j
+feed:
+	for _, jb := range jobs {
+		select {
+		case jobCh <- jb:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(jobCh)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("eval: corpus compilation cancelled: %w", err)
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -85,7 +104,7 @@ func CompileAll(targets []string, numTests int, tr *obs.Tracer, j *obs.Journal) 
 	return out, nil
 }
 
-func compileOne(target string, b *bench.Benchmark, numTests int, tr *obs.Tracer, j *obs.Journal) (*CompileOutcome, error) {
+func compileOne(ctx context.Context, target string, b *bench.Benchmark, numTests int, tr *obs.Tracer, j *obs.Journal) (*CompileOutcome, error) {
 	spec, err := accel.SpecByName(target)
 	if err != nil {
 		return nil, err
@@ -94,7 +113,7 @@ func compileOne(target string, b *bench.Benchmark, numTests int, tr *obs.Tracer,
 	if err != nil {
 		return nil, err
 	}
-	comp, err := core.CompileFile(f, spec, core.Options{
+	comp, err := core.CompileFile(ctx, f, spec, core.Options{
 		Entry:         b.Entry,
 		ProfileValues: b.ProfileValues,
 		Trace:         tr,
@@ -490,7 +509,7 @@ func Ablation(w io.Writer) error {
 
 	fmt.Fprintf(w, "\nIO-test budget vs surviving candidates (%s on powerquad):\n", b.Name)
 	for _, tests := range []int{1, 2, 4, 10} {
-		res, err := synth.Synthesize(f, fn, accel.NewPowerQuad(), profile,
+		res, err := synth.Synthesize(context.Background(), f, fn, accel.NewPowerQuad(), profile,
 			synth.Options{NumTests: tests, ExhaustAll: true})
 		if err != nil {
 			return err

@@ -1,0 +1,188 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"facc/internal/accel"
+	"facc/internal/fft"
+	"facc/internal/obs"
+)
+
+// State is a circuit-breaker state.
+type State int
+
+// Breaker states: Closed passes traffic through; Open routes everything
+// to the fallback; HalfOpen lets one probe through after the cooldown.
+const (
+	Closed State = iota
+	Open
+	HalfOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// Breaker is a circuit breaker over an accelerator Runner with graceful
+// degradation: every transient device failure is served by the fallback
+// (the pure-software FFT path) instead of failing the compile, and while
+// the circuit is open work skips the device entirely. Consecutive
+// transient failures past Threshold open the circuit; after Cooldown one
+// probe is allowed through (half-open); a successful probe closes it
+// again.
+type Breaker struct {
+	next accel.Runner
+	// Fallback handles work while the circuit is open (and when a
+	// half-open probe fails). Typically Spec.Simulate — the same
+	// functional contract on the software path.
+	fallback accel.Runner
+	reg      *obs.Registry
+
+	// Threshold is the consecutive-failure count that opens the circuit
+	// (default 5).
+	Threshold int
+	// Cooldown is how long the circuit stays open before a probe
+	// (default 100ms).
+	Cooldown time.Duration
+	// OnStateChange, when non-nil, observes every transition (journal
+	// hook). Called outside the breaker lock.
+	OnStateChange func(from, to State)
+
+	// now is swappable for tests.
+	now func() time.Time
+
+	mu       sync.Mutex
+	state    State
+	failures int
+	openedAt time.Time
+}
+
+// NewBreaker wraps next with a circuit breaker degrading to fallback.
+func NewBreaker(next, fallback accel.Runner, reg *obs.Registry) *Breaker {
+	b := &Breaker{
+		next:      next,
+		fallback:  fallback,
+		reg:       reg,
+		Threshold: 5,
+		Cooldown:  100 * time.Millisecond,
+		now:       time.Now,
+	}
+	reg.Gauge("accel.breaker.state").Set(float64(Closed))
+	return b
+}
+
+// State returns the current circuit state (Open decays to HalfOpen once
+// the cooldown has elapsed, observable on the next Run).
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Run routes one transform through the breaker: pass-through when
+// closed, fallback when open, a single probe when half-open.
+//
+// A transient failure of the wrapped runner (after its retry budget)
+// never surfaces: the call is served by the fallback instead — a
+// degraded run — and the failure counts toward opening the circuit. The
+// breaker therefore decides only whether the device is still worth
+// *attempting*; no single sick call can fail a compile. Non-transient
+// errors (domain rejections) pass through untouched and count as
+// neither failures nor degradations — the device is healthy, the input
+// is outside its contract, and the software fallback would reject it
+// identically.
+func (b *Breaker) Run(input []complex128, dir fft.Direction) ([]complex128, error) {
+	var notes []func()
+	defer func() {
+		for _, fn := range notes {
+			fn()
+		}
+	}()
+
+	b.mu.Lock()
+	if b.state == Open && b.now().Sub(b.openedAt) >= b.Cooldown {
+		notes = b.transition(HalfOpen, notes)
+	}
+	state := b.state
+	b.mu.Unlock()
+
+	if state == Open {
+		b.reg.Counter("accel.degraded_runs").Inc()
+		return b.fallback.Run(input, dir)
+	}
+
+	out, err := b.next.Run(input, dir)
+
+	b.mu.Lock()
+	if err != nil {
+		var te *TransientError
+		if !errors.As(err, &te) {
+			b.mu.Unlock()
+			return nil, err
+		}
+		b.failures++
+		if b.state == HalfOpen || b.failures >= b.Threshold {
+			notes = b.transition(Open, notes)
+			b.openedAt = b.now()
+		}
+		b.mu.Unlock()
+		b.reg.Counter("accel.degraded_runs").Inc()
+		return b.fallback.Run(input, dir)
+	}
+	b.failures = 0
+	if b.state == HalfOpen {
+		notes = b.transition(Closed, notes)
+	}
+	b.mu.Unlock()
+	return out, nil
+}
+
+// transition records a state change (caller holds b.mu) and appends the
+// OnStateChange notification to notes so it runs after the lock is
+// released.
+func (b *Breaker) transition(to State, notes []func()) []func() {
+	from := b.state
+	if from == to {
+		return notes
+	}
+	b.state = to
+	b.reg.Counter("accel.breaker.transitions." + to.String()).Inc()
+	b.reg.Gauge("accel.breaker.state").Set(float64(to))
+	if hook := b.OnStateChange; hook != nil {
+		notes = append(notes, func() { hook(from, to) })
+	}
+	return notes
+}
+
+// Harden installs the full fault-tolerance chain on spec:
+//
+//	breaker( retry( injector(simulator) ) ) with fallback → simulator
+//
+// The injector models the unreliable device per profile; retry absorbs
+// transients; the breaker degrades to the spec's own software simulator
+// (internal/fft) when the device stays sick. With a zero profile only
+// retry+breaker are installed — useful for hardening against a future
+// real device backend. The returned breaker exposes state and the
+// OnStateChange hook for journaling.
+func Harden(spec *accel.Spec, p Profile, reg *obs.Registry) *Breaker {
+	software := accel.RunnerFunc(spec.Simulate)
+	var device accel.Runner = software
+	if !p.zero() {
+		device = NewInjector(software, p, reg)
+	}
+	retry := NewRetry(device, p.Seed+1, reg)
+	breaker := NewBreaker(retry, software, reg)
+	spec.Exec = breaker
+	return breaker
+}

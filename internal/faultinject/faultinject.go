@@ -1,0 +1,214 @@
+// Package faultinject hardens FACC's accelerator execution path against
+// unreliable hardware. The paper frames adapters as bridging fixed-function
+// devices that reject or mangle work outside their contract; this package
+// makes that concrete: a fault Injector wraps an accel.Runner with a
+// seeded, configurable profile of transient errors, value corruption and
+// latency spikes, a Retry decorator absorbs transients with bounded
+// exponential backoff, and a circuit Breaker degrades to the pure-software
+// FFT path (the spec's own simulator over internal/fft) when the platform
+// stays unhealthy — so a flaky accelerator costs retries, not compiles.
+//
+// All decorators are deterministic for a fixed Profile.Seed and record
+// their activity in an obs.Registry (nil-safe), which surfaces in the
+// /status endpoint and Prometheus exposition:
+//
+//	accel.faults.injected.transient / .corrupt / .latency
+//	accel.retries, accel.retry.exhausted
+//	accel.breaker.transitions.<state>, accel.breaker.state (gauge)
+//	accel.degraded_runs
+package faultinject
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"facc/internal/accel"
+	"facc/internal/fft"
+	"facc/internal/obs"
+)
+
+// Profile configures an injected fault distribution. Rates are
+// probabilities in [0,1] drawn independently per Run call from a stream
+// seeded by Seed, so a given (profile, call sequence) always injects the
+// same faults — chaos tests are reproducible.
+type Profile struct {
+	// ErrorRate is the probability a call fails with a TransientError
+	// (the device was busy, the DMA handshake timed out, ...). Transients
+	// are retryable.
+	ErrorRate float64
+	// CorruptRate is the probability a call silently corrupts its output:
+	// one element is replaced with NaN or a scaled value. Corruption is
+	// not signalled — it models datapath bit-flips the driver cannot see.
+	CorruptRate float64
+	// LatencyRate is the probability a call stalls for Latency before
+	// completing (a spike, not the mean).
+	LatencyRate float64
+	// Latency is the injected stall duration (default 1ms when a spike
+	// fires with no duration configured).
+	Latency time.Duration
+	// Seed fixes the fault stream; 0 means seed 1.
+	Seed int64
+}
+
+// zero reports whether the profile injects nothing.
+func (p Profile) zero() bool {
+	return p.ErrorRate <= 0 && p.CorruptRate <= 0 && p.LatencyRate <= 0
+}
+
+// String renders the profile compactly (the -faults flag format).
+func (p Profile) String() string {
+	var parts []string
+	if p.ErrorRate > 0 {
+		parts = append(parts, fmt.Sprintf("error=%g", p.ErrorRate))
+	}
+	if p.CorruptRate > 0 {
+		parts = append(parts, fmt.Sprintf("corrupt=%g", p.CorruptRate))
+	}
+	if p.LatencyRate > 0 {
+		parts = append(parts, fmt.Sprintf("latency=%g", p.LatencyRate))
+	}
+	if p.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", p.Seed))
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseProfile parses the -faults flag syntax:
+// "error=0.3,corrupt=0.01,latency=0.1,seed=7". Unknown keys are errors;
+// an empty string is the zero profile.
+func ParseProfile(s string) (Profile, error) {
+	var p Profile
+	if strings.TrimSpace(s) == "" {
+		return p, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return p, fmt.Errorf("faultinject: malformed %q (want key=value)", kv)
+		}
+		switch key {
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return p, fmt.Errorf("faultinject: seed %q: %v", val, err)
+			}
+			p.Seed = n
+		case "error", "corrupt", "latency":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 || f > 1 {
+				return p, fmt.Errorf("faultinject: rate %s=%q (want a probability in [0,1])", key, val)
+			}
+			switch key {
+			case "error":
+				p.ErrorRate = f
+			case "corrupt":
+				p.CorruptRate = f
+			case "latency":
+				p.LatencyRate = f
+			}
+		default:
+			return p, fmt.Errorf("faultinject: unknown key %q (want error, corrupt, latency, seed)", key)
+		}
+	}
+	return p, nil
+}
+
+// TransientError is a retryable injected failure — the class of fault a
+// real driver would report for a busy device or a dropped handshake.
+type TransientError struct {
+	Call int // 1-based injector call index that failed
+}
+
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("faultinject: transient accelerator fault (call %d)", e.Call)
+}
+
+// Injector wraps a Runner with an injected fault profile.
+type Injector struct {
+	next    accel.Runner
+	profile Profile
+	reg     *obs.Registry // nil-safe
+
+	// sleep is swappable so tests can observe latency spikes without
+	// real stalls.
+	sleep func(time.Duration)
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	calls int
+}
+
+// NewInjector decorates next with the profile's fault distribution,
+// reporting injections to reg (may be nil).
+func NewInjector(next accel.Runner, p Profile, reg *obs.Registry) *Injector {
+	seed := p.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Injector{
+		next:    next,
+		profile: p,
+		reg:     reg,
+		sleep:   time.Sleep,
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Run forwards to the wrapped runner, injecting faults per the profile.
+// The three draws happen on every call in a fixed order, so the fault
+// stream for a given seed does not depend on which rates are enabled.
+func (in *Injector) Run(input []complex128, dir fft.Direction) ([]complex128, error) {
+	in.mu.Lock()
+	in.calls++
+	call := in.calls
+	failNow := in.rng.Float64() < in.profile.ErrorRate
+	corruptNow := in.rng.Float64() < in.profile.CorruptRate
+	stallNow := in.rng.Float64() < in.profile.LatencyRate
+	corruptAt := 0
+	corruptNaN := false
+	if len(input) > 0 {
+		corruptAt = in.rng.Intn(len(input))
+		corruptNaN = in.rng.Float64() < 0.5
+	}
+	in.mu.Unlock()
+
+	if stallNow {
+		in.count("accel.faults.injected.latency")
+		d := in.profile.Latency
+		if d <= 0 {
+			d = time.Millisecond
+		}
+		in.sleep(d)
+	}
+	if failNow {
+		in.count("accel.faults.injected.transient")
+		return nil, &TransientError{Call: call}
+	}
+	out, err := in.next.Run(input, dir)
+	if err != nil {
+		return nil, err
+	}
+	if corruptNow && len(out) > 0 {
+		in.count("accel.faults.injected.corrupt")
+		// Corrupt a private copy: callers own their outputs, but the
+		// wrapped simulator might one day cache.
+		c := append([]complex128(nil), out...)
+		if corruptNaN {
+			c[corruptAt] = complex(math.NaN(), imag(c[corruptAt]))
+		} else {
+			c[corruptAt] *= 1000
+		}
+		out = c
+	}
+	return out, nil
+}
+
+func (in *Injector) count(name string) { in.reg.Counter(name).Inc() }

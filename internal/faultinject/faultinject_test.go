@@ -1,0 +1,448 @@
+package faultinject
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"facc/internal/accel"
+	"facc/internal/fft"
+	"facc/internal/obs"
+)
+
+// echoRunner returns its input unchanged — a perfectly healthy device.
+type echoRunner struct{ calls int }
+
+func (e *echoRunner) Run(in []complex128, _ fft.Direction) ([]complex128, error) {
+	e.calls++
+	out := append([]complex128(nil), in...)
+	return out, nil
+}
+
+// scriptRunner fails while fail is set, then echoes.
+type scriptRunner struct {
+	fail  bool
+	calls int
+}
+
+func (s *scriptRunner) Run(in []complex128, _ fft.Direction) ([]complex128, error) {
+	s.calls++
+	if s.fail {
+		return nil, &TransientError{Call: s.calls}
+	}
+	return append([]complex128(nil), in...), nil
+}
+
+// failNRunner fails the first n calls with a transient, then echoes.
+type failNRunner struct {
+	n     int
+	calls int
+}
+
+func (f *failNRunner) Run(in []complex128, _ fft.Direction) ([]complex128, error) {
+	f.calls++
+	if f.calls <= f.n {
+		return nil, &TransientError{Call: f.calls}
+	}
+	return append([]complex128(nil), in...), nil
+}
+
+func testInput(n int) []complex128 {
+	in := make([]complex128, n)
+	for i := range in {
+		in[i] = complex(float64(i%7)-3, float64(i%5)-2)
+	}
+	return in
+}
+
+func TestParseProfile(t *testing.T) {
+	p, err := ParseProfile("error=0.3,corrupt=0.01,latency=0.1,seed=7")
+	if err != nil {
+		t.Fatalf("ParseProfile: %v", err)
+	}
+	want := Profile{ErrorRate: 0.3, CorruptRate: 0.01, LatencyRate: 0.1, Seed: 7}
+	if p != want {
+		t.Fatalf("ParseProfile = %+v, want %+v", p, want)
+	}
+	if p, err := ParseProfile("  "); err != nil || !p.zero() {
+		t.Fatalf("empty profile: got %+v, %v", p, err)
+	}
+	for _, bad := range []string{"error=2", "error=-0.1", "bogus=1", "error", "seed=x"} {
+		if _, err := ParseProfile(bad); err == nil {
+			t.Errorf("ParseProfile(%q): expected error", bad)
+		}
+	}
+}
+
+func TestProfileString(t *testing.T) {
+	p := Profile{ErrorRate: 0.3, Seed: 7}
+	if got := p.String(); got != "error=0.3,seed=7" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := (Profile{}).String(); got != "none" {
+		t.Fatalf("zero String = %q", got)
+	}
+}
+
+// faultTrace summarizes one injector call for stream comparison.
+type faultTrace struct {
+	failed    bool
+	corrupted bool
+}
+
+func traceStream(t *testing.T, p Profile, n int) []faultTrace {
+	t.Helper()
+	base := &echoRunner{}
+	in := NewInjector(base, p, nil)
+	in.sleep = func(time.Duration) {}
+	input := testInput(16)
+	var out []faultTrace
+	for i := 0; i < n; i++ {
+		got, err := in.Run(input, fft.Forward)
+		tr := faultTrace{failed: err != nil}
+		if err == nil {
+			for j := range got {
+				// NaN corruption also lands here: NaN != anything.
+				if got[j] != input[j] {
+					tr.corrupted = true
+				}
+			}
+		}
+		out = append(out, tr)
+	}
+	return out
+}
+
+func TestInjectorDeterministicBySeed(t *testing.T) {
+	p := Profile{ErrorRate: 0.3, CorruptRate: 0.2, Seed: 42}
+	a := traceStream(t, p, 300)
+	b := traceStream(t, p, 300)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d: same seed diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	p2 := p
+	p2.Seed = 43
+	c := traceStream(t, p2, 300)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("seeds 42 and 43 produced identical 300-call fault streams")
+	}
+}
+
+func TestInjectorRates(t *testing.T) {
+	const n = 2000
+	reg := obs.NewRegistry()
+	in := NewInjector(&echoRunner{}, Profile{ErrorRate: 0.3, Seed: 1}, reg)
+	fails := 0
+	input := testInput(8)
+	for i := 0; i < n; i++ {
+		if _, err := in.Run(input, fft.Forward); err != nil {
+			fails++
+			var te *TransientError
+			if !errors.As(err, &te) {
+				t.Fatalf("injected error is not a TransientError: %v", err)
+			}
+		}
+	}
+	// Binomial(2000, 0.3): mean 600, sd ~20.5. ±6 sd keeps flake
+	// probability negligible while still catching a broken rate.
+	if fails < 480 || fails > 720 {
+		t.Fatalf("ErrorRate 0.3 over %d calls injected %d faults", n, fails)
+	}
+	if got := reg.Counters()["accel.faults.injected.transient"]; got != int64(fails) {
+		t.Fatalf("counter %d, observed %d", got, fails)
+	}
+}
+
+func TestInjectorCorruptionCopiesOutput(t *testing.T) {
+	base := &echoRunner{}
+	in := NewInjector(base, Profile{CorruptRate: 1, Seed: 3}, nil)
+	input := testInput(16)
+	pristine := append([]complex128(nil), input...)
+	out, err := in.Run(input, fft.Forward)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	diffs := 0
+	for i := range out {
+		if out[i] != input[i] || math.IsNaN(real(out[i])) {
+			diffs++
+		}
+	}
+	if diffs != 1 {
+		t.Fatalf("corruption touched %d elements, want exactly 1", diffs)
+	}
+	for i := range input {
+		if input[i] != pristine[i] {
+			t.Fatalf("injector mutated the caller's input slice")
+		}
+	}
+}
+
+func TestInjectorLatency(t *testing.T) {
+	var slept []time.Duration
+	in := NewInjector(&echoRunner{}, Profile{LatencyRate: 1, Seed: 1}, nil)
+	in.sleep = func(d time.Duration) { slept = append(slept, d) }
+	if _, err := in.Run(testInput(4), fft.Forward); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(slept) != 1 || slept[0] != time.Millisecond {
+		t.Fatalf("default latency spike = %v, want [1ms]", slept)
+	}
+	in2 := NewInjector(&echoRunner{}, Profile{LatencyRate: 1, Latency: 5 * time.Millisecond, Seed: 1}, nil)
+	slept = nil
+	in2.sleep = func(d time.Duration) { slept = append(slept, d) }
+	in2.Run(testInput(4), fft.Forward)
+	if len(slept) != 1 || slept[0] != 5*time.Millisecond {
+		t.Fatalf("configured latency spike = %v, want [5ms]", slept)
+	}
+}
+
+func TestRetryAbsorbsTransients(t *testing.T) {
+	reg := obs.NewRegistry()
+	base := &failNRunner{n: 2}
+	r := NewRetry(base, 1, reg)
+	r.sleep = func(time.Duration) {}
+	out, err := r.Run(testInput(8), fft.Forward)
+	if err != nil {
+		t.Fatalf("Run after transients: %v", err)
+	}
+	if len(out) != 8 || base.calls != 3 {
+		t.Fatalf("out=%d calls=%d, want 8 and 3", len(out), base.calls)
+	}
+	if got := reg.Counters()["accel.retries"]; got != 2 {
+		t.Fatalf("accel.retries = %d, want 2", got)
+	}
+	if got := reg.Counters()["accel.retry.exhausted"]; got != 0 {
+		t.Fatalf("accel.retry.exhausted = %d, want 0", got)
+	}
+}
+
+func TestRetryBoundedAttempts(t *testing.T) {
+	reg := obs.NewRegistry()
+	base := &scriptRunner{fail: true}
+	r := NewRetry(base, 1, reg)
+	r.sleep = func(time.Duration) {}
+	_, err := r.Run(testInput(8), fft.Forward)
+	var te *TransientError
+	if !errors.As(err, &te) {
+		t.Fatalf("want TransientError, got %v", err)
+	}
+	if base.calls != r.MaxAttempts {
+		t.Fatalf("attempts = %d, want %d", base.calls, r.MaxAttempts)
+	}
+	if got := reg.Counters()["accel.retry.exhausted"]; got != 1 {
+		t.Fatalf("accel.retry.exhausted = %d, want 1", got)
+	}
+}
+
+func TestRetrySkipsNonTransient(t *testing.T) {
+	domain := errors.New("length 7 outside accelerator domain")
+	calls := 0
+	r := NewRetry(accel.RunnerFunc(func([]complex128, fft.Direction) ([]complex128, error) {
+		calls++
+		return nil, domain
+	}), 1, nil)
+	r.sleep = func(time.Duration) {}
+	if _, err := r.Run(testInput(8), fft.Forward); !errors.Is(err, domain) {
+		t.Fatalf("want the domain error back, got %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("non-transient error retried: %d calls", calls)
+	}
+}
+
+func TestRetryBackoffBounds(t *testing.T) {
+	r := NewRetry(&scriptRunner{fail: true}, 1, nil)
+	r.BaseDelay = time.Millisecond
+	r.MaxDelay = 4 * time.Millisecond
+	for attempt := 1; attempt <= 6; attempt++ {
+		step := r.BaseDelay << (attempt - 1)
+		if step > r.MaxDelay {
+			step = r.MaxDelay
+		}
+		for i := 0; i < 50; i++ {
+			d := r.backoff(attempt)
+			if d < 0 || d >= step {
+				t.Fatalf("backoff(%d) = %v outside [0, %v)", attempt, d, step)
+			}
+		}
+	}
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	reg := obs.NewRegistry()
+	device := &scriptRunner{fail: true}
+	fallback := accel.RunnerFunc(func(in []complex128, _ fft.Direction) ([]complex128, error) {
+		return []complex128{complex(42, 0)}, nil
+	})
+	b := NewBreaker(device, fallback, reg)
+	b.Threshold = 2
+	b.Cooldown = 100 * time.Millisecond
+	clock := time.Unix(1000, 0)
+	b.now = func() time.Time { return clock }
+	var transitions []string
+	b.OnStateChange = func(from, to State) {
+		transitions = append(transitions, from.String()+"->"+to.String())
+	}
+	input := testInput(4)
+
+	// Failure 1: below threshold — the call degrades to the fallback (a
+	// transient failure never surfaces) but the circuit stays closed.
+	out, err := b.Run(input, fft.Forward)
+	if err != nil || len(out) != 1 || out[0] != complex(42, 0) {
+		t.Fatalf("first failure: out=%v err=%v, want degraded fallback output", out, err)
+	}
+	if b.State() != Closed {
+		t.Fatalf("state after 1 failure = %v, want closed", b.State())
+	}
+
+	// Failure 2: threshold reached — circuit opens and the call degrades.
+	out, err = b.Run(input, fft.Forward)
+	if err != nil || len(out) != 1 || out[0] != complex(42, 0) {
+		t.Fatalf("opening call: out=%v err=%v, want fallback output", out, err)
+	}
+	if b.State() != Open {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+
+	// While open (cooldown not elapsed) everything degrades.
+	if out, err := b.Run(input, fft.Forward); err != nil || out[0] != complex(42, 0) {
+		t.Fatalf("open-circuit call: out=%v err=%v", out, err)
+	}
+	if device.calls != 2 {
+		t.Fatalf("device called %d times, want 2 (open circuit must not probe early)", device.calls)
+	}
+
+	// Cooldown elapses; the half-open probe fails; circuit re-opens and
+	// the probe call itself degrades.
+	clock = clock.Add(b.Cooldown)
+	if out, err := b.Run(input, fft.Forward); err != nil || out[0] != complex(42, 0) {
+		t.Fatalf("failed-probe call: out=%v err=%v", out, err)
+	}
+	if b.State() != Open || device.calls != 3 {
+		t.Fatalf("state=%v calls=%d, want open/3", b.State(), device.calls)
+	}
+
+	// Device recovers; next probe closes the circuit.
+	device.fail = false
+	clock = clock.Add(b.Cooldown)
+	out, err = b.Run(input, fft.Forward)
+	if err != nil || len(out) != len(input) {
+		t.Fatalf("recovered probe: out=%v err=%v", out, err)
+	}
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want closed after successful probe", b.State())
+	}
+
+	wantTransitions := []string{
+		"closed->open",
+		"open->half-open", "half-open->open",
+		"open->half-open", "half-open->closed",
+	}
+	if len(transitions) != len(wantTransitions) {
+		t.Fatalf("transitions = %v, want %v", transitions, wantTransitions)
+	}
+	for i := range transitions {
+		if transitions[i] != wantTransitions[i] {
+			t.Fatalf("transition %d = %s, want %s", i, transitions[i], wantTransitions[i])
+		}
+	}
+	if got := reg.Counters()["accel.degraded_runs"]; got != 4 {
+		t.Fatalf("accel.degraded_runs = %d, want 4", got)
+	}
+	if g := reg.Gauges()["accel.breaker.state"]; g != float64(Closed) {
+		t.Fatalf("breaker.state gauge = %v, want %v", g, float64(Closed))
+	}
+}
+
+// TestBreakerPassesDomainErrorsThrough: a non-transient error is a
+// contract violation, not device sickness — it surfaces unchanged,
+// counts as neither a failure nor a degradation, and never opens the
+// circuit.
+func TestBreakerPassesDomainErrorsThrough(t *testing.T) {
+	reg := obs.NewRegistry()
+	domain := errors.New("length 7 outside accelerator domain")
+	b := NewBreaker(accel.RunnerFunc(func([]complex128, fft.Direction) ([]complex128, error) {
+		return nil, domain
+	}), accel.RunnerFunc(func([]complex128, fft.Direction) ([]complex128, error) {
+		return []complex128{complex(42, 0)}, nil
+	}), reg)
+	b.Threshold = 2
+	for i := 0; i < 10; i++ {
+		if _, err := b.Run(testInput(4), fft.Forward); !errors.Is(err, domain) {
+			t.Fatalf("call %d: err = %v, want the domain error", i, err)
+		}
+	}
+	if b.State() != Closed {
+		t.Fatalf("domain errors opened the circuit: state = %v", b.State())
+	}
+	if got := reg.Counters()["accel.degraded_runs"]; got != 0 {
+		t.Fatalf("domain errors counted as degraded runs: %d", got)
+	}
+}
+
+func TestHardenInstallsChainAndPreservesResults(t *testing.T) {
+	spec, err := accel.SpecByName("ffta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := Harden(spec, Profile{}, obs.NewRegistry())
+	if spec.Exec == nil || br == nil {
+		t.Fatal("Harden did not install an execution chain")
+	}
+	in := testInput(64)
+	hardened, err := spec.Run(in, fft.Forward)
+	if err != nil {
+		t.Fatalf("hardened Run: %v", err)
+	}
+	plain, err := spec.Simulate(in, fft.Forward)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	for i := range plain {
+		if hardened[i] != plain[i] {
+			t.Fatalf("hardened output differs from the simulator at %d: %v vs %v",
+				i, hardened[i], plain[i])
+		}
+	}
+}
+
+func TestHardenDegradesUnderTotalFailure(t *testing.T) {
+	spec, err := accel.SpecByName("ffta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	br := Harden(spec, Profile{ErrorRate: 1, Seed: 9}, reg)
+	br.Cooldown = time.Hour // keep it open once it opens
+	// Retry sleeps are real but tiny (µs range); tolerate them.
+	in := testInput(64)
+	for i := 0; i < br.Threshold+4; i++ {
+		// Every call degrades successfully: transient failures are served
+		// by the software fallback whether the circuit is open or not.
+		out, err := spec.Run(in, fft.Forward)
+		if err != nil || len(out) != len(in) {
+			t.Fatalf("call %d: out=%d err=%v, want degraded success", i, len(out), err)
+		}
+	}
+	if br.State() != Open {
+		t.Fatalf("breaker state = %v, want open under 100%% faults", br.State())
+	}
+	c := reg.Counters()
+	if c["accel.degraded_runs"] == 0 {
+		t.Fatal("no degraded runs counted under total failure")
+	}
+	if c["accel.retry.exhausted"] == 0 {
+		t.Fatal("retry budget never exhausted under total failure")
+	}
+}

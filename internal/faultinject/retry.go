@@ -1,0 +1,95 @@
+package faultinject
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"facc/internal/accel"
+	"facc/internal/fft"
+	"facc/internal/obs"
+)
+
+// Retry decorates a Runner with bounded retries of transient faults:
+// exponential backoff with full jitter, capped attempts. Non-transient
+// errors (domain rejections, direction unsupported) are never retried —
+// they are contract violations retrying cannot fix.
+type Retry struct {
+	next accel.Runner
+	reg  *obs.Registry
+
+	// MaxAttempts bounds total tries per Run (default 3).
+	MaxAttempts int
+	// BaseDelay is the first backoff step (default 100µs; doubles per
+	// attempt, jittered uniformly in [0, step)).
+	BaseDelay time.Duration
+	// MaxDelay caps one backoff step (default 10ms).
+	MaxDelay time.Duration
+
+	// sleep is swappable for tests.
+	sleep func(time.Duration)
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewRetry decorates next; seed fixes the jitter stream.
+func NewRetry(next accel.Runner, seed int64, reg *obs.Registry) *Retry {
+	if seed == 0 {
+		seed = 1
+	}
+	return &Retry{
+		next:        next,
+		reg:         reg,
+		MaxAttempts: 3,
+		BaseDelay:   100 * time.Microsecond,
+		MaxDelay:    10 * time.Millisecond,
+		sleep:       time.Sleep,
+		rng:         rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Run tries the wrapped runner up to MaxAttempts times, backing off
+// between transient failures. The last error is returned when the budget
+// is exhausted.
+func (r *Retry) Run(input []complex128, dir fft.Direction) ([]complex128, error) {
+	attempts := r.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			r.reg.Counter("accel.retries").Inc()
+			r.sleep(r.backoff(attempt))
+		}
+		out, err := r.next.Run(input, dir)
+		if err == nil {
+			return out, nil
+		}
+		lastErr = err
+		var te *TransientError
+		if !errors.As(err, &te) {
+			return nil, err
+		}
+	}
+	r.reg.Counter("accel.retry.exhausted").Inc()
+	return nil, lastErr
+}
+
+// backoff computes the jittered exponential delay before retry `attempt`
+// (1-based): uniform in [0, min(BaseDelay·2^(attempt-1), MaxDelay)).
+func (r *Retry) backoff(attempt int) time.Duration {
+	step := r.BaseDelay << (attempt - 1)
+	if r.MaxDelay > 0 && step > r.MaxDelay {
+		step = r.MaxDelay
+	}
+	if step <= 0 {
+		return 0
+	}
+	r.mu.Lock()
+	d := time.Duration(r.rng.Int63n(int64(step)))
+	r.mu.Unlock()
+	return d
+}

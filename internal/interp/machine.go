@@ -2,6 +2,8 @@ package interp
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 
 	"facc/internal/minic"
@@ -28,6 +30,14 @@ const (
 	FaultUnsupported
 	FaultAssert
 	FaultExit
+	// FaultCancelled reports that the machine's context was cancelled or
+	// its deadline expired mid-interpretation (the error unwraps to the
+	// context's cause, so errors.Is(err, context.DeadlineExceeded) works).
+	FaultCancelled
+	// FaultPanic classifies a Go panic recovered while evaluating a
+	// candidate — the synthesis engine converts it into a per-candidate
+	// rejection instead of letting it kill the process.
+	FaultPanic
 )
 
 var faultNames = map[FaultKind]string{
@@ -37,6 +47,7 @@ var faultNames = map[FaultKind]string{
 	FaultStackOverflow: "stack-overflow", FaultFuelExhausted: "fuel-exhausted",
 	FaultBadPointerOp: "bad-pointer-op", FaultUnsupported: "unsupported",
 	FaultAssert: "assertion-failure", FaultExit: "exit",
+	FaultCancelled: "cancelled", FaultPanic: "panic",
 }
 
 func (k FaultKind) String() string {
@@ -51,16 +62,25 @@ type RuntimeError struct {
 	Kind FaultKind
 	Pos  minic.Pos
 	Msg  string
+	// Err is the underlying cause, when the fault wraps one (e.g. the
+	// context error behind a FaultCancelled). May be nil.
+	Err error
 }
 
 func (e *RuntimeError) Error() string {
 	return fmt.Sprintf("%s: %s: %s", e.Pos, e.Kind, e.Msg)
 }
 
-// FaultOf extracts the fault kind from an error (FaultNone if not a
-// RuntimeError).
+// Unwrap exposes the cause so errors.Is/As see through the fault (e.g.
+// errors.Is(err, context.DeadlineExceeded) on a cancellation fault).
+func (e *RuntimeError) Unwrap() error { return e.Err }
+
+// FaultOf extracts the fault kind from an error, seeing through any
+// wrapping (fmt.Errorf %w etc.); FaultNone if no RuntimeError is in the
+// chain.
 func FaultOf(err error) FaultKind {
-	if re, ok := err.(*RuntimeError); ok {
+	var re *RuntimeError
+	if errors.As(err, &re) {
 		return re.Kind
 	}
 	return FaultNone
@@ -123,6 +143,12 @@ type Machine struct {
 	// costs nothing on the interpretation hot path.
 	Obs *obs.Registry
 
+	// Ctx, when non-nil, is polled every ctxPollStride steps: once it is
+	// cancelled (or its deadline passes) interpretation stops promptly
+	// with a FaultCancelled that unwraps to the context error. Nil (the
+	// default) keeps the step path free of context checks.
+	Ctx context.Context
+
 	globals     map[*minic.VarDecl]Pointer
 	funcs       map[string]*minic.FuncDecl
 	nextAllocID int
@@ -137,6 +163,11 @@ const (
 	DefaultMaxSteps = 200_000_000
 	DefaultMaxDepth = 4096
 )
+
+// ctxPollStride is how many interpreter steps run between context checks.
+// A step costs on the order of 100ns, so 1024 steps bound cancellation
+// latency to roughly 0.1ms while keeping Ctx.Err off the hot path.
+const ctxPollStride = 1024
 
 type ctrl int
 
@@ -198,11 +229,17 @@ func (m *Machine) TotalCounters() Counters {
 }
 
 func (m *Machine) fault(pos minic.Pos, kind FaultKind, format string, args ...any) error {
+	return m.faultCause(pos, kind, nil, format, args...)
+}
+
+// faultCause raises a fault wrapping an underlying error, so callers can
+// classify with errors.Is/As through the RuntimeError.
+func (m *Machine) faultCause(pos minic.Pos, kind FaultKind, cause error, format string, args ...any) error {
 	if m.Obs != nil {
 		m.Obs.Counter("interp.faults").Inc()
 		m.Obs.Counter("interp.faults." + kind.String()).Inc()
 	}
-	return &RuntimeError{Kind: kind, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+	return &RuntimeError{Kind: kind, Pos: pos, Msg: fmt.Sprintf(format, args...), Err: cause}
 }
 
 func (m *Machine) step(pos minic.Pos) error {
@@ -214,6 +251,12 @@ func (m *Machine) step(pos minic.Pos) error {
 	}
 	if m.steps > max {
 		return m.fault(pos, FaultFuelExhausted, "step limit %d exceeded", max)
+	}
+	if m.Ctx != nil && m.steps%ctxPollStride == 0 {
+		if err := m.Ctx.Err(); err != nil {
+			return m.faultCause(pos, FaultCancelled, err,
+				"interpretation cancelled: %v", err)
+		}
 	}
 	return nil
 }

@@ -23,6 +23,8 @@ const (
 	KindFuzz     = "fuzz"     // generate-and-test verdict for a candidate
 	KindAccepted = "accepted" // candidate became the adapter
 	KindResult   = "result"   // function outcome (replaced/rejected)
+	KindDegraded = "degraded" // accelerator breaker state change (Outcome:
+	// new state; open means execution routes to the software FFT fallback)
 )
 
 // JournalEvent is one entry of the synthesis provenance journal — enough

@@ -1,7 +1,9 @@
 // Package obsflag wires the shared observability flags into the FACC
 // command-line binaries so facc, faccbench and faccclassify expose the
 // same -trace/-metrics/-serve surface (and facc/faccbench additionally
-// -journal/-explain), with one implementation of the export plumbing.
+// -journal/-explain plus the robustness budget flags -timeout,
+// -candidate-timeout and -faults), with one implementation of the
+// export plumbing.
 package obsflag
 
 import (
@@ -9,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"facc/internal/obs"
 	"facc/internal/obs/obshttp"
@@ -23,6 +26,15 @@ type Flags struct {
 	Serve       string
 	JournalFile string
 	Explain     bool
+
+	// Robustness budgets (RegisterSynth binaries only). Timeout bounds
+	// the whole run, CandidateTimeout one fuzzed binding candidate, and
+	// Faults carries an unparsed fault-injection profile (parsed by the
+	// binary with facc.ParseFaultProfile so this package stays free of
+	// pipeline dependencies).
+	Timeout          time.Duration
+	CandidateTimeout time.Duration
+	Faults           string
 
 	prog     string
 	tr       *obs.Tracer
@@ -44,13 +56,21 @@ func Register(fs *flag.FlagSet, prog string) *Flags {
 }
 
 // RegisterSynth additionally installs the provenance flags (-journal,
-// -explain) for binaries that run the synthesis pipeline.
+// -explain) and the robustness budget flags (-timeout,
+// -candidate-timeout, -faults) for binaries that run the synthesis
+// pipeline.
 func RegisterSynth(fs *flag.FlagSet, prog string) *Flags {
 	f := Register(fs, prog)
 	fs.StringVar(&f.JournalFile, "journal", "",
 		"write the synthesis provenance journal (JSONL) to this file")
 	fs.BoolVar(&f.Explain, "explain", false,
 		"print the provenance report (why each adapter was / was not synthesised) to stderr")
+	fs.DurationVar(&f.Timeout, "timeout", 0,
+		"abort the whole run after this wall-clock budget, e.g. 30s (0 = no deadline)")
+	fs.DurationVar(&f.CandidateTimeout, "candidate-timeout", 0,
+		"reject any single binding candidate whose fuzzing exceeds this budget (0 = no budget)")
+	fs.StringVar(&f.Faults, "faults", "",
+		`inject accelerator faults for chaos testing, e.g. "error=0.3,corrupt=0.01,latency=0.1,seed=7" (implies retry+breaker hardening)`)
 	return f
 }
 

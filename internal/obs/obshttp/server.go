@@ -61,6 +61,19 @@ type Status struct {
 	TestsRun         int64   `json:"tests_run"`
 	FuzzPassRate     float64 `json:"fuzz_pass_rate"`
 
+	// Robustness: how the run is coping with a faulty accelerator.
+	// FaultsInjected sums the chaos injector's transient/corrupt/latency
+	// counters; DegradedRuns counts calls served by the software-FFT
+	// fallback while the breaker was open. BreakerState is "" until a
+	// hardened accelerator registers its gauge.
+	FaultsInjected    int64  `json:"faults_injected"`
+	Retries           int64  `json:"retries"`
+	RetriesExhausted  int64  `json:"retries_exhausted"`
+	DegradedRuns      int64  `json:"degraded_runs"`
+	CandidatePanics   int64  `json:"candidate_panics"`
+	CandidateTimeouts int64  `json:"candidate_timeouts"`
+	BreakerState      string `json:"breaker_state,omitempty"`
+
 	JournalEvents int `json:"journal_events"`
 
 	Counters map[string]int64   `json:"counters,omitempty"`
@@ -123,9 +136,30 @@ func (s *Server) BuildStatus() Status {
 		if strings.HasPrefix(name, "binding.pruned.") {
 			st.CandidatesPruned += v
 		}
+		if strings.HasPrefix(name, "accel.faults.injected.") {
+			st.FaultsInjected += v
+		}
 	}
 	if st.CandidatesTested > 0 {
 		st.FuzzPassRate = float64(st.Survivors) / float64(st.CandidatesTested)
+	}
+	st.Retries = st.Counters["accel.retries"]
+	st.RetriesExhausted = st.Counters["accel.retry.exhausted"]
+	st.DegradedRuns = st.Counters["accel.degraded_runs"]
+	st.CandidatePanics = st.Counters["synth.panics"]
+	st.CandidateTimeouts = st.Counters["synth.candidate_timeouts"]
+	if g, ok := st.Gauges["accel.breaker.state"]; ok {
+		// Mirrors faultinject.State — the gauge stores the enum value.
+		switch int(g) {
+		case 0:
+			st.BreakerState = "closed"
+		case 1:
+			st.BreakerState = "open"
+		case 2:
+			st.BreakerState = "half-open"
+		default:
+			st.BreakerState = "unknown"
+		}
 	}
 	return st
 }

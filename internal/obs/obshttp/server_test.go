@@ -2,6 +2,7 @@ package obshttp_test
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -58,7 +59,7 @@ void fft(cpx* x, int n) {
 
 func compileOnce(t testing.TB, tr *obs.Tracer, j *obs.Journal) {
 	t.Helper()
-	_, err := core.CompileSource("fft.c", fftSrc, accel.NewFFTA(), core.Options{
+	_, err := core.CompileSource(context.Background(), "fft.c", fftSrc, accel.NewFFTA(), core.Options{
 		ProfileValues: map[string][]int64{"n": {64, 128, 256}},
 		Synth:         synth.Options{NumTests: 4},
 		Trace:         tr,
@@ -328,6 +329,58 @@ func TestStatusAndTraceLiveMidCompilation(t *testing.T) {
 	}
 	if !accepted {
 		t.Error("journal has no accepted event after successful compilations")
+	}
+}
+
+// TestStatusRobustnessFields: the degradation telemetry (fault
+// injections, retries, degraded runs, breaker state) surfaces in the
+// /status document from the faultinject counter/gauge names.
+func TestStatusRobustnessFields(t *testing.T) {
+	tr := obs.New()
+	reg := tr.Metrics()
+	reg.Counter("accel.faults.injected.transient").Add(7)
+	reg.Counter("accel.faults.injected.corrupt").Add(2)
+	reg.Counter("accel.faults.injected.latency").Add(1)
+	reg.Counter("accel.retries").Add(5)
+	reg.Counter("accel.retry.exhausted").Add(1)
+	reg.Counter("accel.degraded_runs").Add(3)
+	reg.Counter("synth.panics").Add(1)
+	reg.Counter("synth.candidate_timeouts").Add(4)
+	reg.Gauge("accel.breaker.state").Set(1)
+
+	srv := httptest.NewServer(obshttp.New(tr, nil).Handler())
+	defer srv.Close()
+	_, body := get(t, srv, "/status")
+	var st obshttp.Status
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/status not JSON: %v", err)
+	}
+	if st.FaultsInjected != 10 {
+		t.Errorf("faults_injected = %d, want 10", st.FaultsInjected)
+	}
+	if st.Retries != 5 || st.RetriesExhausted != 1 {
+		t.Errorf("retries = %d/%d, want 5/1", st.Retries, st.RetriesExhausted)
+	}
+	if st.DegradedRuns != 3 {
+		t.Errorf("degraded_runs = %d, want 3", st.DegradedRuns)
+	}
+	if st.CandidatePanics != 1 || st.CandidateTimeouts != 4 {
+		t.Errorf("panics/timeouts = %d/%d, want 1/4", st.CandidatePanics, st.CandidateTimeouts)
+	}
+	if st.BreakerState != "open" {
+		t.Errorf("breaker_state = %q, want open", st.BreakerState)
+	}
+
+	// Without a hardened accelerator the state is simply absent.
+	srv2 := httptest.NewServer(obshttp.New(obs.New(), nil).Handler())
+	defer srv2.Close()
+	_, body = get(t, srv2, "/status")
+	var st2 obshttp.Status
+	if err := json.Unmarshal([]byte(body), &st2); err != nil {
+		t.Fatal(err)
+	}
+	if st2.BreakerState != "" {
+		t.Errorf("breaker_state without hardening = %q, want empty", st2.BreakerState)
 	}
 }
 

@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"testing"
 
 	"facc/internal/accel"
@@ -69,7 +70,7 @@ func TestWrongLengthBindingRejectedByFuzzing(t *testing.T) {
 	}
 
 	// ...and fuzzing must leave only the correct one standing.
-	res, err := Synthesize(f, fn, spec, prof, Options{NumTests: 8, ExhaustAll: true})
+	res, err := Synthesize(context.Background(), f, fn, spec, prof, Options{NumTests: 8, ExhaustAll: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ void fft_oob(cpx* x, int n) {
 	prof := analysis.NewProfile()
 	prof.ObserveInt("n", 16)
 	prof.ObserveInt("n", 32)
-	res, err := Synthesize(f, f.Func("fft_oob"), accel.NewPowerQuad(), prof,
+	res, err := Synthesize(context.Background(), f, f.Func("fft_oob"), accel.NewPowerQuad(), prof,
 		Options{NumTests: 4})
 	if err != nil {
 		t.Fatal(err)

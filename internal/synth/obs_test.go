@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"testing"
 
 	"facc/internal/accel"
@@ -55,7 +56,7 @@ func TestSynthesizeWithObsSpan(t *testing.T) {
 	}
 	tr := obs.New()
 	root := tr.Span("synthesize")
-	res, err := Synthesize(f, f.Func("fft"), accel.NewFFTA(), pow2Profile("n"),
+	res, err := Synthesize(context.Background(), f, f.Func("fft"), accel.NewFFTA(), pow2Profile("n"),
 		Options{NumTests: 4, Obs: root})
 	root.End()
 	if err != nil {

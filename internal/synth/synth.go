@@ -7,10 +7,13 @@
 package synth
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
+	"time"
 
 	"facc/internal/accel"
 	"facc/internal/analysis"
@@ -56,6 +59,12 @@ type Options struct {
 	Tolerance float64 // relative comparison tolerance (default 1e-3)
 	Seed      int64
 	Binding   binding.Options
+	// CandidateTimeout is the wall-clock budget for fuzzing one candidate
+	// (the interpreter polls it alongside its step fuel). A candidate that
+	// exceeds it is rejected with a "timeout" verdict and synthesis moves
+	// on — one hung candidate costs one candidate, not the compile. Zero
+	// disables the per-candidate budget.
+	CandidateTimeout time.Duration
 	// StopAtFirst stops at the first surviving candidate (default true
 	// behavior is used when false too — survivors are still counted only
 	// among tested candidates when this is set).
@@ -84,9 +93,15 @@ func (o *Options) defaults() {
 	}
 }
 
-// Synthesize builds an adapter binding fn (in file f) to spec.
-func Synthesize(f *minic.File, fn *minic.FuncDecl, spec *accel.Spec,
-	profile *analysis.Profile, opts Options) (*Result, error) {
+// Synthesize builds an adapter binding fn (in file f) to spec. ctx
+// cancels the whole run: it is checked between candidates and polled by
+// the interpreter inside each one, so cancellation returns promptly with
+// an error wrapping ctx.Err().
+func Synthesize(ctx context.Context, f *minic.File, fn *minic.FuncDecl,
+	spec *accel.Spec, profile *analysis.Profile, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts.defaults()
 	opts.Journal.Record(obs.JournalEvent{Kind: obs.KindFunction,
 		Function: fn.Name, Detail: spec.Name})
@@ -124,6 +139,9 @@ func Synthesize(f *minic.File, fn *minic.FuncDecl, spec *accel.Spec,
 	}
 	var winner *Adapter
 	for _, cand := range cands {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("synth: %s: %w", fn.Name, err)
+		}
 		res.Tested++
 		// Per-candidate fuzz span: attributes (binding key, tests run,
 		// outcome) are only computed when tracing is live, keeping the
@@ -134,7 +152,7 @@ func Synthesize(f *minic.File, fn *minic.FuncDecl, spec *accel.Spec,
 				Str("binding", cand.Key()).
 				Int("candidate", int64(res.Tested))
 		}
-		ad, err := testCandidate(f, fn, cand, profile, opts, fsp)
+		ad, err := evalCandidate(ctx, f, fn, cand, profile, opts, fsp)
 		fsp.End()
 		if err != nil {
 			return nil, err
@@ -231,12 +249,61 @@ func renderCase(tc iogen.Case) string {
 	return b.String()
 }
 
+// evalCandidate runs one candidate's fuzz evaluation inside the fault
+// boundary: a per-candidate deadline (opts.CandidateTimeout) and a panic
+// shield. A candidate that times out or panics is rejected — journaled
+// with a "timeout"/"panic" verdict — and synthesis continues; only a
+// cancellation of the enclosing ctx aborts the whole run.
+func evalCandidate(ctx context.Context, f *minic.File, fn *minic.FuncDecl,
+	cand *binding.Candidate, profile *analysis.Profile, opts Options,
+	sp *obs.Span) (ad *Adapter, err error) {
+	cctx := ctx
+	if opts.CandidateTimeout > 0 {
+		var cancel context.CancelFunc
+		cctx, cancel = context.WithTimeout(ctx, opts.CandidateTimeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			// Panic isolation: a crashing candidate costs one candidate,
+			// not the process. FaultPanic classifies it in provenance.
+			ad, err = nil, nil
+			sp.Str("outcome", "panic")
+			if opts.Obs != nil {
+				opts.Obs.Metrics().Counter("synth.panics").Inc()
+			}
+			verdict(opts.Journal, fn.Name, cand, interp.FaultPanic.String(), 0, "",
+				fmt.Sprintf("recovered: %v", r))
+		}
+	}()
+	ad, err = testCandidate(cctx, f, fn, cand, profile, opts, sp)
+	if err != nil && (interp.FaultOf(err) == interp.FaultCancelled ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		if cerr := ctx.Err(); cerr != nil {
+			// The compilation itself was cancelled — propagate.
+			return nil, fmt.Errorf("synth: %s: %w", fn.Name, cerr)
+		}
+		// Only the per-candidate budget expired: reject this candidate.
+		sp.Str("outcome", "timeout")
+		if opts.Obs != nil {
+			opts.Obs.Metrics().Counter("synth.candidate_timeouts").Inc()
+		}
+		verdict(opts.Journal, fn.Name, cand, "timeout", 0, "",
+			fmt.Sprintf("candidate exceeded its %s budget", opts.CandidateTimeout))
+		return nil, nil
+	}
+	return ad, err
+}
+
 // testCandidate fuzz-tests one binding candidate. It returns a validated
-// adapter, or nil when the candidate is behaviorally wrong or faults. sp
-// (may be nil) receives test-count/outcome attributes and the machine's
+// adapter, or nil when the candidate is behaviorally wrong or faults; a
+// FaultCancelled interpreter error propagates so evalCandidate can
+// distinguish a candidate timeout from a compilation cancel. sp (may be
+// nil) receives test-count/outcome attributes and the machine's
 // interpreter-level counters.
-func testCandidate(f *minic.File, fn *minic.FuncDecl, cand *binding.Candidate,
-	profile *analysis.Profile, opts Options, sp *obs.Span) (*Adapter, error) {
+func testCandidate(ctx context.Context, f *minic.File, fn *minic.FuncDecl,
+	cand *binding.Candidate, profile *analysis.Profile, opts Options,
+	sp *obs.Span) (*Adapter, error) {
 	gen := iogen.New(opts.Seed, cand, profile)
 	if !gen.Viable() {
 		sp.Str("outcome", "not-viable")
@@ -254,6 +321,7 @@ func testCandidate(f *minic.File, fn *minic.FuncDecl, cand *binding.Candidate,
 		return nil, fmt.Errorf("synth: %w", err)
 	}
 	machine.MaxSteps = 40_000_000
+	machine.Ctx = ctx
 
 	ran := 0
 	if sp != nil {
@@ -275,9 +343,20 @@ func testCandidate(f *minic.File, fn *minic.FuncDecl, cand *binding.Candidate,
 	sawReturn := false
 
 	for _, tc := range cases {
+		// Accelerator retries/backoff can dominate a case under fault
+		// injection, so honor the deadline between cases too, not just
+		// inside the interpreter.
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("synth: candidate evaluation cancelled: %w", err)
+		}
 		ran++
 		userOut, retVal, runErr := runUser(machine, fn, cand, tc)
 		if runErr != nil {
+			if interp.FaultOf(runErr) == interp.FaultCancelled {
+				// Deadline/cancel, not evidence against the binding —
+				// let evalCandidate classify it.
+				return nil, runErr
+			}
 			// Interpreter fault (OOB, etc.) — wrong binding.
 			sp.Str("outcome", "fault").Str("fault", interp.FaultOf(runErr).String())
 			if opts.Journal != nil {

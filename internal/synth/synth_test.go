@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"testing"
 
 	"facc/internal/accel"
@@ -56,7 +57,7 @@ func synthOne(t *testing.T, src, fn string, spec *accel.Spec, prof *analysis.Pro
 	if fd == nil {
 		t.Fatalf("no function %q", fn)
 	}
-	res, err := Synthesize(f, fd, spec, prof, Options{NumTests: 6})
+	res, err := Synthesize(context.Background(), f, fd, spec, prof, Options{NumTests: 6})
 	if err != nil {
 		t.Fatalf("synthesize: %v", err)
 	}
@@ -500,7 +501,7 @@ func TestFigure16Shape(t *testing.T) {
 	}
 	counts := map[string]int{}
 	for _, spec := range accel.Specs() {
-		res, err := Synthesize(f, f.Func("fft"), spec, pow2Profile("n"),
+		res, err := Synthesize(context.Background(), f, f.Func("fft"), spec, pow2Profile("n"),
 			Options{NumTests: 3, ExhaustAll: true})
 		if err != nil {
 			t.Fatal(err)

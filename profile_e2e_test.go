@@ -1,6 +1,7 @@
 package facc
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -26,7 +27,7 @@ func TestCompileWithExecutedProfile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := synth.Synthesize(f, f.Func(b.Entry), accel.NewFFTA(), prof,
+	res, err := synth.Synthesize(context.Background(), f, f.Func(b.Entry), accel.NewFFTA(), prof,
 		synth.Options{NumTests: 4})
 	if err != nil {
 		t.Fatal(err)
