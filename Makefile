@@ -3,26 +3,35 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race chaos bench repro repro-full examples fmt lint vet check clean
+.PHONY: all build test test-short test-race fuzz-smoke chaos bench bench-json repro repro-full examples fmt lint vet check clean
 
 all: build test
 
-# Tier-1 gate: formatting + vet + tests + race detector.
-check: lint test test-race
+# Tier-1 gate: formatting + vet + tests + race detector + fuzz smoke.
+check: lint test test-race fuzz-smoke
 
 build:
 	$(GO) build ./...
 
-# -timeout 120s: a hung test is a robustness bug, not a slow machine —
+# Bounded timeout: a hung test is a robustness bug, not a slow machine —
 # fail it rather than letting CI stall.
 test:
-	$(GO) test -timeout 120s ./...
+	$(GO) test -timeout 240s ./...
 
 test-short:
 	$(GO) test -short -timeout 120s ./...
 
+# The race run carries the full differential + determinism suites (every
+# corpus program × every target, twice), so it gets a wider budget than
+# the plain run; a hang still fails well before CI gives up.
 test-race:
-	$(GO) test -race -timeout 120s ./...
+	$(GO) test -race -timeout 600s ./...
+
+# Fuzz smoke: replay the committed corpus, then a short randomized run of
+# each fuzz target (parser round-trip totality, interpreter fault-not-panic).
+fuzz-smoke:
+	$(GO) test ./internal/minic -run '^$$' -fuzz FuzzParse -fuzztime 10s
+	$(GO) test ./internal/interp -run '^$$' -fuzz FuzzInterp -fuzztime 10s
 
 # Fault-tolerance suite under the race detector: fault injection, retry,
 # circuit breaker, panic isolation, deadline/cancellation plumbing.
@@ -32,6 +41,12 @@ chaos:
 # One testing.B benchmark per paper table/figure plus ablations.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Synthesis-engine regression numbers (corpus wall-clock, fuzz
+# throughput, oracle hit rate at Workers=1 vs GOMAXPROCS) as a JSON
+# artifact for cross-commit comparison.
+bench-json:
+	$(GO) run ./cmd/faccbench -experiment synthbench -bench-out BENCH_synth.json
 
 # Regenerate the paper's evaluation (Table 1 + Figures 8-16 + ablations).
 repro:

@@ -79,6 +79,7 @@ func main() {
 		Entry:            *entry,
 		ProfileValues:    profile,
 		NumTests:         *tests,
+		Workers:          of.Workers,
 		Trace:            of.Tracer(),
 		Journal:          of.Journal(),
 		Deadline:         of.Timeout,

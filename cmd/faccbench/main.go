@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"facc/internal/core"
 	"facc/internal/eval"
@@ -26,9 +27,11 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"table1, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, ablation, or all")
+		"table1, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, ablation, all, or synthbench (not in all)")
 	full := flag.Bool("full", false, "use the paper-size Fig. 11 protocol (slow)")
 	tests := flag.Int("tests", 5, "IO examples per candidate during compilation")
+	benchOut := flag.String("bench-out", "",
+		"with -experiment synthbench: also write the report as JSON to this file (e.g. BENCH_synth.json)")
 	of := obsflag.RegisterSynth(flag.CommandLine, "faccbench")
 	flag.Parse()
 
@@ -45,7 +48,12 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, of.Timeout)
 		defer cancel()
 	}
-	err := run(ctx, *experiment, *full, *tests, of.Tracer(), of.Journal())
+	var err error
+	if *experiment == "synthbench" {
+		err = runSynthBench(ctx, *tests, of.Workers, *benchOut)
+	} else {
+		err = run(ctx, *experiment, *full, *tests, of.Tracer(), of.Journal())
+	}
 	if ferr := of.Finish(); ferr != nil {
 		fmt.Fprintf(os.Stderr, "faccbench: %v\n", ferr)
 		os.Exit(1)
@@ -54,6 +62,41 @@ func main() {
 		fmt.Fprintf(os.Stderr, "faccbench: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runSynthBench measures the generate-and-test engine at Workers=1 versus
+// Workers=N (-j, default GOMAXPROCS): corpus wall-clock, fuzz throughput,
+// oracle cache hit-rate and cross-run adapter determinism. The summary
+// prints to stdout; -bench-out additionally writes the JSON artifact.
+func runSynthBench(ctx context.Context, tests, workers int, benchOut string) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	counts := []int{1}
+	if workers > 1 {
+		counts = append(counts, workers)
+	}
+	fmt.Fprintf(os.Stderr, "faccbench: synthesis benchmark at workers=%v...\n", counts)
+	rep, err := eval.SynthBench(ctx, []string{"ffta", "powerquad", "fftw"}, tests, counts)
+	if err != nil {
+		return err
+	}
+	rep.WriteText(os.Stdout)
+	if benchOut != "" {
+		out, err := os.Create(benchOut)
+		if err != nil {
+			return err
+		}
+		werr := rep.WriteJSON(out)
+		if cerr := out.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Fprintf(os.Stderr, "faccbench: wrote %s\n", benchOut)
+	}
+	return nil
 }
 
 func run(ctx context.Context, experiment string, full bool, tests int, tr *obs.Tracer, j *obs.Journal) error {

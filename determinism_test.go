@@ -1,0 +1,108 @@
+package facc
+
+// Determinism regression: parallel candidate fuzzing must be externally
+// unobservable. Compiling the whole supported corpus with Workers=1 and
+// Workers=8 must yield byte-identical adapters and an identical provenance
+// journal (the winner, its verdicts, and every event up to it — only the
+// oracle cache-stats event may differ, since speculative work is real
+// work). This is the contract that lets -j default to GOMAXPROCS.
+
+import (
+	"fmt"
+	"testing"
+
+	"facc/internal/bench"
+	"facc/internal/obs"
+)
+
+// journalKey renders a journal event for cross-worker-count comparison:
+// Seq is re-derived from the filtered position (oracle cache-stats events
+// are dropped — their hit/miss split legitimately reflects speculative
+// candidates), AtUs is wall-clock and excluded.
+func journalKey(events []obs.JournalEvent) []string {
+	var keys []string
+	for _, ev := range events {
+		if ev.Kind == obs.KindOracle {
+			continue
+		}
+		keys = append(keys, fmt.Sprintf("%d|%s|%s|%s|%s|%s|%d|%s|%s",
+			len(keys), ev.Kind, ev.Function, ev.Candidate, ev.Heuristic,
+			ev.Outcome, ev.Tests, ev.Counterexample, ev.Detail))
+	}
+	return keys
+}
+
+func TestSynthesisDeterminismAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("determinism regression compiles the whole corpus twice; skipped in -short")
+	}
+	type outcome struct {
+		ok      bool
+		reason  string
+		adapter string
+		journal []string
+	}
+	compileAll := func(workers int) map[string]outcome {
+		out := map[string]outcome{}
+		for _, bm := range bench.SupportedSuite() {
+			for _, target := range differentialTargets {
+				j := obs.NewJournal()
+				res, err := Compile(bm.File, bm.Source(), target, Options{
+					Entry:         bm.Entry,
+					ProfileValues: bm.ProfileValues,
+					NumTests:      4,
+					Workers:       workers,
+					Journal:       j,
+				})
+				if err != nil {
+					t.Fatalf("%s/%s workers=%d: %v", bm.Name, target, workers, err)
+				}
+				o := outcome{ok: res.OK(), journal: journalKey(j.Events())}
+				if o.ok {
+					o.adapter = res.AdapterC()
+				} else {
+					o.reason = res.FailReason()
+				}
+				out[bm.Name+"/"+target] = o
+			}
+		}
+		return out
+	}
+
+	seq := compileAll(1)
+	par := compileAll(8)
+
+	if len(seq) != len(par) {
+		t.Fatalf("outcome count differs: %d sequential vs %d parallel", len(seq), len(par))
+	}
+	accepted := 0
+	for key, s := range seq {
+		p := par[key]
+		if s.ok != p.ok {
+			t.Errorf("%s: OK differs: sequential %v vs workers=8 %v (%s / %s)",
+				key, s.ok, p.ok, s.reason, p.reason)
+			continue
+		}
+		if s.adapter != p.adapter {
+			t.Errorf("%s: adapter bytes differ between Workers=1 and Workers=8", key)
+		}
+		if s.ok {
+			accepted++
+		}
+		if len(s.journal) != len(p.journal) {
+			t.Errorf("%s: journal length differs: %d vs %d", key, len(s.journal), len(p.journal))
+			continue
+		}
+		for i := range s.journal {
+			if s.journal[i] != p.journal[i] {
+				t.Errorf("%s: journal event %d differs:\n  workers=1: %s\n  workers=8: %s",
+					key, i, s.journal[i], p.journal[i])
+				break
+			}
+		}
+	}
+	if accepted == 0 {
+		t.Fatal("no adapters accepted; determinism check is vacuous")
+	}
+	t.Logf("determinism verified on %d outcomes (%d accepted adapters)", len(seq), accepted)
+}

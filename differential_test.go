@@ -1,0 +1,155 @@
+package facc
+
+// Differential testing across the whole corpus: every supported benchmark
+// is compiled against every accelerator target, and the resulting adapter
+// is replayed on fresh seeded inputs through three independent routes —
+// (a) the original user program in the interpreter, (b) the generated
+// adapter running over the MiniC device model, and (c) the pure software
+// reference DFT — with pairwise agreement required within the paper's
+// single-precision tolerance. Unlike the synthesis fuzzer (which tests the
+// *binding* against the Go accelerator simulator), this exercises the
+// emitted C end to end on inputs the fuzzer never saw.
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"facc/internal/bench"
+	"facc/internal/fft"
+)
+
+// differentialTargets is the full device matrix for the suite.
+var differentialTargets = []string{"ffta", "powerquad", "fftw"}
+
+// diffSizes picks the replay sizes: 64 is in every benchmark's domain, 128
+// exercises a second accelerated length where supported, and 96 (non-pow2,
+// "all"-lengths implementations only) forces the adapter's fallback path.
+func diffSizes(b *bench.Benchmark) []int {
+	sizes := []int{64}
+	if b.SupportsSize(128) {
+		sizes = append(sizes, 128)
+	}
+	if b.SupportsSize(96) {
+		sizes = append(sizes, 96)
+	}
+	return sizes
+}
+
+// maxAbsDiff returns max_i |a[i]-b[i]| and the norm max_i |a[i]|.
+func maxAbsDiff(a, b []complex128) (diff, norm float64) {
+	for i := range a {
+		if m := cmplx.Abs(a[i]); m > norm {
+			norm = m
+		}
+		if d := cmplx.Abs(a[i] - b[i]); d > diff {
+			diff = d
+		}
+	}
+	return diff, norm
+}
+
+func TestDifferentialSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential suite compiles the whole corpus; skipped in -short")
+	}
+	seeds := []int64{11, 22, 33}
+	compiled := 0
+	for _, bm := range bench.SupportedSuite() {
+		if len(bm.Driver) == 0 {
+			continue
+		}
+		bm := bm
+		t.Run(bm.Name, func(t *testing.T) {
+			anyTarget := false
+			for _, target := range differentialTargets {
+				res, err := Compile(bm.File, bm.Source(), target, Options{
+					Entry:         bm.Entry,
+					ProfileValues: bm.ProfileValues,
+					NumTests:      4,
+				})
+				if err != nil {
+					t.Fatalf("%s: %v", target, err)
+				}
+				if !res.OK() {
+					t.Logf("%s: no adapter (%s)", target, res.FailReason())
+					continue
+				}
+				anyTarget = true
+				compiled++
+				runDifferential(t, bm, target, res, seeds)
+			}
+			if !anyTarget {
+				t.Errorf("no target compiled %s, differential test vacuous", bm.Name)
+			}
+		})
+	}
+	t.Logf("differential suite covered %d (benchmark, target) adapters", compiled)
+}
+
+// runDifferential replays one synthesized adapter against the original
+// program and the reference DFT on fresh inputs.
+func runDifferential(t *testing.T, bm *bench.Benchmark, target string, res *Result, seeds []int64) {
+	t.Helper()
+	combined := bm.Source() + "\n" + res.AdapterC() + "\n" + deviceModels[target]
+	user, err := bench.NewRunnerUnit(bm, bm.File, combined, bm.Entry)
+	if err != nil {
+		t.Errorf("%s: user leg: %v", target, err)
+		return
+	}
+	accel, err := bench.NewRunnerUnit(bm, bm.File, combined, bm.Entry+"_accel")
+	if err != nil {
+		t.Errorf("%s: adapter leg: %v", target, err)
+		return
+	}
+	for _, n := range diffSizes(bm) {
+		nSeeds := seeds
+		if n > 64 {
+			// All seeds replay at the primary size; the larger sizes
+			// (second accelerated length, fallback path) get one each —
+			// they cover routing, not value diversity.
+			nSeeds = seeds[:1]
+		}
+		for _, seed := range nSeeds {
+			rng := rand.New(rand.NewSource(seed*1000 + int64(bm.ID)))
+			in := make([]complex128, n)
+			for i := range in {
+				in[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			}
+
+			want, err := user.Run(in)
+			if err != nil {
+				t.Errorf("%s n=%d seed=%d: user program: %v", target, n, seed, err)
+				return
+			}
+			got, err := accel.Run(in)
+			if err != nil {
+				t.Errorf("%s n=%d seed=%d: adapter: %v", target, n, seed, err)
+				return
+			}
+			ref := fft.DFT(in, fft.Forward)
+			if bm.Normalized {
+				fft.Normalize(ref)
+			}
+			if bm.BitReversedOut {
+				fft.BitReverse(ref)
+			}
+
+			// Pairwise agreement, norm-scaled single-precision tolerance.
+			pairs := []struct {
+				name string
+				a, b []complex128
+			}{
+				{"user vs adapter", want, got},
+				{"user vs reference", want, ref},
+				{"adapter vs reference", got, ref},
+			}
+			for _, p := range pairs {
+				if diff, norm := maxAbsDiff(p.a, p.b); diff > 2e-3*(1+norm) {
+					t.Errorf("%s n=%d seed=%d: %s diverge: max |Δ| = %g (norm %g)",
+						target, n, seed, p.name, diff, norm)
+				}
+			}
+		}
+	}
+}

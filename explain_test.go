@@ -18,10 +18,10 @@ function scale — REJECTED (interface-incompatibility)
   bindings: 2 emitted, 2 pruned (range-exp2 ×2)
   candidate 1: in=struct(x,re=0,im=1) out=struct(x,re=0,im=1) len=n(n) inplace
     fuzz: behavior-mismatch after 1 test(s)
-    counterexample: n=64 input[64]=(-1.99+0.0176i) (-1.41+0.975i) (-0.631-0.245i) (-1.34-1.99i)…
+    counterexample: n=64 input[64]=(1-0.309i) (1.33+0.454i) (1.52+1.21i) (0.148-0.847i)…
   candidate 2: in=struct(x,re=1,im=0) out=struct(x,re=1,im=0) len=n(n) inplace
     fuzz: behavior-mismatch after 1 test(s)
-    counterexample: n=64 input[64]=(-1.99+0.0176i) (-1.41+0.975i) (-0.631-0.245i) (-1.34-1.99i)…
+    counterexample: n=64 input[64]=(1-0.309i) (1.33+0.454i) (1.52+1.21i) (0.148-0.847i)…
 
 function fft — REPLACED
   bindings: 2 emitted, 2 pruned (range-exp2 ×2)

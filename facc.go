@@ -66,6 +66,14 @@ type Options struct {
 	Classifier *Classifier
 	// NumTests overrides the IO examples per candidate (default 10).
 	NumTests int
+	// Workers bounds candidate-level parallelism inside generate-and-test:
+	// up to Workers binding candidates are fuzzed concurrently, sharing a
+	// memoized reference oracle (the user program's outputs are interpreted
+	// once per distinct test case and reused across candidates). The
+	// generated adapter, the Result counts and the journal verdicts are
+	// deterministic — identical for every Workers value. 0 (the default)
+	// means GOMAXPROCS; 1 forces fully sequential search.
+	Workers int
 	// Tolerance overrides the comparison tolerance (default 2e-3,
 	// norm-scaled).
 	Tolerance float64
@@ -183,6 +191,7 @@ func CompileContext(ctx context.Context, name, source, target string, opts Optio
 			NumTests:         opts.NumTests,
 			Tolerance:        opts.Tolerance,
 			CandidateTimeout: opts.CandidateTimeout,
+			Workers:          opts.Workers,
 			Binding:          bindingOptions(opts),
 		},
 	})

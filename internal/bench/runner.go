@@ -37,6 +37,27 @@ func NewRunner(b *Benchmark) (*Runner, error) {
 	return &Runner{B: b, File: f, Machine: m, entry: fn}, nil
 }
 
+// NewRunnerUnit loads b's driver against an arbitrary translation unit —
+// e.g. the benchmark source combined with a synthesized adapter and a
+// MiniC device model — and drives the function named entry, which must
+// share the benchmark entry's signature (the adapter is a drop-in
+// replacement, so "<entry>_accel" qualifies).
+func NewRunnerUnit(b *Benchmark, name, source, entry string) (*Runner, error) {
+	f, err := minic.ParseAndCheck(name, source)
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: %w", b.Name, err)
+	}
+	fn := f.Func(entry)
+	if fn == nil {
+		return nil, fmt.Errorf("bench %s: entry %q not found", b.Name, entry)
+	}
+	m, err := interp.NewMachine(f)
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: %w", b.Name, err)
+	}
+	return &Runner{B: b, File: f, Machine: m, entry: fn}, nil
+}
+
 // structOffsets returns the flattened (re, im) offsets for the custom
 // struct layouts; every custom struct in the corpus declares real first.
 func structOffsets() (int, int) { return 0, 1 }

@@ -69,6 +69,14 @@ func CompileAll(ctx context.Context, targets []string, numTests int, tr *obs.Tra
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	// Two parallelism levels compose here: file-level workers (this pool)
+	// and candidate-level workers inside each synthesis (synth.Options.
+	// Workers). Splitting the CPU budget between them keeps the total
+	// goroutine pressure near GOMAXPROCS instead of workers × GOMAXPROCS.
+	synthWorkers := runtime.GOMAXPROCS(0) / workers
+	if synthWorkers < 1 {
+		synthWorkers = 1
+	}
 	jobCh := make(chan job)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -79,7 +87,7 @@ func CompileAll(ctx context.Context, targets []string, numTests int, tr *obs.Tra
 				if ctx.Err() != nil {
 					return // drain stops below; abandon queued work
 				}
-				out[jb.idx], errs[jb.idx] = compileOne(ctx, jb.target, jb.b, numTests, tr, j)
+				out[jb.idx], errs[jb.idx] = compileOne(ctx, jb.target, jb.b, numTests, synthWorkers, tr, j)
 			}
 		}()
 	}
@@ -104,7 +112,7 @@ feed:
 	return out, nil
 }
 
-func compileOne(ctx context.Context, target string, b *bench.Benchmark, numTests int, tr *obs.Tracer, j *obs.Journal) (*CompileOutcome, error) {
+func compileOne(ctx context.Context, target string, b *bench.Benchmark, numTests, synthWorkers int, tr *obs.Tracer, j *obs.Journal) (*CompileOutcome, error) {
 	spec, err := accel.SpecByName(target)
 	if err != nil {
 		return nil, err
@@ -118,7 +126,7 @@ func compileOne(ctx context.Context, target string, b *bench.Benchmark, numTests
 		ProfileValues: b.ProfileValues,
 		Trace:         tr,
 		Journal:       j,
-		Synth:         synth.Options{NumTests: numTests},
+		Synth:         synth.Options{NumTests: numTests, Workers: synthWorkers},
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,291 @@
+package eval
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"maps"
+	"runtime"
+	"time"
+
+	"facc/internal/accel"
+	"facc/internal/bench"
+	"facc/internal/core"
+	"facc/internal/minic"
+	"facc/internal/obs"
+	"facc/internal/synth"
+)
+
+// SynthBenchRun is one measured compile of the whole supported corpus at
+// a fixed candidate-worker count.
+type SynthBenchRun struct {
+	Workers     int     `json:"workers"`
+	WallSeconds float64 `json:"wall_seconds"`
+
+	Adapters         int   `json:"adapters"`
+	CandidatesTested int64 `json:"candidates_tested"`
+	TestsRun         int64 `json:"tests_run"`
+	// TestsPerSec is the generate-and-test engine's throughput: IO
+	// examples checked per wall-clock second across the whole corpus.
+	TestsPerSec float64 `json:"tests_per_sec"`
+
+	OracleHits    int64   `json:"oracle_hits"`
+	OracleMisses  int64   `json:"oracle_misses"`
+	OracleHitRate float64 `json:"oracle_hit_rate"`
+}
+
+// SynthBenchExhaustive measures oracle-cache effectiveness with every
+// candidate tested (ExhaustAll), where reference-run sharing is the
+// norm rather than a speculation side effect. Functions with a single
+// surviving hypothesis can never hit the cache, so the headline number
+// is the hit rate restricted to multi-candidate functions.
+type SynthBenchExhaustive struct {
+	Workers          int     `json:"workers"`
+	WallSeconds      float64 `json:"wall_seconds"`
+	CandidatesTested int64   `json:"candidates_tested"`
+	OracleHits       int64   `json:"oracle_hits"`
+	OracleMisses     int64   `json:"oracle_misses"`
+	OracleHitRate    float64 `json:"oracle_hit_rate"`
+
+	MultiCandidateFunctions int     `json:"multi_candidate_functions"`
+	MultiCandidateHits      int64   `json:"multi_candidate_hits"`
+	MultiCandidateMisses    int64   `json:"multi_candidate_misses"`
+	MultiCandidateHitRate   float64 `json:"multi_candidate_hit_rate"`
+
+	// PerTarget splits the multi-candidate numbers by accelerator.
+	// Sharing concentrates where the API has accelerator-side knobs
+	// (FFTW's direction/flags): those candidates differ only in
+	// constants invisible to the user program, so their reference runs
+	// coincide. FFTA/PowerQuad candidate diversity is user-visible
+	// (bindings, pins), which genuinely needs distinct reference runs.
+	PerTarget []SynthBenchExhaustiveTarget `json:"per_target"`
+}
+
+// SynthBenchExhaustiveTarget is one accelerator's slice of the
+// exhaustive oracle statistics.
+type SynthBenchExhaustiveTarget struct {
+	Target                  string  `json:"target"`
+	MultiCandidateFunctions int     `json:"multi_candidate_functions"`
+	MultiCandidateHits      int64   `json:"multi_candidate_hits"`
+	MultiCandidateMisses    int64   `json:"multi_candidate_misses"`
+	MultiCandidateHitRate   float64 `json:"multi_candidate_hit_rate"`
+}
+
+// SynthBenchReport is the BENCH_synth.json document: the synthesis
+// engine's regression numbers at Workers=1 versus Workers=N, plus the
+// cross-run determinism verdict.
+type SynthBenchReport struct {
+	GoMaxProcs int      `json:"gomaxprocs"`
+	Targets    []string `json:"targets"`
+	Programs   int      `json:"programs"`
+	NumTests   int      `json:"num_tests"`
+
+	Runs       []SynthBenchRun       `json:"runs"`
+	Exhaustive *SynthBenchExhaustive `json:"exhaustive,omitempty"`
+
+	// Speedup is wall(first run) / wall(last run) — ≥1 when parallel
+	// candidate fuzzing pays off (requires real cores; ≈1 on one).
+	Speedup float64 `json:"speedup"`
+	// AdaptersIdentical reports whether every (benchmark, target) pair
+	// produced byte-identical adapter C across all runs — the
+	// determinism contract, measured rather than assumed.
+	AdaptersIdentical bool `json:"adapters_identical"`
+}
+
+// SynthBench compiles the supported corpus once per worker count and
+// measures the synthesis engine: wall-clock, fuzz throughput and
+// reference-oracle cache effectiveness. File-level compilation is kept
+// sequential so candidate-level parallelism is the only variable.
+func SynthBench(ctx context.Context, targets []string, numTests int, workerCounts []int) (*SynthBenchReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rep := &SynthBenchReport{
+		GoMaxProcs:        runtime.GOMAXPROCS(0),
+		Targets:           targets,
+		Programs:          len(bench.SupportedSuite()),
+		NumTests:          numTests,
+		AdaptersIdentical: true,
+	}
+	var baseline map[string]string
+	for _, wk := range workerCounts {
+		tr := obs.New()
+		adapters := map[string]string{}
+		start := time.Now()
+		for _, target := range targets {
+			spec, err := accel.SpecByName(target)
+			if err != nil {
+				return nil, err
+			}
+			for _, b := range bench.SupportedSuite() {
+				f, err := minic.ParseAndCheck(b.File, b.Source())
+				if err != nil {
+					return nil, err
+				}
+				comp, err := core.CompileFile(ctx, f, spec, core.Options{
+					Entry:         b.Entry,
+					ProfileValues: b.ProfileValues,
+					Trace:         tr,
+					Synth:         synth.Options{NumTests: numTests, Workers: wk},
+				})
+				if err != nil {
+					return nil, err
+				}
+				if s := comp.Success(); s != nil {
+					adapters[target+"/"+b.Name] = s.AdapterC
+				}
+			}
+		}
+		wall := time.Since(start)
+
+		c := tr.Metrics().Counters()
+		run := SynthBenchRun{
+			Workers:          wk,
+			WallSeconds:      wall.Seconds(),
+			Adapters:         len(adapters),
+			CandidatesTested: c["synth.candidates_tested"],
+			TestsRun:         c["synth.tests_run"],
+			OracleHits:       c["synth.oracle_hits"],
+			OracleMisses:     c["synth.oracle_misses"],
+		}
+		if s := wall.Seconds(); s > 0 {
+			run.TestsPerSec = float64(run.TestsRun) / s
+		}
+		if total := run.OracleHits + run.OracleMisses; total > 0 {
+			run.OracleHitRate = float64(run.OracleHits) / float64(total)
+		}
+		rep.Runs = append(rep.Runs, run)
+
+		if baseline == nil {
+			baseline = adapters
+		} else if !maps.Equal(baseline, adapters) {
+			rep.AdaptersIdentical = false
+		}
+	}
+	if len(rep.Runs) >= 2 && rep.Runs[len(rep.Runs)-1].WallSeconds > 0 {
+		rep.Speedup = rep.Runs[0].WallSeconds / rep.Runs[len(rep.Runs)-1].WallSeconds
+	}
+
+	ex, err := synthBenchExhaustive(ctx, targets, numTests, workerCounts[len(workerCounts)-1])
+	if err != nil {
+		return nil, err
+	}
+	rep.Exhaustive = ex
+	return rep, nil
+}
+
+// synthBenchExhaustive compiles the corpus with ExhaustAll (every binding
+// candidate fuzzed, not just up to the first winner) and splits the
+// oracle statistics per function via the provenance journal, so the
+// reported cache hit rate can be restricted to functions that actually
+// had more than one candidate to share reference runs between.
+func synthBenchExhaustive(ctx context.Context, targets []string, numTests, workers int) (*SynthBenchExhaustive, error) {
+	ex := &SynthBenchExhaustive{Workers: workers}
+	tr := obs.New()
+	start := time.Now()
+	for _, target := range targets {
+		spec, err := accel.SpecByName(target)
+		if err != nil {
+			return nil, err
+		}
+		tgt := SynthBenchExhaustiveTarget{Target: target}
+		for _, b := range bench.SupportedSuite() {
+			f, err := minic.ParseAndCheck(b.File, b.Source())
+			if err != nil {
+				return nil, err
+			}
+			j := obs.NewJournal()
+			if _, err := core.CompileFile(ctx, f, spec, core.Options{
+				Entry:         b.Entry,
+				ProfileValues: b.ProfileValues,
+				Trace:         tr,
+				Journal:       j,
+				Synth:         synth.Options{NumTests: numTests, Workers: workers, ExhaustAll: true},
+			}); err != nil {
+				return nil, err
+			}
+			// One compile = one journal, so function names cannot
+			// collide across benchmarks here.
+			fuzzed := map[string]int{}
+			for _, ev := range j.Events() {
+				if ev.Kind == obs.KindFuzz {
+					fuzzed[ev.Function]++
+				}
+			}
+			for _, ev := range j.Events() {
+				if ev.Kind != obs.KindOracle {
+					continue
+				}
+				var hits, misses int64
+				if _, err := fmt.Sscanf(ev.Detail, "reference runs: %d hits, %d misses",
+					&hits, &misses); err != nil {
+					continue
+				}
+				if fuzzed[ev.Function] >= 2 {
+					tgt.MultiCandidateFunctions++
+					tgt.MultiCandidateHits += hits
+					tgt.MultiCandidateMisses += misses
+				}
+			}
+		}
+		if total := tgt.MultiCandidateHits + tgt.MultiCandidateMisses; total > 0 {
+			tgt.MultiCandidateHitRate = float64(tgt.MultiCandidateHits) / float64(total)
+		}
+		ex.MultiCandidateFunctions += tgt.MultiCandidateFunctions
+		ex.MultiCandidateHits += tgt.MultiCandidateHits
+		ex.MultiCandidateMisses += tgt.MultiCandidateMisses
+		ex.PerTarget = append(ex.PerTarget, tgt)
+	}
+	ex.WallSeconds = time.Since(start).Seconds()
+	c := tr.Metrics().Counters()
+	ex.CandidatesTested = c["synth.candidates_tested"]
+	ex.OracleHits = c["synth.oracle_hits"]
+	ex.OracleMisses = c["synth.oracle_misses"]
+	if total := ex.OracleHits + ex.OracleMisses; total > 0 {
+		ex.OracleHitRate = float64(ex.OracleHits) / float64(total)
+	}
+	if total := ex.MultiCandidateHits + ex.MultiCandidateMisses; total > 0 {
+		ex.MultiCandidateHitRate = float64(ex.MultiCandidateHits) / float64(total)
+	}
+	return ex, nil
+}
+
+// WriteJSON emits the report as indented JSON (the BENCH_synth.json
+// artifact format).
+func (r *SynthBenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteText prints the human-readable summary.
+func (r *SynthBenchReport) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "Synthesis benchmark: %d programs x %d targets, %d tests/candidate, GOMAXPROCS=%d\n",
+		r.Programs, len(r.Targets), r.NumTests, r.GoMaxProcs)
+	fmt.Fprintf(w, "%-8s %10s %9s %12s %12s %10s\n",
+		"workers", "wall (s)", "adapters", "tests run", "tests/sec", "oracle hit")
+	for _, run := range r.Runs {
+		fmt.Fprintf(w, "%-8d %10.2f %9d %12d %12.0f %9.0f%%\n",
+			run.Workers, run.WallSeconds, run.Adapters, run.TestsRun,
+			run.TestsPerSec, 100*run.OracleHitRate)
+	}
+	if r.Speedup != 0 {
+		fmt.Fprintf(w, "speedup: %.2fx", r.Speedup)
+		if r.AdaptersIdentical {
+			fmt.Fprintf(w, " (adapters byte-identical across worker counts)\n")
+		} else {
+			fmt.Fprintf(w, " (WARNING: adapters differ across worker counts)\n")
+		}
+	}
+	if ex := r.Exhaustive; ex != nil {
+		fmt.Fprintf(w, "exhaustive (all candidates, workers=%d): %d candidates in %.2fs, oracle %.0f%% overall, %.0f%% on %d multi-candidate functions\n",
+			ex.Workers, ex.CandidatesTested, ex.WallSeconds,
+			100*ex.OracleHitRate, 100*ex.MultiCandidateHitRate,
+			ex.MultiCandidateFunctions)
+		for _, tgt := range ex.PerTarget {
+			fmt.Fprintf(w, "  %-10s %.0f%% hit rate on %d multi-candidate functions\n",
+				tgt.Target, 100*tgt.MultiCandidateHitRate, tgt.MultiCandidateFunctions)
+		}
+	}
+}

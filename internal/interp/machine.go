@@ -121,6 +121,25 @@ func (c *Counters) Add(o Counters) {
 	c.Steps += o.Steps
 }
 
+// Sub returns c - o field by field. Snapshotting TotalCounters before a
+// run and subtracting afterwards attributes one window of work on a
+// long-lived (pooled) machine — the seam synthesis' shared reference
+// oracle uses to meter reuse without resetting machine-lifetime totals.
+func (c Counters) Sub(o Counters) Counters {
+	return Counters{
+		IntOps:    c.IntOps - o.IntOps,
+		FloatOps:  c.FloatOps - o.FloatOps,
+		FloatDivs: c.FloatDivs - o.FloatDivs,
+		Loads:     c.Loads - o.Loads,
+		Stores:    c.Stores - o.Stores,
+		Branches:  c.Branches - o.Branches,
+		Calls:     c.Calls - o.Calls,
+		MathCalls: c.MathCalls - o.MathCalls,
+		Allocs:    c.Allocs - o.Allocs,
+		Steps:     c.Steps - o.Steps,
+	}
+}
+
 // Machine interprets one MiniC translation unit. The zero value is not
 // usable; call NewMachine.
 type Machine struct {
@@ -283,6 +302,11 @@ func (m *Machine) Call(fn *minic.FuncDecl, args []Value) (Value, error) {
 	if len(args) != len(fn.Params) {
 		return Value{}, fmt.Errorf("interp: %s expects %d args, got %d",
 			fn.Name, len(fn.Params), len(args))
+	}
+	if fn.Body == nil {
+		// A prototype (extern declaration) carries no body to execute.
+		return Value{}, m.fault(fn.Pos, FaultUnsupported,
+			"call to %s, which is declared but not defined", fn.Name)
 	}
 	m.depth++
 	defer func() { m.depth-- }()

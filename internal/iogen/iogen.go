@@ -7,8 +7,10 @@
 package iogen
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 
 	"facc/internal/accel"
 	"facc/internal/analysis"
@@ -28,22 +30,114 @@ type Case struct {
 }
 
 // Generator produces test cases for one candidate.
+//
+// Randomness is derived, not shared: every draw comes from a sub-seed that
+// is a pure function of (root seed, stream label, case index), so case i is
+// the same regardless of how many other cases, candidates or goroutines
+// draw around it. Two streams exist:
+//
+//   - the signal stream is keyed on (root seed, accelerator length, case
+//     index) only — candidates that agree on the user-visible shape of a
+//     test case feed the user program byte-identical inputs, which is what
+//     lets the synthesis oracle cache reference runs across candidates;
+//   - the scalar/size-sampling stream is keyed on a per-candidate seed,
+//     DeriveSeed(root, UserSig(cand)), so candidates that differ in any
+//     user-visible way (layouts, pins, free parameters) get independent
+//     draws rather than colliding on one shared *rand.Rand.
 type Generator struct {
-	rng   *rand.Rand
-	cand  *binding.Candidate
-	prof  *analysis.Profile
-	sizes []int64 // accelerator lengths to draw from, ascending
+	rootSeed int64
+	candSeed int64
+	cand     *binding.Candidate
+	prof     *analysis.Profile
+	sizes    []int64 // accelerator lengths to draw from, ascending
 }
 
 // New builds a generator. profile may be nil.
 func New(seed int64, cand *binding.Candidate, profile *analysis.Profile) *Generator {
 	g := &Generator{
-		rng:  rand.New(rand.NewSource(seed)),
-		cand: cand,
-		prof: profile,
+		rootSeed: seed,
+		candSeed: DeriveSeed(seed, "cand:"+UserSig(cand)),
+		cand:     cand,
+		prof:     profile,
 	}
 	g.sizes = g.candidateSizes()
 	return g
+}
+
+// DeriveSeed hashes a root seed with a stream label (plus optional indices)
+// into an independent sub-seed: FNV-1a over the seed bytes, the label and
+// the indices, then a splitmix64 finalizer so adjacent labels avalanche
+// into uncorrelated rand.Source states.
+func DeriveSeed(seed int64, label string, idx ...int64) int64 {
+	h := uint64(14695981039346656037) // FNV-1a 64-bit offset basis
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= 1099511628211 // FNV-1a 64-bit prime
+	}
+	for i := 0; i < 8; i++ {
+		mix(byte(uint64(seed) >> (8 * uint(i))))
+	}
+	for i := 0; i < len(label); i++ {
+		mix(label[i])
+	}
+	for _, v := range idx {
+		for i := 0; i < 8; i++ {
+			mix(byte(uint64(v) >> (8 * uint(i))))
+		}
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return int64(h)
+}
+
+// UserSig is the canonical identity of everything about a candidate the
+// *user program* can observe during a test run: the spec (which fixes the
+// size pool), array layouts, length binding, pins, the user-bound direction
+// parameter (with its domain), and the free-parameter set. Accelerator-side
+// knobs — direction constants, flags values, ReturnIgnored — are deliberately
+// excluded: candidates differing only in those run the user program on
+// identical inputs, so they share one oracle entry per case.
+func UserSig(cand *binding.Candidate) string {
+	parts := []string{
+		"spec=" + cand.Spec.Name,
+		"in=" + cand.Input.Key(),
+		"out=" + cand.Output.Key(),
+		"len=" + cand.Length.Key(),
+	}
+	if cand.InPlace {
+		parts = append(parts, "inplace")
+	}
+	if d := cand.Direction; d != nil && d.Param != "" {
+		keys := make([]int64, 0, len(d.Map))
+		for k := range d.Map {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		dom := make([]string, len(keys))
+		for i, k := range keys {
+			dom[i] = fmt.Sprintf("%d", k)
+		}
+		parts = append(parts, fmt.Sprintf("dirparam=%s[%s]", d.Param, strings.Join(dom, ",")))
+	}
+	pins := append([]binding.ScalarPin(nil), cand.Pins...)
+	sort.Slice(pins, func(i, j int) bool { return pins[i].Param < pins[j].Param })
+	for _, p := range pins {
+		parts = append(parts, fmt.Sprintf("pin(%s=%d)", p.Param, p.Value))
+	}
+	free := append([]string(nil), cand.FreeParams...)
+	sort.Strings(free)
+	for _, p := range free {
+		parts = append(parts, "free("+p+")")
+	}
+	return strings.Join(parts, " ")
+}
+
+// caseRng returns the rand stream for one (stream label, case index) draw.
+func caseRng(seed int64, label string, idx ...int64) *rand.Rand {
+	return rand.New(rand.NewSource(DeriveSeed(seed, label, idx...)))
 }
 
 // candidateSizes computes the accelerator lengths to test, smallest first
@@ -127,32 +221,39 @@ func (g *Generator) profRange() *analysis.Range {
 func (g *Generator) Viable() bool { return len(g.sizes) > 0 }
 
 // Cases generates count test cases. Sizes cycle through the pool smallest
-// first so early failures are cheap; the remainder sample the pool.
+// first so early failures are cheap; the remainder sample the pool. Case i
+// is a pure function of (seed, candidate, profile, i): generating cases
+// 0..k and then case i yields the same case i as generating it alone.
 func (g *Generator) Cases(count int) []Case {
 	if !g.Viable() {
 		return nil
 	}
 	out := make([]Case, 0, count)
 	for i := 0; i < count; i++ {
-		var an int64
-		if i < len(g.sizes) {
-			an = g.sizes[i]
-		} else {
-			an = g.sizes[g.rng.Intn(len(g.sizes))]
-		}
-		c := Case{AccelLen: an, Scalars: map[string]int64{}}
-		// Invert the conversion to get the user-level value.
-		switch g.cand.Length.Conv {
-		case binding.ConvExp2:
-			c.UserLen = int64(log2(an))
-		default:
-			c.UserLen = an
-		}
-		g.fillScalars(&c, i)
-		c.Input = g.signal(int(an))
-		out = append(out, c)
+		out = append(out, g.Case(i))
 	}
 	return out
+}
+
+// Case generates the i-th test case in isolation.
+func (g *Generator) Case(i int) Case {
+	var an int64
+	if i < len(g.sizes) {
+		an = g.sizes[i]
+	} else {
+		an = g.sizes[caseRng(g.candSeed, "size", int64(i)).Intn(len(g.sizes))]
+	}
+	c := Case{AccelLen: an, Scalars: map[string]int64{}}
+	// Invert the conversion to get the user-level value.
+	switch g.cand.Length.Conv {
+	case binding.ConvExp2:
+		c.UserLen = int64(log2(an))
+	default:
+		c.UserLen = an
+	}
+	g.fillScalars(&c, i)
+	c.Input = g.signal(int(an), i)
+	return c
 }
 
 // fillScalars assigns pinned, direction-mapped and free scalar parameters.
@@ -174,11 +275,14 @@ func (g *Generator) fillScalars(c *Case, caseIdx int) {
 		if _, done := c.Scalars[name]; done {
 			continue
 		}
+		// Keyed per parameter name so the drawn value does not depend on
+		// the iteration order of the free set.
+		rng := caseRng(g.candSeed, "scalar:"+name, int64(caseIdx))
 		if r := g.profOf(name); r != nil && r.Distinct() != nil {
 			vals := r.Distinct()
-			c.Scalars[name] = vals[g.rng.Intn(len(vals))]
+			c.Scalars[name] = vals[rng.Intn(len(vals))]
 		} else {
-			c.Scalars[name] = int64(g.rng.Intn(7)) - 1
+			c.Scalars[name] = int64(rng.Intn(7)) - 1
 		}
 	}
 }
@@ -190,11 +294,15 @@ func (g *Generator) profOf(name string) *analysis.Range {
 	return g.prof.Range(name)
 }
 
-// signal draws a random complex test vector with unit-scale components.
-func (g *Generator) signal(n int) []complex128 {
+// signal draws the random complex test vector for case caseIdx. Keyed on
+// the root seed plus (length, case index) only — deliberately candidate-
+// independent, so every candidate asking for an n-point case i feeds the
+// user program the same signal and the oracle can share the reference run.
+func (g *Generator) signal(n, caseIdx int) []complex128 {
+	rng := caseRng(g.rootSeed, "signal", int64(n), int64(caseIdx))
 	out := make([]complex128, n)
 	for i := range out {
-		out[i] = complex(g.rng.NormFloat64(), g.rng.NormFloat64())
+		out[i] = complex(rng.NormFloat64(), rng.NormFloat64())
 	}
 	return out
 }

@@ -153,6 +153,9 @@ func (p *Parser) finishDecl(f *File, pos Pos, base *Type, storage StorageClass) 
 		if err != nil {
 			return err
 		}
+		if name == "" {
+			return p.errf("declaration requires a name")
+		}
 		if typ.Kind == TFunc {
 			fn := &FuncDecl{Pos: pos, Name: name, Type: typ, Static: storage == SCStatic}
 			for _, prm := range typ.Params {

@@ -23,6 +23,7 @@ const (
 	KindFuzz     = "fuzz"     // generate-and-test verdict for a candidate
 	KindAccepted = "accepted" // candidate became the adapter
 	KindResult   = "result"   // function outcome (replaced/rejected)
+	KindOracle   = "oracle"   // reference-oracle cache stats for a function
 	KindDegraded = "degraded" // accelerator breaker state change (Outcome:
 	// new state; open means execution routes to the software FFT fallback)
 )

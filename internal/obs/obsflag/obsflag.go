@@ -36,6 +36,11 @@ type Flags struct {
 	CandidateTimeout time.Duration
 	Faults           string
 
+	// Workers (-j, RegisterSynth binaries only) bounds candidate-level
+	// parallelism inside generate-and-test. 0 = GOMAXPROCS; results are
+	// deterministic regardless of the value.
+	Workers int
+
 	prog     string
 	tr       *obs.Tracer
 	j        *obs.Journal
@@ -71,6 +76,8 @@ func RegisterSynth(fs *flag.FlagSet, prog string) *Flags {
 		"reject any single binding candidate whose fuzzing exceeds this budget (0 = no budget)")
 	fs.StringVar(&f.Faults, "faults", "",
 		`inject accelerator faults for chaos testing, e.g. "error=0.3,corrupt=0.01,latency=0.1,seed=7" (implies retry+breaker hardening)`)
+	fs.IntVar(&f.Workers, "j", 0,
+		"fuzz up to this many binding candidates in parallel; 0 = GOMAXPROCS, 1 = sequential (the result is deterministic either way)")
 	return f
 }
 

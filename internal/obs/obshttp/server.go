@@ -74,6 +74,13 @@ type Status struct {
 	CandidateTimeouts int64  `json:"candidate_timeouts"`
 	BreakerState      string `json:"breaker_state,omitempty"`
 
+	// Parallel synthesis: reference-oracle cache effectiveness and how
+	// many candidate workers are fuzzing right now.
+	OracleHits    int64   `json:"oracle_hits"`
+	OracleMisses  int64   `json:"oracle_misses"`
+	OracleHitRate float64 `json:"oracle_hit_rate"`
+	PoolBusy      int64   `json:"pool_busy"`
+
 	JournalEvents int `json:"journal_events"`
 
 	Counters map[string]int64   `json:"counters,omitempty"`
@@ -148,6 +155,12 @@ func (s *Server) BuildStatus() Status {
 	st.DegradedRuns = st.Counters["accel.degraded_runs"]
 	st.CandidatePanics = st.Counters["synth.panics"]
 	st.CandidateTimeouts = st.Counters["synth.candidate_timeouts"]
+	st.OracleHits = st.Counters["synth.oracle_hits"]
+	st.OracleMisses = st.Counters["synth.oracle_misses"]
+	if total := st.OracleHits + st.OracleMisses; total > 0 {
+		st.OracleHitRate = float64(st.OracleHits) / float64(total)
+	}
+	st.PoolBusy = int64(st.Gauges["synth.pool_busy"])
 	if g, ok := st.Gauges["accel.breaker.state"]; ok {
 		// Mirrors faultinject.State — the gauge stores the enum value.
 		switch int(g) {

@@ -56,8 +56,10 @@ func TestSynthesizeWithObsSpan(t *testing.T) {
 	}
 	tr := obs.New()
 	root := tr.Span("synthesize")
+	// Workers: 1 — the span-count assertion (one fuzz span per tested
+	// candidate) only holds without speculative parallel candidates.
 	res, err := Synthesize(context.Background(), f, f.Func("fft"), accel.NewFFTA(), pow2Profile("n"),
-		Options{NumTests: 4, Obs: root})
+		Options{NumTests: 4, Obs: root, Workers: 1})
 	root.End()
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,165 @@
+package synth
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"facc/internal/binding"
+	"facc/internal/interp"
+	"facc/internal/iogen"
+	"facc/internal/minic"
+	"facc/internal/obs"
+)
+
+// oracle memoizes the reference side of generate-and-test: the user
+// program's output for one test case. Binding enumeration multiplies
+// candidates along accelerator-side axes — direction constants, flags
+// specializations — that the user program cannot observe, so those
+// candidates would re-interpret the same MiniC function on the same
+// inputs once each. The oracle computes each distinct user-side run once
+// and shares it.
+//
+// The cache key is (iogen.UserSig(cand), case index): iogen makes case i a
+// pure function of (seed, UserSig, profile, i), so two candidates with
+// equal signatures issue byte-identical user runs, and candidates that
+// differ in anything the user program can see get distinct keys. The
+// cached value is therefore exact, under the same assumption
+// generate-and-test already makes of the reference function — that it is
+// observationally deterministic per call (idempotent memoization of
+// twiddle tables and the like is fine; the interpreter machines keep
+// their globals across runs precisely so such caches stay warm).
+//
+// Machines are pooled (bounded by the worker count) rather than built per
+// candidate: interpreter construction re-runs global initializers, and a
+// warm machine carries memoized twiddles across candidates. Results of
+// cancelled or timed-out runs are never cached — the next candidate
+// recomputes them under its own budget.
+type oracle struct {
+	f  *minic.File
+	fn *minic.FuncDecl
+	// reg (nil-safe) receives interp.* work counters and the
+	// synth.oracle_hits / synth.oracle_misses pair.
+	reg *obs.Registry
+
+	machines chan *interp.Machine // tokens; nil = build lazily on first use
+
+	mu      sync.Mutex
+	entries map[string]*oracleEntry
+
+	hits, misses atomic.Int64
+}
+
+// oracleEntry is one memoized user-side run. The per-entry mutex (rather
+// than sync.Once) keeps the slot retryable: a run aborted by a candidate
+// deadline or a panic leaves done=false and the next candidate recomputes.
+type oracleEntry struct {
+	mu   sync.Mutex
+	done bool
+	out  []complex128
+	ret  *int64
+	err  error
+}
+
+func newOracle(f *minic.File, fn *minic.FuncDecl, workers int, reg *obs.Registry) *oracle {
+	o := &oracle{
+		f:        f,
+		fn:       fn,
+		reg:      reg,
+		machines: make(chan *interp.Machine, workers),
+		entries:  map[string]*oracleEntry{},
+	}
+	for i := 0; i < workers; i++ {
+		o.machines <- nil
+	}
+	return o
+}
+
+// acquire takes a machine token from the pool, building the machine on
+// first use. It respects ctx so a cancelled candidate does not sit in the
+// queue behind long-running reference executions.
+func (o *oracle) acquire(ctx context.Context) (*interp.Machine, error) {
+	select {
+	case m := <-o.machines:
+		if m == nil {
+			mm, err := interp.NewMachine(o.f)
+			if err != nil {
+				o.machines <- nil
+				return nil, fmt.Errorf("synth: %w", err)
+			}
+			mm.MaxSteps = 40_000_000
+			mm.Obs = o.reg // interp.faults.* attribution (nil-safe)
+			m = mm
+		}
+		return m, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// run returns the user program's output for case tc (the caseIdx-th case
+// of cand's generator), computing it at most once per distinct user-side
+// run. The returned slice is shared across candidates and must be treated
+// as read-only. Interpreter faults (out-of-bounds etc.) are cached too —
+// they are deterministic evidence against every candidate with this
+// signature — but cancellation/timeout errors are returned uncached.
+func (o *oracle) run(ctx context.Context, cand *binding.Candidate,
+	tc iogen.Case, caseIdx int) ([]complex128, *int64, error) {
+	key := fmt.Sprintf("%s|case=%d", iogen.UserSig(cand), caseIdx)
+	o.mu.Lock()
+	e := o.entries[key]
+	if e == nil {
+		e = &oracleEntry{}
+		o.entries[key] = e
+	}
+	o.mu.Unlock()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.done {
+		o.hits.Add(1)
+		o.reg.Counter("synth.oracle_hits").Inc()
+		return e.out, e.ret, e.err
+	}
+	o.misses.Add(1)
+	o.reg.Counter("synth.oracle_misses").Inc()
+
+	m, err := o.acquire(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	prev := m.TotalCounters()
+	m.Ctx = ctx
+	defer func() {
+		if r := recover(); r != nil {
+			// The interpreter panicked mid-run: the machine state is
+			// suspect, so drop it and hand the pool a fresh token before
+			// re-raising into the candidate's panic shield.
+			o.machines <- nil
+			panic(r)
+		}
+		delta := m.TotalCounters().Sub(prev)
+		o.reg.Counter("interp.ops").Add(delta.Total())
+		o.reg.Counter("interp.allocs").Add(delta.Allocs)
+		o.reg.Counter("interp.steps").Add(delta.Steps)
+		o.machines <- m
+	}()
+	out, ret, rerr := runUser(m, o.fn, cand, tc)
+	if rerr != nil && (interp.FaultOf(rerr) == interp.FaultCancelled || ctx.Err() != nil) {
+		return nil, nil, rerr
+	}
+	e.done = true
+	e.out, e.ret, e.err = out, ret, rerr
+	return out, ret, rerr
+}
+
+// stats reports cache effectiveness: hits, misses, and the hit rate over
+// all lookups (0 when nothing was looked up).
+func (o *oracle) stats() (hits, misses int64, rate float64) {
+	hits, misses = o.hits.Load(), o.misses.Load()
+	if total := hits + misses; total > 0 {
+		rate = float64(hits) / float64(total)
+	}
+	return hits, misses, rate
+}

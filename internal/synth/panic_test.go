@@ -26,8 +26,10 @@ func TestPanicInAcceleratorIsIsolated(t *testing.T) {
 	tr := obs.New()
 	j := obs.NewJournal()
 	sp := tr.Span("synthesize")
+	// Workers: 1 — this backend closure is not synchronized, and the
+	// blast-radius assertions below reason about sequential order.
 	res, err := Synthesize(context.Background(), f, f.Func("fft"), spec, pow2Profile("n"),
-		Options{NumTests: 4, Obs: sp, Journal: j})
+		Options{NumTests: 4, Obs: sp, Journal: j, Workers: 1})
 	sp.End()
 	if err != nil {
 		t.Fatalf("panics escalated into a synthesis error: %v", err)
@@ -73,8 +75,10 @@ func TestPanicCostsOneCandidate(t *testing.T) {
 		return spec.Simulate(in, dir)
 	})
 	j := obs.NewJournal()
+	// Workers: 1 — the one-shot calls counter is unsynchronized and the
+	// "exactly one panic verdict" claim needs sequential candidate order.
 	res, err := Synthesize(context.Background(), f, f.Func("fft"), spec, pow2Profile("n"),
-		Options{NumTests: 4, Journal: j})
+		Options{NumTests: 4, Journal: j, Workers: 1})
 	if err != nil {
 		t.Fatalf("synthesize: %v", err)
 	}

@@ -1,0 +1,213 @@
+// Candidate-level parallelism for generate-and-test. The pool fuzzes
+// binding candidates concurrently but reports *sequential* semantics: the
+// winner, the Tested/Survivors counts, and the journaled verdicts are the
+// ones a Workers=1 run would produce, regardless of goroutine scheduling.
+//
+// Three mechanisms make that hold:
+//
+//   - in-order dispatch: workers pull candidate indices from a shared
+//     cursor, so candidate i never waits on candidate i+k;
+//   - first-winner-by-index selection: a surviving candidate only becomes
+//     the winner once every lower-indexed candidate has been decided
+//     against. Until then it is the "minimum survivor", which bounds the
+//     useful search — in-flight candidates above it are cancelled with
+//     errSuperseded (distinguished from timeouts via context.Cause) and
+//     their outcomes discarded;
+//   - buffered journals: each candidate records its verdicts into a
+//     private journal, flushed into the real one in candidate order and
+//     only up to the winner, so the provenance stream is byte-stable
+//     across worker counts (timestamps aside).
+//
+// Metrics counters (synth.tests_run, interp.*) deliberately keep counting
+// speculative work that the deterministic Result discards — they describe
+// effort spent, not the search outcome.
+package synth
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"facc/internal/analysis"
+	"facc/internal/binding"
+	"facc/internal/minic"
+	"facc/internal/obs"
+)
+
+// errSuperseded cancels a speculative candidate once a lower-indexed one
+// has survived: the pool uses it as a context cancel cause so the fault
+// boundary can tell "you lost the race" apart from "you timed out".
+var errSuperseded = errors.New("superseded by an earlier surviving candidate")
+
+// candOutcome is one candidate's result awaiting in-order resolution.
+type candOutcome struct {
+	decided    bool
+	superseded bool
+	ad         *Adapter
+	err        error
+	events     []obs.JournalEvent
+}
+
+// runCandidates evaluates cands on `workers` goroutines and returns the
+// deterministic (winner, tested, survivors) triple — identical to what
+// the sequential loop would report. On error (whole-run cancellation,
+// interpreter construction failure) the counts are meaningless and the
+// caller must discard the Result.
+func runCandidates(ctx context.Context, fn *minic.FuncDecl,
+	cands []*binding.Candidate, profile *analysis.Profile, opts Options,
+	orc *oracle, workers int) (*Adapter, int, int, error) {
+
+	poolCtx, cancelPool := context.WithCancelCause(ctx)
+	defer cancelPool(nil)
+
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	var reg *obs.Registry
+	if opts.Obs != nil {
+		reg = opts.Obs.Metrics()
+	}
+
+	outcomes := make([]candOutcome, len(cands))
+	var (
+		mu          sync.Mutex
+		next        int
+		minSurvivor = -1
+		inflight    = map[int]context.CancelCauseFunc{}
+		busy        atomic.Int64
+	)
+
+	evalOne := func(i int, candCtx context.Context) candOutcome {
+		copts := opts
+		var buf *obs.Journal
+		if opts.Journal != nil {
+			buf = obs.NewJournal()
+			copts.Journal = buf
+		}
+		var fsp *obs.Span
+		if opts.Obs != nil {
+			fsp = opts.Obs.Child("fuzz").
+				Str("binding", cands[i].Key()).
+				Int("candidate", int64(i+1))
+		}
+		ad, err := evalCandidate(ctx, candCtx, fn, cands[i], profile, copts, fsp, orc)
+		fsp.End()
+		out := candOutcome{decided: true, ad: ad, err: err,
+			superseded: errors.Is(err, errSuperseded)}
+		if out.superseded {
+			out.err = nil
+		}
+		if buf != nil {
+			out.events = buf.Events()
+		}
+		return out
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if poolCtx.Err() != nil || next >= len(cands) ||
+					(!opts.ExhaustAll && minSurvivor >= 0 && next > minSurvivor) {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				candCtx, cancel := context.WithCancelCause(poolCtx)
+				inflight[i] = cancel
+				mu.Unlock()
+
+				reg.Gauge("synth.pool_busy").Set(float64(busy.Add(1)))
+				out := evalOne(i, candCtx)
+				reg.Gauge("synth.pool_busy").Set(float64(busy.Add(-1)))
+
+				mu.Lock()
+				outcomes[i] = out
+				delete(inflight, i)
+				if out.ad != nil && !opts.ExhaustAll &&
+					(minSurvivor < 0 || i < minSurvivor) {
+					minSurvivor = i
+					for j, c := range inflight {
+						if j > i {
+							c(errSuperseded)
+						}
+					}
+				}
+				mu.Unlock()
+				cancel(nil)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// flush replays buffered journal events for candidates 0..upto in
+	// candidate order — the order the sequential engine would have
+	// recorded them.
+	flush := func(upto int) {
+		if opts.Journal == nil {
+			return
+		}
+		for i := 0; i <= upto && i < len(outcomes); i++ {
+			for _, ev := range outcomes[i].events {
+				opts.Journal.Record(ev)
+			}
+		}
+	}
+
+	cancelled := func() error {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("synth: %s: %w", fn.Name, err)
+		}
+		return fmt.Errorf("synth: %s: %w", fn.Name, context.Canceled)
+	}
+
+	if opts.ExhaustAll {
+		var winner *Adapter
+		survivors := 0
+		for i := range outcomes {
+			o := &outcomes[i]
+			if !o.decided {
+				return nil, 0, 0, cancelled()
+			}
+			if o.err != nil {
+				return nil, 0, 0, o.err
+			}
+			if o.ad != nil {
+				survivors++
+				if winner == nil {
+					winner = o.ad
+				}
+			}
+		}
+		flush(len(outcomes) - 1)
+		return winner, len(cands), survivors, nil
+	}
+
+	// First-winner mode: resolve candidates in index order, exactly as
+	// the sequential loop would have encountered them.
+	for i := range outcomes {
+		o := &outcomes[i]
+		if !o.decided || o.superseded {
+			// Dispatch stopped (or the candidate was killed) before a
+			// winner at a lower index was established: only whole-run
+			// cancellation does that.
+			return nil, 0, 0, cancelled()
+		}
+		if o.err != nil {
+			flush(i - 1)
+			return nil, 0, 0, o.err
+		}
+		if o.ad != nil {
+			flush(i)
+			return o.ad, i + 1, 1, nil
+		}
+	}
+	flush(len(outcomes) - 1)
+	return nil, len(cands), 0, nil
+}

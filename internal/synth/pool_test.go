@@ -1,0 +1,194 @@
+package synth
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"facc/internal/accel"
+	"facc/internal/analysis"
+	"facc/internal/minic"
+	"facc/internal/obs"
+)
+
+// eventSig renders the deterministic fields of a journal event — everything
+// except Seq-adjacent timing. The parallel pool promises these match a
+// sequential run byte for byte.
+func eventSig(ev obs.JournalEvent) string {
+	return fmt.Sprintf("%d|%s|%s|%s|%s|%s|%d|%s|%s", ev.Seq, ev.Kind,
+		ev.Function, ev.Candidate, ev.Heuristic, ev.Outcome, ev.Tests,
+		ev.Counterexample, ev.Detail)
+}
+
+// journalSigs drops the oracle-stats event (its hit/miss split legitimately
+// varies with speculative work) and renders the rest.
+func journalSigs(j *obs.Journal) []string {
+	var out []string
+	for _, ev := range j.Events() {
+		if ev.Kind == obs.KindOracle {
+			continue
+		}
+		out = append(out, eventSig(ev))
+	}
+	return out
+}
+
+func synthAtWorkers(t *testing.T, src, entry string, spec *accel.Spec,
+	prof func() *analysis.Profile, workers int, exhaust bool) (*Result, *obs.Journal) {
+	t.Helper()
+	f, err := minic.ParseAndCheck("t.c", src)
+	if err != nil {
+		t.Fatalf("frontend: %v", err)
+	}
+	j := obs.NewJournal()
+	res, err := Synthesize(context.Background(), f, f.Func(entry), spec, prof(),
+		Options{NumTests: 4, Journal: j, Workers: workers, ExhaustAll: exhaust})
+	if err != nil {
+		t.Fatalf("synthesize (workers=%d): %v", workers, err)
+	}
+	return res, j
+}
+
+// TestPoolDeterministicAcrossWorkers is the core guarantee of the parallel
+// engine: for every worker count, the Result counts, the winning binding,
+// and the journaled verdict stream are identical to the sequential run.
+func TestPoolDeterministicAcrossWorkers(t *testing.T) {
+	cases := []struct {
+		name    string
+		src     string
+		entry   string
+		spec    func() *accel.Spec
+		prof    func() *analysis.Profile
+		exhaust bool
+	}{
+		{"ffta-first-winner", radix2Struct, "fft", accel.NewFFTA,
+			func() *analysis.Profile { return pow2Profile("n") }, false},
+		{"ffta-exhaust", radix2Struct, "fft", accel.NewFFTA,
+			func() *analysis.Profile { return pow2Profile("n") }, true},
+		{"fftw-direction-map", dirFlagSrc, "fft_dir", accel.NewFFTWLib,
+			func() *analysis.Profile { return pow2Profile("n", 16, 32, 64) }, false},
+		{"fftw-exhaust", dirFlagSrc, "fft_dir", accel.NewFFTWLib,
+			func() *analysis.Profile { return pow2Profile("n", 16, 32, 64) }, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ref, refJ := synthAtWorkers(t, tc.src, tc.entry, tc.spec(), tc.prof, 1, tc.exhaust)
+			refSigs := journalSigs(refJ)
+			for _, workers := range []int{2, 4, 8} {
+				res, j := synthAtWorkers(t, tc.src, tc.entry, tc.spec(), tc.prof, workers, tc.exhaust)
+				if res.Tested != ref.Tested || res.Survivors != ref.Survivors ||
+					res.Candidates != ref.Candidates || res.FailReason != ref.FailReason {
+					t.Errorf("workers=%d: result (%d tested, %d survivors, %q) != sequential (%d, %d, %q)",
+						workers, res.Tested, res.Survivors, res.FailReason,
+						ref.Tested, ref.Survivors, ref.FailReason)
+				}
+				switch {
+				case (res.Adapter == nil) != (ref.Adapter == nil):
+					t.Errorf("workers=%d: adapter presence differs", workers)
+				case res.Adapter != nil:
+					if res.Adapter.Cand.Key() != ref.Adapter.Cand.Key() {
+						t.Errorf("workers=%d: winner %q != sequential %q",
+							workers, res.Adapter.Cand.Key(), ref.Adapter.Cand.Key())
+					}
+					if res.Adapter.Post.String() != ref.Adapter.Post.String() {
+						t.Errorf("workers=%d: post-op differs", workers)
+					}
+				}
+				sigs := journalSigs(j)
+				if len(sigs) != len(refSigs) {
+					t.Fatalf("workers=%d: %d journal events, sequential has %d:\n%v\nvs\n%v",
+						workers, len(sigs), len(refSigs), sigs, refSigs)
+				}
+				for i := range sigs {
+					if sigs[i] != refSigs[i] {
+						t.Errorf("workers=%d: journal event %d differs:\n%s\nvs\n%s",
+							workers, i, sigs[i], refSigs[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPoolNoSpuriousTimeouts: a candidate cancelled because an earlier one
+// already won must be discarded as "superseded", not misclassified as a
+// timeout (which would pollute robustness metrics and provenance).
+func TestPoolNoSpuriousTimeouts(t *testing.T) {
+	f, err := minic.ParseAndCheck("t.c", dirFlagSrc)
+	if err != nil {
+		t.Fatalf("frontend: %v", err)
+	}
+	for run := 0; run < 5; run++ {
+		tr := obs.New()
+		sp := tr.Span("synthesize")
+		j := obs.NewJournal()
+		_, err := Synthesize(context.Background(), f, f.Func("fft_dir"),
+			accel.NewFFTWLib(), pow2Profile("n", 16, 32, 64),
+			Options{NumTests: 4, Workers: 8, Obs: sp, Journal: j})
+		sp.End()
+		if err != nil {
+			t.Fatalf("synthesize: %v", err)
+		}
+		if got := tr.Metrics().Counters()["synth.candidate_timeouts"]; got != 0 {
+			t.Fatalf("run %d: %d candidate timeouts with no timeout configured", run, got)
+		}
+		for _, ev := range j.Events() {
+			if ev.Kind == obs.KindFuzz && (ev.Outcome == "timeout" || ev.Outcome == "superseded") {
+				t.Fatalf("run %d: %q verdict leaked into the journal", run, ev.Outcome)
+			}
+		}
+	}
+}
+
+// TestOracleSharesReferenceRuns: candidates that differ only in
+// accelerator-side knobs (direction constants/maps, flags) must share the
+// user program's reference executions. The FFTW target multiplies exactly
+// such candidates, so the cache hit rate must clear 50% — the economics
+// the oracle exists for.
+func TestOracleSharesReferenceRuns(t *testing.T) {
+	f, err := minic.ParseAndCheck("t.c", dirFlagSrc)
+	if err != nil {
+		t.Fatalf("frontend: %v", err)
+	}
+	tr := obs.New()
+	sp := tr.Span("synthesize")
+	res, err := Synthesize(context.Background(), f, f.Func("fft_dir"),
+		accel.NewFFTWLib(), pow2Profile("n", 16, 32, 64),
+		Options{NumTests: 4, Workers: 1, Obs: sp, ExhaustAll: true})
+	sp.End()
+	if err != nil {
+		t.Fatalf("synthesize: %v", err)
+	}
+	if res.Adapter == nil {
+		t.Fatalf("no adapter: %s", res.FailReason)
+	}
+	c := tr.Metrics().Counters()
+	hits, misses := c["synth.oracle_hits"], c["synth.oracle_misses"]
+	if hits == 0 {
+		t.Fatal("oracle cache never hit across accelerator-side candidate variants")
+	}
+	if rate := float64(hits) / float64(hits+misses); rate <= 0.5 {
+		t.Errorf("oracle hit rate = %.2f (hits=%d misses=%d), want > 0.5",
+			rate, hits, misses)
+	}
+}
+
+// TestPoolCancellation: cancelling the run context aborts a parallel
+// synthesis with a wrapping error rather than hanging or succeeding.
+func TestPoolCancellation(t *testing.T) {
+	f, err := minic.ParseAndCheck("t.c", radix2Struct)
+	if err != nil {
+		t.Fatalf("frontend: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = Synthesize(ctx, f, f.Func("fft"), accel.NewFFTA(), pow2Profile("n"),
+		Options{NumTests: 4, Workers: 4})
+	if err == nil {
+		t.Fatal("cancelled synthesis returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+}

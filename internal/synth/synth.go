@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -69,6 +70,15 @@ type Options struct {
 	// behavior is used when false too — survivors are still counted only
 	// among tested candidates when this is set).
 	ExhaustAll bool
+	// Workers bounds candidate-level parallelism: up to Workers binding
+	// candidates are fuzz-tested concurrently, sharing one reference-
+	// oracle cache. 0 (the default) means GOMAXPROCS; 1 is fully
+	// sequential. The Result, the generated adapter and the journaled
+	// verdicts are deterministic — identical for every Workers value —
+	// because the pool resolves candidates in enumeration order (see
+	// pool.go); only metrics counters and span counts reflect the extra
+	// speculative work.
+	Workers int
 	// Obs is the enclosing pipeline span: analysis, binding enumeration,
 	// per-candidate fuzzing and range-check synthesis report as children
 	// of it. Nil (the default) disables tracing with zero overhead — no
@@ -137,36 +147,25 @@ func Synthesize(ctx context.Context, f *minic.File, fn *minic.FuncDecl,
 		res.FailReason = "interface-incompatibility"
 		return res, nil
 	}
-	var winner *Adapter
-	for _, cand := range cands {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("synth: %s: %w", fn.Name, err)
-		}
-		res.Tested++
-		// Per-candidate fuzz span: attributes (binding key, tests run,
-		// outcome) are only computed when tracing is live, keeping the
-		// disabled path allocation-free.
-		var fsp *obs.Span
-		if opts.Obs != nil {
-			fsp = opts.Obs.Child("fuzz").
-				Str("binding", cand.Key()).
-				Int("candidate", int64(res.Tested))
-		}
-		ad, err := evalCandidate(ctx, f, fn, cand, profile, opts, fsp)
-		fsp.End()
-		if err != nil {
-			return nil, err
-		}
-		if ad == nil {
-			continue
-		}
-		res.Survivors++
-		if winner == nil {
-			winner = ad
-		}
-		if !opts.ExhaustAll {
-			break
-		}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var reg *obs.Registry
+	if opts.Obs != nil {
+		reg = opts.Obs.Metrics()
+	}
+	orc := newOracle(f, fn, workers, reg)
+	winner, tested, survivors, err := runCandidates(ctx, fn, cands, profile, opts, orc, workers)
+	if err != nil {
+		return nil, err
+	}
+	res.Tested, res.Survivors = tested, survivors
+	if hits, misses, rate := orc.stats(); opts.Journal != nil && hits+misses > 0 {
+		opts.Journal.Record(obs.JournalEvent{Kind: obs.KindOracle,
+			Function: fn.Name,
+			Detail: fmt.Sprintf("reference runs: %d hits, %d misses (%.0f%% hit rate)",
+				hits, misses, 100*rate)})
 	}
 	if opts.Obs != nil {
 		m := opts.Obs.Metrics()
@@ -253,14 +252,18 @@ func renderCase(tc iogen.Case) string {
 // boundary: a per-candidate deadline (opts.CandidateTimeout) and a panic
 // shield. A candidate that times out or panics is rejected — journaled
 // with a "timeout"/"panic" verdict — and synthesis continues; only a
-// cancellation of the enclosing ctx aborts the whole run.
-func evalCandidate(ctx context.Context, f *minic.File, fn *minic.FuncDecl,
+// cancellation of the enclosing runCtx aborts the whole run. candCtx is
+// the pool's per-candidate context (== runCtx when sequential): when it
+// was cancelled with cause errSuperseded, an earlier candidate already
+// won and the verdict is returned as errSuperseded for the pool to
+// discard, rather than being misclassified as a timeout.
+func evalCandidate(runCtx, candCtx context.Context, fn *minic.FuncDecl,
 	cand *binding.Candidate, profile *analysis.Profile, opts Options,
-	sp *obs.Span) (ad *Adapter, err error) {
-	cctx := ctx
+	sp *obs.Span, orc *oracle) (ad *Adapter, err error) {
+	cctx := candCtx
 	if opts.CandidateTimeout > 0 {
 		var cancel context.CancelFunc
-		cctx, cancel = context.WithTimeout(ctx, opts.CandidateTimeout)
+		cctx, cancel = context.WithTimeout(candCtx, opts.CandidateTimeout)
 		defer cancel()
 	}
 	defer func() {
@@ -276,12 +279,18 @@ func evalCandidate(ctx context.Context, f *minic.File, fn *minic.FuncDecl,
 				fmt.Sprintf("recovered: %v", r))
 		}
 	}()
-	ad, err = testCandidate(cctx, f, fn, cand, profile, opts, sp)
+	ad, err = testCandidate(cctx, fn, cand, profile, opts, sp, orc)
 	if err != nil && (interp.FaultOf(err) == interp.FaultCancelled ||
 		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
-		if cerr := ctx.Err(); cerr != nil {
+		if cerr := runCtx.Err(); cerr != nil {
 			// The compilation itself was cancelled — propagate.
 			return nil, fmt.Errorf("synth: %s: %w", fn.Name, cerr)
+		}
+		if errors.Is(context.Cause(candCtx), errSuperseded) {
+			// An earlier candidate survived while this one was running;
+			// its outcome is discarded, so record nothing.
+			sp.Str("outcome", "superseded")
+			return nil, errSuperseded
 		}
 		// Only the per-candidate budget expired: reject this candidate.
 		sp.Str("outcome", "timeout")
@@ -299,11 +308,11 @@ func evalCandidate(ctx context.Context, f *minic.File, fn *minic.FuncDecl,
 // adapter, or nil when the candidate is behaviorally wrong or faults; a
 // FaultCancelled interpreter error propagates so evalCandidate can
 // distinguish a candidate timeout from a compilation cancel. sp (may be
-// nil) receives test-count/outcome attributes and the machine's
-// interpreter-level counters.
-func testCandidate(ctx context.Context, f *minic.File, fn *minic.FuncDecl,
+// nil) receives test-count/outcome attributes; reference executions run
+// on orc's shared machine pool, which attributes interpreter counters.
+func testCandidate(ctx context.Context, fn *minic.FuncDecl,
 	cand *binding.Candidate, profile *analysis.Profile, opts Options,
-	sp *obs.Span) (*Adapter, error) {
+	sp *obs.Span, orc *oracle) (*Adapter, error) {
 	gen := iogen.New(opts.Seed, cand, profile)
 	if !gen.Viable() {
 		sp.Str("outcome", "not-viable")
@@ -316,23 +325,11 @@ func testCandidate(ctx context.Context, f *minic.File, fn *minic.FuncDecl,
 	// All post-behavioral sketches start alive; each case prunes.
 	alive := behave.Sketches()
 
-	machine, err := interp.NewMachine(f)
-	if err != nil {
-		return nil, fmt.Errorf("synth: %w", err)
-	}
-	machine.MaxSteps = 40_000_000
-	machine.Ctx = ctx
-
 	ran := 0
 	if sp != nil {
-		machine.Obs = sp.Metrics()
 		defer func() {
 			sp.Int("tests", int64(ran))
-			tot := machine.TotalCounters()
 			m := sp.Metrics()
-			m.Counter("interp.ops").Add(tot.Total())
-			m.Counter("interp.allocs").Add(tot.Allocs)
-			m.Counter("interp.steps").Add(tot.Steps)
 			m.Counter("synth.tests_run").Add(int64(ran))
 			m.Histogram("synth.tests_per_candidate", obs.CountBuckets).
 				Observe(float64(ran))
@@ -342,7 +339,7 @@ func testCandidate(ctx context.Context, f *minic.File, fn *minic.FuncDecl,
 	var returnVals []int64
 	sawReturn := false
 
-	for _, tc := range cases {
+	for caseIdx, tc := range cases {
 		// Accelerator retries/backoff can dominate a case under fault
 		// injection, so honor the deadline between cases too, not just
 		// inside the interpreter.
@@ -350,7 +347,7 @@ func testCandidate(ctx context.Context, f *minic.File, fn *minic.FuncDecl,
 			return nil, fmt.Errorf("synth: candidate evaluation cancelled: %w", err)
 		}
 		ran++
-		userOut, retVal, runErr := runUser(machine, fn, cand, tc)
+		userOut, retVal, runErr := orc.run(ctx, cand, tc, caseIdx)
 		if runErr != nil {
 			if interp.FaultOf(runErr) == interp.FaultCancelled {
 				// Deadline/cancel, not evidence against the binding —
