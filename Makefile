@@ -3,12 +3,14 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race fuzz-smoke chaos bench bench-json repro repro-full examples fmt lint vet check clean
+.PHONY: all build test test-short test-race fuzz-smoke chaos bench bench-json bench-serve serve-smoke repro repro-full examples fmt lint vet check clean
 
 all: build test
 
-# Tier-1 gate: formatting + vet + tests + race detector + fuzz smoke.
-check: lint test test-race fuzz-smoke
+# Tier-1 gate: formatting + vet + tests + race detector + fuzz smoke +
+# the faccd serve smoke (compile over HTTP, SIGTERM drain, crash-safe
+# store recovery).
+check: lint test test-race fuzz-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -47,6 +49,18 @@ bench:
 # artifact for cross-commit comparison.
 bench-json:
 	$(GO) run ./cmd/faccbench -experiment synthbench -bench-out BENCH_synth.json
+
+# Serving benchmark: saturate an in-process faccd (shedding, dedup,
+# adapter cache) and keep the latency/robustness numbers as a JSON
+# artifact for cross-commit comparison.
+bench-serve:
+	$(GO) run ./cmd/faccbench -experiment servebench -bench-out BENCH_serve.json
+
+# End-to-end daemon smoke: build faccd, compile over HTTP, SIGTERM with a
+# request in flight, tear the cached adapter, restart and assert the
+# store quarantines + recompiles + serves byte-identical bytes.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # Regenerate the paper's evaluation (Table 1 + Figures 8-16 + ablations).
 repro:

@@ -1,4 +1,8 @@
-package facc
+// Package facc_test keeps the evaluation benchmarks outside the facc
+// package proper: they depend on internal/eval, which (via the serving
+// benchmark's in-process faccd) depends back on facc — legal for an
+// external test package, an import cycle for an internal one.
+package facc_test
 
 // One testing.B benchmark per table and figure of the paper's evaluation,
 // plus ablation benches for the design choices DESIGN.md calls out. Each

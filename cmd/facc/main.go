@@ -31,6 +31,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -106,10 +108,19 @@ func main() {
 		opts.Classifier = clf
 	}
 
-	res, err := facc.Compile(path, string(src), *target, opts)
+	// SIGINT/SIGTERM cancel the compile context: the pipeline stops at its
+	// next cancellation point and the Finish call below still flushes
+	// -trace/-metrics/-journal output rather than leaving partial files.
+	ctx, stop := of.WithSignals(context.Background())
+	defer stop()
+	res, err := facc.CompileContext(ctx, path, string(src), *target, opts)
 	if ferr := of.Finish(); ferr != nil {
 		fmt.Fprintf(os.Stderr, "facc: %v\n", ferr)
 		os.Exit(2)
+	}
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "facc: interrupted; observability output flushed\n")
+		os.Exit(130)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "facc: %v\n", err)

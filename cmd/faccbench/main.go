@@ -14,6 +14,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -27,11 +28,11 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"table1, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, ablation, all, or synthbench (not in all)")
+		"table1, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, ablation, all, or synthbench/servebench (not in all)")
 	full := flag.Bool("full", false, "use the paper-size Fig. 11 protocol (slow)")
 	tests := flag.Int("tests", 5, "IO examples per candidate during compilation")
 	benchOut := flag.String("bench-out", "",
-		"with -experiment synthbench: also write the report as JSON to this file (e.g. BENCH_synth.json)")
+		"with -experiment synthbench/servebench: also write the report as JSON to this file (e.g. BENCH_synth.json)")
 	of := obsflag.RegisterSynth(flag.CommandLine, "faccbench")
 	flag.Parse()
 
@@ -42,26 +43,64 @@ func main() {
 	if of.CandidateTimeout != 0 || of.Faults != "" {
 		fmt.Fprintf(os.Stderr, "faccbench: -candidate-timeout and -faults apply to facc only; ignoring\n")
 	}
-	ctx := context.Background()
+	// SIGINT/SIGTERM cancel the run: experiments stop at the next
+	// cancellation point and the observability exports below still flush,
+	// so an interrupted run never leaves partial -trace/-journal files.
+	ctx, stop := of.WithSignals(context.Background())
+	defer stop()
 	if of.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, of.Timeout)
 		defer cancel()
 	}
 	var err error
-	if *experiment == "synthbench" {
+	switch *experiment {
+	case "synthbench":
 		err = runSynthBench(ctx, *tests, of.Workers, *benchOut)
-	} else {
+	case "servebench":
+		err = runServeBench(ctx, *benchOut)
+	default:
 		err = run(ctx, *experiment, *full, *tests, of.Tracer(), of.Journal())
 	}
 	if ferr := of.Finish(); ferr != nil {
 		fmt.Fprintf(os.Stderr, "faccbench: %v\n", ferr)
 		os.Exit(1)
 	}
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "faccbench: interrupted; observability output flushed\n")
+		os.Exit(130)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "faccbench: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runServeBench saturates an in-process faccd-style compile service and
+// reports latency quantiles plus shed/dedup/cache counts; -bench-out
+// additionally writes the BENCH_serve.json artifact.
+func runServeBench(ctx context.Context, benchOut string) error {
+	fmt.Fprintf(os.Stderr, "faccbench: serving benchmark (saturating an in-process faccd)...\n")
+	rep, err := eval.ServeBench(ctx, eval.ServeBenchConfig{})
+	if err != nil {
+		return err
+	}
+	rep.WriteText(os.Stdout)
+	if benchOut != "" {
+		out, err := os.Create(benchOut)
+		if err != nil {
+			return err
+		}
+		werr := rep.WriteJSON(out)
+		if cerr := out.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Fprintf(os.Stderr, "faccbench: wrote %s\n", benchOut)
+	}
+	return nil
 }
 
 // runSynthBench measures the generate-and-test engine at Workers=1 versus

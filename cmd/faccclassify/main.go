@@ -38,6 +38,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "faccclassify: %v\n", err)
 		os.Exit(1)
 	}
+	// Training and cross-validation are not context-aware, so a SIGINT or
+	// SIGTERM flushes the requested -trace/-metrics output and exits
+	// instead of dropping it on the floor.
+	of.FlushOnSignal()
 	tr := of.Tracer()
 	finish := func() {
 		if err := of.Finish(); err != nil {

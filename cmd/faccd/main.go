@@ -1,0 +1,153 @@
+// Command faccd is the FACC compile service: a daemon that accepts MiniC
+// sources over HTTP, synthesizes accelerator adapters, and degrades
+// gracefully under load and faults instead of falling over.
+//
+// Usage:
+//
+//	faccd [-addr :8080] [-store faccd-store] [-queue 64] [-workers N]
+//	      [-request-timeout 2m] [-candidate-timeout 50ms]
+//	      [-drain-timeout 10s] [-tests 10] [-j N] [-faults chaos]
+//
+// Endpoints:
+//
+//	POST /compile[?wait=1]  submit a compile request (JSON: source, target,
+//	                        entry, profile, tests); 202 + job id, 429 when
+//	                        the admission queue is full (Retry-After set),
+//	                        503 while draining
+//	GET  /jobs/{id}         job status and the synthesized adapter
+//	GET  /healthz, /readyz  liveness / admission readiness
+//	GET  /metrics, /status, /trace, /debug/pprof  observability (obshttp)
+//
+// Robustness: identical in-flight requests share one compile
+// (singleflight); finished adapters are memoized in a crash-safe
+// content-addressed store that survives kill -9 (atomic writes, WAL
+// recovery, checksum verification with quarantine — a torn write is
+// recompiled, never served); SIGTERM/SIGINT drains gracefully: admission
+// stops, queued and in-flight jobs finish up to -drain-timeout, then
+// stragglers are hard-cancelled.
+//
+// Exit status: 0 after a clean drain, 1 on startup errors or a drain
+// that needed hard cancellation.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"facc"
+	"facc/internal/obs"
+	"facc/internal/server"
+	"facc/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (host:port; :0 picks a free port)")
+	addrFile := flag.String("addr-file", "",
+		"write the bound address to this file once listening (for scripts)")
+	storeDir := flag.String("store", "faccd-store",
+		"adapter store directory (crash-safe content-addressed cache)")
+	queue := flag.Int("queue", 64,
+		"admission queue depth; requests beyond it are shed with 429")
+	workers := flag.Int("workers", 0, "concurrent compile workers (0 = GOMAXPROCS)")
+	requestTimeout := flag.Duration("request-timeout", 2*time.Minute,
+		"wall-clock budget per compile job")
+	candidateTimeout := flag.Duration("candidate-timeout", 0,
+		"budget per fuzzed binding candidate (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second,
+		"how long a SIGTERM drain waits for in-flight jobs before hard-cancelling")
+	tests := flag.Int("tests", 10, "default IO examples per candidate (requests may override)")
+	jflag := flag.Int("j", 0, "candidate-level parallelism per compile (0 = GOMAXPROCS)")
+	faults := flag.String("faults", "",
+		`inject accelerator faults for chaos testing, e.g. "chaos" or "error=0.3,seed=7"`)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "usage: faccd [flags] (takes no arguments)\n")
+		flag.PrintDefaults()
+		os.Exit(1)
+	}
+
+	opts := facc.Options{
+		NumTests:         *tests,
+		Workers:          *jflag,
+		CandidateTimeout: *candidateTimeout,
+		// A service hardens unconditionally: retries + breaker +
+		// software-FFT degradation around every accelerator call.
+		Harden: true,
+	}
+	if *faults != "" {
+		fp, err := facc.ParseFaultProfile(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faccd: -faults: %v\n", err)
+			os.Exit(1)
+		}
+		opts.Faults = &fp
+	}
+
+	tr := obs.New()
+	st, err := store.Open(*storeDir, tr.Metrics())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "faccd: %v\n", err)
+		os.Exit(1)
+	}
+
+	srv := server.New(server.Config{
+		QueueDepth:     *queue,
+		Workers:        *workers,
+		RequestTimeout: *requestTimeout,
+		Store:          st,
+		Tracer:         tr,
+		Options:        opts,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "faccd: %v\n", err)
+		os.Exit(1)
+	}
+	bound := ln.Addr().String()
+	fmt.Fprintf(os.Stderr, "faccd: serving on http://%s (store %s, queue %d)\n",
+		bound, st.Dir(), *queue)
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "faccd: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case err := <-serveErr:
+		fmt.Fprintf(os.Stderr, "faccd: %v\n", err)
+		os.Exit(1)
+	}
+	stop() // a second signal now kills immediately
+
+	fmt.Fprintf(os.Stderr, "faccd: draining (up to %s)...\n", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := srv.Drain(dctx)
+
+	hctx, hcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer hcancel()
+	hs.Shutdown(hctx)
+	if err := st.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "faccd: closing store: %v\n", err)
+	}
+	if drainErr != nil {
+		fmt.Fprintf(os.Stderr, "faccd: %v\n", drainErr)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "faccd: drained cleanly")
+}

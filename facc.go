@@ -25,7 +25,11 @@ package facc
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -124,9 +128,11 @@ type Options struct {
 // see Options.Faults. Rates are probabilities per accelerator call.
 type FaultProfile = faultinject.Profile
 
-// ParseFaultProfile parses the -faults flag syntax
-// ("error=0.3,corrupt=0.01,latency=0.1,seed=7"; all keys optional) into
-// a profile for Options.Faults.
+// ParseFaultProfile parses the -faults flag syntax — explicit rates
+// ("error=0.3,corrupt=0.01,latency=0.1,seed=7"; all keys optional) or a
+// named preset with optional overrides ("chaos", "flaky,seed=9") — into
+// a profile for Options.Faults. Unknown preset names, unknown keys,
+// duplicates and out-of-range or non-finite rates are rejected.
 func ParseFaultProfile(s string) (FaultProfile, error) {
 	return faultinject.ParseProfile(s)
 }
@@ -161,6 +167,103 @@ type Result struct {
 // Compile compiles MiniC source against a named target.
 func Compile(name, source, target string, opts Options) (*Result, error) {
 	return CompileContext(context.Background(), name, source, target, opts)
+}
+
+// CompileRequest is the service-facing description of one compilation —
+// everything a remote client may vary per request, in a form that can be
+// serialized, validated, and content-addressed. It is the unit of work
+// faccd admits, deduplicates (identical in-flight requests share one
+// compile) and memoizes in the crash-safe adapter store.
+type CompileRequest struct {
+	// Name labels the source in diagnostics (a file name). It does not
+	// affect the synthesized adapter and is excluded from Digest, so two
+	// clients uploading the same source under different names share one
+	// cache entry.
+	Name string `json:"name,omitempty"`
+	// Source is the MiniC translation unit to compile.
+	Source string `json:"source"`
+	// Target names the accelerator (ffta, powerquad, fftw).
+	Target string `json:"target"`
+	// Entry pins the function to compile; empty = detect candidates.
+	Entry string `json:"entry,omitempty"`
+	// ProfileValues is the value-profiling environment (Options.ProfileValues).
+	ProfileValues map[string][]int64 `json:"profile,omitempty"`
+	// NumTests overrides the IO examples per candidate (0 = default 10).
+	NumTests int `json:"tests,omitempty"`
+	// Tolerance overrides the comparison tolerance (0 = default 2e-3).
+	Tolerance float64 `json:"tolerance,omitempty"`
+}
+
+// Validate rejects requests the pipeline could not act on, with messages
+// fit to return to a remote caller verbatim.
+func (r *CompileRequest) Validate() error {
+	if strings.TrimSpace(r.Source) == "" {
+		return fmt.Errorf("empty source")
+	}
+	if r.Target == "" {
+		return fmt.Errorf("missing target (one of: %s)", strings.Join(Targets(), ", "))
+	}
+	if _, err := accel.SpecByName(r.Target); err != nil {
+		return fmt.Errorf("unknown target %q (one of: %s)", r.Target, strings.Join(Targets(), ", "))
+	}
+	if r.NumTests < 0 {
+		return fmt.Errorf("tests must be >= 0, got %d", r.NumTests)
+	}
+	if r.Tolerance < 0 {
+		return fmt.Errorf("tolerance must be >= 0, got %g", r.Tolerance)
+	}
+	return nil
+}
+
+// Digest returns the request's content address: a hex SHA-256 over every
+// field that can change the synthesized adapter (source, target, entry,
+// profile values, test count, tolerance — not Name). Equal digests mean
+// a cached or in-flight result can be reused byte for byte.
+func (r *CompileRequest) Digest() string {
+	h := sha256.New()
+	put := func(field, val string) {
+		binary.Write(h, binary.LittleEndian, int64(len(field)))
+		h.Write([]byte(field))
+		binary.Write(h, binary.LittleEndian, int64(len(val)))
+		h.Write([]byte(val))
+	}
+	put("source", r.Source)
+	put("target", r.Target)
+	put("entry", r.Entry)
+	put("tests", fmt.Sprint(r.NumTests))
+	put("tolerance", fmt.Sprint(r.Tolerance))
+	keys := make([]string, 0, len(r.ProfileValues))
+	for k := range r.ProfileValues {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		put("profile."+k, fmt.Sprint(r.ProfileValues[k]))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// CompileRequestContext compiles one service request under ctx. Request
+// fields override the matching Options fields; everything else (workers,
+// budgets, hardening, tracing) comes from opts — the server's standing
+// configuration.
+func CompileRequestContext(ctx context.Context, req CompileRequest, opts Options) (*Result, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	opts.Entry = req.Entry
+	opts.ProfileValues = req.ProfileValues
+	if req.NumTests > 0 {
+		opts.NumTests = req.NumTests
+	}
+	if req.Tolerance > 0 {
+		opts.Tolerance = req.Tolerance
+	}
+	name := req.Name
+	if name == "" {
+		name = "request.c"
+	}
+	return CompileContext(ctx, name, req.Source, req.Target, opts)
 }
 
 // CompileContext compiles MiniC source against a named target under ctx:

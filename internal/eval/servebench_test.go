@@ -1,0 +1,61 @@
+package eval
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestServeBenchSmoke runs a scaled-down serving benchmark: every client
+// request must be accounted for, the memoization contract must hold
+// (byte-identical adapters per digest), and the report must round-trip
+// as the BENCH_serve.json artifact.
+func TestServeBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives real synthesis under load")
+	}
+	cfg := ServeBenchConfig{
+		Requests:    10,
+		Concurrency: 4,
+		QueueDepth:  2,
+		Workers:     2,
+		NumTests:    2,
+		Variants:    2,
+	}
+	rep, err := ServeBench(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed+rep.Failed != cfg.Requests {
+		t.Fatalf("completed %d + failed %d != %d requests", rep.Completed, rep.Failed, cfg.Requests)
+	}
+	if rep.Completed == 0 {
+		t.Fatal("no requests completed")
+	}
+	if !rep.AdaptersConsistent {
+		t.Fatal("adapter bytes diverged for one digest")
+	}
+	// 10 requests over 2 digests: most of the traffic is dedup/cache.
+	if rep.Deduped+rep.CacheHits == 0 {
+		t.Fatalf("no dedup or cache activity: %+v", rep)
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded ServeBenchReport
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Completed != rep.Completed {
+		t.Fatalf("JSON round-trip lost data: %+v", decoded)
+	}
+	buf.Reset()
+	rep.WriteText(&buf)
+	if !strings.Contains(buf.String(), "Serving benchmark") {
+		t.Fatalf("text report: %q", buf.String())
+	}
+}

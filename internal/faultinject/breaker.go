@@ -66,6 +66,10 @@ type Breaker struct {
 	state    State
 	failures int
 	openedAt time.Time
+	// probing marks that one half-open caller currently holds the probe
+	// slot; concurrent callers in the half-open window are served by the
+	// fallback instead of stampeding the possibly-sick device.
+	probing bool
 }
 
 // NewBreaker wraps next with a circuit breaker degrading to fallback.
@@ -115,6 +119,16 @@ func (b *Breaker) Run(input []complex128, dir fft.Direction) ([]complex128, erro
 		notes = b.transition(HalfOpen, notes)
 	}
 	state := b.state
+	probe := false
+	if state == HalfOpen {
+		// Exactly one caller probes the device per half-open window; the
+		// rest degrade to the fallback until the probe's verdict is in.
+		if !b.probing {
+			b.probing, probe = true, true
+		} else {
+			state = Open
+		}
+	}
 	b.mu.Unlock()
 
 	if state == Open {
@@ -125,6 +139,9 @@ func (b *Breaker) Run(input []complex128, dir fft.Direction) ([]complex128, erro
 	out, err := b.next.Run(input, dir)
 
 	b.mu.Lock()
+	if probe {
+		b.probing = false
+	}
 	if err != nil {
 		var te *TransientError
 		if !errors.As(err, &te) {

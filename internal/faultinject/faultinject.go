@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -81,30 +82,78 @@ func (p Profile) String() string {
 	return strings.Join(parts, ",")
 }
 
-// ParseProfile parses the -faults flag syntax:
-// "error=0.3,corrupt=0.01,latency=0.1,seed=7". Unknown keys are errors;
+// Presets are the named fault profiles accepted by ParseProfile: a bare
+// name (optionally followed by key=value overrides, e.g. "flaky,seed=9")
+// selects a curated distribution instead of spelling out every rate.
+var Presets = map[string]Profile{
+	// flaky: a device that frequently reports transient failures but
+	// never lies — exercises retry and the breaker without corruption.
+	"flaky": {ErrorRate: 0.3},
+	// lossy: rare silent output corruption — exercises the fuzzer's
+	// rejection of candidates validated against a lying device.
+	"lossy": {CorruptRate: 0.05},
+	// slow: latency spikes only — exercises deadlines and budgets.
+	"slow": {LatencyRate: 0.2, Latency: time.Millisecond},
+	// chaos: everything at once, the full chaos-test distribution.
+	"chaos": {ErrorRate: 0.2, CorruptRate: 0.02, LatencyRate: 0.1, Latency: time.Millisecond},
+}
+
+// presetNames returns the sorted preset list for error messages.
+func presetNames() string {
+	names := make([]string, 0, len(Presets))
+	for n := range Presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// ParseProfile parses the -faults flag syntax: either explicit rates
+// ("error=0.3,corrupt=0.01,latency=0.1,seed=7") or a preset name with
+// optional overrides ("chaos", "flaky,seed=9"). Unknown keys, unknown
+// preset names, duplicate keys and out-of-range or non-finite rates
+// (NaN, Inf) are all rejected with a diagnostic naming the valid forms;
 // an empty string is the zero profile.
 func ParseProfile(s string) (Profile, error) {
 	var p Profile
 	if strings.TrimSpace(s) == "" {
 		return p, nil
 	}
-	for _, kv := range strings.Split(s, ",") {
-		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+	seen := map[string]bool{}
+	for i, kv := range strings.Split(s, ",") {
+		kv = strings.TrimSpace(kv)
+		key, val, ok := strings.Cut(kv, "=")
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
 		if !ok {
-			return p, fmt.Errorf("faultinject: malformed %q (want key=value)", kv)
+			if i == 0 {
+				preset, found := Presets[key]
+				if !found {
+					return Profile{}, fmt.Errorf("faultinject: unknown fault profile %q (presets: %s; or key=value with keys error, corrupt, latency, seed)", key, presetNames())
+				}
+				p = preset
+				continue
+			}
+			return Profile{}, fmt.Errorf("faultinject: malformed %q (want key=value)", kv)
 		}
+		if key == "" {
+			return Profile{}, fmt.Errorf("faultinject: malformed %q (empty key)", kv)
+		}
+		if seen[key] {
+			return Profile{}, fmt.Errorf("faultinject: duplicate key %q", key)
+		}
+		seen[key] = true
 		switch key {
 		case "seed":
 			n, err := strconv.ParseInt(val, 10, 64)
 			if err != nil {
-				return p, fmt.Errorf("faultinject: seed %q: %v", val, err)
+				return Profile{}, fmt.Errorf("faultinject: seed %q: %v", val, err)
 			}
 			p.Seed = n
 		case "error", "corrupt", "latency":
 			f, err := strconv.ParseFloat(val, 64)
-			if err != nil || f < 0 || f > 1 {
-				return p, fmt.Errorf("faultinject: rate %s=%q (want a probability in [0,1])", key, val)
+			if err != nil || math.IsNaN(f) || math.IsInf(f, 0) || f < 0 || f > 1 {
+				return Profile{}, fmt.Errorf("faultinject: rate %s=%q (want a probability in [0,1])", key, val)
 			}
 			switch key {
 			case "error":
@@ -115,7 +164,7 @@ func ParseProfile(s string) (Profile, error) {
 				p.LatencyRate = f
 			}
 		default:
-			return p, fmt.Errorf("faultinject: unknown key %q (want error, corrupt, latency, seed)", key)
+			return Profile{}, fmt.Errorf("faultinject: unknown key %q (want error, corrupt, latency, seed)", key)
 		}
 	}
 	return p, nil

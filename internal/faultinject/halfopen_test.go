@@ -1,0 +1,253 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"facc/internal/accel"
+	"facc/internal/fft"
+	"facc/internal/obs"
+)
+
+// TestParseProfilePresets covers the named-profile surface: presets,
+// preset + overrides, and the rejection diagnostics for unknown names.
+func TestParseProfilePresets(t *testing.T) {
+	p, err := ParseProfile("chaos")
+	if err != nil {
+		t.Fatalf("ParseProfile(chaos): %v", err)
+	}
+	if p != Presets["chaos"] {
+		t.Fatalf("chaos = %+v, want %+v", p, Presets["chaos"])
+	}
+	p, err = ParseProfile("flaky,seed=9")
+	if err != nil {
+		t.Fatalf("ParseProfile(flaky,seed=9): %v", err)
+	}
+	if p.ErrorRate != Presets["flaky"].ErrorRate || p.Seed != 9 {
+		t.Fatalf("flaky,seed=9 = %+v", p)
+	}
+	if _, err := ParseProfile("chaotic"); err == nil {
+		t.Error("unknown preset accepted")
+	} else if got := err.Error(); !strings.Contains(got, "chaos") || !strings.Contains(got, "flaky") {
+		t.Errorf("unknown-preset diagnostic should list presets, got %q", got)
+	}
+}
+
+// TestParseProfileRejectsMalformed pins the hardening: NaN/Inf rates,
+// duplicate keys, presets in non-leading position, and empty keys are
+// errors rather than silently misparsed profiles.
+func TestParseProfileRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"error=NaN", "error=nan", "corrupt=+Inf", "latency=-Inf",
+		"error=0.3,error=0.5", "seed=1,seed=2",
+		"seed=1,flaky", "=0.3", "error=0.3,,corrupt=0.1",
+	} {
+		if p, err := ParseProfile(bad); err == nil {
+			t.Errorf("ParseProfile(%q) = %+v, want error", bad, p)
+		}
+	}
+	// Whitespace around keys and values is tolerated, not an error.
+	p, err := ParseProfile(" error = 0.3 , seed = 7 ")
+	if err != nil {
+		t.Fatalf("spaced profile: %v", err)
+	}
+	if p.ErrorRate != 0.3 || p.Seed != 7 {
+		t.Fatalf("spaced profile = %+v", p)
+	}
+}
+
+// gateRunner is a device whose behavior the test scripts: while failing
+// is set it returns transients immediately; otherwise each call
+// announces itself on entered and blocks until release is closed, so a
+// test can hold a probe in flight while other callers race it.
+type gateRunner struct {
+	mu      sync.Mutex
+	calls   int
+	failing bool
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (g *gateRunner) Run(in []complex128, _ fft.Direction) ([]complex128, error) {
+	g.mu.Lock()
+	g.calls++
+	call := g.calls
+	failing := g.failing
+	g.mu.Unlock()
+	if failing {
+		return nil, &TransientError{Call: call}
+	}
+	g.entered <- struct{}{}
+	<-g.release
+	return append([]complex128(nil), in...), nil
+}
+
+func (g *gateRunner) callCount() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.calls
+}
+
+// TestBreakerHalfOpenSingleProbeConcurrent drives the half-open window
+// with many concurrent callers (run under -race by `make chaos`): the
+// contract is that exactly ONE caller probes the recovering device while
+// every other caller in the window degrades to the fallback, and a
+// successful probe closes the circuit for everyone after.
+func TestBreakerHalfOpenSingleProbeConcurrent(t *testing.T) {
+	reg := obs.NewRegistry()
+	device := &gateRunner{
+		failing: true,
+		entered: make(chan struct{}, 1),
+		release: make(chan struct{}),
+	}
+	fallback := accel.RunnerFunc(func(in []complex128, _ fft.Direction) ([]complex128, error) {
+		return []complex128{complex(42, 0)}, nil
+	})
+	b := NewBreaker(device, fallback, reg)
+	b.Threshold = 2
+	b.Cooldown = 50 * time.Millisecond
+	var clockMu sync.Mutex
+	clock := time.Unix(1000, 0)
+	b.now = func() time.Time {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		return clock
+	}
+	input := testInput(4)
+
+	// Open the circuit with consecutive transient failures.
+	for i := 0; i < 2; i++ {
+		if _, err := b.Run(input, fft.Forward); err != nil {
+			t.Fatalf("failure %d surfaced: %v", i, err)
+		}
+	}
+	if b.State() != Open {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	callsWhileOpen := device.callCount()
+
+	// Device recovers; cooldown elapses. The next window is half-open.
+	device.mu.Lock()
+	device.failing = false
+	device.mu.Unlock()
+	clockMu.Lock()
+	clock = clock.Add(b.Cooldown)
+	clockMu.Unlock()
+
+	const callers = 12
+	results := make(chan complex128, callers)
+	errs := make(chan error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out, err := b.Run(input, fft.Forward)
+			if err != nil {
+				errs <- err
+				return
+			}
+			results <- out[0]
+		}()
+	}
+
+	// One caller reaches the device and parks there.
+	select {
+	case <-device.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no probe reached the device")
+	}
+	// Every other caller must complete via the fallback while the probe
+	// is still in flight — none may stack up behind the device.
+	fallbacks := 0
+	for fallbacks < callers-1 {
+		select {
+		case v := <-results:
+			if v != complex(42, 0) {
+				t.Fatalf("non-probe caller got %v, want fallback output", v)
+			}
+			fallbacks++
+		case err := <-errs:
+			t.Fatalf("caller error during half-open: %v", err)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d of %d non-probe callers completed while the probe was in flight",
+				fallbacks, callers-1)
+		}
+	}
+	if got := device.callCount() - callsWhileOpen; got != 1 {
+		t.Fatalf("device probed %d times in the half-open window, want exactly 1", got)
+	}
+
+	// Release the probe: it succeeds and closes the circuit.
+	close(device.release)
+	wg.Wait()
+	select {
+	case v := <-results:
+		if v != input[0] {
+			t.Fatalf("probe result = %v, want device output %v", v, input[0])
+		}
+	default:
+		t.Fatal("probe result missing")
+	}
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want closed after successful probe", b.State())
+	}
+
+	// Subsequent traffic flows to the device again.
+	device.entered = make(chan struct{}, 8)
+	if out, err := b.Run(input, fft.Forward); err != nil || out[0] != input[0] {
+		t.Fatalf("post-close call: out=%v err=%v", out, err)
+	}
+}
+
+// TestIOBreaker exercises the store-facing breaker: consecutive
+// failures open it, open rejects without invoking the operation, a
+// successful probe closes it.
+func TestIOBreaker(t *testing.T) {
+	reg := obs.NewRegistry()
+	b := NewIOBreaker("store", reg)
+	b.Threshold = 3
+	clock := time.Unix(2000, 0)
+	b.now = func() time.Time { return clock }
+
+	ops := 0
+	boom := errors.New("disk on fire")
+	failing := func() error { ops++; return boom }
+	healthy := func() error { ops++; return nil }
+
+	for i := 0; i < 3; i++ {
+		if err := b.Do(failing); !errors.Is(err, boom) {
+			t.Fatalf("failure %d: %v", i, err)
+		}
+	}
+	if b.State() != Open {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	if err := b.Do(healthy); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open circuit: err=%v, want ErrCircuitOpen", err)
+	}
+	if ops != 3 {
+		t.Fatalf("op invoked %d times, want 3 (open circuit must not run ops)", ops)
+	}
+	clock = clock.Add(b.Cooldown)
+	if err := b.Do(healthy); err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want closed", b.State())
+	}
+	c := reg.Counters()
+	if c["store.breaker.rejected"] != 1 {
+		t.Fatalf("rejected = %d, want 1", c["store.breaker.rejected"])
+	}
+	if c["store.breaker.transitions.open"] != 1 || c["store.breaker.transitions.closed"] != 1 {
+		t.Fatalf("transition counters = %v", c)
+	}
+	if fmt.Sprint(HalfOpen) != "half-open" {
+		t.Fatalf("State stringer broken: %v", HalfOpen)
+	}
+}

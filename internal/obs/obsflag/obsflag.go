@@ -7,10 +7,13 @@
 package obsflag
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"facc/internal/obs"
@@ -75,7 +78,7 @@ func RegisterSynth(fs *flag.FlagSet, prog string) *Flags {
 	fs.DurationVar(&f.CandidateTimeout, "candidate-timeout", 0,
 		"reject any single binding candidate whose fuzzing exceeds this budget (0 = no budget)")
 	fs.StringVar(&f.Faults, "faults", "",
-		`inject accelerator faults for chaos testing, e.g. "error=0.3,corrupt=0.01,latency=0.1,seed=7" (implies retry+breaker hardening)`)
+		`inject accelerator faults for chaos testing: a preset (flaky, lossy, slow, chaos) or rates like "error=0.3,corrupt=0.01,latency=0.1,seed=7" (implies retry+breaker hardening)`)
 	fs.IntVar(&f.Workers, "j", 0,
 		"fuzz up to this many binding candidates in parallel; 0 = GOMAXPROCS, 1 = sequential (the result is deterministic either way)")
 	return f
@@ -98,6 +101,43 @@ func (f *Flags) Journal() *obs.Journal {
 		f.j = obs.NewJournal()
 	}
 	return f.j
+}
+
+// WithSignals returns a copy of ctx that is cancelled on SIGINT or
+// SIGTERM, so a ^C or an orchestrator's stop request winds the pipeline
+// down through its normal cancellation points and the binary still
+// flushes -trace/-metrics/-journal output via Finish instead of dying
+// with partial files. A second signal kills the process immediately (the
+// handler is uninstalled after the first). Call the returned stop
+// function when signal handling should end.
+func (f *Flags) WithSignals(ctx context.Context) (context.Context, context.CancelFunc) {
+	sctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sctx.Done()
+		if ctx.Err() == nil && sctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "%s: interrupt: finishing up (^C again to kill)\n", f.prog)
+		}
+		stop()
+	}()
+	return sctx, stop
+}
+
+// FlushOnSignal installs a handler for binaries whose work is not yet
+// context-aware: the first SIGINT/SIGTERM flushes every requested export
+// (trace, metrics summary, journal, explain report) and exits 130. Use
+// WithSignals instead wherever the work accepts a context.
+func (f *Flags) FlushOnSignal() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ch
+		signal.Stop(ch)
+		fmt.Fprintf(os.Stderr, "%s: interrupt: flushing observability output\n", f.prog)
+		if err := f.Finish(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", f.prog, err)
+		}
+		os.Exit(130)
+	}()
 }
 
 // Start launches the observability HTTP server when -serve is set and

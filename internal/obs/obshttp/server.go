@@ -83,8 +83,36 @@ type Status struct {
 
 	JournalEvents int `json:"journal_events"`
 
+	// Serve is populated when a compile service (faccd) feeds the
+	// registry: admission queue health, shedding/drain counters and the
+	// crash-safe adapter store's cache/corruption statistics.
+	Serve *ServeStatus `json:"serve,omitempty"`
+
 	Counters map[string]int64   `json:"counters,omitempty"`
 	Gauges   map[string]float64 `json:"gauges,omitempty"`
+}
+
+// ServeStatus is the /status block for the faccd compile service.
+type ServeStatus struct {
+	QueueDepth    int64 `json:"queue_depth"`
+	QueueCapacity int64 `json:"queue_capacity"`
+	Workers       int64 `json:"workers"`
+	WorkersBusy   int64 `json:"workers_busy"`
+	Draining      bool  `json:"draining"`
+
+	JobsAdmitted  int64 `json:"jobs_admitted"`
+	JobsCompleted int64 `json:"jobs_completed"`
+	JobsFailed    int64 `json:"jobs_failed"`
+	JobsShed      int64 `json:"jobs_shed"`
+	JobsDeduped   int64 `json:"jobs_deduped"`
+	CacheHits     int64 `json:"cache_hits"`
+	HardCancels   int64 `json:"drain_hard_cancels"`
+
+	StoreHits        int64  `json:"store_hits"`
+	StoreMisses      int64  `json:"store_misses"`
+	StoreWrites      int64  `json:"store_writes"`
+	StoreQuarantined int64  `json:"store_quarantined"`
+	StoreBreaker     string `json:"store_breaker_state,omitempty"`
 }
 
 // BuildStatus assembles the live status snapshot served at /status.
@@ -161,20 +189,48 @@ func (s *Server) BuildStatus() Status {
 		st.OracleHitRate = float64(st.OracleHits) / float64(total)
 	}
 	st.PoolBusy = int64(st.Gauges["synth.pool_busy"])
-	if g, ok := st.Gauges["accel.breaker.state"]; ok {
-		// Mirrors faultinject.State — the gauge stores the enum value.
-		switch int(g) {
-		case 0:
-			st.BreakerState = "closed"
-		case 1:
-			st.BreakerState = "open"
-		case 2:
-			st.BreakerState = "half-open"
-		default:
-			st.BreakerState = "unknown"
+	if cap, ok := st.Gauges["serve.queue_capacity"]; ok {
+		st.Serve = &ServeStatus{
+			QueueDepth:       int64(st.Gauges["serve.queue_depth"]),
+			QueueCapacity:    int64(cap),
+			Workers:          int64(st.Gauges["serve.workers"]),
+			WorkersBusy:      int64(st.Gauges["serve.workers_busy"]),
+			Draining:         st.Gauges["serve.draining"] != 0,
+			JobsAdmitted:     st.Counters["serve.jobs_admitted"],
+			JobsCompleted:    st.Counters["serve.jobs_completed"],
+			JobsFailed:       st.Counters["serve.jobs_failed"],
+			JobsShed:         st.Counters["serve.jobs_shed"],
+			JobsDeduped:      st.Counters["serve.jobs_deduped"],
+			CacheHits:        st.Counters["serve.cache_hits"],
+			HardCancels:      st.Counters["serve.drain_hard_cancels"],
+			StoreHits:        st.Counters["store.hits"],
+			StoreMisses:      st.Counters["store.misses"],
+			StoreWrites:      st.Counters["store.writes"],
+			StoreQuarantined: st.Counters["store.corrupt_quarantined"],
+		}
+		if g, ok := st.Gauges["store.breaker.state"]; ok {
+			st.Serve.StoreBreaker = breakerStateName(int(g))
 		}
 	}
+	if g, ok := st.Gauges["accel.breaker.state"]; ok {
+		st.BreakerState = breakerStateName(int(g))
+	}
 	return st
+}
+
+// breakerStateName decodes a faultinject.State enum value stored in a
+// gauge.
+func breakerStateName(v int) string {
+	switch v {
+	case 0:
+		return "closed"
+	case 1:
+		return "open"
+	case 2:
+		return "half-open"
+	default:
+		return "unknown"
+	}
 }
 
 // Handler returns the route mux.

@@ -1,0 +1,506 @@
+// Package server is faccd's hardened compile service: it accepts MiniC
+// sources over HTTP, runs them through the FACC pipeline, and degrades
+// gracefully instead of falling over. The robustness mechanisms, in the
+// order a request meets them:
+//
+//   - Admission control: a bounded queue. When it is full the request is
+//     shed immediately with 429 + Retry-After — the service stays
+//     responsive under overload rather than accumulating unbounded work.
+//   - Singleflight deduplication: requests with the same content digest
+//     (facc.CompileRequest.Digest) attach to the in-flight job instead of
+//     compiling twice.
+//   - Memoization: completed adapters are served from the crash-safe
+//     store (internal/store) without recompiling.
+//   - Budgets: every job runs under the server's base context with a
+//     per-request deadline, so one pathological source cannot pin a
+//     worker forever.
+//   - Graceful drain: on SIGTERM the daemon stops admitting (503 /
+//     /readyz turns not-ready), finishes queued and in-flight jobs up to
+//     a drain deadline, then hard-cancels stragglers via context.
+//
+// Endpoints (on top of the obshttp observability mux — /metrics,
+// /status, /trace, /journal, /debug/pprof):
+//
+//	POST /compile         submit a compile job (JSON facc.CompileRequest);
+//	                      202 + job id, or the finished job with ?wait=1
+//	GET  /jobs/{id}       job status / result
+//	GET  /healthz         process liveness (200 while the process runs)
+//	GET  /readyz          admission readiness (503 while draining)
+//
+// Metrics: serve.jobs_admitted/_completed/_failed/_shed/_deduped,
+// serve.cache_hits, serve.queue_depth, serve.workers_busy,
+// serve.draining, serve.drain_hard_cancels and the serve.latency_ms
+// histogram, all visible in /status (serve block) and /metrics.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"facc"
+	"facc/internal/obs"
+	"facc/internal/obs/obshttp"
+	"facc/internal/store"
+)
+
+// CompileResult is what one job produces: a synthesized adapter, or a
+// classified synthesis failure (FailReason), which is a valid outcome —
+// not every function has an accelerator-shaped replacement.
+type CompileResult struct {
+	AdapterC   string
+	Function   string
+	FailReason string
+}
+
+// CompileFunc executes one admitted request. Tests substitute stubs; the
+// daemon uses the facc-backed default.
+type CompileFunc func(ctx context.Context, req facc.CompileRequest) (CompileResult, error)
+
+// Config assembles a Server. Zero values get production defaults.
+type Config struct {
+	// QueueDepth bounds admitted-but-not-started jobs (default 64).
+	// Requests beyond it are shed with 429.
+	QueueDepth int
+	// Workers is the number of concurrent compile workers (default
+	// GOMAXPROCS).
+	Workers int
+	// RequestTimeout bounds one job's compile wall clock (default 2m).
+	RequestTimeout time.Duration
+	// Store, when non-nil, memoizes adapters across requests and
+	// restarts.
+	Store *store.Store
+	// Tracer backs /metrics, /status and /trace. Required (New creates
+	// one when nil).
+	Tracer *obs.Tracer
+	// Journal, when non-nil, records synthesis provenance served at
+	// /journal.
+	Journal *obs.Journal
+	// Options is the standing compile configuration for the default
+	// CompileFunc (workers, candidate timeout, fault profile, hardening).
+	Options facc.Options
+	// Compile overrides the facc-backed compile (tests).
+	Compile CompileFunc
+}
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+// Job lifecycle: Queued → Running → Done | Failed. Cached store hits are
+// born Done.
+const (
+	Queued  JobState = "queued"
+	Running JobState = "running"
+	Done    JobState = "done"
+	Failed  JobState = "failed"
+)
+
+// Job is one admitted compile. Fields are guarded by the server mutex;
+// done closes when the job reaches a terminal state.
+type Job struct {
+	ID     string
+	Key    string
+	Req    facc.CompileRequest
+	State  JobState
+	Cached bool
+	Result CompileResult
+	Err    string
+
+	enqueued time.Time
+	done     chan struct{}
+}
+
+// Server is the compile service. Create with New, expose Handler, stop
+// with Drain.
+type Server struct {
+	cfg     Config
+	reg     *obs.Registry
+	obs     *obshttp.Server
+	compile CompileFunc
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	busy atomic.Int64
+
+	mu       sync.Mutex
+	draining bool
+	jobs     map[string]*Job // by ID, bounded by history eviction
+	active   map[string]*Job // by digest, queued or running
+	history  []string        // terminal job IDs, oldest first
+	nextID   int
+}
+
+// historyCap bounds how many finished jobs stay queryable at /jobs/{id};
+// older ones are evicted so a long-lived daemon's memory stays flat.
+const historyCap = 1024
+
+// New builds the server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 2 * time.Minute
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = obs.New()
+	}
+	s := &Server{
+		cfg:    cfg,
+		reg:    cfg.Tracer.Metrics(),
+		obs:    obshttp.New(cfg.Tracer, cfg.Journal),
+		queue:  make(chan *Job, cfg.QueueDepth),
+		jobs:   map[string]*Job{},
+		active: map[string]*Job{},
+	}
+	s.compile = cfg.Compile
+	if s.compile == nil {
+		s.compile = s.faccCompile
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.reg.Gauge("serve.queue_capacity").Set(float64(cfg.QueueDepth))
+	s.reg.Gauge("serve.workers").Set(float64(cfg.Workers))
+	s.reg.Gauge("serve.queue_depth").Set(0)
+	s.reg.Gauge("serve.draining").Set(0)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// faccCompile is the production CompileFunc: the full pipeline with the
+// server's standing options and shared tracer/journal.
+func (s *Server) faccCompile(ctx context.Context, req facc.CompileRequest) (CompileResult, error) {
+	opts := s.cfg.Options
+	opts.Trace = s.cfg.Tracer
+	opts.Journal = s.cfg.Journal
+	res, err := facc.CompileRequestContext(ctx, req, opts)
+	if err != nil {
+		return CompileResult{}, err
+	}
+	if !res.OK() {
+		return CompileResult{FailReason: res.FailReason()}, nil
+	}
+	return CompileResult{AdapterC: res.AdapterC(), Function: res.Function()}, nil
+}
+
+// Handler returns the service mux: compile/job/health routes layered
+// over the shared observability endpoints.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/compile", s.handleCompile)
+	mux.HandleFunc("/jobs/", s.handleJob)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.Handle("/", s.obs.Handler())
+	return mux
+}
+
+// handleCompile admits one request: validate → cache → dedup → enqueue,
+// shedding with 429 when the queue is full and 503 while draining.
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST a JSON compile request", http.StatusMethodNotAllowed)
+		return
+	}
+	var req facc.CompileRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := req.Validate(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	key := req.Digest()
+
+	// Store first: a finished adapter needs no queue slot at all.
+	if st := s.cfg.Store; st != nil {
+		if e, ok := st.Get(key); ok {
+			s.reg.Counter("serve.cache_hits").Inc()
+			job := s.registerCached(key, req, e)
+			w.Header().Set("X-Facc-Cache", "hit")
+			s.respond(w, r, job)
+			return
+		}
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "10")
+		http.Error(w, "draining: not admitting new work", http.StatusServiceUnavailable)
+		return
+	}
+	if job, ok := s.active[key]; ok {
+		s.mu.Unlock()
+		s.reg.Counter("serve.jobs_deduped").Inc()
+		w.Header().Set("X-Facc-Dedup", "true")
+		s.respond(w, r, job)
+		return
+	}
+	job := &Job{
+		ID:       "j" + strconv.Itoa(s.nextID),
+		Key:      key,
+		Req:      req,
+		State:    Queued,
+		enqueued: time.Now(),
+		done:     make(chan struct{}),
+	}
+	select {
+	case s.queue <- job:
+	default:
+		s.mu.Unlock()
+		s.reg.Counter("serve.jobs_shed").Inc()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, fmt.Sprintf("queue full (%d jobs): shedding load, retry later",
+			s.cfg.QueueDepth), http.StatusTooManyRequests)
+		return
+	}
+	s.nextID++
+	s.jobs[job.ID] = job
+	s.active[key] = job
+	s.mu.Unlock()
+	s.reg.Counter("serve.jobs_admitted").Inc()
+	s.reg.Gauge("serve.queue_depth").Set(float64(len(s.queue)))
+	s.respond(w, r, job)
+}
+
+// registerCached files a store hit as an already-done job so /jobs/{id}
+// works uniformly.
+func (s *Server) registerCached(key string, req facc.CompileRequest, e store.Entry) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job := &Job{
+		ID:       "j" + strconv.Itoa(s.nextID),
+		Key:      key,
+		Req:      req,
+		State:    Done,
+		Cached:   true,
+		Result:   CompileResult{AdapterC: e.AdapterC, Function: e.Function},
+		enqueued: time.Now(),
+		done:     make(chan struct{}),
+	}
+	s.nextID++
+	s.jobs[job.ID] = job
+	s.retire(job.ID)
+	close(job.done)
+	return job
+}
+
+// retire files a terminal job in the bounded history, evicting the
+// oldest entry past historyCap. Caller holds s.mu.
+func (s *Server) retire(id string) {
+	s.history = append(s.history, id)
+	if len(s.history) > historyCap {
+		delete(s.jobs, s.history[0])
+		s.history = s.history[1:]
+	}
+}
+
+// worker drains the admission queue until Drain closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	busy := s.reg.Counter("serve.worker_jobs")
+	for job := range s.queue {
+		s.reg.Gauge("serve.queue_depth").Set(float64(len(s.queue)))
+		busy.Inc()
+		s.run(job)
+	}
+}
+
+// run executes one job under the per-request budget and finalizes it.
+func (s *Server) run(job *Job) {
+	s.reg.Gauge("serve.workers_busy").Set(float64(s.busy.Add(1)))
+	defer func() {
+		s.reg.Gauge("serve.workers_busy").Set(float64(s.busy.Add(-1)))
+	}()
+	s.mu.Lock()
+	job.State = Running
+	s.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.RequestTimeout)
+	res, err := s.compile(ctx, job.Req)
+	cancel()
+
+	s.mu.Lock()
+	job.Result = res
+	switch {
+	case err != nil:
+		job.State = Failed
+		job.Err = err.Error()
+	case res.FailReason != "":
+		job.State = Failed
+	default:
+		job.State = Done
+	}
+	state := job.State
+	s.mu.Unlock()
+
+	// Persist before dropping the dedup registration: a same-digest
+	// request arriving in between must find either the in-flight job or
+	// the stored adapter, never a gap that recompiles.
+	if state == Done {
+		if st := s.cfg.Store; st != nil {
+			st.Put(job.Key, store.Entry{
+				Target:   job.Req.Target,
+				Function: res.Function,
+				AdapterC: res.AdapterC,
+			})
+		}
+		s.reg.Counter("serve.jobs_completed").Inc()
+	} else {
+		s.reg.Counter("serve.jobs_failed").Inc()
+	}
+	s.mu.Lock()
+	delete(s.active, job.Key)
+	s.retire(job.ID)
+	s.mu.Unlock()
+	s.reg.Histogram("serve.latency_ms", obs.DurationBucketsMs).
+		Observe(float64(time.Since(job.enqueued)) / float64(time.Millisecond))
+	close(job.done)
+}
+
+// jobJSON is the wire form of a job.
+type jobJSON struct {
+	ID         string  `json:"id"`
+	State      string  `json:"state"`
+	Key        string  `json:"key"`
+	Target     string  `json:"target"`
+	Function   string  `json:"function,omitempty"`
+	AdapterC   string  `json:"adapter_c,omitempty"`
+	FailReason string  `json:"fail_reason,omitempty"`
+	Error      string  `json:"error,omitempty"`
+	Cached     bool    `json:"cached,omitempty"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+}
+
+func (s *Server) jobView(job *Job) jobJSON {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return jobJSON{
+		ID:         job.ID,
+		State:      string(job.State),
+		Key:        job.Key,
+		Target:     job.Req.Target,
+		Function:   job.Result.Function,
+		AdapterC:   job.Result.AdapterC,
+		FailReason: job.Result.FailReason,
+		Error:      job.Err,
+		Cached:     job.Cached,
+		ElapsedMS:  float64(time.Since(job.enqueued)) / float64(time.Millisecond),
+	}
+}
+
+// respond writes the job's current state; with ?wait=1 it first blocks
+// until the job finishes (or the client goes away, or drain hard-cancel
+// fires — the job itself then reports what happened).
+func (s *Server) respond(w http.ResponseWriter, r *http.Request, job *Job) {
+	wait := r.URL.Query().Get("wait")
+	if wait == "1" || wait == "true" {
+		select {
+		case <-job.done:
+		case <-r.Context().Done():
+			return // client gone; the job keeps running
+		}
+	}
+	view := s.jobView(job)
+	code := http.StatusOK
+	if view.State == string(Queued) || view.State == string(Running) {
+		code = http.StatusAccepted
+		w.Header().Set("Location", "/jobs/"+job.ID)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(view)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	s.respond(w, r, job)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ready")
+}
+
+// Draining reports whether the server has stopped admitting work.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain stops admitting work and waits for queued and in-flight jobs to
+// finish. If ctx expires first, outstanding compiles are hard-cancelled
+// through the base context (they finish promptly as Failed jobs — the
+// pipeline is cancellation-aware end to end) and Drain reports the
+// deadline error. Idempotent.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	first := !s.draining
+	if first {
+		s.draining = true
+		s.reg.Gauge("serve.draining").Set(1)
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	finished := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+		s.reg.Counter("serve.drain_hard_cancels").Inc()
+		s.baseCancel()
+		<-finished
+		return fmt.Errorf("server: drain deadline: %w", ctx.Err())
+	}
+}
+
+// ErrDraining marks rejected work during shutdown (exposed for clients
+// embedding the server).
+var ErrDraining = errors.New("server: draining")

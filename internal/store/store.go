@@ -1,0 +1,384 @@
+// Package store is faccd's crash-safe, content-addressed adapter cache.
+// Synthesized adapters are expensive to produce (a full generate-and-test
+// search) and cheap to keep, so the daemon memoizes them on disk keyed by
+// the request digest (facc.CompileRequest.Digest). The failure model is
+// hostile: the process may be SIGKILLed mid-write, the disk may tear a
+// page, an operator may truncate a file. The store's contract is that a
+// damaged entry is never served — it is detected, quarantined, and the
+// adapter is recompiled — while undamaged entries survive any crash.
+//
+// Mechanics:
+//
+//   - Writes are atomic: temp file in the same directory, fsync, rename.
+//   - Every entry carries a SHA-256 checksum over its payload; Get
+//     verifies it (and that the entry matches the requested key) before
+//     returning a hit. A mismatch moves the file to quarantine/ and
+//     reports a miss.
+//   - A small WAL records begin/commit around each write. Open replays
+//     it: entries that began but never committed are re-verified and
+//     quarantined when damaged, so a crash mid-write costs one recompile,
+//     never a bad adapter.
+//   - All disk I/O runs through a faultinject.IOBreaker: when storage
+//     itself goes sick (consecutive I/O errors) the store degrades to a
+//     pass-through — every Get is a miss, Puts are dropped — instead of
+//     stalling the compile service on a dying disk.
+//
+// Metrics (in the registry passed to Open): store.hits, store.misses,
+// store.writes, store.corrupt_quarantined, store.recovered_pending,
+// store.io_errors, and the store.breaker.* family.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"facc/internal/faultinject"
+	"facc/internal/obs"
+)
+
+// Entry is one cached adapter.
+type Entry struct {
+	// Key is the content address (the request digest) the entry was
+	// stored under.
+	Key string `json:"key"`
+	// Target is the accelerator the adapter was synthesized for.
+	Target string `json:"target"`
+	// Function is the replaced user function.
+	Function string `json:"function"`
+	// AdapterC is the synthesized drop-in replacement C source.
+	AdapterC string `json:"adapter_c"`
+	// Checksum is the hex SHA-256 of the payload fields, written at Put
+	// time and re-verified on every Get.
+	Checksum string `json:"checksum"`
+}
+
+// checksum computes the payload checksum (everything except the checksum
+// field itself).
+func (e *Entry) checksum() string {
+	h := sha256.New()
+	for _, s := range []string{e.Key, e.Target, e.Function, e.AdapterC} {
+		fmt.Fprintf(h, "%d:", len(s))
+		h.Write([]byte(s))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Store is a crash-safe content-addressed adapter cache rooted at one
+// directory. Safe for concurrent use.
+type Store struct {
+	dir     string
+	reg     *obs.Registry
+	breaker *faultinject.IOBreaker
+
+	// FaultHook, when non-nil, is consulted before every disk operation
+	// (op is "wal", "write", "rename", "read") and may return an error to
+	// inject storage faults in tests. Production leaves it nil.
+	FaultHook func(op, path string) error
+
+	wal *walWriter
+}
+
+// Open opens (creating if needed) the store at dir, replaying the WAL:
+// entries whose writes began but never committed are re-verified and
+// quarantined when damaged. reg may be nil.
+func Open(dir string, reg *obs.Registry) (*Store, error) {
+	s := &Store{dir: dir, reg: reg, breaker: faultinject.NewIOBreaker("store", reg)}
+	for _, d := range []string{dir, s.objectsDir(), s.quarantineDir()} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	wal, err := newWALWriter(s.walPath())
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s.wal = wal
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Breaker exposes the store's I/O circuit breaker (state inspection and
+// journaling hooks).
+func (s *Store) Breaker() *faultinject.IOBreaker { return s.breaker }
+
+func (s *Store) objectsDir() string    { return filepath.Join(s.dir, "objects") }
+func (s *Store) quarantineDir() string { return filepath.Join(s.dir, "quarantine") }
+func (s *Store) walPath() string       { return filepath.Join(s.dir, "wal.log") }
+
+// objectPath fans entries out over 256 prefix directories so one
+// directory never accumulates an unbounded listing.
+func (s *Store) objectPath(key string) string {
+	prefix := "xx"
+	if len(key) >= 2 {
+		prefix = key[:2]
+	}
+	return filepath.Join(s.objectsDir(), prefix, key+".json")
+}
+
+func (s *Store) fault(op, path string) error {
+	if s.FaultHook != nil {
+		return s.FaultHook(op, path)
+	}
+	return nil
+}
+
+func (s *Store) count(name string) { s.reg.Counter(name).Inc() }
+
+// Get returns the entry stored under key, or found=false on a miss. A
+// corrupt entry (checksum or key mismatch, unparsable JSON, truncation)
+// is quarantined and reported as a miss: the caller recompiles. Storage
+// I/O errors degrade to a miss through the breaker — the store never
+// fails a compile, it only stops helping.
+func (s *Store) Get(key string) (Entry, bool) {
+	var e Entry
+	var found bool
+	err := s.breaker.Do(func() error {
+		path := s.objectPath(key)
+		if err := s.fault("read", path); err != nil {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil // a clean miss, not an I/O failure
+		}
+		if err != nil {
+			s.count("store.io_errors")
+			return err
+		}
+		if jerr := json.Unmarshal(data, &e); jerr != nil || e.Key != key || e.Checksum != e.checksum() {
+			s.quarantine(path)
+			e = Entry{}
+			return nil // corrupt entry: quarantined, serve a miss
+		}
+		found = true
+		return nil
+	})
+	if err != nil || !found {
+		s.count("store.misses")
+		return Entry{}, false
+	}
+	s.count("store.hits")
+	return e, true
+}
+
+// Put durably stores the entry under key (WAL begin → atomic temp+rename
+// → WAL commit). Errors mean the entry may not be cached; they never
+// imply a torn object is visible — Get would quarantine one.
+func (s *Store) Put(key string, e Entry) error {
+	e.Key = key
+	e.Checksum = e.checksum()
+	data, err := json.MarshalIndent(&e, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	werr := s.breaker.Do(func() error {
+		if err := s.fault("wal", s.walPath()); err != nil {
+			return err
+		}
+		if err := s.wal.append("begin " + key); err != nil {
+			s.count("store.io_errors")
+			return err
+		}
+		path := s.objectPath(key)
+		if err := s.writeAtomic(path, data); err != nil {
+			s.count("store.io_errors")
+			return err
+		}
+		if err := s.wal.append("commit " + key); err != nil {
+			s.count("store.io_errors")
+			return err
+		}
+		return nil
+	})
+	if werr != nil {
+		return fmt.Errorf("store: put %s: %w", key, werr)
+	}
+	s.count("store.writes")
+	return nil
+}
+
+// writeAtomic writes data to path via a same-directory temp file, fsync,
+// and rename, so a crash leaves either the old object or the new one —
+// never a half-written file under the final name.
+func (s *Store) writeAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := s.fault("write", path); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { tmp.Close(); os.Remove(tmpName) }
+	if _, err := tmp.Write(data); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := s.fault("rename", path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	syncDir(dir)
+	return nil
+}
+
+// quarantine moves a damaged file out of the object tree (never deletes:
+// the evidence is kept for post-mortems) and counts it.
+func (s *Store) quarantine(path string) {
+	name := fmt.Sprintf("%s.%d", filepath.Base(path), time.Now().UnixNano())
+	if err := os.Rename(path, filepath.Join(s.quarantineDir(), name)); err != nil {
+		// Removal is the fallback: a corrupt entry must not stay servable.
+		os.Remove(path)
+	}
+	s.count("store.corrupt_quarantined")
+}
+
+// recover replays the WAL: any key whose write began but never committed
+// is re-verified (the crash may have hit before, during, or after the
+// rename) and quarantined when damaged. Afterwards the WAL is truncated —
+// every surviving object is verified-durable.
+func (s *Store) recover() error {
+	data, err := os.ReadFile(s.walPath())
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: reading WAL: %w", err)
+	}
+	pending := map[string]bool{}
+	lines := strings.Split(string(data), "\n")
+	for i, line := range lines {
+		if i == len(lines)-1 && line != "" {
+			break // torn final record: the write it describes is unverified anyway
+		}
+		op, key, ok := strings.Cut(strings.TrimSpace(line), " ")
+		if !ok {
+			continue
+		}
+		switch op {
+		case "begin":
+			pending[key] = true
+		case "commit":
+			delete(pending, key)
+		}
+	}
+	for key := range pending {
+		s.count("store.recovered_pending")
+		path := s.objectPath(key)
+		data, err := os.ReadFile(path)
+		if errors.Is(err, fs.ErrNotExist) {
+			continue // crashed before the rename: nothing visible, nothing to do
+		}
+		if err != nil {
+			return fmt.Errorf("store: verifying %s: %w", key, err)
+		}
+		var e Entry
+		if jerr := json.Unmarshal(data, &e); jerr != nil || e.Key != key || e.Checksum != e.checksum() {
+			s.quarantine(path)
+		}
+	}
+	// Every object is now verified; start the next epoch with a fresh WAL.
+	if err := os.WriteFile(s.walPath()+".tmp", nil, 0o644); err != nil {
+		return fmt.Errorf("store: resetting WAL: %w", err)
+	}
+	if err := os.Rename(s.walPath()+".tmp", s.walPath()); err != nil {
+		return fmt.Errorf("store: resetting WAL: %w", err)
+	}
+	return nil
+}
+
+// Len walks the object tree and returns the number of (well-named)
+// entries; a maintenance/test helper, not a hot path.
+func (s *Store) Len() int {
+	n := 0
+	filepath.WalkDir(s.objectsDir(), func(path string, d fs.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasSuffix(d.Name(), ".json") {
+			n++
+		}
+		return nil
+	})
+	return n
+}
+
+// Close flushes and closes the WAL. The object tree needs no shutdown —
+// every write was already durable.
+func (s *Store) Close() error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.close()
+}
+
+// walWriter appends fsynced records to the write-ahead log. Appends are
+// serialized: interleaved begin/commit records from concurrent Puts are
+// fine (recovery is keyed), torn records within a line are not.
+type walWriter struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func newWALWriter(path string) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &walWriter{f: f}, nil
+}
+
+func (w *walWriter) append(record string) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.f.WriteString(record + "\n"); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func (w *walWriter) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power loss;
+// best-effort (some filesystems reject directory fsync).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

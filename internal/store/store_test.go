@@ -1,0 +1,268 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"facc/internal/faultinject"
+	"facc/internal/obs"
+)
+
+func testEntry(n int) Entry {
+	return Entry{
+		Target:   "ffta",
+		Function: "fft",
+		AdapterC: fmt.Sprintf("/* adapter %d */\nvoid fft(float *data, int n) {}\n", n),
+	}
+}
+
+func testKey(n int) string {
+	return fmt.Sprintf("%02xdeadbeefdeadbeefdeadbeefdeadbeef", n)
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	s, err := Open(dir, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(testKey(1)); ok {
+		t.Fatal("hit on empty store")
+	}
+	if err := s.Put(testKey(1), testEntry(1)); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := s.Get(testKey(1))
+	if !ok || e.AdapterC != testEntry(1).AdapterC || e.Key != testKey(1) {
+		t.Fatalf("Get after Put: ok=%v e=%+v", ok, e)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A clean reopen serves the same entry: durability across restarts.
+	s2, err := Open(dir, obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	e, ok = s2.Get(testKey(1))
+	if !ok || e.AdapterC != testEntry(1).AdapterC {
+		t.Fatalf("Get after reopen: ok=%v e=%+v", ok, e)
+	}
+	c := reg.Counters()
+	if c["store.hits"] != 1 || c["store.misses"] != 1 || c["store.writes"] != 1 {
+		t.Fatalf("counters = %v", c)
+	}
+}
+
+// TestStoreQuarantinesCorruptEntry is the torn-write half of the ISSUE
+// acceptance: a damaged object must never be served — it is moved to
+// quarantine/, the Get reports a miss, and a fresh Put heals the key.
+func TestStoreQuarantinesCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	s, err := Open(dir, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	key := testKey(2)
+	if err := s.Put(key, testEntry(2)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip payload bytes without updating the checksum: a torn page.
+	path := s.objectPath(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(data), "adapter 2", "adapter 666", 1)
+	if tampered == string(data) {
+		t.Fatal("tamper did not change the object")
+	}
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if e, ok := s.Get(key); ok {
+		t.Fatalf("corrupt entry served: %+v", e)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("corrupt object still in place: %v", err)
+	}
+	q, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+	if err != nil || len(q) != 1 {
+		t.Fatalf("quarantine dir: entries=%d err=%v", len(q), err)
+	}
+	if got := reg.Counters()["store.corrupt_quarantined"]; got != 1 {
+		t.Fatalf("corrupt_quarantined = %d, want 1", got)
+	}
+
+	// The key is healable: recompile-and-Put serves hits again.
+	if err := s.Put(key, testEntry(2)); err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := s.Get(key); !ok || e.AdapterC != testEntry(2).AdapterC {
+		t.Fatalf("Get after heal: ok=%v e=%+v", ok, e)
+	}
+}
+
+// TestStoreGetRejectsWrongKey: an entry renamed onto another key's path
+// (operator error, aliasing bug) must not be served for that key.
+func TestStoreGetRejectsWrongKey(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put(testKey(3), testEntry(3)); err != nil {
+		t.Fatal(err)
+	}
+	other := s.objectPath(testKey(4))
+	if err := os.MkdirAll(filepath.Dir(other), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(s.objectPath(testKey(3)))
+	if err := os.WriteFile(other, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := s.Get(testKey(4)); ok {
+		t.Fatalf("aliased entry served: %+v", e)
+	}
+}
+
+// TestStoreWALRecovery simulates a crash mid-write: the WAL holds a
+// begin with no commit and the object under that key is garbage. Open
+// must quarantine the damaged object, keep committed neighbours intact,
+// and reset the WAL.
+func TestStoreWALRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, torn, ghost := testKey(5), testKey(6), testKey(7)
+	if err := s.Put(good, testEntry(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash scenario, staged by hand: a begin record without a commit,
+	// a half-written (non-JSON) object under that key, plus a pending
+	// key whose rename never happened, plus a torn final WAL line.
+	wal, err := os.OpenFile(filepath.Join(dir, "wal.log"), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(wal, "begin %s\n", torn)
+	fmt.Fprintf(wal, "begin %s\n", ghost)
+	fmt.Fprintf(wal, "begin %s", testKey(8)) // no newline: torn record
+	wal.Close()
+	tornPath := s.objectPath(torn)
+	if err := os.MkdirAll(filepath.Dir(tornPath), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(tornPath, []byte(`{"key":"`+torn+`","adapter_c":"void`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	s2, err := Open(dir, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, ok := s2.Get(torn); ok {
+		t.Fatal("torn entry served after recovery")
+	}
+	if _, err := os.Stat(tornPath); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("torn object not quarantined")
+	}
+	if e, ok := s2.Get(good); !ok || e.AdapterC != testEntry(5).AdapterC {
+		t.Fatalf("committed neighbour damaged by recovery: ok=%v", ok)
+	}
+	c := reg.Counters()
+	if c["store.recovered_pending"] != 2 { // torn + ghost; the torn WAL line is dropped
+		t.Fatalf("recovered_pending = %d, want 2", c["store.recovered_pending"])
+	}
+	if c["store.corrupt_quarantined"] != 1 {
+		t.Fatalf("corrupt_quarantined = %d, want 1", c["store.corrupt_quarantined"])
+	}
+	wdata, err := os.ReadFile(filepath.Join(dir, "wal.log"))
+	if err != nil || len(wdata) != 0 {
+		t.Fatalf("WAL not reset after recovery: %q err=%v", wdata, err)
+	}
+}
+
+// TestStoreBreakerDegradesOnIOErrors: consecutive storage failures open
+// the I/O breaker; the store then degrades to pass-through (miss without
+// touching the disk) instead of hammering a sick device, and recovers
+// once the disk heals.
+func TestStoreBreakerDegradesOnIOErrors(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	s, err := Open(dir, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put(testKey(9), testEntry(9)); err != nil {
+		t.Fatal(err)
+	}
+
+	sick := true
+	hookCalls := 0
+	s.FaultHook = func(op, path string) error {
+		hookCalls++
+		if sick {
+			return errors.New("injected: disk unplugged")
+		}
+		return nil
+	}
+	threshold := s.Breaker().Threshold
+	for i := 0; i < threshold; i++ {
+		if _, ok := s.Get(testKey(9)); ok {
+			t.Fatalf("hit %d despite injected I/O error", i)
+		}
+	}
+	if s.Breaker().State() != faultinject.Open {
+		t.Fatalf("breaker state = %v, want open after %d failures", s.Breaker().State(), threshold)
+	}
+	callsAtOpen := hookCalls
+	if _, ok := s.Get(testKey(9)); ok {
+		t.Fatal("hit while breaker open")
+	}
+	if hookCalls != callsAtOpen {
+		t.Fatal("open breaker still touched the disk")
+	}
+	if err := s.Put(testKey(10), testEntry(10)); err == nil {
+		t.Fatal("Put succeeded while breaker open")
+	}
+
+	// Disk heals; after the cooldown a probe closes the circuit and the
+	// cached entry is servable again.
+	sick = false
+	s.Breaker().Cooldown = 0
+	if e, ok := s.Get(testKey(9)); !ok || e.AdapterC != testEntry(9).AdapterC {
+		t.Fatalf("Get after heal: ok=%v", ok)
+	}
+	if s.Breaker().State() != faultinject.Closed {
+		t.Fatalf("breaker state = %v, want closed", s.Breaker().State())
+	}
+	if reg.Counters()["store.breaker.rejected"] == 0 {
+		t.Fatal("no rejected ops counted")
+	}
+}
