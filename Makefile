@@ -3,14 +3,15 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race fuzz-smoke chaos bench bench-json bench-serve serve-smoke repro repro-full examples fmt lint vet check clean
+.PHONY: all build test test-short test-race fuzz-smoke chaos bench bench-json bench-serve bench-gate serve-smoke repro repro-full examples fmt lint vet check clean
 
 all: build test
 
 # Tier-1 gate: formatting + vet + tests + race detector + fuzz smoke +
 # the faccd serve smoke (compile over HTTP, SIGTERM drain, crash-safe
-# store recovery).
-check: lint test test-race fuzz-smoke serve-smoke
+# store recovery, trace-ID join) + the bench gate (fresh synthesis and
+# serving numbers vs the committed baselines).
+check: lint test test-race fuzz-smoke serve-smoke bench-gate
 
 build:
 	$(GO) build ./...
@@ -58,9 +59,18 @@ bench-serve:
 
 # End-to-end daemon smoke: build faccd, compile over HTTP, SIGTERM with a
 # request in flight, tear the cached adapter, restart and assert the
-# store quarantines + recompiles + serves byte-identical bytes.
+# store quarantines + recompiles + serves byte-identical bytes, then
+# assert one trace ID joins the response header, the journal export and
+# the /debug/requests flight record.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# Performance regression gate: measure fresh synthbench/servebench
+# artifacts and compare wall-time and waste-ratio against the committed
+# BENCH_synth.json / BENCH_serve.json (>GATE_TOLERANCE, default 25%,
+# fails).
+bench-gate:
+	./scripts/bench_gate.sh
 
 # Regenerate the paper's evaluation (Table 1 + Figures 8-16 + ablations).
 repro:

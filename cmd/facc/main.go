@@ -5,7 +5,7 @@
 //
 //	facc -target ffta [-entry fft] [-profile n=64,128,256] [-tests 10]
 //	     [-trace trace.json] [-metrics] [-serve :9090]
-//	     [-journal prov.jsonl] [-explain]
+//	     [-journal prov.jsonl] [-explain] [-costs]
 //	     [-timeout 30s] [-candidate-timeout 50ms] [-faults error=0.3,seed=7]
 //	     file.c
 //
@@ -16,7 +16,11 @@
 // observability endpoints (/metrics Prometheus exposition, /status JSON,
 // /trace download, /debug/pprof) for the duration of the run; -journal
 // writes the synthesis provenance journal as JSONL; -explain renders it as
-// a human-readable "why was / wasn't this adapter synthesised" report.
+// a human-readable "why was / wasn't this adapter synthesised" report;
+// -costs prints the synthesis cost ledger — how much interpreter work went
+// to the winning candidate (useful) versus superseded or killed losers
+// (speculative) and how much the oracle shared across duplicates, per
+// target, with the waste ratio.
 //
 // Robustness: -timeout bounds the whole compilation's wall clock,
 // -candidate-timeout bounds fuzzing any one binding candidate (a hung
@@ -84,6 +88,7 @@ func main() {
 		Workers:          of.Workers,
 		Trace:            of.Tracer(),
 		Journal:          of.Journal(),
+		Ledger:           of.Ledger(),
 		Deadline:         of.Timeout,
 		CandidateTimeout: of.CandidateTimeout,
 	}
@@ -113,6 +118,9 @@ func main() {
 	// -trace/-metrics/-journal output rather than leaving partial files.
 	ctx, stop := of.WithSignals(context.Background())
 	defer stop()
+	// Stamp the run with a trace ID so spans, journal lines and ledger
+	// accounts from this invocation are joinable, like a served request.
+	ctx, _ = of.WithTrace(ctx)
 	res, err := facc.CompileContext(ctx, path, string(src), *target, opts)
 	if ferr := of.Finish(); ferr != nil {
 		fmt.Fprintf(os.Stderr, "facc: %v\n", ferr)

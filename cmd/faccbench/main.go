@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 
 	"facc/internal/core"
 	"facc/internal/eval"
@@ -28,11 +29,17 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"table1, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, ablation, all, or synthbench/servebench (not in all)")
+		"table1, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, ablation, all, or synthbench/servebench/benchgate (not in all)")
 	full := flag.Bool("full", false, "use the paper-size Fig. 11 protocol (slow)")
 	tests := flag.Int("tests", 5, "IO examples per candidate during compilation")
 	benchOut := flag.String("bench-out", "",
 		"with -experiment synthbench/servebench: also write the report as JSON to this file (e.g. BENCH_synth.json)")
+	gateSynth := flag.String("gate-synth", "",
+		`with -experiment benchgate: "baseline.json:fresh.json" pair of synthesis artifacts`)
+	gateServe := flag.String("gate-serve", "",
+		`with -experiment benchgate: "baseline.json:fresh.json" pair of serving artifacts`)
+	gateTol := flag.Float64("gate-tolerance", 0.25,
+		"with -experiment benchgate: allowed fractional regression before failing (0.25 = 25%)")
 	of := obsflag.RegisterSynth(flag.CommandLine, "faccbench")
 	flag.Parse()
 
@@ -59,8 +66,10 @@ func main() {
 		err = runSynthBench(ctx, *tests, of.Workers, *benchOut)
 	case "servebench":
 		err = runServeBench(ctx, *benchOut)
+	case "benchgate":
+		err = runBenchGate(*gateSynth, *gateServe, *gateTol)
 	default:
-		err = run(ctx, *experiment, *full, *tests, of.Tracer(), of.Journal())
+		err = run(ctx, *experiment, *full, *tests, of.Tracer(), of.Journal(), of.Ledger())
 	}
 	if ferr := of.Finish(); ferr != nil {
 		fmt.Fprintf(os.Stderr, "faccbench: %v\n", ferr)
@@ -138,7 +147,34 @@ func runSynthBench(ctx context.Context, tests, workers int, benchOut string) err
 	return nil
 }
 
-func run(ctx context.Context, experiment string, full bool, tests int, tr *obs.Tracer, j *obs.Journal) error {
+// runBenchGate compares fresh benchmark artifacts against committed
+// baselines and exits non-zero on a regression beyond the tolerance.
+// Each pair argument is "baseline.json:fresh.json"; empty skips the pair.
+func runBenchGate(synthPair, servePair string, tol float64) error {
+	cfg := eval.GateConfig{Tolerance: tol}
+	var ok bool
+	if synthPair != "" {
+		if cfg.BaselineSynth, cfg.FreshSynth, ok = strings.Cut(synthPair, ":"); !ok {
+			return fmt.Errorf("-gate-synth: want baseline.json:fresh.json, got %q", synthPair)
+		}
+	}
+	if servePair != "" {
+		if cfg.BaselineServe, cfg.FreshServe, ok = strings.Cut(servePair, ":"); !ok {
+			return fmt.Errorf("-gate-serve: want baseline.json:fresh.json, got %q", servePair)
+		}
+	}
+	rep, err := eval.BenchGate(cfg)
+	if err != nil {
+		return err
+	}
+	rep.WriteText(os.Stdout)
+	if !rep.OK() {
+		return fmt.Errorf("bench gate failed: %d regression(s)", rep.Failures)
+	}
+	return nil
+}
+
+func run(ctx context.Context, experiment string, full bool, tests int, tr *obs.Tracer, j *obs.Journal, led *obs.Ledger) error {
 	w := os.Stdout
 	sep := func() { fmt.Fprintln(w) }
 
@@ -153,7 +189,7 @@ func run(ctx context.Context, experiment string, full bool, tests int, tr *obs.T
 		fmt.Fprintf(os.Stderr, "faccbench: compiling the corpus (%d targets x 25 programs)...\n",
 			len(targets))
 		var err error
-		outcomes, err = eval.CompileAll(ctx, targets, tests, tr, j)
+		outcomes, err = eval.CompileAll(ctx, targets, tests, tr, j, led)
 		return err
 	}
 	allTargets := []string{"ffta", "powerquad", "fftw"}

@@ -24,6 +24,7 @@ import (
 	"facc/internal/core"
 	"facc/internal/eval"
 	"facc/internal/minic"
+	"facc/internal/obs"
 	"facc/internal/obs/obsflag"
 )
 
@@ -43,6 +44,9 @@ func main() {
 	// instead of dropping it on the floor.
 	of.FlushOnSignal()
 	tr := of.Tracer()
+	// One run = one trace ID, stamped on every root span so exported
+	// traces are joinable exactly like a served request's X-Facc-Trace.
+	runID := obs.NewTraceID()
 	finish := func() {
 		if err := of.Finish(); err != nil {
 			fmt.Fprintf(os.Stderr, "faccclassify: %v\n", err)
@@ -55,7 +59,7 @@ func main() {
 		if *full {
 			cfg = eval.PaperFig11()
 		}
-		sp := tr.Span("crossvalidate")
+		sp := tr.Span("crossvalidate").SetTrace(runID)
 		_, err := eval.Fig11(os.Stdout, cfg)
 		sp.End()
 		finish()
@@ -76,7 +80,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "faccclassify: %v\n", err)
 		os.Exit(2)
 	}
-	fsp := tr.Span("frontend").Str("file", path)
+	fsp := tr.Span("frontend").SetTrace(runID).Str("file", path)
 	f, err := minic.ParseAndCheck(path, string(src))
 	fsp.End()
 	if err != nil {
@@ -85,7 +89,7 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Fprintf(os.Stderr, "faccclassify: training (%d instances/class)...\n", *perClass)
-	tsp := tr.Span("train").Int("per_class", int64(*perClass))
+	tsp := tr.Span("train").SetTrace(runID).Int("per_class", int64(*perClass))
 	clf, err := core.TrainClassifier(*perClass, 1)
 	tsp.End()
 	if err != nil {
@@ -93,7 +97,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "faccclassify: %v\n", err)
 		os.Exit(1)
 	}
-	csp := tr.Span("classify").Str("file", path)
+	csp := tr.Span("classify").SetTrace(runID).Str("file", path)
 	candidates := clf.CandidateFunctions(f)
 	csp.Int("candidates", int64(len(candidates))).End()
 	defer finish()

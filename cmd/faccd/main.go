@@ -7,6 +7,7 @@
 //	faccd [-addr :8080] [-store faccd-store] [-queue 64] [-workers N]
 //	      [-request-timeout 2m] [-candidate-timeout 50ms]
 //	      [-drain-timeout 10s] [-tests 10] [-j N] [-faults chaos]
+//	      [-slo-latency 1s] [-slo-objective 0.99] [-flight-recorder 32]
 //
 // Endpoints:
 //
@@ -16,7 +17,13 @@
 //	                        503 while draining
 //	GET  /jobs/{id}         job status and the synthesized adapter
 //	GET  /healthz, /readyz  liveness / admission readiness
+//	GET  /debug/requests    SLO flight recorder: slowest + failed requests
+//	                        with span trees, journals and cost ledgers
 //	GET  /metrics, /status, /trace, /debug/pprof  observability (obshttp)
+//
+// Tracing: every request is stamped with an X-Facc-Trace ID (client-set
+// or generated) that joins the response header, span exports, journal
+// events, the cost ledger and /debug/requests.
 //
 // Robustness: identical in-flight requests share one compile
 // (singleflight); finished adapters are memoized in a crash-safe
@@ -66,6 +73,12 @@ func main() {
 	jflag := flag.Int("j", 0, "candidate-level parallelism per compile (0 = GOMAXPROCS)")
 	faults := flag.String("faults", "",
 		`inject accelerator faults for chaos testing, e.g. "chaos" or "error=0.3,seed=7"`)
+	sloLatency := flag.Duration("slo-latency", time.Second,
+		"per-request latency SLO target; slower compiles count toward the burn rate")
+	sloObjective := flag.Float64("slo-objective", 0.99,
+		"fraction of requests that must meet the SLO (burn rate = violation rate / error budget)")
+	flightRec := flag.Int("flight-recorder", 32,
+		"retain this many slowest and failed requests (full span/journal/ledger) at /debug/requests; -1 disables")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "usage: faccd [flags] (takes no arguments)\n")
@@ -103,6 +116,11 @@ func main() {
 		RequestTimeout: *requestTimeout,
 		Store:          st,
 		Tracer:         tr,
+		Journal:        obs.NewJournal(),
+		Ledger:         obs.NewLedger(),
+		FlightRecorder: *flightRec,
+		SLOLatency:     *sloLatency,
+		SLOObjective:   *sloObjective,
 		Options:        opts,
 	})
 

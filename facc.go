@@ -99,6 +99,13 @@ type Options struct {
 	// adapter synthesised") or export as JSONL. Nil (the default) costs
 	// nothing.
 	Journal *Journal
+	// Ledger, when non-nil, charges every interpreter test, interpreter
+	// step and oracle lookup to a (function, candidate, target, verdict)
+	// account, separating useful work (the winner) from speculative waste
+	// (superseded/killed losers) and shared work (oracle hits). Render
+	// with Ledger.WriteCostReport (`facc -explain -costs`) or roll up via
+	// Ledger.Summary. Nil (the default) costs nothing on the hot path.
+	Ledger *Ledger
 
 	// Deadline bounds the whole compilation's wall clock: past it the
 	// pipeline stops promptly (the interpreter polls it inside each fuzz
@@ -149,6 +156,12 @@ type Journal = obs.Journal
 
 // NewJournal returns an empty journal to pass via Options.Journal.
 func NewJournal() *Journal { return obs.NewJournal() }
+
+// Ledger is the synthesis cost ledger; see Options.Ledger.
+type Ledger = obs.Ledger
+
+// NewLedger returns an empty ledger to pass via Options.Ledger.
+func NewLedger() *Ledger { return obs.NewLedger() }
 
 // Classifier is the trained ProGraML-style candidate detector.
 type Classifier = core.Classifier
@@ -290,6 +303,7 @@ func CompileContext(ctx context.Context, name, source, target string, opts Optio
 		Classifier:    opts.Classifier,
 		Trace:         opts.Trace,
 		Journal:       opts.Journal,
+		Ledger:        opts.Ledger,
 		Synth: synth.Options{
 			NumTests:         opts.NumTests,
 			Tolerance:        opts.Tolerance,

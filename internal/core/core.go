@@ -105,6 +105,11 @@ type Options struct {
 	// verdict (with counterexample) and acceptance. Render it with
 	// obs.Journal.WriteReport or export it as JSONL. Nil costs nothing.
 	Journal *obs.Journal
+	// Ledger, when non-nil, charges every interpreter test, interpreter
+	// step and oracle lookup to a (function, candidate, target, verdict)
+	// account, separating useful (winner) from speculative (loser) work.
+	// Nil costs nothing on the hot path.
+	Ledger *obs.Ledger
 }
 
 // FunctionResult is the outcome for one candidate region.
@@ -217,7 +222,14 @@ func CompileFile(ctx context.Context, f *minic.File, spec *accel.Spec, opts Opti
 	if traced {
 		spec.Instrument(tr.Metrics())
 	}
-	root := tr.Span("compile").Str("file", f.Name).Str("target", spec.Name)
+	// A trace ID on the context scopes every span, journal line and
+	// ledger charge of this compilation to the originating request.
+	if trace := obs.TraceIDFrom(ctx); trace != "" {
+		opts.Journal = opts.Journal.Scoped(trace)
+		opts.Ledger = opts.Ledger.Scoped(trace)
+	}
+	root := tr.Span("compile").SetTrace(obs.TraceIDFrom(ctx)).
+		Str("file", f.Name).Str("target", spec.Name)
 	opts.Journal.Record(obs.JournalEvent{Kind: obs.KindCompile,
 		Detail: f.Name + " → " + spec.Name})
 	comp := &Compilation{Target: spec, File: f}
@@ -252,6 +264,7 @@ func CompileFile(ctx context.Context, f *minic.File, spec *accel.Spec, opts Opti
 		ssp := root.Child("synthesize").Str("function", name)
 		sopts := opts.Synth
 		sopts.Journal = opts.Journal
+		sopts.Ledger = opts.Ledger
 		if traced {
 			sopts.Obs = ssp
 		}

@@ -1,0 +1,147 @@
+package eval
+
+// The bench gate: compares a freshly measured BENCH_synth.json /
+// BENCH_serve.json pair against the committed baselines and fails on
+// regressions beyond a tolerance — the CI tripwire that keeps the
+// synthesis engine's wall-clock and the ledger's waste ratio honest.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// GateConfig names the artifact pairs to compare. An empty path skips
+// that pair, so the gate can run on synth-only or serve-only artifacts.
+type GateConfig struct {
+	BaselineSynth string
+	FreshSynth    string
+	BaselineServe string
+	FreshServe    string
+	// Tolerance is the allowed fractional regression (0.25 = 25%).
+	// <= 0 gets the default of 0.25 — generous because CI machines are
+	// noisy; the gate exists to catch step-function regressions, not
+	// single-digit jitter.
+	Tolerance float64
+}
+
+// GateCheck is one compared metric.
+type GateCheck struct {
+	Name     string  `json:"name"`
+	Baseline float64 `json:"baseline"`
+	Fresh    float64 `json:"fresh"`
+	// Limit is the highest Fresh value that passes.
+	Limit float64 `json:"limit"`
+	OK    bool    `json:"ok"`
+}
+
+// GateReport is the full comparison outcome.
+type GateReport struct {
+	Tolerance float64     `json:"tolerance"`
+	Checks    []GateCheck `json:"checks"`
+	Failures  int         `json:"failures"`
+}
+
+// OK reports whether every check passed.
+func (r *GateReport) OK() bool { return r.Failures == 0 }
+
+// BenchGate loads the configured artifact pairs and compares wall-clock
+// and waste-ratio metrics. Lower is better for every gated metric; a
+// fresh value beyond baseline*(1+tolerance) fails. Ratio-valued metrics
+// (waste) near zero additionally get an absolute floor of the tolerance
+// itself, so a 0.00 → 0.01 drift does not fail on division noise.
+func BenchGate(cfg GateConfig) (*GateReport, error) {
+	tol := cfg.Tolerance
+	if tol <= 0 {
+		tol = 0.25
+	}
+	rep := &GateReport{Tolerance: tol}
+
+	if cfg.BaselineSynth != "" && cfg.FreshSynth != "" {
+		var base, fresh SynthBenchReport
+		if err := loadJSON(cfg.BaselineSynth, &base); err != nil {
+			return nil, err
+		}
+		if err := loadJSON(cfg.FreshSynth, &fresh); err != nil {
+			return nil, err
+		}
+		freshRuns := map[int]SynthBenchRun{}
+		for _, run := range fresh.Runs {
+			freshRuns[run.Workers] = run
+		}
+		for _, b := range base.Runs {
+			f, ok := freshRuns[b.Workers]
+			if !ok {
+				// Worker counts are machine-dependent (GOMAXPROCS); a
+				// baseline run with no fresh counterpart is not a
+				// regression, just a different machine shape.
+				continue
+			}
+			rep.check(fmt.Sprintf("synth.wall_seconds[workers=%d]", b.Workers),
+				b.WallSeconds, f.WallSeconds, false)
+			rep.check(fmt.Sprintf("synth.waste_ratio[workers=%d]", b.Workers),
+				b.WasteRatio, f.WasteRatio, true)
+		}
+	}
+
+	if cfg.BaselineServe != "" && cfg.FreshServe != "" {
+		var base, fresh ServeBenchReport
+		if err := loadJSON(cfg.BaselineServe, &base); err != nil {
+			return nil, err
+		}
+		if err := loadJSON(cfg.FreshServe, &fresh); err != nil {
+			return nil, err
+		}
+		rep.check("serve.wall_seconds", base.WallSeconds, fresh.WallSeconds, false)
+		rep.check("serve.latency_ms_p99", base.LatencyMsP99, fresh.LatencyMsP99, false)
+	}
+
+	if len(rep.Checks) == 0 {
+		return nil, fmt.Errorf("bench gate: nothing to compare (need a baseline+fresh artifact pair)")
+	}
+	return rep, nil
+}
+
+// check records one lower-is-better comparison. ratio marks metrics
+// already normalized to [0,1], which get the absolute floor.
+func (r *GateReport) check(name string, baseline, fresh float64, ratio bool) {
+	limit := baseline * (1 + r.Tolerance)
+	if ratio && limit < r.Tolerance {
+		limit = r.Tolerance
+	}
+	c := GateCheck{Name: name, Baseline: baseline, Fresh: fresh, Limit: limit, OK: fresh <= limit}
+	if !c.OK {
+		r.Failures++
+	}
+	r.Checks = append(r.Checks, c)
+}
+
+// WriteText prints one line per check plus the verdict.
+func (r *GateReport) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "Bench gate (tolerance %.0f%%):\n", 100*r.Tolerance)
+	for _, c := range r.Checks {
+		status := "ok  "
+		if !c.OK {
+			status = "FAIL"
+		}
+		fmt.Fprintf(w, "  %s %-36s baseline %10.3f  fresh %10.3f  limit %10.3f\n",
+			status, c.Name, c.Baseline, c.Fresh, c.Limit)
+	}
+	if r.OK() {
+		fmt.Fprintf(w, "bench gate: PASS (%d checks)\n", len(r.Checks))
+	} else {
+		fmt.Fprintf(w, "bench gate: FAIL (%d of %d checks regressed)\n", r.Failures, len(r.Checks))
+	}
+}
+
+func loadJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("bench gate: %w", err)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("bench gate: %s: %w", path, err)
+	}
+	return nil
+}

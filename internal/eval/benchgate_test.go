@@ -1,0 +1,98 @@
+package eval
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeArtifact(t *testing.T, dir, name string, v any) string {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBenchGate(t *testing.T) {
+	dir := t.TempDir()
+	base := &SynthBenchReport{Runs: []SynthBenchRun{
+		{Workers: 1, WallSeconds: 10, WasteRatio: 0},
+		{Workers: 4, WallSeconds: 4, WasteRatio: 0.40},
+	}}
+	baseServe := &ServeBenchReport{WallSeconds: 5, LatencyMsP99: 200}
+	basePath := writeArtifact(t, dir, "base_synth.json", base)
+	baseServePath := writeArtifact(t, dir, "base_serve.json", baseServe)
+
+	// Within tolerance: slightly slower, slightly wastier — passes.
+	okFresh := &SynthBenchReport{Runs: []SynthBenchRun{
+		{Workers: 1, WallSeconds: 11, WasteRatio: 0.05},
+		{Workers: 4, WallSeconds: 4.5, WasteRatio: 0.45},
+	}}
+	okServe := &ServeBenchReport{WallSeconds: 5.5, LatencyMsP99: 220}
+	rep, err := BenchGate(GateConfig{
+		BaselineSynth: basePath,
+		FreshSynth:    writeArtifact(t, dir, "ok_synth.json", okFresh),
+		BaselineServe: baseServePath,
+		FreshServe:    writeArtifact(t, dir, "ok_serve.json", okServe),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("within-tolerance run failed the gate: %+v", rep.Checks)
+	}
+	if len(rep.Checks) != 6 {
+		t.Errorf("checks = %d, want 6 (2 runs x 2 metrics + 2 serve)", len(rep.Checks))
+	}
+
+	// A 2x wall-time regression fails, and the report names the check.
+	badFresh := &SynthBenchReport{Runs: []SynthBenchRun{
+		{Workers: 1, WallSeconds: 20, WasteRatio: 0},
+		{Workers: 4, WallSeconds: 4, WasteRatio: 0.40},
+	}}
+	rep, err = BenchGate(GateConfig{
+		BaselineSynth: basePath,
+		FreshSynth:    writeArtifact(t, dir, "bad_synth.json", badFresh),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() || rep.Failures != 1 {
+		t.Fatalf("2x regression passed the gate: %+v", rep.Checks)
+	}
+	var sb strings.Builder
+	rep.WriteText(&sb)
+	if !strings.Contains(sb.String(), "FAIL synth.wall_seconds[workers=1]") {
+		t.Errorf("report does not name the regressed check:\n%s", sb.String())
+	}
+
+	// A fresh run with different worker counts (different machine) only
+	// compares the counts both artifacts share.
+	otherShape := &SynthBenchReport{Runs: []SynthBenchRun{
+		{Workers: 1, WallSeconds: 10, WasteRatio: 0},
+		{Workers: 16, WallSeconds: 2, WasteRatio: 0.6},
+	}}
+	rep, err = BenchGate(GateConfig{
+		BaselineSynth: basePath,
+		FreshSynth:    writeArtifact(t, dir, "shape_synth.json", otherShape),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() || len(rep.Checks) != 2 {
+		t.Fatalf("machine-shape mismatch handled wrong: %+v", rep.Checks)
+	}
+
+	// Nothing to compare is an error, not a silent pass.
+	if _, err := BenchGate(GateConfig{}); err == nil {
+		t.Error("empty gate config did not error")
+	}
+}

@@ -45,8 +45,10 @@ type CompileOutcome struct {
 // timings are exactly the span durations. j (may be nil) collects the
 // synthesis provenance journal across the whole corpus; event interleaving
 // between compilations follows worker scheduling, but each event names its
-// function, so per-function provenance stays coherent.
-func CompileAll(ctx context.Context, targets []string, numTests int, tr *obs.Tracer, j *obs.Journal) ([]*CompileOutcome, error) {
+// function, so per-function provenance stays coherent. led (may be nil)
+// accumulates the synthesis cost ledger — which candidates the interpreter
+// work was spent on and whether it was useful, speculative or shared.
+func CompileAll(ctx context.Context, targets []string, numTests int, tr *obs.Tracer, j *obs.Journal, led *obs.Ledger) ([]*CompileOutcome, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -87,7 +89,7 @@ func CompileAll(ctx context.Context, targets []string, numTests int, tr *obs.Tra
 				if ctx.Err() != nil {
 					return // drain stops below; abandon queued work
 				}
-				out[jb.idx], errs[jb.idx] = compileOne(ctx, jb.target, jb.b, numTests, synthWorkers, tr, j)
+				out[jb.idx], errs[jb.idx] = compileOne(ctx, jb.target, jb.b, numTests, synthWorkers, tr, j, led)
 			}
 		}()
 	}
@@ -112,7 +114,7 @@ feed:
 	return out, nil
 }
 
-func compileOne(ctx context.Context, target string, b *bench.Benchmark, numTests, synthWorkers int, tr *obs.Tracer, j *obs.Journal) (*CompileOutcome, error) {
+func compileOne(ctx context.Context, target string, b *bench.Benchmark, numTests, synthWorkers int, tr *obs.Tracer, j *obs.Journal, led *obs.Ledger) (*CompileOutcome, error) {
 	spec, err := accel.SpecByName(target)
 	if err != nil {
 		return nil, err
@@ -126,6 +128,7 @@ func compileOne(ctx context.Context, target string, b *bench.Benchmark, numTests
 		ProfileValues: b.ProfileValues,
 		Trace:         tr,
 		Journal:       j,
+		Ledger:        led,
 		Synth:         synth.Options{NumTests: numTests, Workers: synthWorkers},
 	})
 	if err != nil {

@@ -33,6 +33,38 @@ type SynthBenchRun struct {
 	OracleHits    int64   `json:"oracle_hits"`
 	OracleMisses  int64   `json:"oracle_misses"`
 	OracleHitRate float64 `json:"oracle_hit_rate"`
+
+	// Cost-ledger attribution: where the interpreter work went. Useful
+	// tests ran on candidates that won; speculative tests ran on losers
+	// (superseded or killed by a parallel winner). WasteRatio =
+	// speculative / (useful + speculative) — the price of parallel
+	// speculation, paid for wall-clock speedup.
+	UsefulTests      int64   `json:"useful_tests"`
+	SpeculativeTests int64   `json:"speculative_tests"`
+	WasteRatio       float64 `json:"waste_ratio"`
+	// WinnerOracleHits counts reference-run cache hits charged to winning
+	// candidates. At Workers=1 the first-winner search never fuzzes two
+	// same-signature candidates, so total hits are legitimately 0; at
+	// Workers=N nearly all hits land on speculative losers sharing the
+	// winner's reference runs. The headline hit rate therefore measures
+	// speculation-induced sharing, not cache quality — see Exhaustive for
+	// the controlled cache-effectiveness number.
+	WinnerOracleHits int64 `json:"winner_oracle_hits"`
+
+	// PerTarget splits the oracle and waste numbers by accelerator.
+	PerTarget []SynthBenchRunTarget `json:"per_target"`
+}
+
+// SynthBenchRunTarget is one accelerator's slice of a run's oracle and
+// cost-ledger statistics.
+type SynthBenchRunTarget struct {
+	Target           string  `json:"target"`
+	OracleHits       int64   `json:"oracle_hits"`
+	OracleMisses     int64   `json:"oracle_misses"`
+	OracleHitRate    float64 `json:"oracle_hit_rate"`
+	UsefulTests      int64   `json:"useful_tests"`
+	SpeculativeTests int64   `json:"speculative_tests"`
+	WasteRatio       float64 `json:"waste_ratio"`
 }
 
 // SynthBenchExhaustive measures oracle-cache effectiveness with every
@@ -111,6 +143,7 @@ func SynthBench(ctx context.Context, targets []string, numTests int, workerCount
 	var baseline map[string]string
 	for _, wk := range workerCounts {
 		tr := obs.New()
+		led := obs.NewLedger()
 		adapters := map[string]string{}
 		start := time.Now()
 		for _, target := range targets {
@@ -127,6 +160,7 @@ func SynthBench(ctx context.Context, targets []string, numTests int, workerCount
 					Entry:         b.Entry,
 					ProfileValues: b.ProfileValues,
 					Trace:         tr,
+					Ledger:        led,
 					Synth:         synth.Options{NumTests: numTests, Workers: wk},
 				})
 				if err != nil {
@@ -154,6 +188,31 @@ func SynthBench(ctx context.Context, targets []string, numTests int, workerCount
 		}
 		if total := run.OracleHits + run.OracleMisses; total > 0 {
 			run.OracleHitRate = float64(run.OracleHits) / float64(total)
+		}
+		sum := led.Summary()
+		run.UsefulTests = sum.Total.UsefulTests
+		run.SpeculativeTests = sum.Total.SpeculativeTests
+		run.WasteRatio = sum.Total.WasteRatio
+		run.WinnerOracleHits = sum.Total.UsefulOracleHits
+		costs := map[string]obs.TargetCost{}
+		for _, tc := range sum.Targets {
+			costs[tc.Target] = tc
+		}
+		for _, target := range targets {
+			t := SynthBenchRunTarget{
+				Target:       target,
+				OracleHits:   c["synth.oracle_hits."+target],
+				OracleMisses: c["synth.oracle_misses."+target],
+			}
+			if total := t.OracleHits + t.OracleMisses; total > 0 {
+				t.OracleHitRate = float64(t.OracleHits) / float64(total)
+			}
+			if tc, ok := costs[target]; ok {
+				t.UsefulTests = tc.UsefulTests
+				t.SpeculativeTests = tc.SpeculativeTests
+				t.WasteRatio = tc.WasteRatio
+			}
+			run.PerTarget = append(run.PerTarget, t)
 		}
 		rep.Runs = append(rep.Runs, run)
 
@@ -263,12 +322,17 @@ func (r *SynthBenchReport) WriteJSON(w io.Writer) error {
 func (r *SynthBenchReport) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "Synthesis benchmark: %d programs x %d targets, %d tests/candidate, GOMAXPROCS=%d\n",
 		r.Programs, len(r.Targets), r.NumTests, r.GoMaxProcs)
-	fmt.Fprintf(w, "%-8s %10s %9s %12s %12s %10s\n",
-		"workers", "wall (s)", "adapters", "tests run", "tests/sec", "oracle hit")
+	fmt.Fprintf(w, "%-8s %10s %9s %12s %12s %10s %7s\n",
+		"workers", "wall (s)", "adapters", "tests run", "tests/sec", "oracle hit", "waste")
 	for _, run := range r.Runs {
-		fmt.Fprintf(w, "%-8d %10.2f %9d %12d %12.0f %9.0f%%\n",
+		fmt.Fprintf(w, "%-8d %10.2f %9d %12d %12.0f %9.0f%% %6.0f%%\n",
 			run.Workers, run.WallSeconds, run.Adapters, run.TestsRun,
-			run.TestsPerSec, 100*run.OracleHitRate)
+			run.TestsPerSec, 100*run.OracleHitRate, 100*run.WasteRatio)
+		for _, t := range run.PerTarget {
+			fmt.Fprintf(w, "  %-10s oracle %3.0f%% (%d/%d)  tests useful %d | speculative %d (waste %.0f%%)\n",
+				t.Target, 100*t.OracleHitRate, t.OracleHits, t.OracleHits+t.OracleMisses,
+				t.UsefulTests, t.SpeculativeTests, 100*t.WasteRatio)
+		}
 	}
 	if r.Speedup != 0 {
 		fmt.Fprintf(w, "speedup: %.2fx", r.Speedup)

@@ -50,6 +50,13 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		Args: map[string]any{"name": "facc"},
 	})
 	for _, s := range t.Spans() {
+		args := s.args()
+		if s.Trace != "" {
+			if args == nil {
+				args = map[string]any{}
+			}
+			args["trace"] = s.Trace
+		}
 		trace.TraceEvents = append(trace.TraceEvents, ChromeEvent{
 			Name: s.Name,
 			Cat:  "facc",
@@ -58,7 +65,7 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			Dur:  float64(s.Dur) / float64(time.Microsecond),
 			Pid:  1,
 			Tid:  s.Root,
-			Args: s.args(),
+			Args: args,
 		})
 	}
 	enc := json.NewEncoder(w)
@@ -85,6 +92,7 @@ type jsonlSpan struct {
 	Name    string         `json:"name"`
 	ID      int64          `json:"id"`
 	Parent  int64          `json:"parent,omitempty"`
+	Trace   string         `json:"trace,omitempty"`
 	Wall    string         `json:"wall"`
 	StartUs float64        `json:"start_us"`
 	DurUs   float64        `json:"dur_us"`
@@ -101,6 +109,7 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 			Name:    s.Name,
 			ID:      s.ID,
 			Parent:  s.Par,
+			Trace:   s.Trace,
 			Wall:    s.WallStart().Format(time.RFC3339Nano),
 			StartUs: float64(s.Start) / float64(time.Microsecond),
 			DurUs:   float64(s.Dur) / float64(time.Microsecond),

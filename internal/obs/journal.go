@@ -34,6 +34,12 @@ type JournalEvent struct {
 	Seq  int64   `json:"seq"`
 	AtUs float64 `json:"at_us"` // offset from journal creation, microseconds
 
+	// Trace joins the event to the originating request (or CLI run).
+	// Stamped by Record from the journal's scope when the event does not
+	// already carry one, so buffered sub-journals replayed through a
+	// scoped journal inherit the request's ID.
+	Trace string `json:"trace,omitempty"`
+
 	Kind     string `json:"kind"`
 	Function string `json:"function,omitempty"`
 	// Candidate is the binding key (the candidate's shape).
@@ -53,7 +59,19 @@ type JournalEvent struct {
 // candidate's lifecycle through the synthesis pipeline. Like the tracer,
 // it is nil-safe: a nil *Journal makes every method a free no-op, so the
 // pipeline's instrumentation costs nothing when provenance is off.
+//
+// A Journal value is a view onto shared state: Scoped returns a second
+// view over the same event stream that stamps every recorded event with a
+// request trace ID, so one process-wide journal can serve many concurrent
+// requests while keeping each request's lines joinable.
 type Journal struct {
+	trace string
+	s     *journalState
+}
+
+// journalState is the shared append-only stream behind one or more
+// Journal views.
+type journalState struct {
 	start time.Time
 
 	mu     sync.Mutex
@@ -61,20 +79,44 @@ type Journal struct {
 }
 
 // NewJournal returns an empty journal anchored at the current instant.
-func NewJournal() *Journal { return &Journal{start: time.Now()} }
+func NewJournal() *Journal {
+	return &Journal{s: &journalState{start: time.Now()}}
+}
 
-// Record appends ev, assigning its sequence number and timestamp. No-op
+// Scoped returns a view of the same journal that stamps recorded events
+// with the given trace ID. Nil-safe; an empty trace returns the receiver.
+func (j *Journal) Scoped(trace string) *Journal {
+	if j == nil || trace == "" {
+		return j
+	}
+	return &Journal{trace: trace, s: j.s}
+}
+
+// Trace returns the view's trace scope ("" for the root view).
+func (j *Journal) Trace() string {
+	if j == nil {
+		return ""
+	}
+	return j.trace
+}
+
+// Record appends ev, assigning its sequence number and timestamp and —
+// when the event does not already carry one — the view's trace ID. No-op
 // on a nil journal.
 func (j *Journal) Record(ev JournalEvent) {
 	if j == nil {
 		return
 	}
-	at := time.Since(j.start)
-	j.mu.Lock()
-	ev.Seq = int64(len(j.events)) + 1
+	if ev.Trace == "" {
+		ev.Trace = j.trace
+	}
+	s := j.s
+	at := time.Since(s.start)
+	s.mu.Lock()
+	ev.Seq = int64(len(s.events)) + 1
 	ev.AtUs = float64(at) / float64(time.Microsecond)
-	j.events = append(j.events, ev)
-	j.mu.Unlock()
+	s.events = append(s.events, ev)
+	s.mu.Unlock()
 }
 
 // Events returns a snapshot of the journal in record order.
@@ -82,10 +124,29 @@ func (j *Journal) Events() []JournalEvent {
 	if j == nil {
 		return nil
 	}
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	out := make([]JournalEvent, len(j.events))
-	copy(out, j.events)
+	s := j.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JournalEvent, len(s.events))
+	copy(out, s.events)
+	return out
+}
+
+// TraceEvents returns the events stamped with the given trace ID, in
+// record order — one request's provenance, for flight records.
+func (j *Journal) TraceEvents(trace string) []JournalEvent {
+	if j == nil || trace == "" {
+		return nil
+	}
+	var out []JournalEvent
+	s := j.s
+	s.mu.Lock()
+	for _, ev := range s.events {
+		if ev.Trace == trace {
+			out = append(out, ev)
+		}
+	}
+	s.mu.Unlock()
 	return out
 }
 
@@ -94,9 +155,10 @@ func (j *Journal) Len() int {
 	if j == nil {
 		return 0
 	}
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return len(j.events)
+	s := j.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
 }
 
 // WriteJSONL exports the journal as one JSON object per line.

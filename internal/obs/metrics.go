@@ -193,11 +193,20 @@ type Histogram struct {
 	name   string
 	bounds []float64
 
-	mu     sync.Mutex
-	counts []int64
-	sum    float64
-	n      int64
-	max    float64
+	mu        sync.Mutex
+	counts    []int64
+	sum       float64
+	n         int64
+	max       float64
+	exemplars []Exemplar // per bucket, last traced observation; lazy
+}
+
+// Exemplar is one traced observation attached to a histogram bucket: the
+// trace ID of a concrete request that landed there, so a latency spike in
+// /metrics points straight at a joinable request record.
+type Exemplar struct {
+	Value float64 `json:"value"`
+	Trace string  `json:"trace"`
 }
 
 // Observe records one value. No-op on a nil histogram.
@@ -216,6 +225,32 @@ func (h *Histogram) Observe(v float64) {
 	h.mu.Unlock()
 }
 
+// ObserveExemplar records one value and remembers (value, trace) as the
+// bucket's exemplar, overwriting the previous one. With an empty trace it
+// degrades to Observe.
+func (h *Histogram) ObserveExemplar(v float64, trace string) {
+	if h == nil {
+		return
+	}
+	if trace == "" {
+		h.Observe(v)
+		return
+	}
+	idx := sort.SearchFloat64s(h.bounds, v)
+	h.mu.Lock()
+	h.counts[idx]++
+	h.sum += v
+	h.n++
+	if v > h.max {
+		h.max = v
+	}
+	if h.exemplars == nil {
+		h.exemplars = make([]Exemplar, len(h.counts))
+	}
+	h.exemplars[idx] = Exemplar{Value: v, Trace: trace}
+	h.mu.Unlock()
+}
+
 // HistSnapshot is an immutable view of a histogram.
 type HistSnapshot struct {
 	Name   string
@@ -224,6 +259,10 @@ type HistSnapshot struct {
 	Sum    float64
 	Count  int64
 	Max    float64
+	// Exemplars holds, per bucket (parallel to Counts), the last traced
+	// observation; nil when no exemplar was ever recorded. Entries with
+	// an empty Trace are buckets without exemplars.
+	Exemplars []Exemplar
 }
 
 // Snapshot captures the histogram's current state.
@@ -235,9 +274,14 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	defer h.mu.Unlock()
 	counts := make([]int64, len(h.counts))
 	copy(counts, h.counts)
+	var ex []Exemplar
+	if h.exemplars != nil {
+		ex = make([]Exemplar, len(h.exemplars))
+		copy(ex, h.exemplars)
+	}
 	return HistSnapshot{
 		Name: h.name, Bounds: h.bounds, Counts: counts,
-		Sum: h.sum, Count: h.n, Max: h.max,
+		Sum: h.sum, Count: h.n, Max: h.max, Exemplars: ex,
 	}
 }
 

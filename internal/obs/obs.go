@@ -170,6 +170,23 @@ func (t *Tracer) Spans() []*Span {
 	return out
 }
 
+// TraceSpans returns the completed spans stamped with the given trace ID,
+// in End order — the span tree of one request, for flight records.
+func (t *Tracer) TraceSpans(trace string) []*Span {
+	if t == nil || trace == "" {
+		return nil
+	}
+	var out []*Span
+	t.mu.Lock()
+	for _, s := range t.spans {
+		if s.Trace == trace {
+			out = append(out, s)
+		}
+	}
+	t.mu.Unlock()
+	return out
+}
+
 // Find returns the completed spans with the given name.
 func (t *Tracer) Find(name string) []*Span {
 	var out []*Span
@@ -189,6 +206,7 @@ type Span struct {
 	ID    int64
 	Par   int64 // parent span ID; 0 for roots
 	Root  int64 // top-level ancestor ID (one exporter lane per root)
+	Trace string
 	Name  string
 	Start time.Duration // offset from the tracer anchor
 	Dur   time.Duration // set by End
@@ -197,6 +215,7 @@ type Span struct {
 }
 
 // Child opens a sub-span. Nil-safe: a nil receiver returns a nil span.
+// The child inherits the parent's trace ID.
 func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
@@ -204,8 +223,19 @@ func (s *Span) Child(name string) *Span {
 	c := s.tr.newSpan(name)
 	c.Par = s.ID
 	c.Root = s.Root
+	c.Trace = s.Trace
 	s.tr.register(c)
 	return c
+}
+
+// SetTrace stamps the span with a request trace ID; children opened after
+// this call inherit it. Chainable and nil-safe.
+func (s *Span) SetTrace(id string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.Trace = id
+	return s
 }
 
 // Tracer returns the owning tracer (nil on a nil span).

@@ -29,6 +29,7 @@ type Flags struct {
 	Serve       string
 	JournalFile string
 	Explain     bool
+	Costs       bool
 
 	// Robustness budgets (RegisterSynth binaries only). Timeout bounds
 	// the whole run, CandidateTimeout one fuzzed binding candidate, and
@@ -47,6 +48,7 @@ type Flags struct {
 	prog     string
 	tr       *obs.Tracer
 	j        *obs.Journal
+	led      *obs.Ledger
 	shutdown func() error
 }
 
@@ -73,6 +75,8 @@ func RegisterSynth(fs *flag.FlagSet, prog string) *Flags {
 		"write the synthesis provenance journal (JSONL) to this file")
 	fs.BoolVar(&f.Explain, "explain", false,
 		"print the provenance report (why each adapter was / was not synthesised) to stderr")
+	fs.BoolVar(&f.Costs, "costs", false,
+		"print the synthesis cost ledger (useful vs speculative vs shared work per target) to stderr")
 	fs.DurationVar(&f.Timeout, "timeout", 0,
 		"abort the whole run after this wall-clock budget, e.g. 30s (0 = no deadline)")
 	fs.DurationVar(&f.CandidateTimeout, "candidate-timeout", 0,
@@ -101,6 +105,25 @@ func (f *Flags) Journal() *obs.Journal {
 		f.j = obs.NewJournal()
 	}
 	return f.j
+}
+
+// Ledger returns the synthesis cost ledger, created on first use when
+// -costs or -serve is set; nil otherwise so the fuzz loop's nil guards
+// keep the hot path allocation-free.
+func (f *Flags) Ledger() *obs.Ledger {
+	if f.led == nil && (f.Costs || f.Serve != "") {
+		f.led = obs.NewLedger()
+	}
+	return f.led
+}
+
+// WithTrace stamps ctx with a fresh run-scoped trace ID so every span,
+// journal line and ledger account produced by this CLI invocation is
+// joinable, exactly like a served request's X-Facc-Trace. The ID is
+// returned for diagnostics.
+func (f *Flags) WithTrace(ctx context.Context) (context.Context, string) {
+	id := obs.NewTraceID()
+	return obs.WithTraceID(ctx, id), id
 }
 
 // WithSignals returns a copy of ctx that is cancelled on SIGINT or
@@ -146,7 +169,7 @@ func (f *Flags) Start() error {
 	if f.Serve == "" {
 		return nil
 	}
-	addr, shutdown, err := obshttp.Serve(f.Serve, f.Tracer(), f.Journal())
+	addr, shutdown, err := obshttp.Serve(f.Serve, f.Tracer(), f.Journal(), f.Ledger())
 	if err != nil {
 		return fmt.Errorf("%s: -serve %s: %w", f.prog, f.Serve, err)
 	}
@@ -180,6 +203,9 @@ func (f *Flags) Finish() error {
 	}
 	if f.Explain && f.j != nil {
 		keep(f.j.WriteReport(os.Stderr))
+	}
+	if f.Costs && f.led != nil {
+		keep(f.led.WriteCostReport(os.Stderr))
 	}
 	return first
 }

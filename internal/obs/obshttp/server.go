@@ -26,17 +26,20 @@ import (
 	"facc/internal/obs"
 )
 
-// Server exposes one tracer (and optionally one journal) over HTTP.
+// Server exposes one tracer (and optionally one journal and one cost
+// ledger) over HTTP.
 type Server struct {
 	Tracer  *obs.Tracer
 	Journal *obs.Journal // may be nil; /journal then returns 404
+	Ledger  *obs.Ledger  // may be nil; /status costs and the
+	// facc_ledger_* /metrics families are then absent
 
 	start time.Time
 }
 
-// New returns a server over tr and j (j may be nil).
-func New(tr *obs.Tracer, j *obs.Journal) *Server {
-	return &Server{Tracer: tr, Journal: j, start: time.Now()}
+// New returns a server over tr, j and l (j and l may be nil).
+func New(tr *obs.Tracer, j *obs.Journal, l *obs.Ledger) *Server {
+	return &Server{Tracer: tr, Journal: j, Ledger: l, start: time.Now()}
 }
 
 // InFlight describes one live root span (one in-progress compilation).
@@ -75,13 +78,20 @@ type Status struct {
 	BreakerState      string `json:"breaker_state,omitempty"`
 
 	// Parallel synthesis: reference-oracle cache effectiveness and how
-	// many candidate workers are fuzzing right now.
-	OracleHits    int64   `json:"oracle_hits"`
-	OracleMisses  int64   `json:"oracle_misses"`
-	OracleHitRate float64 `json:"oracle_hit_rate"`
-	PoolBusy      int64   `json:"pool_busy"`
+	// many candidate workers are fuzzing right now. OraclePerTarget
+	// splits the blended rate per accelerator target (the ROADMAP's
+	// ">50% cross-target hit rate" goal is measured per target).
+	OracleHits      int64                  `json:"oracle_hits"`
+	OracleMisses    int64                  `json:"oracle_misses"`
+	OracleHitRate   float64                `json:"oracle_hit_rate"`
+	OraclePerTarget map[string]OracleStats `json:"oracle_per_target,omitempty"`
+	PoolBusy        int64                  `json:"pool_busy"`
 
 	JournalEvents int `json:"journal_events"`
+
+	// Costs is the synthesis cost ledger rolled up per target (useful vs
+	// speculative vs shared work); present when a ledger is attached.
+	Costs *obs.CostSummary `json:"costs,omitempty"`
 
 	// Serve is populated when a compile service (faccd) feeds the
 	// registry: admission queue health, shedding/drain counters and the
@@ -90,6 +100,13 @@ type Status struct {
 
 	Counters map[string]int64   `json:"counters,omitempty"`
 	Gauges   map[string]float64 `json:"gauges,omitempty"`
+}
+
+// OracleStats is one target's reference-oracle cache effectiveness.
+type OracleStats struct {
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
 }
 
 // ServeStatus is the /status block for the faccd compile service.
@@ -107,6 +124,19 @@ type ServeStatus struct {
 	JobsDeduped   int64 `json:"jobs_deduped"`
 	CacheHits     int64 `json:"cache_hits"`
 	HardCancels   int64 `json:"drain_hard_cancels"`
+
+	// SLO: configured targets and the observed burn rate. BurnRate is
+	// (violation rate) / (error budget); 1.0 means the budget is being
+	// consumed exactly as fast as it accrues, >1 means the target is
+	// being missed.
+	SLOLatencyMS  float64 `json:"slo_latency_ms,omitempty"`
+	SLOObjective  float64 `json:"slo_objective,omitempty"`
+	SLOTotal      int64   `json:"slo_total,omitempty"`
+	SLOViolations int64   `json:"slo_violations,omitempty"`
+	SLOBurnRate   float64 `json:"slo_burn_rate,omitempty"`
+	// FlightRetained counts requests currently held by the flight
+	// recorder (slowest + failed), dumped at /debug/requests.
+	FlightRetained int64 `json:"flight_retained,omitempty"`
 
 	StoreHits        int64  `json:"store_hits"`
 	StoreMisses      int64  `json:"store_misses"`
@@ -188,6 +218,37 @@ func (s *Server) BuildStatus() Status {
 	if total := st.OracleHits + st.OracleMisses; total > 0 {
 		st.OracleHitRate = float64(st.OracleHits) / float64(total)
 	}
+	for name, v := range st.Counters {
+		target, isHit := "", false
+		switch {
+		case strings.HasPrefix(name, "synth.oracle_hits."):
+			target, isHit = strings.TrimPrefix(name, "synth.oracle_hits."), true
+		case strings.HasPrefix(name, "synth.oracle_misses."):
+			target = strings.TrimPrefix(name, "synth.oracle_misses.")
+		default:
+			continue
+		}
+		if st.OraclePerTarget == nil {
+			st.OraclePerTarget = map[string]OracleStats{}
+		}
+		os := st.OraclePerTarget[target]
+		if isHit {
+			os.Hits = v
+		} else {
+			os.Misses = v
+		}
+		st.OraclePerTarget[target] = os
+	}
+	for target, os := range st.OraclePerTarget {
+		if total := os.Hits + os.Misses; total > 0 {
+			os.HitRate = float64(os.Hits) / float64(total)
+			st.OraclePerTarget[target] = os
+		}
+	}
+	if s.Ledger != nil && s.Ledger.Len() > 0 {
+		sum := s.Ledger.Summary()
+		st.Costs = &sum
+	}
 	st.PoolBusy = int64(st.Gauges["synth.pool_busy"])
 	if cap, ok := st.Gauges["serve.queue_capacity"]; ok {
 		st.Serve = &ServeStatus{
@@ -207,6 +268,12 @@ func (s *Server) BuildStatus() Status {
 			StoreMisses:      st.Counters["store.misses"],
 			StoreWrites:      st.Counters["store.writes"],
 			StoreQuarantined: st.Counters["store.corrupt_quarantined"],
+			SLOLatencyMS:     st.Gauges["serve.slo_latency_ms"],
+			SLOObjective:     st.Gauges["serve.slo_objective"],
+			SLOTotal:         st.Counters["serve.slo_total"],
+			SLOViolations:    st.Counters["serve.slo_violations"],
+			SLOBurnRate:      st.Gauges["serve.slo_burn_rate"],
+			FlightRetained:   int64(st.Gauges["serve.flight_retained"]),
 		}
 		if g, ok := st.Gauges["store.breaker.state"]; ok {
 			st.Serve.StoreBreaker = breakerStateName(int(g))
@@ -266,6 +333,7 @@ func (s *Server) index(w http.ResponseWriter, r *http.Request) {
 func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.Tracer.Metrics().WritePrometheus(w)
+	s.Ledger.WritePrometheus(w) // nil-safe; labeled facc_ledger_* families
 }
 
 func (s *Server) status(w http.ResponseWriter, _ *http.Request) {
@@ -294,12 +362,12 @@ func (s *Server) journal(w http.ResponseWriter, r *http.Request) {
 // Serve binds addr (e.g. ":9090" or "127.0.0.1:0"), serves the handler in
 // a background goroutine, and returns the bound address plus a shutdown
 // function. The pipeline keeps running regardless of scrape traffic.
-func Serve(addr string, tr *obs.Tracer, j *obs.Journal) (string, func() error, error) {
+func Serve(addr string, tr *obs.Tracer, j *obs.Journal, l *obs.Ledger) (string, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	hs := &http.Server{Handler: New(tr, j).Handler()}
+	hs := &http.Server{Handler: New(tr, j, l).Handler()}
 	go hs.Serve(ln)
 	return ln.Addr().String(), hs.Close, nil
 }

@@ -71,13 +71,29 @@ func (r *Registry) WritePrometheus(out io.Writer) error {
 			cum += h.Counts[i]
 			io.WriteString(w, pn+`_bucket{le="`+promFloat(bound)+`"} `+
 				strconv.FormatInt(cum, 10)+"\n")
+			writeExemplar(w, h, i)
 		}
 		io.WriteString(w, pn+`_bucket{le="+Inf"} `+
 			strconv.FormatInt(h.Count, 10)+"\n")
+		writeExemplar(w, h, len(h.Bounds))
 		io.WriteString(w, pn+"_sum "+promFloat(h.Sum)+"\n")
 		io.WriteString(w, pn+"_count "+strconv.FormatInt(h.Count, 10)+"\n")
 	}
 	return w.err
+}
+
+// writeExemplar emits bucket i's exemplar as a comment line. The
+// text-format 0.0.4 grammar has no exemplar syntax (that is OpenMetrics),
+// and strict 0.0.4 parsers reject the `# {...}` suffix form — so the
+// trace ID rides in a comment, which every parser skips and a human (or
+// the flight recorder's join test) can still grep.
+func writeExemplar(w io.Writer, h HistSnapshot, i int) {
+	if h.Exemplars == nil || i >= len(h.Exemplars) || h.Exemplars[i].Trace == "" {
+		return
+	}
+	ex := h.Exemplars[i]
+	io.WriteString(w, "# exemplar "+PromName(h.Name)+" value="+promFloat(ex.Value)+
+		" trace_id="+ex.Trace+"\n")
 }
 
 // WritePrometheus exposes the tracer's registry (nil-safe).

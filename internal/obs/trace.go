@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// Trace IDs join the three observability streams — spans, journal events,
+// and ledger entries — to the request (or CLI invocation) that caused
+// them. The ID is an opaque hex string: faccd mints one per compile
+// request (honouring an X-Facc-Trace header when the client supplies
+// one), the CLIs mint one per run, and everything downstream inherits it
+// through context.Context.
+
+// traceKey is the context key for the trace ID; unexported so only this
+// package can write it.
+type traceKey struct{}
+
+// NewTraceID returns a fresh 16-byte random trace ID in lowercase hex.
+func NewTraceID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand only fails on a broken platform; an all-zero ID
+		// still joins streams within one process.
+		return "00000000000000000000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithTraceID returns a context carrying the trace ID. An empty ID
+// returns ctx unchanged.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceIDFrom returns the trace ID carried by ctx, or "" if none.
+func TraceIDFrom(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}

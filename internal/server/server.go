@@ -84,6 +84,22 @@ type Config struct {
 	// Journal, when non-nil, records synthesis provenance served at
 	// /journal.
 	Journal *obs.Journal
+	// Ledger, when non-nil, charges synthesis work to per-request
+	// candidate accounts: /status gains the costs block, /metrics the
+	// facc_ledger_* families, and flight records carry each retained
+	// request's ledger slice.
+	Ledger *obs.Ledger
+	// FlightRecorder bounds how many slowest and how many failed
+	// requests are retained with full span trees and cost ledgers at
+	// /debug/requests (default 32 per class; <0 disables).
+	FlightRecorder int
+	// SLOLatency is the per-request latency objective (default 1s): a
+	// slower compile counts as an SLO violation.
+	SLOLatency time.Duration
+	// SLOObjective is the target success fraction (default 0.99): the
+	// burn rate in /status and /metrics is the violation rate divided by
+	// the error budget 1-SLOObjective.
+	SLOObjective float64
 	// Options is the standing compile configuration for the default
 	// CompileFunc (workers, candidate timeout, fault profile, hardening).
 	Options facc.Options
@@ -108,6 +124,7 @@ const (
 type Job struct {
 	ID     string
 	Key    string
+	Trace  string // request trace ID; joins spans/journal/ledger/exemplars
 	Req    facc.CompileRequest
 	State  JobState
 	Cached bool
@@ -125,6 +142,8 @@ type Server struct {
 	reg     *obs.Registry
 	obs     *obshttp.Server
 	compile CompileFunc
+
+	flight *FlightRecorder
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -160,13 +179,22 @@ func New(cfg Config) *Server {
 	if cfg.Tracer == nil {
 		cfg.Tracer = obs.New()
 	}
+	if cfg.SLOLatency <= 0 {
+		cfg.SLOLatency = time.Second
+	}
+	if cfg.SLOObjective <= 0 || cfg.SLOObjective >= 1 {
+		cfg.SLOObjective = 0.99
+	}
 	s := &Server{
 		cfg:    cfg,
 		reg:    cfg.Tracer.Metrics(),
-		obs:    obshttp.New(cfg.Tracer, cfg.Journal),
+		obs:    obshttp.New(cfg.Tracer, cfg.Journal, cfg.Ledger),
 		queue:  make(chan *Job, cfg.QueueDepth),
 		jobs:   map[string]*Job{},
 		active: map[string]*Job{},
+	}
+	if cfg.FlightRecorder >= 0 {
+		s.flight = NewFlightRecorder(cfg.FlightRecorder)
 	}
 	s.compile = cfg.Compile
 	if s.compile == nil {
@@ -177,6 +205,8 @@ func New(cfg Config) *Server {
 	s.reg.Gauge("serve.workers").Set(float64(cfg.Workers))
 	s.reg.Gauge("serve.queue_depth").Set(0)
 	s.reg.Gauge("serve.draining").Set(0)
+	s.reg.Gauge("serve.slo_latency_ms").Set(float64(cfg.SLOLatency) / float64(time.Millisecond))
+	s.reg.Gauge("serve.slo_objective").Set(cfg.SLOObjective)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -190,6 +220,7 @@ func (s *Server) faccCompile(ctx context.Context, req facc.CompileRequest) (Comp
 	opts := s.cfg.Options
 	opts.Trace = s.cfg.Tracer
 	opts.Journal = s.cfg.Journal
+	opts.Ledger = s.cfg.Ledger
 	res, err := facc.CompileRequestContext(ctx, req, opts)
 	if err != nil {
 		return CompileResult{}, err
@@ -208,8 +239,28 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/jobs/", s.handleJob)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/debug/requests", s.handleDebugRequests)
 	mux.Handle("/", s.obs.Handler())
 	return mux
+}
+
+// handleDebugRequests dumps the flight recorder: the retained slowest and
+// failed requests with their span trees, provenance and cost ledgers.
+func (s *Server) handleDebugRequests(w http.ResponseWriter, _ *http.Request) {
+	if s.flight == nil {
+		http.Error(w, "flight recorder disabled", http.StatusNotFound)
+		return
+	}
+	slowest, failed := s.flight.Records()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(map[string]any{
+		"slo_latency_ms": float64(s.cfg.SLOLatency) / float64(time.Millisecond),
+		"slo_objective":  s.cfg.SLOObjective,
+		"slowest":        slowest,
+		"failed":         failed,
+	})
 }
 
 // handleCompile admits one request: validate → cache → dedup → enqueue,
@@ -231,11 +282,21 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	key := req.Digest()
 
+	// Every request carries a trace ID — the client's X-Facc-Trace when
+	// supplied, a fresh one otherwise. It is echoed in the response
+	// header and stamps every span, journal event and ledger charge the
+	// request causes. Deduped requests adopt the in-flight job's ID (one
+	// compile, one trace).
+	trace := r.Header.Get("X-Facc-Trace")
+	if trace == "" {
+		trace = obs.NewTraceID()
+	}
+
 	// Store first: a finished adapter needs no queue slot at all.
 	if st := s.cfg.Store; st != nil {
 		if e, ok := st.Get(key); ok {
 			s.reg.Counter("serve.cache_hits").Inc()
-			job := s.registerCached(key, req, e)
+			job := s.registerCached(key, trace, req, e)
 			w.Header().Set("X-Facc-Cache", "hit")
 			s.respond(w, r, job)
 			return
@@ -259,6 +320,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	job := &Job{
 		ID:       "j" + strconv.Itoa(s.nextID),
 		Key:      key,
+		Trace:    trace,
 		Req:      req,
 		State:    Queued,
 		enqueued: time.Now(),
@@ -285,12 +347,13 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 
 // registerCached files a store hit as an already-done job so /jobs/{id}
 // works uniformly.
-func (s *Server) registerCached(key string, req facc.CompileRequest, e store.Entry) *Job {
+func (s *Server) registerCached(key, trace string, req facc.CompileRequest, e store.Entry) *Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	job := &Job{
 		ID:       "j" + strconv.Itoa(s.nextID),
 		Key:      key,
+		Trace:    trace,
 		Req:      req,
 		State:    Done,
 		Cached:   true,
@@ -337,6 +400,7 @@ func (s *Server) run(job *Job) {
 	s.mu.Unlock()
 
 	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.RequestTimeout)
+	ctx = obs.WithTraceID(ctx, job.Trace)
 	res, err := s.compile(ctx, job.Req)
 	cancel()
 
@@ -363,6 +427,7 @@ func (s *Server) run(job *Job) {
 				Target:   job.Req.Target,
 				Function: res.Function,
 				AdapterC: res.AdapterC,
+				Trace:    job.Trace,
 			})
 		}
 		s.reg.Counter("serve.jobs_completed").Inc()
@@ -373,9 +438,56 @@ func (s *Server) run(job *Job) {
 	delete(s.active, job.Key)
 	s.retire(job.ID)
 	s.mu.Unlock()
+	latMs := float64(time.Since(job.enqueued)) / float64(time.Millisecond)
+	// The request's trace ID rides as the bucket's exemplar: a latency
+	// spike in /metrics points at a concrete joinable request.
 	s.reg.Histogram("serve.latency_ms", obs.DurationBucketsMs).
-		Observe(float64(time.Since(job.enqueued)) / float64(time.Millisecond))
+		ObserveExemplar(latMs, job.Trace)
+	s.observeSLO(job, state, latMs)
 	close(job.done)
+}
+
+// observeSLO books one executed job against the latency/error objective
+// and retains it in the flight recorder. Failed jobs (including ones
+// felled by injected accelerator faults) always enter the failure ring;
+// every job competes for the slowest list.
+func (s *Server) observeSLO(job *Job, state JobState, latMs float64) {
+	violation := state == Failed ||
+		latMs > float64(s.cfg.SLOLatency)/float64(time.Millisecond)
+	total := s.reg.Counter("serve.slo_total")
+	total.Inc()
+	viol := s.reg.Counter("serve.slo_violations")
+	if violation {
+		viol.Inc()
+	}
+	// Burn rate: the fraction of the error budget (1-objective) the
+	// observed violation rate consumes. >1 means the SLO is being missed.
+	budget := 1 - s.cfg.SLOObjective
+	if n := total.Value(); n > 0 && budget > 0 {
+		rate := float64(viol.Value()) / float64(n)
+		s.reg.Gauge("serve.slo_burn_rate").Set(rate / budget)
+	}
+	if s.flight == nil {
+		return
+	}
+	s.mu.Lock()
+	rec := &RequestRecord{
+		Trace:        job.Trace,
+		JobID:        job.ID,
+		Digest:       job.Key,
+		Target:       job.Req.Target,
+		State:        string(state),
+		Err:          job.Err,
+		LatencyMS:    latMs,
+		SLOViolation: violation,
+	}
+	s.mu.Unlock()
+	rec.Spans = spanRecords(s.cfg.Tracer.TraceSpans(job.Trace))
+	rec.Journal = s.cfg.Journal.TraceEvents(job.Trace)
+	rec.Ledger = s.cfg.Ledger.TraceEntries(job.Trace)
+	s.flight.Observe(rec)
+	slow, failed := s.flight.Len()
+	s.reg.Gauge("serve.flight_retained").Set(float64(slow + failed))
 }
 
 // jobJSON is the wire form of a job.
@@ -383,6 +495,7 @@ type jobJSON struct {
 	ID         string  `json:"id"`
 	State      string  `json:"state"`
 	Key        string  `json:"key"`
+	Trace      string  `json:"trace,omitempty"`
 	Target     string  `json:"target"`
 	Function   string  `json:"function,omitempty"`
 	AdapterC   string  `json:"adapter_c,omitempty"`
@@ -399,6 +512,7 @@ func (s *Server) jobView(job *Job) jobJSON {
 		ID:         job.ID,
 		State:      string(job.State),
 		Key:        job.Key,
+		Trace:      job.Trace,
 		Target:     job.Req.Target,
 		Function:   job.Result.Function,
 		AdapterC:   job.Result.AdapterC,
@@ -426,6 +540,9 @@ func (s *Server) respond(w http.ResponseWriter, r *http.Request, job *Job) {
 	if view.State == string(Queued) || view.State == string(Running) {
 		code = http.StatusAccepted
 		w.Header().Set("Location", "/jobs/"+job.ID)
+	}
+	if view.Trace != "" {
+		w.Header().Set("X-Facc-Trace", view.Trace)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)

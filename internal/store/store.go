@@ -56,6 +56,12 @@ type Entry struct {
 	Function string `json:"function"`
 	// AdapterC is the synthesized drop-in replacement C source.
 	AdapterC string `json:"adapter_c"`
+	// Trace is the trace ID of the request whose compilation produced
+	// this adapter — the join key back to that request's spans, journal
+	// events, and cost ledger. Provenance, not part of the content
+	// address: two requests with the same digest share one entry, stamped
+	// by whichever compiled it.
+	Trace string `json:"trace,omitempty"`
 	// Checksum is the hex SHA-256 of the payload fields, written at Put
 	// time and re-verified on every Get.
 	Checksum string `json:"checksum"`
@@ -65,7 +71,7 @@ type Entry struct {
 // field itself).
 func (e *Entry) checksum() string {
 	h := sha256.New()
-	for _, s := range []string{e.Key, e.Target, e.Function, e.AdapterC} {
+	for _, s := range []string{e.Key, e.Target, e.Function, e.AdapterC, e.Trace} {
 		fmt.Fprintf(h, "%d:", len(s))
 		h.Write([]byte(s))
 	}

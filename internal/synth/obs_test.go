@@ -31,19 +31,42 @@ func TestNilObsInstrumentationZeroAllocs(t *testing.T) {
 	}
 }
 
-// TestNilJournalZeroAllocs: the provenance journal obeys the same contract.
-// With no journal attached, the verdict helper (the only journal touchpoint
-// on the fuzz hot path) must not allocate — counterexample rendering is
-// gated behind the nil check at every call site, and Record on a nil
-// journal is free.
+// TestNilJournalZeroAllocs: the provenance journal and cost ledger obey
+// the same contract. With neither attached, the verdict helper (the only
+// journal/ledger touchpoint on the fuzz hot path) must not allocate —
+// counterexample and candidate-key rendering are gated behind the nil
+// checks at every call site, and Record on a nil journal is free.
 func TestNilJournalZeroAllocs(t *testing.T) {
 	var j *obs.Journal
 	allocs := testing.AllocsPerRun(500, func() {
-		verdict(j, "fft", nil, "survived", 10, "", "")
+		verdict(Options{}, "fft", nil, "survived", 10, "", "")
 		j.Record(obs.JournalEvent{Kind: obs.KindFuzz})
 	})
 	if allocs != 0 {
 		t.Errorf("nil journal allocates %.0f per fuzz iteration, want 0", allocs)
+	}
+}
+
+// TestNilLedgerZeroAllocs: the satellite zero-overhead guarantee — a nil
+// (disabled) ledger costs nothing on the hot path. Every ledger method is
+// exercised the way the fuzz loop and oracle would call them, through the
+// nil-guarded paths that skip key rendering entirely.
+func TestNilLedgerZeroAllocs(t *testing.T) {
+	var l *obs.Ledger
+	allocs := testing.AllocsPerRun(500, func() {
+		// The guards the hot path uses before touching the ledger.
+		if l != nil {
+			t.Fatal("unreachable")
+		}
+		// And the methods themselves are free even when called.
+		l.ChargeTests("fft", "ffta", "key", 10)
+		l.ChargeInterp("fft", "ffta", "key", 100, 200)
+		l.ChargeOracle("fft", "ffta", "key", true)
+		l.SetVerdict("fft", "ffta", "key", "survived")
+		l.Scoped("")
+	})
+	if allocs != 0 {
+		t.Errorf("nil ledger allocates %.0f per fuzz iteration, want 0", allocs)
 	}
 }
 

@@ -40,8 +40,11 @@ type oracle struct {
 	f  *minic.File
 	fn *minic.FuncDecl
 	// reg (nil-safe) receives interp.* work counters and the
-	// synth.oracle_hits / synth.oracle_misses pair.
+	// synth.oracle_hits / synth.oracle_misses pairs.
 	reg *obs.Registry
+	// led (nil-safe) charges each lookup and each miss's interpreter
+	// work to the candidate that issued it.
+	led *obs.Ledger
 
 	machines chan *interp.Machine // tokens; nil = build lazily on first use
 
@@ -49,6 +52,12 @@ type oracle struct {
 	entries map[string]*oracleEntry
 
 	hits, misses atomic.Int64
+
+	// Blended and per-target lookup counters, resolved once at
+	// construction so the per-case path does no map lookups or string
+	// concatenation. All candidates of one synthesis share one target.
+	hitsCtr, missesCtr       *obs.Counter
+	hitsTgtCtr, missesTgtCtr *obs.Counter
 }
 
 // oracleEntry is one memoized user-side run. The per-entry mutex (rather
@@ -62,13 +71,21 @@ type oracleEntry struct {
 	err  error
 }
 
-func newOracle(f *minic.File, fn *minic.FuncDecl, workers int, reg *obs.Registry) *oracle {
+func newOracle(f *minic.File, fn *minic.FuncDecl, target string, workers int,
+	reg *obs.Registry, led *obs.Ledger) *oracle {
 	o := &oracle{
 		f:        f,
 		fn:       fn,
 		reg:      reg,
+		led:      led,
 		machines: make(chan *interp.Machine, workers),
 		entries:  map[string]*oracleEntry{},
+	}
+	if reg != nil {
+		o.hitsCtr = reg.Counter("synth.oracle_hits")
+		o.missesCtr = reg.Counter("synth.oracle_misses")
+		o.hitsTgtCtr = reg.Counter("synth.oracle_hits." + target)
+		o.missesTgtCtr = reg.Counter("synth.oracle_misses." + target)
 	}
 	for i := 0; i < workers; i++ {
 		o.machines <- nil
@@ -119,11 +136,21 @@ func (o *oracle) run(ctx context.Context, cand *binding.Candidate,
 	defer e.mu.Unlock()
 	if e.done {
 		o.hits.Add(1)
-		o.reg.Counter("synth.oracle_hits").Inc()
+		o.hitsCtr.Inc()
+		o.hitsTgtCtr.Inc()
+		if o.led != nil {
+			// A hit is shared work: some candidate already paid for this
+			// reference run; this one reuses it for free.
+			o.led.ChargeOracle(o.fn.Name, cand.Spec.Name, cand.Key(), true)
+		}
 		return e.out, e.ret, e.err
 	}
 	o.misses.Add(1)
-	o.reg.Counter("synth.oracle_misses").Inc()
+	o.missesCtr.Inc()
+	o.missesTgtCtr.Inc()
+	if o.led != nil {
+		o.led.ChargeOracle(o.fn.Name, cand.Spec.Name, cand.Key(), false)
+	}
 
 	m, err := o.acquire(ctx)
 	if err != nil {
@@ -143,6 +170,13 @@ func (o *oracle) run(ctx context.Context, cand *binding.Candidate,
 		o.reg.Counter("interp.ops").Add(delta.Total())
 		o.reg.Counter("interp.allocs").Add(delta.Allocs)
 		o.reg.Counter("interp.steps").Add(delta.Steps)
+		if o.led != nil {
+			// The interpreter work of a miss is charged to the candidate
+			// that triggered it — later candidates with the same signature
+			// hit the cache and share it for free.
+			o.led.ChargeInterp(o.fn.Name, cand.Spec.Name, cand.Key(),
+				delta.Steps, delta.Total())
+		}
 		o.machines <- m
 	}()
 	out, ret, rerr := runUser(m, o.fn, cand, tc)

@@ -89,6 +89,13 @@ type Options struct {
 	// counterexample input on failure, and the accepted adapter. Nil (the
 	// default) costs nothing.
 	Journal *obs.Journal
+	// Ledger, when non-nil, charges every interpreter test, interpreter
+	// step and oracle lookup to the candidate that caused it, with the
+	// candidate's final verdict separating useful work (the winner) from
+	// speculative waste (losers). Every call site guards with a nil check
+	// before rendering the candidate key, so nil (the default) allocates
+	// nothing on the hot path.
+	Ledger *obs.Ledger
 }
 
 func (o *Options) defaults() {
@@ -155,7 +162,7 @@ func Synthesize(ctx context.Context, f *minic.File, fn *minic.FuncDecl,
 	if opts.Obs != nil {
 		reg = opts.Obs.Metrics()
 	}
-	orc := newOracle(f, fn, workers, reg)
+	orc := newOracle(f, fn, spec.Name, workers, reg, opts.Ledger)
 	winner, tested, survivors, err := runCandidates(ctx, fn, cands, profile, opts, orc, workers)
 	if err != nil {
 		return nil, err
@@ -180,6 +187,12 @@ func Synthesize(ctx context.Context, f *minic.File, fn *minic.FuncDecl,
 	winner.Check = rangecheck.Build(winner.Cand, profile)
 	rsp.End()
 	res.Adapter = winner
+	if opts.Ledger != nil {
+		// Reclassify the deterministic winner's account from "survived"
+		// to "winner": its tests/steps become the useful-work baseline
+		// every other candidate's charges are waste against.
+		opts.Ledger.SetVerdict(fn.Name, spec.Name, winner.Cand.Key(), obs.VerdictWinner)
+	}
 	opts.Obs.Metrics().Counter("synth.winners").Inc()
 	if opts.Journal != nil {
 		opts.Journal.Record(obs.JournalEvent{Kind: obs.KindAccepted,
@@ -204,15 +217,19 @@ func lenCExpr(lb binding.LengthBinding) string {
 	return lb.Param
 }
 
-// verdict journals one candidate's generate-and-test outcome. The binding
-// key and counterexample are only rendered when a journal is attached, so
-// the disabled path stays allocation-free.
-func verdict(j *obs.Journal, fn string, cand *binding.Candidate,
+// verdict records one candidate's generate-and-test outcome in the
+// journal and as the candidate's final ledger verdict. The binding key
+// and counterexample are only rendered when a sink is attached, so the
+// disabled path stays allocation-free.
+func verdict(opts Options, fn string, cand *binding.Candidate,
 	outcome string, tests int, cex, detail string) {
-	if j == nil {
+	if opts.Ledger != nil {
+		opts.Ledger.SetVerdict(fn, cand.Spec.Name, cand.Key(), outcome)
+	}
+	if opts.Journal == nil {
 		return
 	}
-	j.Record(obs.JournalEvent{Kind: obs.KindFuzz, Function: fn,
+	opts.Journal.Record(obs.JournalEvent{Kind: obs.KindFuzz, Function: fn,
 		Candidate: cand.Key(), Outcome: outcome, Tests: tests,
 		Counterexample: cex, Detail: detail})
 }
@@ -275,7 +292,7 @@ func evalCandidate(runCtx, candCtx context.Context, fn *minic.FuncDecl,
 			if opts.Obs != nil {
 				opts.Obs.Metrics().Counter("synth.panics").Inc()
 			}
-			verdict(opts.Journal, fn.Name, cand, interp.FaultPanic.String(), 0, "",
+			verdict(opts, fn.Name, cand, interp.FaultPanic.String(), 0, "",
 				fmt.Sprintf("recovered: %v", r))
 		}
 	}()
@@ -288,8 +305,13 @@ func evalCandidate(runCtx, candCtx context.Context, fn *minic.FuncDecl,
 		}
 		if errors.Is(context.Cause(candCtx), errSuperseded) {
 			// An earlier candidate survived while this one was running;
-			// its outcome is discarded, so record nothing.
+			// its outcome is discarded from the journal, but the ledger
+			// keeps the account — superseded work is exactly the
+			// speculative waste it exists to measure.
 			sp.Str("outcome", "superseded")
+			if opts.Ledger != nil {
+				opts.Ledger.SetVerdict(fn.Name, cand.Spec.Name, cand.Key(), "superseded")
+			}
 			return nil, errSuperseded
 		}
 		// Only the per-candidate budget expired: reject this candidate.
@@ -297,7 +319,7 @@ func evalCandidate(runCtx, candCtx context.Context, fn *minic.FuncDecl,
 		if opts.Obs != nil {
 			opts.Obs.Metrics().Counter("synth.candidate_timeouts").Inc()
 		}
-		verdict(opts.Journal, fn.Name, cand, "timeout", 0, "",
+		verdict(opts, fn.Name, cand, "timeout", 0, "",
 			fmt.Sprintf("candidate exceeded its %s budget", opts.CandidateTimeout))
 		return nil, nil
 	}
@@ -316,7 +338,7 @@ func testCandidate(ctx context.Context, fn *minic.FuncDecl,
 	gen := iogen.New(opts.Seed, cand, profile)
 	if !gen.Viable() {
 		sp.Str("outcome", "not-viable")
-		verdict(opts.Journal, fn.Name, cand, "not-viable", 0, "",
+		verdict(opts, fn.Name, cand, "not-viable", 0, "",
 			"no test sizes inside the accelerator domain")
 		return nil, nil
 	}
@@ -333,6 +355,14 @@ func testCandidate(ctx context.Context, fn *minic.FuncDecl,
 			m.Counter("synth.tests_run").Add(int64(ran))
 			m.Histogram("synth.tests_per_candidate", obs.CountBuckets).
 				Observe(float64(ran))
+		}()
+	}
+	if opts.Ledger != nil {
+		// Charged on every exit path — a candidate killed mid-case still
+		// pays for the cases it ran; that is the speculative waste the
+		// ledger measures.
+		defer func() {
+			opts.Ledger.ChargeTests(fn.Name, cand.Spec.Name, cand.Key(), int64(ran))
 		}()
 	}
 
@@ -356,9 +386,13 @@ func testCandidate(ctx context.Context, fn *minic.FuncDecl,
 			}
 			// Interpreter fault (OOB, etc.) — wrong binding.
 			sp.Str("outcome", "fault").Str("fault", interp.FaultOf(runErr).String())
-			if opts.Journal != nil {
-				verdict(opts.Journal, fn.Name, cand, "fault", ran,
-					renderCase(tc), interp.FaultOf(runErr).String())
+			if opts.Journal != nil || opts.Ledger != nil {
+				cex := ""
+				if opts.Journal != nil {
+					cex = renderCase(tc)
+				}
+				verdict(opts, fn.Name, cand, "fault", ran, cex,
+					interp.FaultOf(runErr).String())
 			}
 			return nil, nil
 		}
@@ -371,9 +405,12 @@ func testCandidate(ctx context.Context, fn *minic.FuncDecl,
 			// The accelerator rejected the input (should not happen for
 			// generated cases); treat as candidate failure.
 			sp.Str("outcome", "domain-error")
-			if opts.Journal != nil {
-				verdict(opts.Journal, fn.Name, cand, "domain-error", ran,
-					renderCase(tc), err.Error())
+			if opts.Journal != nil || opts.Ledger != nil {
+				cex := ""
+				if opts.Journal != nil {
+					cex = renderCase(tc)
+				}
+				verdict(opts, fn.Name, cand, "domain-error", ran, cex, err.Error())
 			}
 			return nil, nil
 		}
@@ -388,9 +425,13 @@ func testCandidate(ctx context.Context, fn *minic.FuncDecl,
 		alive = next
 		if len(alive) == 0 {
 			sp.Str("outcome", "behavior-mismatch")
-			if opts.Journal != nil {
-				verdict(opts.Journal, fn.Name, cand, "behavior-mismatch", ran,
-					renderCase(tc), "no post-behavioral sketch reproduces the user output")
+			if opts.Journal != nil || opts.Ledger != nil {
+				cex := ""
+				if opts.Journal != nil {
+					cex = renderCase(tc)
+				}
+				verdict(opts, fn.Name, cand, "behavior-mismatch", ran, cex,
+					"no post-behavioral sketch reproduces the user output")
 			}
 			return nil, nil
 		}
@@ -408,8 +449,8 @@ func testCandidate(ctx context.Context, fn *minic.FuncDecl,
 			if v != c {
 				// Return value depends on input; cannot reproduce.
 				sp.Str("outcome", "return-mismatch")
-				if opts.Journal != nil {
-					verdict(opts.Journal, fn.Name, cand, "return-mismatch", ran, "",
+				if opts.Journal != nil || opts.Ledger != nil {
+					verdict(opts, fn.Name, cand, "return-mismatch", ran, "",
 						fmt.Sprintf("return value varies across inputs (%d vs %d)", c, v))
 				}
 				return nil, nil
@@ -418,7 +459,7 @@ func testCandidate(ctx context.Context, fn *minic.FuncDecl,
 		ad.ReturnConst = &c
 	}
 	sp.Str("outcome", "survived")
-	verdict(opts.Journal, fn.Name, cand, "survived", len(cases), "", "")
+	verdict(opts, fn.Name, cand, "survived", len(cases), "", "")
 	return ad, nil
 }
 
