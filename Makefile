@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race fuzz-smoke chaos bench bench-json bench-serve bench-gate serve-smoke repro repro-full examples fmt lint vet check clean
+.PHONY: all build test test-short test-race fuzz-smoke chaos bench bench-json bench-serve bench-gate search-report serve-smoke repro repro-full examples fmt lint vet check clean
 
 all: build test
 
@@ -46,10 +46,18 @@ bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
 
 # Synthesis-engine regression numbers (corpus wall-clock, fuzz
-# throughput, oracle hit rate at Workers=1 vs GOMAXPROCS) as a JSON
-# artifact for cross-commit comparison.
+# throughput, oracle hit rate at Workers=1 vs GOMAXPROCS, and the search
+# observatory's sequential-run funnel) as a JSON artifact for
+# cross-commit comparison.
 bench-json:
 	$(GO) run ./cmd/faccbench -experiment synthbench -bench-out BENCH_synth.json
+
+# Search observatory: one exhaustive sequential corpus compile with kill
+# attribution on. Prints the funnel, kill-depth distribution and top
+# discriminating inputs, and persists them into the crash-safe
+# counterexample pool (counterexamples.jsonl) for later runs.
+search-report:
+	$(GO) run ./cmd/faccbench -experiment searchbench -cex-pool counterexamples.jsonl
 
 # Serving benchmark: saturate an in-process faccd (shedding, dedup,
 # adapter cache) and keep the latency/robustness numbers as a JSON

@@ -6,6 +6,7 @@
 //	facc -target ffta [-entry fft] [-profile n=64,128,256] [-tests 10]
 //	     [-trace trace.json] [-metrics] [-serve :9090]
 //	     [-journal prov.jsonl] [-explain] [-costs]
+//	     [-search-report] [-cex-pool counterexamples.jsonl]
 //	     [-timeout 30s] [-candidate-timeout 50ms] [-faults error=0.3,seed=7]
 //	     file.c
 //
@@ -20,7 +21,13 @@
 // -costs prints the synthesis cost ledger — how much interpreter work went
 // to the winning candidate (useful) versus superseded or killed losers
 // (speculative) and how much the oracle shared across duplicates, per
-// target, with the waste ratio.
+// target, with the waste ratio; -search-report prints the search
+// observatory — the candidate funnel (generated → pre-filtered →
+// dispatched → killed/superseded/survived), the kill-depth distribution,
+// and the IO cases that discriminated the most binding families;
+// -cex-pool persists those discriminating inputs across runs in a
+// crash-safe JSONL counterexample pool, ranked by how many binding
+// families each input has killed.
 //
 // Robustness: -timeout bounds the whole compilation's wall clock,
 // -candidate-timeout bounds fuzzing any one binding candidate (a hung
@@ -89,6 +96,7 @@ func main() {
 		Trace:            of.Tracer(),
 		Journal:          of.Journal(),
 		Ledger:           of.Ledger(),
+		Kills:            of.Kills(),
 		Deadline:         of.Timeout,
 		CandidateTimeout: of.CandidateTimeout,
 	}

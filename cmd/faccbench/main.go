@@ -10,10 +10,12 @@
 //	faccbench -experiment fig11 -full   # paper-size classifier protocol
 //	faccbench -experiment fig15 -trace corpus.json -metrics  # traced corpus compile
 //	faccbench -experiment fig8 -serve :9090  # watch the corpus compile live
+//	faccbench -experiment searchbench -bench-out BENCH_synth.json  # refresh the search section
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -29,7 +31,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"table1, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, ablation, all, or synthbench/servebench/benchgate (not in all)")
+		"table1, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, ablation, all, or synthbench/searchbench/servebench/benchgate (not in all)")
 	full := flag.Bool("full", false, "use the paper-size Fig. 11 protocol (slow)")
 	tests := flag.Int("tests", 5, "IO examples per candidate during compilation")
 	benchOut := flag.String("bench-out", "",
@@ -63,7 +65,9 @@ func main() {
 	var err error
 	switch *experiment {
 	case "synthbench":
-		err = runSynthBench(ctx, *tests, of.Workers, *benchOut)
+		err = runSynthBench(ctx, *tests, of, *benchOut)
+	case "searchbench":
+		err = runSearchBench(ctx, *tests, of, *benchOut)
 	case "servebench":
 		err = runServeBench(ctx, *benchOut)
 	case "benchgate":
@@ -116,7 +120,11 @@ func runServeBench(ctx context.Context, benchOut string) error {
 // Workers=N (-j, default GOMAXPROCS): corpus wall-clock, fuzz throughput,
 // oracle cache hit-rate and cross-run adapter determinism. The summary
 // prints to stdout; -bench-out additionally writes the JSON artifact.
-func runSynthBench(ctx context.Context, tests, workers int, benchOut string) error {
+// The shared kill table (non-nil under -search-report/-cex-pool/-serve)
+// receives the sequential run's kill attribution, so the pool and the
+// report see exactly the events behind the artifact's search section.
+func runSynthBench(ctx context.Context, tests int, of *obsflag.Flags, benchOut string) error {
+	workers := of.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -125,7 +133,7 @@ func runSynthBench(ctx context.Context, tests, workers int, benchOut string) err
 		counts = append(counts, workers)
 	}
 	fmt.Fprintf(os.Stderr, "faccbench: synthesis benchmark at workers=%v...\n", counts)
-	rep, err := eval.SynthBench(ctx, []string{"ffta", "powerquad", "fftw"}, tests, counts)
+	rep, err := eval.SynthBench(ctx, []string{"ffta", "powerquad", "fftw"}, tests, counts, of.Kills())
 	if err != nil {
 		return err
 	}
@@ -143,6 +151,52 @@ func runSynthBench(ctx context.Context, tests, workers int, benchOut string) err
 			return werr
 		}
 		fmt.Fprintf(os.Stderr, "faccbench: wrote %s\n", benchOut)
+	}
+	return nil
+}
+
+// runSearchBench compiles the corpus once at Workers=1 with the kill
+// table attached and prints the search observatory report: the funnel,
+// kill-depth distribution and top discriminating inputs. With
+// -bench-out it merges the summary into that BENCH_synth.json's
+// "search" section (other sections are preserved; the file is created
+// with only the search section when absent). -cex-pool additionally
+// absorbs the run's kills into the persistent counterexample pool via
+// the shared observability Finish path.
+func runSearchBench(ctx context.Context, tests int, of *obsflag.Flags, benchOut string) error {
+	kills := of.Kills()
+	if kills == nil {
+		kills = obs.NewKillTable()
+	}
+	fmt.Fprintf(os.Stderr, "faccbench: search benchmark (sequential corpus compile, kill attribution on)...\n")
+	if err := eval.SearchBench(ctx, []string{"ffta", "powerquad", "fftw"}, tests, kills); err != nil {
+		return err
+	}
+	if err := kills.WriteSearchReport(os.Stdout, 10); err != nil {
+		return err
+	}
+	if benchOut != "" {
+		var rep eval.SynthBenchReport
+		if data, err := os.ReadFile(benchOut); err == nil {
+			if err := json.Unmarshal(data, &rep); err != nil {
+				return fmt.Errorf("-bench-out %s: %w", benchOut, err)
+			}
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+		rep.Search = kills.Summary()
+		out, err := os.Create(benchOut)
+		if err != nil {
+			return err
+		}
+		werr := rep.WriteJSON(out)
+		if cerr := out.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Fprintf(os.Stderr, "faccbench: merged search section into %s\n", benchOut)
 	}
 	return nil
 }

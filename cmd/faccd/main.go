@@ -8,6 +8,7 @@
 //	      [-request-timeout 2m] [-candidate-timeout 50ms]
 //	      [-drain-timeout 10s] [-tests 10] [-j N] [-faults chaos]
 //	      [-slo-latency 1s] [-slo-objective 0.99] [-flight-recorder 32]
+//	      [-cex-pool counterexamples.jsonl]
 //
 // Endpoints:
 //
@@ -79,6 +80,8 @@ func main() {
 		"fraction of requests that must meet the SLO (burn rate = violation rate / error budget)")
 	flightRec := flag.Int("flight-recorder", 32,
 		"retain this many slowest and failed requests (full span/journal/ledger) at /debug/requests; -1 disables")
+	cexPool := flag.String("cex-pool", "",
+		"persist the discriminating-input counterexample pool (crash-safe JSONL) in this file across daemon runs")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "usage: faccd [flags] (takes no arguments)\n")
@@ -110,6 +113,24 @@ func main() {
 		os.Exit(1)
 	}
 
+	// The counterexample pool survives daemon restarts: loaded before
+	// serving, absorbed+flushed after the drain. A corrupt pool is
+	// quarantined and the daemon starts with an empty one.
+	var pool *obs.CexPool
+	if *cexPool != "" {
+		p, info, err := obs.LoadCexPool(*cexPool)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faccd: -cex-pool %s: %v\n", *cexPool, err)
+			os.Exit(1)
+		}
+		if info.Quarantined != "" {
+			fmt.Fprintf(os.Stderr, "faccd: -cex-pool %s: corrupt pool quarantined to %s; starting empty\n",
+				*cexPool, info.Quarantined)
+		}
+		pool = p
+	}
+	kills := obs.NewKillTable()
+
 	srv := server.New(server.Config{
 		QueueDepth:     *queue,
 		Workers:        *workers,
@@ -118,6 +139,7 @@ func main() {
 		Tracer:         tr,
 		Journal:        obs.NewJournal(),
 		Ledger:         obs.NewLedger(),
+		Kills:          kills,
 		FlightRecorder: *flightRec,
 		SLOLatency:     *sloLatency,
 		SLOObjective:   *sloObjective,
@@ -162,6 +184,12 @@ func main() {
 	hs.Shutdown(hctx)
 	if err := st.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "faccd: closing store: %v\n", err)
+	}
+	if *cexPool != "" {
+		pool.Absorb(kills, time.Now())
+		if err := pool.Flush(*cexPool); err != nil {
+			fmt.Fprintf(os.Stderr, "faccd: flushing -cex-pool: %v\n", err)
+		}
 	}
 	if drainErr != nil {
 		fmt.Fprintf(os.Stderr, "faccd: %v\n", drainErr)

@@ -18,9 +18,11 @@ function scale — REJECTED (interface-incompatibility)
   bindings: 2 emitted, 2 pruned (range-exp2 ×2)
   candidate 1: in=struct(x,re=0,im=1) out=struct(x,re=0,im=1) len=n(n) inplace
     fuzz: behavior-mismatch after 1 test(s)
+    killed by: case 0 (behavior-mismatch)
     counterexample: n=64 input[64]=(1-0.309i) (1.33+0.454i) (1.52+1.21i) (0.148-0.847i)…
   candidate 2: in=struct(x,re=1,im=0) out=struct(x,re=1,im=0) len=n(n) inplace
     fuzz: behavior-mismatch after 1 test(s)
+    killed by: case 0 (behavior-mismatch)
     counterexample: n=64 input[64]=(1-0.309i) (1.33+0.454i) (1.52+1.21i) (0.148-0.847i)…
 
 function fft — REPLACED

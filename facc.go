@@ -106,6 +106,15 @@ type Options struct {
 	// with Ledger.WriteCostReport (`facc -explain -costs`) or roll up via
 	// Ledger.Summary. Nil (the default) costs nothing on the hot path.
 	Ledger *Ledger
+	// Kills, when non-nil, records the search observatory: every
+	// non-survivor candidate's kill event — the discriminating IO case
+	// (seed, case index), interpreter steps at death, mismatch kind and
+	// binding family — plus the generated → pre-filtered → dispatched →
+	// killed/superseded → survivor search funnel. Render with
+	// KillTable.WriteSearchReport (`facc -search-report`) or persist the
+	// discriminating inputs across runs via obs.CexPool (`-cex-pool`).
+	// Nil (the default) costs nothing on the verdict path.
+	Kills *KillTable
 
 	// Deadline bounds the whole compilation's wall clock: past it the
 	// pipeline stops promptly (the interpreter polls it inside each fuzz
@@ -162,6 +171,13 @@ type Ledger = obs.Ledger
 
 // NewLedger returns an empty ledger to pass via Options.Ledger.
 func NewLedger() *Ledger { return obs.NewLedger() }
+
+// KillTable is the search observatory's kill-attribution table; see
+// Options.Kills.
+type KillTable = obs.KillTable
+
+// NewKillTable returns an empty kill table to pass via Options.Kills.
+func NewKillTable() *KillTable { return obs.NewKillTable() }
 
 // Classifier is the trained ProGraML-style candidate detector.
 type Classifier = core.Classifier
@@ -304,6 +320,7 @@ func CompileContext(ctx context.Context, name, source, target string, opts Optio
 		Trace:         opts.Trace,
 		Journal:       opts.Journal,
 		Ledger:        opts.Ledger,
+		Kills:         opts.Kills,
 		Synth: synth.Options{
 			NumTests:         opts.NumTests,
 			Tolerance:        opts.Tolerance,

@@ -223,6 +223,11 @@ type Options struct {
 	// binding key) and one "pruned" event per heuristic rejection (with
 	// the heuristic that killed it). Nil costs nothing.
 	Journal *obs.Journal
+	// Kills, when non-nil, receives the head of the search funnel:
+	// every hypothesis the enumerator forms counts as "generated" and
+	// every heuristic/dedup/cap rejection as "pre-filtered", per
+	// (function, target). Nil costs nothing.
+	Kills *obs.KillTable
 }
 
 // complexElemInfo describes how an element type encodes a complex sample.

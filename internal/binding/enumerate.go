@@ -60,6 +60,12 @@ func Enumerate(fi *analysis.FuncInfo, spec *accel.Spec, profile *analysis.Profil
 		opts.Obs.Histogram("binding.candidates_per_function", obs.CountBuckets).
 			Observe(float64(len(cands)))
 	}
+	if opts.Kills != nil {
+		// Funnel head: everything the enumerator formed, and everything
+		// rejected before fuzzing (heuristics, dedup, the candidate cap).
+		opts.Kills.AddGenerated(fi.Fn.Name, spec.Name, int64(e.n+e.pruned))
+		opts.Kills.AddPreFiltered(fi.Fn.Name, spec.Name, int64(e.pruned+dups+capped))
+	}
 	return cands
 }
 
@@ -70,6 +76,7 @@ type enumerator struct {
 	opts    Options
 	out     []scored
 	n       int
+	pruned  int
 }
 
 func (e *enumerator) emit(c *Candidate, score int) {
@@ -81,6 +88,7 @@ func (e *enumerator) emit(c *Candidate, score int) {
 // pruned-vs-enumerated accounting the summary exporter reports — and
 // journals which hypothesis the heuristic killed.
 func (e *enumerator) prune(heuristic, detail string) {
+	e.pruned++
 	if e.opts.Obs != nil {
 		e.opts.Obs.Counter("binding.pruned." + heuristic).Inc()
 	}

@@ -110,6 +110,11 @@ type Options struct {
 	// account, separating useful (winner) from speculative (loser) work.
 	// Nil costs nothing on the hot path.
 	Ledger *obs.Ledger
+	// Kills, when non-nil, records the search observatory: every
+	// non-survivor's kill event (discriminating IO case, mismatch kind,
+	// binding family) and the per-function search funnel. Nil costs
+	// nothing on the verdict path.
+	Kills *obs.KillTable
 }
 
 // FunctionResult is the outcome for one candidate region.
@@ -227,6 +232,7 @@ func CompileFile(ctx context.Context, f *minic.File, spec *accel.Spec, opts Opti
 	if trace := obs.TraceIDFrom(ctx); trace != "" {
 		opts.Journal = opts.Journal.Scoped(trace)
 		opts.Ledger = opts.Ledger.Scoped(trace)
+		opts.Kills = opts.Kills.Scoped(trace)
 	}
 	root := tr.Span("compile").SetTrace(obs.TraceIDFrom(ctx)).
 		Str("file", f.Name).Str("target", spec.Name)
@@ -265,6 +271,7 @@ func CompileFile(ctx context.Context, f *minic.File, spec *accel.Spec, opts Opti
 		sopts := opts.Synth
 		sopts.Journal = opts.Journal
 		sopts.Ledger = opts.Ledger
+		sopts.Kills = opts.Kills
 		if traced {
 			sopts.Obs = ssp
 		}

@@ -31,7 +31,8 @@ type GateCheck struct {
 	Name     string  `json:"name"`
 	Baseline float64 `json:"baseline"`
 	Fresh    float64 `json:"fresh"`
-	// Limit is the highest Fresh value that passes.
+	// Limit is the boundary Fresh value that passes: the highest for
+	// lower-is-better checks, the lowest for floor checks.
 	Limit float64 `json:"limit"`
 	OK    bool    `json:"ok"`
 }
@@ -83,6 +84,24 @@ func BenchGate(cfg GateConfig) (*GateReport, error) {
 			rep.check(fmt.Sprintf("synth.waste_ratio[workers=%d]", b.Workers),
 				b.WasteRatio, f.WasteRatio, true)
 		}
+		// Search-observatory checks are skip-if-absent: a baseline
+		// committed before the search section existed gates nothing.
+		// Once the baseline carries one, the fresh artifact must too,
+		// and its discriminating-input signal must not collapse: a
+		// corpus whose baseline had multi-family killer cases producing
+		// none is a search regression (kill attribution broken or the
+		// funnel no longer dispatching candidates), not jitter.
+		if base.Search != nil {
+			fm, fk := -1.0, -1.0
+			if fresh.Search != nil {
+				fm = float64(fresh.Search.MultiFamilyCases)
+				fk = float64(fresh.Search.Killed)
+			}
+			rep.checkFloor("synth.search.multi_family_cases",
+				float64(base.Search.MultiFamilyCases), fm)
+			rep.checkFloor("synth.search.killed",
+				float64(base.Search.Killed), fk)
+		}
 	}
 
 	if cfg.BaselineServe != "" && cfg.FreshServe != "" {
@@ -111,6 +130,22 @@ func (r *GateReport) check(name string, baseline, fresh float64, ratio bool) {
 		limit = r.Tolerance
 	}
 	c := GateCheck{Name: name, Baseline: baseline, Fresh: fresh, Limit: limit, OK: fresh <= limit}
+	if !c.OK {
+		r.Failures++
+	}
+	r.Checks = append(r.Checks, c)
+}
+
+// checkFloor records one higher-is-better presence check: when the
+// baseline has any signal (>= 1), the fresh value must keep at least 1 —
+// the gate catches collapse-to-zero (or a missing section, passed as a
+// negative fresh value), not count jitter.
+func (r *GateReport) checkFloor(name string, baseline, fresh float64) {
+	limit := 0.0
+	if baseline >= 1 {
+		limit = 1
+	}
+	c := GateCheck{Name: name, Baseline: baseline, Fresh: fresh, Limit: limit, OK: fresh >= limit}
 	if !c.OK {
 		r.Failures++
 	}

@@ -116,6 +116,13 @@ type SynthBenchReport struct {
 	Runs       []SynthBenchRun       `json:"runs"`
 	Exhaustive *SynthBenchExhaustive `json:"exhaustive,omitempty"`
 
+	// Search is the search observatory's view of the first (Workers=1,
+	// deterministic) run: funnel totals, kill-depth distribution and the
+	// discriminating-input ranking. Kill counts depend on worker count
+	// (parallel speculation kills more candidates), so only the
+	// sequential run is recorded — it is reproducible across machines.
+	Search *obs.SearchSummary `json:"search,omitempty"`
+
 	// Speedup is wall(first run) / wall(last run) — ≥1 when parallel
 	// candidate fuzzing pays off (requires real cores; ≈1 on one).
 	Speedup float64 `json:"speedup"`
@@ -129,7 +136,11 @@ type SynthBenchReport struct {
 // measures the synthesis engine: wall-clock, fuzz throughput and
 // reference-oracle cache effectiveness. File-level compilation is kept
 // sequential so candidate-level parallelism is the only variable.
-func SynthBench(ctx context.Context, targets []string, numTests int, workerCounts []int) (*SynthBenchReport, error) {
+// kills, when non-nil, receives the first (sequential) run's kill
+// attribution — pass the CLI's shared table so -search-report and
+// -cex-pool observe the same events as the report's search section; nil
+// gets a private table.
+func SynthBench(ctx context.Context, targets []string, numTests int, workerCounts []int, kills *obs.KillTable) (*SynthBenchReport, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -141,9 +152,19 @@ func SynthBench(ctx context.Context, targets []string, numTests int, workerCount
 		AdaptersIdentical: true,
 	}
 	var baseline map[string]string
-	for _, wk := range workerCounts {
+	for runIdx, wk := range workerCounts {
 		tr := obs.New()
 		led := obs.NewLedger()
+		// Kill attribution only on the first (sequential) run: at
+		// Workers=N the winner races its rivals and kill counts become
+		// machine-dependent, which has no place in a committed artifact.
+		var ktab *obs.KillTable
+		if runIdx == 0 {
+			if kills == nil {
+				kills = obs.NewKillTable()
+			}
+			ktab = kills
+		}
 		adapters := map[string]string{}
 		start := time.Now()
 		for _, target := range targets {
@@ -161,6 +182,7 @@ func SynthBench(ctx context.Context, targets []string, numTests int, workerCount
 					ProfileValues: b.ProfileValues,
 					Trace:         tr,
 					Ledger:        led,
+					Kills:         ktab,
 					Synth:         synth.Options{NumTests: numTests, Workers: wk},
 				})
 				if err != nil {
@@ -215,6 +237,9 @@ func SynthBench(ctx context.Context, targets []string, numTests int, workerCount
 			run.PerTarget = append(run.PerTarget, t)
 		}
 		rep.Runs = append(rep.Runs, run)
+		if ktab != nil {
+			rep.Search = ktab.Summary()
+		}
 
 		if baseline == nil {
 			baseline = adapters
@@ -341,6 +366,11 @@ func (r *SynthBenchReport) WriteText(w io.Writer) {
 		} else {
 			fmt.Fprintf(w, " (WARNING: adapters differ across worker counts)\n")
 		}
+	}
+	if s := r.Search; s != nil {
+		fmt.Fprintf(w, "search (sequential run): %d generated → %d pre-filtered → %d dispatched → %d killed / %d superseded / %d survived → %d winner(s); %d case(s) killed >1 binding family\n",
+			s.Generated, s.PreFiltered, s.Dispatched, s.Killed,
+			s.Superseded, s.Survived, s.Winners, s.MultiFamilyCases)
 	}
 	if ex := r.Exhaustive; ex != nil {
 		fmt.Fprintf(w, "exhaustive (all candidates, workers=%d): %d candidates in %.2fs, oracle %.0f%% overall, %.0f%% on %d multi-candidate functions\n",

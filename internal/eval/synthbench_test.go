@@ -10,7 +10,7 @@ import (
 // checks the report's internal consistency and JSON round trip — the full
 // configuration is exercised by `make bench-json`.
 func TestSynthBenchSmoke(t *testing.T) {
-	rep, err := SynthBench(nil, []string{"fftw"}, 2, []int{1, 2})
+	rep, err := SynthBench(nil, []string{"fftw"}, 2, []int{1, 2}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,4 +54,36 @@ func TestSynthBenchSmoke(t *testing.T) {
 		t.Error("JSON round trip lost the multi-candidate hit rate")
 	}
 	rep.WriteText(&bytes.Buffer{})
+}
+
+// TestSynthBenchSearchSection: the report's search section comes from
+// the sequential run and is internally consistent with it.
+func TestSynthBenchSearchSection(t *testing.T) {
+	rep, err := SynthBench(nil, []string{"fftw"}, 2, []int{1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.Search
+	if s == nil {
+		t.Fatal("report has no search section")
+	}
+	if s.Dispatched == 0 || s.Generated < s.Dispatched {
+		t.Errorf("search funnel inconsistent: generated %d, dispatched %d",
+			s.Generated, s.Dispatched)
+	}
+	if s.Winners != int64(rep.Runs[0].Adapters) {
+		t.Errorf("search winners = %d, run adapters = %d",
+			s.Winners, rep.Runs[0].Adapters)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back SynthBenchReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Search == nil || back.Search.Dispatched != s.Dispatched {
+		t.Error("JSON round trip lost the search section")
+	}
 }

@@ -135,6 +135,16 @@ func UserSig(cand *binding.Candidate) string {
 	return strings.Join(parts, " ")
 }
 
+// CaseSig is the user-visible identity of one generated IO case: the
+// root seed, the accelerator length, and the 0-based case index. This
+// is exactly the key of the candidate-independent signal stream, so the
+// same signature names the same input samples across candidates,
+// binding families, runs and processes — what the kill table aggregates
+// on and the persistent counterexample pool is keyed by.
+func CaseSig(seed, accelLen int64, caseIdx int) string {
+	return fmt.Sprintf("seed=%d n=%d case=%d", seed, accelLen, caseIdx)
+}
+
 // caseRng returns the rand stream for one (stream label, case index) draw.
 func caseRng(seed int64, label string, idx ...int64) *rand.Rand {
 	return rand.New(rand.NewSource(DeriveSeed(seed, label, idx...)))

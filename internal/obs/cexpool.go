@@ -1,0 +1,366 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The counterexample pool persists the most effective discriminating
+// IO cases across runs: each entry is one case identity (seed, length,
+// index) with its cumulative kill count, the distinct binding families
+// it has killed, and when it last proved useful. The pool is the
+// artifact a future CEGIS replay loop will consume — "try the inputs
+// that killed whole families last time, first". This PR only writes
+// and ranks it; loading it MUST NOT change search results (pinned by
+// the pool-present-vs-absent determinism test).
+//
+// On disk the pool is JSONL — one CexEntry per line — terminated by a
+// checksum trailer line covering every preceding byte, written
+// atomically (same-dir temp file, fsync, rename, dir fsync) like
+// internal/store. A corrupt or torn file is quarantined, never
+// deleted, and loading continues with an empty pool.
+
+// maxPoolEntries bounds the pool on flush; the lowest-ranked entries
+// are pruned first.
+const maxPoolEntries = 512
+
+// maxPoolFamilies bounds the per-entry family sample. The count keeps
+// growing past the cap; only the stored names are truncated.
+const maxPoolFamilies = 16
+
+// CexEntry is one discriminating input's cumulative record.
+type CexEntry struct {
+	Sig  string `json:"sig"` // user-visible case identity (iogen.CaseSig)
+	Seed int64  `json:"seed"`
+	Len  int64  `json:"len"`  // accelerator length
+	Case int    `json:"case"` // 0-based case index
+
+	Kills       int64 `json:"kills"`           // cumulative candidate kills
+	FamilyCount int   `json:"families_killed"` // distinct binding families, cumulative
+	// Families is a bounded, sorted sample of the killed families;
+	// FamilyCount may exceed len(Families) once the sample is full.
+	Families []string `json:"families,omitempty"`
+	Targets  []string `json:"targets,omitempty"` // sorted accelerator targets
+
+	FirstSeenUnix  int64 `json:"first_seen_unix,omitempty"`
+	LastUsefulUnix int64 `json:"last_useful_unix,omitempty"` // last run that recorded a kill
+}
+
+// cexTrailer is the final checksum line of the pool file.
+type cexTrailer struct {
+	Checksum string `json:"cex_checksum"`
+}
+
+// CexLoadInfo describes what LoadCexPool found.
+type CexLoadInfo struct {
+	Loaded      int    // entries loaded
+	Quarantined string // non-empty: corrupt file moved here, pool started empty
+}
+
+// CexPool is the in-memory pool. The zero value of the pointer (nil)
+// is a valid, disabled pool. FaultHook, when non-nil, is consulted
+// before each I/O step of Flush ("write", "sync", "rename") so tests
+// can simulate a crash mid-flush.
+type CexPool struct {
+	mu        sync.Mutex
+	entries   map[string]*CexEntry
+	FaultHook func(op string) error
+}
+
+// NewCexPool returns an empty pool.
+func NewCexPool() *CexPool {
+	return &CexPool{entries: make(map[string]*CexEntry)}
+}
+
+// LoadCexPool reads a pool file. A missing file yields an empty pool
+// and no error. A corrupt file (bad JSON, missing or mismatched
+// checksum trailer) is quarantined beside the original — evidence is
+// never deleted — and an empty pool is returned; the error is nil
+// because recovery succeeded, and CexLoadInfo says what happened.
+func LoadCexPool(path string) (*CexPool, CexLoadInfo, error) {
+	p := NewCexPool()
+	var info CexLoadInfo
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return p, info, nil
+	}
+	if err != nil {
+		return p, info, err
+	}
+	entries, perr := parseCexPool(data)
+	if perr != nil {
+		q, qerr := quarantineCexPool(path)
+		if qerr != nil {
+			return p, info, fmt.Errorf("cex pool corrupt (%v) and quarantine failed: %w", perr, qerr)
+		}
+		info.Quarantined = q
+		return p, info, nil
+	}
+	for _, e := range entries {
+		e := e
+		p.entries[e.Sig] = &e
+	}
+	info.Loaded = len(entries)
+	return p, info, nil
+}
+
+// parseCexPool validates the checksum trailer and decodes the entries.
+func parseCexPool(data []byte) ([]CexEntry, error) {
+	trimmed := bytes.TrimRight(data, "\n")
+	if len(trimmed) == 0 {
+		return nil, nil // empty file: a pool that never recorded anything
+	}
+	idx := bytes.LastIndexByte(trimmed, '\n')
+	body, last := data[:idx+1], trimmed[idx+1:]
+	if idx < 0 {
+		body, last = nil, trimmed
+	}
+	var tr cexTrailer
+	if err := json.Unmarshal(last, &tr); err != nil || tr.Checksum == "" {
+		return nil, fmt.Errorf("missing checksum trailer")
+	}
+	if got := cexChecksum(body); got != tr.Checksum {
+		return nil, fmt.Errorf("checksum mismatch: file %s, computed %s", tr.Checksum, got)
+	}
+	var out []CexEntry
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var e CexEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			return nil, fmt.Errorf("bad entry: %v", err)
+		}
+		if e.Sig == "" {
+			return nil, fmt.Errorf("entry missing sig")
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// cexChecksum hashes the body with length framing, like internal/store.
+func cexChecksum(body []byte) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%d:", len(body))
+	h.Write(body)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// quarantineCexPool moves a corrupt pool aside and reports where.
+func quarantineCexPool(path string) (string, error) {
+	q := path + ".quarantine"
+	for i := 1; ; i++ {
+		if _, err := os.Stat(q); os.IsNotExist(err) {
+			break
+		}
+		q = fmt.Sprintf("%s.quarantine.%d", path, i)
+	}
+	if err := os.Rename(path, q); err != nil {
+		return "", err
+	}
+	return q, nil
+}
+
+// Len returns the number of pooled entries.
+func (p *CexPool) Len() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.entries)
+}
+
+// Get returns the entry for a case signature.
+func (p *CexPool) Get(sig string) (CexEntry, bool) {
+	if p == nil {
+		return CexEntry{}, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.entries[sig]
+	if !ok {
+		return CexEntry{}, false
+	}
+	return *e, true
+}
+
+// Absorb merges a kill table's case-attributed events into the pool,
+// accumulating kill counts and family sets and stamping last-useful
+// times. The caller passes now explicitly so tests stay deterministic.
+func (p *CexPool) Absorb(kt *KillTable, now time.Time) {
+	if p == nil || kt == nil {
+		return
+	}
+	p.AbsorbEvents(kt.Events(), now)
+}
+
+// AbsorbEvents merges raw kill events; events without an attributable
+// case (CaseIndex < 0) are skipped.
+func (p *CexPool) AbsorbEvents(events []KillEvent, now time.Time) {
+	if p == nil {
+		return
+	}
+	unix := now.Unix()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, ev := range events {
+		if ev.CaseIndex < 0 || ev.CaseSig == "" {
+			continue
+		}
+		e := p.entries[ev.CaseSig]
+		if e == nil {
+			e = &CexEntry{
+				Sig: ev.CaseSig, Seed: ev.Seed, Len: ev.Len, Case: ev.CaseIndex,
+				FirstSeenUnix: unix,
+			}
+			p.entries[ev.CaseSig] = e
+		}
+		e.Kills++
+		e.LastUsefulUnix = unix
+		if addBounded(&e.Families, ev.Family, maxPoolFamilies) {
+			e.FamilyCount++
+		}
+		addBounded(&e.Targets, ev.Target, 0)
+	}
+}
+
+// addBounded inserts v into the sorted set *s, reporting whether it
+// was new. When the set already holds max (>0) names, new values are
+// counted by the caller but not stored.
+func addBounded(s *[]string, v string, max int) bool {
+	if v == "" {
+		return false
+	}
+	i := sort.SearchStrings(*s, v)
+	if i < len(*s) && (*s)[i] == v {
+		return false
+	}
+	if max > 0 && len(*s) >= max {
+		return true // new, but the sample is full
+	}
+	*s = append(*s, "")
+	copy((*s)[i+1:], (*s)[i:])
+	(*s)[i] = v
+	return true
+}
+
+// Entries returns the pooled entries ranked most-discriminating first:
+// distinct families desc, kills desc, most recently useful, then sig.
+func (p *CexPool) Entries() []CexEntry {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	out := make([]CexEntry, 0, len(p.entries))
+	for _, e := range p.entries {
+		out = append(out, *e)
+	}
+	p.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.FamilyCount != b.FamilyCount {
+			return a.FamilyCount > b.FamilyCount
+		}
+		if a.Kills != b.Kills {
+			return a.Kills > b.Kills
+		}
+		if a.LastUsefulUnix != b.LastUsefulUnix {
+			return a.LastUsefulUnix > b.LastUsefulUnix
+		}
+		return a.Sig < b.Sig
+	})
+	return out
+}
+
+// Flush re-ranks, prunes to maxPoolEntries, and atomically rewrites
+// the pool file: same-dir temp, fsync, rename over the original, dir
+// fsync. A crash at any point leaves either the previous complete file
+// or a stray temp file the next load never reads — never a torn pool.
+func (p *CexPool) Flush(path string) error {
+	if p == nil {
+		return nil
+	}
+	ranked := p.Entries()
+	if len(ranked) > maxPoolEntries {
+		ranked = ranked[:maxPoolEntries]
+	}
+	var body bytes.Buffer
+	enc := json.NewEncoder(&body)
+	for i := range ranked {
+		if err := enc.Encode(&ranked[i]); err != nil {
+			return err
+		}
+	}
+	trailer, err := json.Marshal(cexTrailer{Checksum: cexChecksum(body.Bytes())})
+	if err != nil {
+		return err
+	}
+	body.Write(trailer)
+	body.WriteByte('\n')
+
+	if err := p.fault("write"); err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(body.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := p.fault("sync"); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := p.fault("rename"); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+func (p *CexPool) fault(op string) error {
+	if p.FaultHook == nil {
+		return nil
+	}
+	return p.FaultHook(op)
+}

@@ -1,0 +1,260 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func poolEvents() []KillEvent {
+	return []KillEvent{
+		{Function: "fft", Target: "ffta", Candidate: "c1", Family: "famA",
+			Seed: 42, CaseIndex: 0, CaseSig: "seed=42 n=64 case=0", Len: 64,
+			Mismatch: "behavior-mismatch"},
+		{Function: "fft", Target: "ffta", Candidate: "c2", Family: "famB",
+			Seed: 42, CaseIndex: 0, CaseSig: "seed=42 n=64 case=0", Len: 64,
+			Mismatch: "behavior-mismatch"},
+		{Function: "fft", Target: "fftw", Candidate: "c3", Family: "famA",
+			Seed: 42, CaseIndex: 2, CaseSig: "seed=42 n=128 case=2", Len: 128,
+			Mismatch: "return-mismatch"},
+		// Caseless: never pooled.
+		{Function: "fft", Target: "ffta", Candidate: "c4", Family: "famC",
+			Seed: 42, CaseIndex: -1, Mismatch: "timeout"},
+	}
+}
+
+func TestCexPoolRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cex.jsonl")
+	p := NewCexPool()
+	now := time.Unix(1000, 0)
+	p.AbsorbEvents(poolEvents(), now)
+	if p.Len() != 2 {
+		t.Fatalf("pool has %d entries, want 2 (caseless events skipped)", p.Len())
+	}
+	if err := p.Flush(path); err != nil {
+		t.Fatal(err)
+	}
+
+	q, info, err := LoadCexPool(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Loaded != 2 || info.Quarantined != "" {
+		t.Fatalf("load info = %+v, want 2 loaded, none quarantined", info)
+	}
+	e, ok := q.Get("seed=42 n=64 case=0")
+	if !ok {
+		t.Fatal("top case missing after round trip")
+	}
+	if e.Kills != 2 || e.FamilyCount != 2 || e.Seed != 42 || e.Len != 64 || e.Case != 0 {
+		t.Errorf("entry = %+v, want 2 kills across famA+famB", e)
+	}
+	if len(e.Families) != 2 || e.Families[0] != "famA" || e.Families[1] != "famB" {
+		t.Errorf("families = %v, want sorted [famA famB]", e.Families)
+	}
+	if e.FirstSeenUnix != 1000 || e.LastUsefulUnix != 1000 {
+		t.Errorf("timestamps = %d/%d, want 1000/1000", e.FirstSeenUnix, e.LastUsefulUnix)
+	}
+
+	// A second run accumulates into the loaded pool.
+	q.AbsorbEvents(poolEvents()[:1], time.Unix(2000, 0))
+	e, _ = q.Get("seed=42 n=64 case=0")
+	if e.Kills != 3 || e.FamilyCount != 2 {
+		t.Errorf("after second absorb: kills=%d families=%d, want 3/2", e.Kills, e.FamilyCount)
+	}
+	if e.FirstSeenUnix != 1000 || e.LastUsefulUnix != 2000 {
+		t.Errorf("timestamps = %d/%d, want first 1000, last-useful 2000",
+			e.FirstSeenUnix, e.LastUsefulUnix)
+	}
+
+	// Ranking: the 2-family case outranks the 1-family case.
+	ranked := q.Entries()
+	if ranked[0].Sig != "seed=42 n=64 case=0" {
+		t.Errorf("top-ranked = %q, want the multi-family case", ranked[0].Sig)
+	}
+}
+
+func TestCexPoolLoadMissing(t *testing.T) {
+	p, info, err := LoadCexPool(filepath.Join(t.TempDir(), "absent.jsonl"))
+	if err != nil || p.Len() != 0 || info.Loaded != 0 || info.Quarantined != "" {
+		t.Fatalf("missing file: pool=%d info=%+v err=%v, want empty/clean/nil",
+			p.Len(), info, err)
+	}
+}
+
+// TestCexPoolCorruptQuarantined: a torn or tampered pool is moved aside
+// (never deleted) and loading recovers with an empty pool.
+func TestCexPoolCorruptQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cex.jsonl")
+	for name, data := range map[string]string{
+		"garbage":       "not json at all\n",
+		"no-trailer":    `{"sig":"seed=1 n=64 case=0","seed":1,"len":64,"case":0,"kills":1}` + "\n",
+		"bad-checksum":  `{"sig":"seed=1 n=64 case=0","seed":1,"len":64,"case":0,"kills":1}` + "\n" + `{"cex_checksum":"deadbeef"}` + "\n",
+		"torn-mid-line": `{"sig":"seed=1 n=6`,
+	} {
+		if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		p, info, err := LoadCexPool(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Len() != 0 {
+			t.Errorf("%s: recovered pool has %d entries, want 0", name, p.Len())
+		}
+		if info.Quarantined == "" {
+			t.Fatalf("%s: corrupt pool not quarantined", name)
+		}
+		if _, err := os.Stat(info.Quarantined); err != nil {
+			t.Errorf("%s: quarantine file missing: %v", name, err)
+		}
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Errorf("%s: corrupt original still at path (err=%v)", name, err)
+		}
+	}
+	// Repeated corruption gets numbered quarantine names, no clobbering.
+	names, _ := filepath.Glob(filepath.Join(dir, "*.quarantine*"))
+	if len(names) != 4 {
+		t.Errorf("%d quarantine files, want 4 distinct: %v", len(names), names)
+	}
+}
+
+// TestCexPoolCrashMidFlush: a crash at any I/O step of Flush leaves the
+// previous complete pool loadable — the atomic-write contract.
+func TestCexPoolCrashMidFlush(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cex.jsonl")
+	p := NewCexPool()
+	p.AbsorbEvents(poolEvents(), time.Unix(1000, 0))
+	if err := p.Flush(path); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, crashAt := range []string{"write", "sync", "rename"} {
+		p2 := NewCexPool()
+		p2.AbsorbEvents(poolEvents(), time.Unix(2000, 0))
+		p2.AbsorbEvents(poolEvents(), time.Unix(3000, 0))
+		p2.FaultHook = func(op string) error {
+			if op == crashAt {
+				return fmt.Errorf("injected crash at %s", op)
+			}
+			return nil
+		}
+		if err := p2.Flush(path); err == nil || !strings.Contains(err.Error(), crashAt) {
+			t.Fatalf("crash at %s: Flush err = %v, want injected failure", crashAt, err)
+		}
+		got, info, err := LoadCexPool(path)
+		if err != nil || info.Quarantined != "" {
+			t.Fatalf("crash at %s: reload err=%v info=%+v, want clean previous pool",
+				crashAt, err, info)
+		}
+		e, ok := got.Get("seed=42 n=64 case=0")
+		if !ok || e.Kills != 2 {
+			t.Errorf("crash at %s: previous pool content lost (kills=%d, want 2)",
+				crashAt, e.Kills)
+		}
+	}
+}
+
+// TestCexPoolFamilySampleBounded: the family count keeps growing past
+// the stored sample cap.
+func TestCexPoolFamilySampleBounded(t *testing.T) {
+	p := NewCexPool()
+	var events []KillEvent
+	for i := 0; i < maxPoolFamilies+5; i++ {
+		events = append(events, KillEvent{
+			Function: "fft", Target: "ffta", Candidate: "c",
+			Family: fmt.Sprintf("fam%03d", i), Seed: 1, CaseIndex: 0,
+			CaseSig: "seed=1 n=64 case=0", Len: 64, Mismatch: "behavior-mismatch"})
+	}
+	p.AbsorbEvents(events, time.Unix(1, 0))
+	e, _ := p.Get("seed=1 n=64 case=0")
+	if e.FamilyCount != maxPoolFamilies+5 {
+		t.Errorf("FamilyCount = %d, want %d", e.FamilyCount, maxPoolFamilies+5)
+	}
+	if len(e.Families) != maxPoolFamilies {
+		t.Errorf("stored sample = %d names, want cap %d", len(e.Families), maxPoolFamilies)
+	}
+}
+
+// TestCexPoolFlushPrunes: flush keeps only the top maxPoolEntries.
+func TestCexPoolFlushPrunes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cex.jsonl")
+	p := NewCexPool()
+	var events []KillEvent
+	for i := 0; i < maxPoolEntries+40; i++ {
+		events = append(events, KillEvent{
+			Function: "fft", Target: "ffta", Candidate: "c", Family: "famA",
+			Seed: 1, CaseIndex: i, CaseSig: fmt.Sprintf("seed=1 n=64 case=%d", i),
+			Len: 64, Mismatch: "behavior-mismatch"})
+	}
+	// One case is strictly better: it killed a second family.
+	events = append(events, KillEvent{
+		Function: "fft", Target: "ffta", Candidate: "c2", Family: "famB",
+		Seed: 1, CaseIndex: 7, CaseSig: "seed=1 n=64 case=7", Len: 64,
+		Mismatch: "behavior-mismatch"})
+	p.AbsorbEvents(events, time.Unix(1, 0))
+	if err := p.Flush(path); err != nil {
+		t.Fatal(err)
+	}
+	got, info, err := LoadCexPool(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Loaded != maxPoolEntries {
+		t.Errorf("loaded %d entries, want pruned to %d", info.Loaded, maxPoolEntries)
+	}
+	if got.Entries()[0].Sig != "seed=1 n=64 case=7" {
+		t.Errorf("top entry = %q, want the multi-family case to survive pruning",
+			got.Entries()[0].Sig)
+	}
+}
+
+// TestCexPoolConcurrent absorbs from parallel goroutines (run under
+// -race) the way concurrent faccd compiles feed one shared pool.
+func TestCexPoolConcurrent(t *testing.T) {
+	p := NewCexPool()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				p.AbsorbEvents([]KillEvent{{
+					Function: "fft", Target: "ffta", Candidate: "c",
+					Family: fmt.Sprintf("fam%d", g), Seed: 1, CaseIndex: 0,
+					CaseSig: "seed=1 n=64 case=0", Len: 64,
+					Mismatch: "behavior-mismatch"}}, time.Unix(int64(i), 0))
+			}
+		}()
+	}
+	wg.Wait()
+	e, ok := p.Get("seed=1 n=64 case=0")
+	if !ok || e.Kills != 400 || e.FamilyCount != 8 {
+		t.Errorf("entry = %+v, want 400 kills across 8 families", e)
+	}
+}
+
+// TestNilCexPoolSafe: the disabled pool is a no-op everywhere.
+func TestNilCexPoolSafe(t *testing.T) {
+	var p *CexPool
+	p.AbsorbEvents(poolEvents(), time.Unix(1, 0))
+	p.Absorb(nil, time.Unix(1, 0))
+	if p.Len() != 0 {
+		t.Error("nil pool Len != 0")
+	}
+	if _, ok := p.Get("x"); ok {
+		t.Error("nil pool Get ok")
+	}
+	if p.Entries() != nil {
+		t.Error("nil pool Entries non-nil")
+	}
+	if err := p.Flush(filepath.Join(t.TempDir(), "cex.jsonl")); err != nil {
+		t.Errorf("nil pool Flush err = %v", err)
+	}
+}

@@ -52,7 +52,12 @@ type JournalEvent struct {
 	Tests int `json:"tests,omitempty"`
 	// Counterexample renders the first failing input (fuzz failures).
 	Counterexample string `json:"counterexample,omitempty"`
-	Detail         string `json:"detail,omitempty"`
+	// Mismatch is the kill attribution for non-survivor fuzz verdicts:
+	// the mismatch kind (behavior-mismatch, domain-error, the fault
+	// kind, ...) of the discriminating case — the 0-based index Tests-1.
+	// Empty for survivors and caseless deaths.
+	Mismatch string `json:"mismatch,omitempty"`
+	Detail   string `json:"detail,omitempty"`
 }
 
 // Journal is an append-only, concurrency-safe event stream recording each
@@ -250,6 +255,9 @@ func (j *Journal) WriteReport(out io.Writer) error {
 				n++
 				fmt.Fprintf(w, "  candidate %d: %s\n", n, ev.Candidate)
 				fmt.Fprintf(w, "    fuzz: %s after %d test(s)\n", ev.Outcome, ev.Tests)
+				if ev.Mismatch != "" && ev.Tests > 0 {
+					fmt.Fprintf(w, "    killed by: case %d (%s)\n", ev.Tests-1, ev.Mismatch)
+				}
 				if ev.Counterexample != "" {
 					fmt.Fprintf(w, "    counterexample: %s\n", ev.Counterexample)
 				}

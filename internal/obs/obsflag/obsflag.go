@@ -30,6 +30,12 @@ type Flags struct {
 	JournalFile string
 	Explain     bool
 	Costs       bool
+	// SearchReport (-search-report) prints the search observatory
+	// report — funnel, kill-depth distribution, top discriminating
+	// inputs — to stderr. CexPoolFile (-cex-pool) persists those
+	// discriminating inputs across runs in a crash-safe JSONL pool.
+	SearchReport bool
+	CexPoolFile  string
 
 	// Robustness budgets (RegisterSynth binaries only). Timeout bounds
 	// the whole run, CandidateTimeout one fuzzed binding candidate, and
@@ -49,6 +55,8 @@ type Flags struct {
 	tr       *obs.Tracer
 	j        *obs.Journal
 	led      *obs.Ledger
+	kills    *obs.KillTable
+	pool     *obs.CexPool
 	shutdown func() error
 }
 
@@ -77,6 +85,10 @@ func RegisterSynth(fs *flag.FlagSet, prog string) *Flags {
 		"print the provenance report (why each adapter was / was not synthesised) to stderr")
 	fs.BoolVar(&f.Costs, "costs", false,
 		"print the synthesis cost ledger (useful vs speculative vs shared work per target) to stderr")
+	fs.BoolVar(&f.SearchReport, "search-report", false,
+		"print the search observatory report (kill attribution, funnel, top discriminating inputs) to stderr")
+	fs.StringVar(&f.CexPoolFile, "cex-pool", "",
+		"persist the discriminating-input counterexample pool (crash-safe JSONL) in this file across runs")
 	fs.DurationVar(&f.Timeout, "timeout", 0,
 		"abort the whole run after this wall-clock budget, e.g. 30s (0 = no deadline)")
 	fs.DurationVar(&f.CandidateTimeout, "candidate-timeout", 0,
@@ -115,6 +127,16 @@ func (f *Flags) Ledger() *obs.Ledger {
 		f.led = obs.NewLedger()
 	}
 	return f.led
+}
+
+// Kills returns the search-observatory kill table, created on first use
+// when -search-report, -cex-pool or -serve is set; nil otherwise so the
+// verdict path's nil guards keep synthesis allocation-free.
+func (f *Flags) Kills() *obs.KillTable {
+	if f.kills == nil && (f.SearchReport || f.CexPoolFile != "" || f.Serve != "") {
+		f.kills = obs.NewKillTable()
+	}
+	return f.kills
 }
 
 // WithTrace stamps ctx with a fresh run-scoped trace ID so every span,
@@ -163,13 +185,28 @@ func (f *Flags) FlushOnSignal() {
 	}()
 }
 
-// Start launches the observability HTTP server when -serve is set and
-// prints the bound address to stderr.
+// Start loads the counterexample pool (when -cex-pool names one) and
+// launches the observability HTTP server when -serve is set, printing
+// the bound address to stderr.
 func (f *Flags) Start() error {
+	if f.CexPoolFile != "" {
+		// Loaded read-only at synthesis start: the pool never changes
+		// search results today (a future CEGIS replay loop will consume
+		// it); Finish absorbs this run's kills and flushes it back.
+		pool, info, err := obs.LoadCexPool(f.CexPoolFile)
+		if err != nil {
+			return fmt.Errorf("%s: -cex-pool %s: %w", f.prog, f.CexPoolFile, err)
+		}
+		if info.Quarantined != "" {
+			fmt.Fprintf(os.Stderr, "%s: -cex-pool %s: corrupt pool quarantined to %s; starting empty\n",
+				f.prog, f.CexPoolFile, info.Quarantined)
+		}
+		f.pool = pool
+	}
 	if f.Serve == "" {
 		return nil
 	}
-	addr, shutdown, err := obshttp.Serve(f.Serve, f.Tracer(), f.Journal(), f.Ledger())
+	addr, shutdown, err := obshttp.Serve(f.Serve, f.Tracer(), f.Journal(), f.Ledger(), f.Kills())
 	if err != nil {
 		return fmt.Errorf("%s: -serve %s: %w", f.prog, f.Serve, err)
 	}
@@ -206,6 +243,16 @@ func (f *Flags) Finish() error {
 	}
 	if f.Costs && f.led != nil {
 		keep(f.led.WriteCostReport(os.Stderr))
+	}
+	if f.SearchReport && f.kills != nil {
+		keep(f.kills.WriteSearchReport(os.Stderr, 10))
+	}
+	if f.CexPoolFile != "" {
+		if f.pool == nil {
+			f.pool = obs.NewCexPool()
+		}
+		f.pool.Absorb(f.kills, time.Now())
+		keep(f.pool.Flush(f.CexPoolFile))
 	}
 	return first
 }

@@ -26,20 +26,22 @@ import (
 	"facc/internal/obs"
 )
 
-// Server exposes one tracer (and optionally one journal and one cost
-// ledger) over HTTP.
+// Server exposes one tracer (and optionally one journal, one cost
+// ledger and one kill table) over HTTP.
 type Server struct {
 	Tracer  *obs.Tracer
 	Journal *obs.Journal // may be nil; /journal then returns 404
 	Ledger  *obs.Ledger  // may be nil; /status costs and the
 	// facc_ledger_* /metrics families are then absent
+	Kills *obs.KillTable // may be nil; /status search and the
+	// facc_search_* /metrics families are then absent
 
 	start time.Time
 }
 
-// New returns a server over tr, j and l (j and l may be nil).
-func New(tr *obs.Tracer, j *obs.Journal, l *obs.Ledger) *Server {
-	return &Server{Tracer: tr, Journal: j, Ledger: l, start: time.Now()}
+// New returns a server over tr, j, l and k (j, l and k may be nil).
+func New(tr *obs.Tracer, j *obs.Journal, l *obs.Ledger, k *obs.KillTable) *Server {
+	return &Server{Tracer: tr, Journal: j, Ledger: l, Kills: k, start: time.Now()}
 }
 
 // InFlight describes one live root span (one in-progress compilation).
@@ -97,6 +99,11 @@ type Status struct {
 	// registry: admission queue health, shedding/drain counters and the
 	// crash-safe adapter store's cache/corruption statistics.
 	Serve *ServeStatus `json:"serve,omitempty"`
+
+	// Search is the search observatory's aggregate: funnel totals,
+	// kill-depth distribution and the ranked discriminating inputs;
+	// present when a kill table is attached and has recorded anything.
+	Search *obs.SearchSummary `json:"search,omitempty"`
 
 	Counters map[string]int64   `json:"counters,omitempty"`
 	Gauges   map[string]float64 `json:"gauges,omitempty"`
@@ -249,6 +256,9 @@ func (s *Server) BuildStatus() Status {
 		sum := s.Ledger.Summary()
 		st.Costs = &sum
 	}
+	if !s.Kills.Empty() {
+		st.Search = s.Kills.Summary()
+	}
 	st.PoolBusy = int64(st.Gauges["synth.pool_busy"])
 	if cap, ok := st.Gauges["serve.queue_capacity"]; ok {
 		st.Serve = &ServeStatus{
@@ -334,6 +344,7 @@ func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.Tracer.Metrics().WritePrometheus(w)
 	s.Ledger.WritePrometheus(w) // nil-safe; labeled facc_ledger_* families
+	s.Kills.WritePrometheus(w)  // nil-safe; labeled facc_search_* families
 }
 
 func (s *Server) status(w http.ResponseWriter, _ *http.Request) {
@@ -362,12 +373,12 @@ func (s *Server) journal(w http.ResponseWriter, r *http.Request) {
 // Serve binds addr (e.g. ":9090" or "127.0.0.1:0"), serves the handler in
 // a background goroutine, and returns the bound address plus a shutdown
 // function. The pipeline keeps running regardless of scrape traffic.
-func Serve(addr string, tr *obs.Tracer, j *obs.Journal, l *obs.Ledger) (string, func() error, error) {
+func Serve(addr string, tr *obs.Tracer, j *obs.Journal, l *obs.Ledger, k *obs.KillTable) (string, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	hs := &http.Server{Handler: New(tr, j, l).Handler()}
+	hs := &http.Server{Handler: New(tr, j, l, k).Handler()}
 	go hs.Serve(ln)
 	return ln.Addr().String(), hs.Close, nil
 }

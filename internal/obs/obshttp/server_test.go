@@ -166,7 +166,7 @@ func TestMetricsRoundTrip(t *testing.T) {
 	tr := obs.New()
 	compileOnce(t, tr, nil)
 
-	srv := httptest.NewServer(obshttp.New(tr, nil, nil).Handler())
+	srv := httptest.NewServer(obshttp.New(tr, nil, nil, nil).Handler())
 	defer srv.Close()
 	code, body := get(t, srv, "/metrics")
 	if code != http.StatusOK {
@@ -242,7 +242,7 @@ func TestMetricsRoundTrip(t *testing.T) {
 func TestStatusAndTraceLiveMidCompilation(t *testing.T) {
 	tr := obs.New()
 	j := obs.NewJournal()
-	srv := httptest.NewServer(obshttp.New(tr, j, nil).Handler())
+	srv := httptest.NewServer(obshttp.New(tr, j, nil, nil).Handler())
 	defer srv.Close()
 
 	stop := make(chan struct{})
@@ -348,7 +348,7 @@ func TestStatusRobustnessFields(t *testing.T) {
 	reg.Counter("synth.candidate_timeouts").Add(4)
 	reg.Gauge("accel.breaker.state").Set(1)
 
-	srv := httptest.NewServer(obshttp.New(tr, nil, nil).Handler())
+	srv := httptest.NewServer(obshttp.New(tr, nil, nil, nil).Handler())
 	defer srv.Close()
 	_, body := get(t, srv, "/status")
 	var st obshttp.Status
@@ -372,7 +372,7 @@ func TestStatusRobustnessFields(t *testing.T) {
 	}
 
 	// Without a hardened accelerator the state is simply absent.
-	srv2 := httptest.NewServer(obshttp.New(obs.New(), nil, nil).Handler())
+	srv2 := httptest.NewServer(obshttp.New(obs.New(), nil, nil, nil).Handler())
 	defer srv2.Close()
 	_, body = get(t, srv2, "/status")
 	var st2 obshttp.Status
@@ -387,7 +387,7 @@ func TestStatusRobustnessFields(t *testing.T) {
 // TestPprofAndIndexEndpoints: the pprof mux is wired and the index lists
 // the surface.
 func TestPprofAndIndexEndpoints(t *testing.T) {
-	srv := httptest.NewServer(obshttp.New(obs.New(), nil, nil).Handler())
+	srv := httptest.NewServer(obshttp.New(obs.New(), nil, nil, nil).Handler())
 	defer srv.Close()
 	code, body := get(t, srv, "/debug/pprof/")
 	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
@@ -407,7 +407,7 @@ func TestPprofAndIndexEndpoints(t *testing.T) {
 // ephemeral port, answers /status, and the shutdown function stops it.
 func TestServeBindsAndShutsDown(t *testing.T) {
 	tr := obs.New()
-	addr, shutdown, err := obshttp.Serve("127.0.0.1:0", tr, nil, nil)
+	addr, shutdown, err := obshttp.Serve("127.0.0.1:0", tr, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -39,6 +39,10 @@ type RequestRecord struct {
 	Spans   []SpanRecord       `json:"spans,omitempty"`
 	Journal []obs.JournalEvent `json:"journal,omitempty"`
 	Ledger  []obs.LedgerEntry  `json:"ledger,omitempty"`
+	// Search and Kills carry the request's search-observatory view:
+	// the funnel summary and every kill event this trace recorded.
+	Search *obs.SearchSummary `json:"search,omitempty"`
+	Kills  []obs.KillEvent    `json:"kills,omitempty"`
 }
 
 // FlightRecorder retains the N slowest and the N most recent failed

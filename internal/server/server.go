@@ -89,6 +89,11 @@ type Config struct {
 	// facc_ledger_* families, and flight records carry each retained
 	// request's ledger slice.
 	Ledger *obs.Ledger
+	// Kills, when non-nil, records the search observatory per request:
+	// /status gains the search block, /metrics the facc_search_*
+	// families, and flight records carry each retained request's kill
+	// events and funnel summary.
+	Kills *obs.KillTable
 	// FlightRecorder bounds how many slowest and how many failed
 	// requests are retained with full span trees and cost ledgers at
 	// /debug/requests (default 32 per class; <0 disables).
@@ -188,7 +193,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:    cfg,
 		reg:    cfg.Tracer.Metrics(),
-		obs:    obshttp.New(cfg.Tracer, cfg.Journal, cfg.Ledger),
+		obs:    obshttp.New(cfg.Tracer, cfg.Journal, cfg.Ledger, cfg.Kills),
 		queue:  make(chan *Job, cfg.QueueDepth),
 		jobs:   map[string]*Job{},
 		active: map[string]*Job{},
@@ -221,6 +226,7 @@ func (s *Server) faccCompile(ctx context.Context, req facc.CompileRequest) (Comp
 	opts.Trace = s.cfg.Tracer
 	opts.Journal = s.cfg.Journal
 	opts.Ledger = s.cfg.Ledger
+	opts.Kills = s.cfg.Kills
 	res, err := facc.CompileRequestContext(ctx, req, opts)
 	if err != nil {
 		return CompileResult{}, err
@@ -283,12 +289,15 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	key := req.Digest()
 
 	// Every request carries a trace ID — the client's X-Facc-Trace when
-	// supplied, a fresh one otherwise. It is echoed in the response
-	// header and stamps every span, journal event and ledger charge the
-	// request causes. Deduped requests adopt the in-flight job's ID (one
-	// compile, one trace).
+	// supplied and well-formed, a fresh one otherwise. It is echoed in
+	// the response header and stamps every span, journal event and
+	// ledger charge the request causes. A hostile header (over-long or
+	// outside [A-Za-z0-9._-]) is replaced, not propagated: the ID rides
+	// verbatim in Prometheus exemplar lines, journal JSONL and persisted
+	// store entries, all of which it could otherwise pollute. Deduped
+	// requests adopt the in-flight job's ID (one compile, one trace).
 	trace := r.Header.Get("X-Facc-Trace")
-	if trace == "" {
+	if !obs.ValidTraceID(trace) {
 		trace = obs.NewTraceID()
 	}
 
@@ -485,6 +494,8 @@ func (s *Server) observeSLO(job *Job, state JobState, latMs float64) {
 	rec.Spans = spanRecords(s.cfg.Tracer.TraceSpans(job.Trace))
 	rec.Journal = s.cfg.Journal.TraceEvents(job.Trace)
 	rec.Ledger = s.cfg.Ledger.TraceEntries(job.Trace)
+	rec.Search = s.cfg.Kills.TraceSummary(job.Trace)
+	rec.Kills = s.cfg.Kills.TraceEvents(job.Trace)
 	s.flight.Observe(rec)
 	slow, failed := s.flight.Len()
 	s.reg.Gauge("serve.flight_retained").Set(float64(slow + failed))

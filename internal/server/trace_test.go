@@ -74,6 +74,7 @@ func TestServerTraceJoinEndToEnd(t *testing.T) {
 	tr := obs.New()
 	j := obs.NewJournal()
 	led := obs.NewLedger()
+	kills := obs.NewKillTable()
 	st, err := store.Open(t.TempDir(), nil)
 	if err != nil {
 		t.Fatal(err)
@@ -81,7 +82,7 @@ func TestServerTraceJoinEndToEnd(t *testing.T) {
 	defer st.Close()
 	s := New(Config{
 		QueueDepth: 4, Workers: 1,
-		Tracer: tr, Journal: j, Ledger: led, Store: st,
+		Tracer: tr, Journal: j, Ledger: led, Kills: kills, Store: st,
 		Options: facc.Options{Harden: true},
 	})
 	defer s.Drain(context.Background())
@@ -164,6 +165,9 @@ func TestServerTraceJoinEndToEnd(t *testing.T) {
 	if !strings.Contains(string(prom), "facc_ledger_tests_total") {
 		t.Error("/metrics missing the ledger exposition")
 	}
+	if !strings.Contains(string(prom), "facc_search_candidates_total") {
+		t.Error("/metrics missing the search funnel exposition")
+	}
 
 	// /debug/requests: the flight record joins everything.
 	dresp, err := ts.Client().Get(ts.URL + "/debug/requests")
@@ -188,6 +192,15 @@ func TestServerTraceJoinEndToEnd(t *testing.T) {
 		t.Errorf("flight record incomplete: %d spans, %d journal events, %d ledger accounts",
 			len(rec.Spans), len(rec.Journal), len(rec.Ledger))
 	}
+	if rec.Search == nil || rec.Search.Dispatched == 0 || rec.Search.Winners != 1 {
+		t.Errorf("flight record search funnel = %+v, want dispatched > 0 with 1 winner",
+			rec.Search)
+	}
+	for _, ev := range rec.Kills {
+		if ev.Trace != trace {
+			t.Errorf("flight record kill event on foreign trace: %+v", ev)
+		}
+	}
 
 	// /status: the per-target oracle stats and cost summary surface.
 	sresp, err := ts.Client().Get(ts.URL + "/status")
@@ -199,6 +212,9 @@ func TestServerTraceJoinEndToEnd(t *testing.T) {
 	if !strings.Contains(string(status), `"costs"`) {
 		t.Error("/status missing the cost summary")
 	}
+	if !strings.Contains(string(status), `"search"`) {
+		t.Error("/status missing the search block")
+	}
 
 	// A request without the header gets a generated, well-formed ID.
 	resp2 := postTraced(t, ts, facc.CompileRequest{
@@ -209,6 +225,60 @@ func TestServerTraceJoinEndToEnd(t *testing.T) {
 	resp2.Body.Close()
 	if !regexp.MustCompile(`^[0-9a-f]{32}$`).MatchString(gen) {
 		t.Errorf("generated trace ID %q is not 32 hex chars", gen)
+	}
+}
+
+// TestServerTraceHeaderValidation: a hostile X-Facc-Trace — over-long,
+// wrong charset, or carrying header/JSON metacharacters — is replaced
+// with a generated ID instead of being propagated into exemplar lines,
+// journal exports and store entries. Well-formed client IDs (not just
+// 32-hex ones) are still honored verbatim.
+func TestServerTraceHeaderValidation(t *testing.T) {
+	compile := func(ctx context.Context, req facc.CompileRequest) (CompileResult, error) {
+		return CompileResult{AdapterC: "/* ok */", Function: "fft"}, nil
+	}
+	s := New(Config{
+		QueueDepth: 4, Workers: 1,
+		Tracer: obs.New(), Compile: compile,
+	})
+	defer s.Drain(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	generated := regexp.MustCompile(`^[0-9a-f]{32}$`)
+	hostile := []string{
+		strings.Repeat("x", 65), // over the length cap
+		"trace with spaces",     // charset violation
+		"semi;colon",            // header-injection flavor
+		`quote"breaker`,         // JSON-injection flavor
+		"curly{brace}",          // Prometheus label breaker
+	}
+	for i, trace := range hostile {
+		resp := postTraced(t, ts, facc.CompileRequest{
+			Name: "t.c", Source: fmt.Sprintf("hostile-%d", i), Target: "ffta",
+		}, "?wait=1", trace)
+		got := resp.Header.Get("X-Facc-Trace")
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if got == trace {
+			t.Errorf("hostile trace %q echoed back verbatim", trace)
+		}
+		if !generated.MatchString(got) {
+			t.Errorf("hostile trace %q: replacement %q is not a generated ID", trace, got)
+		}
+	}
+
+	valid := []string{"build-42.stage_1", "A", strings.Repeat("y", 64)}
+	for i, trace := range valid {
+		resp := postTraced(t, ts, facc.CompileRequest{
+			Name: "t.c", Source: fmt.Sprintf("valid-%d", i), Target: "ffta",
+		}, "?wait=1", trace)
+		got := resp.Header.Get("X-Facc-Trace")
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if got != trace {
+			t.Errorf("valid trace %q not echoed (got %q)", trace, got)
+		}
 	}
 }
 

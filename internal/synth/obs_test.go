@@ -2,6 +2,7 @@ package synth
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"facc/internal/accel"
@@ -120,5 +121,164 @@ func TestSynthesizeWithObsSpan(t *testing.T) {
 	}
 	if c["accel.runs.ffta"] != 0 {
 		t.Error("spec not instrumented here; accel counter should be absent")
+	}
+}
+
+// TestNilKillTableZeroAllocsOnVerdictPath: with no kill table attached,
+// the kill-attribution touchpoints on the fuzz hot path must be free —
+// recordKill returns before rendering any candidate key or case
+// signature (it must not even dereference the candidate), and every
+// KillTable method no-ops on nil.
+func TestNilKillTableZeroAllocsOnVerdictPath(t *testing.T) {
+	var k *obs.KillTable
+	allocs := testing.AllocsPerRun(500, func() {
+		recordKill(Options{}, "fft", nil, nil, -1, 0, "behavior-mismatch", "")
+		k.AddDispatched("fft", "ffta", 1)
+		k.AddSurvived("fft", "ffta", 1)
+		k.AddSuperseded("fft", "ffta", 1)
+		k.AddWinner("fft", "ffta", 1)
+	})
+	if allocs != 0 {
+		t.Errorf("nil kill table allocates %.0f per verdict, want 0", allocs)
+	}
+}
+
+// TestSynthesizeKillAttribution: with a kill table attached, every
+// non-survivor records a kill event consistent with the funnel, the
+// journal's "killed by" line, and the case-signature convention.
+func TestSynthesizeKillAttribution(t *testing.T) {
+	f, err := minic.ParseAndCheck("t.c", radix2Struct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kills := obs.NewKillTable()
+	j := obs.NewJournal()
+	res, err := Synthesize(context.Background(), f, f.Func("fft"), accel.NewFFTA(), pow2Profile("n"),
+		Options{NumTests: 4, Workers: 1, ExhaustAll: true, Kills: kills, Journal: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Adapter == nil {
+		t.Fatalf("no adapter: %s", res.FailReason)
+	}
+	sum := kills.Summary()
+	if sum == nil {
+		t.Fatal("no search summary despite attached kill table")
+	}
+	if sum.Dispatched != int64(res.Tested) {
+		t.Errorf("dispatched = %d, want res.Tested = %d", sum.Dispatched, res.Tested)
+	}
+	if sum.Survived != int64(res.Survivors) {
+		t.Errorf("survived = %d, want res.Survivors = %d", sum.Survived, res.Survivors)
+	}
+	if sum.Winners != 1 {
+		t.Errorf("winners = %d, want 1", sum.Winners)
+	}
+	if sum.Generated < sum.Dispatched {
+		t.Errorf("generated (%d) < dispatched (%d): funnel head lost hypotheses",
+			sum.Generated, sum.Dispatched)
+	}
+	// ExhaustAll + Workers=1: nothing superseded, so every dispatched
+	// candidate either survived or died with a kill event.
+	if got := sum.Killed + sum.Survived; got != sum.Dispatched {
+		t.Errorf("killed (%d) + survived (%d) != dispatched (%d)",
+			sum.Killed, sum.Survived, sum.Dispatched)
+	}
+
+	// Journal cross-check: each fuzz verdict with a mismatch must have a
+	// kill event whose 0-based case index is tests-1.
+	depthByCand := map[string]int{}
+	for _, ev := range kills.Events() {
+		if ev.Function != "fft" || ev.Target != "ffta" {
+			t.Fatalf("kill event mis-attributed: %+v", ev)
+		}
+		if ev.Family == "" || ev.Candidate == "" {
+			t.Fatalf("kill event missing family/candidate: %+v", ev)
+		}
+		if ev.CaseIndex >= 0 {
+			want := fmt.Sprintf("seed=%d n=%d case=%d", ev.Seed, ev.Len, ev.CaseIndex)
+			if ev.CaseSig != want {
+				t.Errorf("case sig = %q, want %q", ev.CaseSig, want)
+			}
+			if ev.Steps <= 0 {
+				t.Errorf("kill at case %d charged %d interp steps, want > 0",
+					ev.CaseIndex, ev.Steps)
+			}
+		}
+		depthByCand[ev.Candidate] = ev.CaseIndex
+	}
+	mismatches := 0
+	for _, ev := range j.Events() {
+		if ev.Kind != obs.KindFuzz || ev.Mismatch == "" {
+			continue
+		}
+		mismatches++
+		if got, ok := depthByCand[ev.Candidate]; !ok || got != ev.Tests-1 {
+			t.Errorf("journal says %s died at case %d, kill table says %d",
+				ev.Candidate, ev.Tests-1, got)
+		}
+	}
+	if mismatches == 0 || int64(mismatches) != sum.Killed {
+		t.Errorf("journal mismatch verdicts = %d, kill table killed = %d",
+			mismatches, sum.Killed)
+	}
+}
+
+// TestKillTableDoesNotPerturbSearch: attaching the observatory must not
+// change what is synthesized — adapters are byte-identical with and
+// without a kill table, at Workers=1 and Workers=8.
+func TestKillTableDoesNotPerturbSearch(t *testing.T) {
+	f, err := minic.ParseAndCheck("t.c", radix2Struct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var baseline string
+	for _, cfg := range []struct {
+		workers int
+		kills   *obs.KillTable
+	}{
+		{1, nil}, {1, obs.NewKillTable()}, {8, nil}, {8, obs.NewKillTable()},
+	} {
+		res, err := Synthesize(context.Background(), f, f.Func("fft"), accel.NewFFTA(),
+			pow2Profile("n"), Options{NumTests: 4, Workers: cfg.workers, Kills: cfg.kills})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Adapter == nil {
+			t.Fatalf("workers=%d kills=%v: no adapter", cfg.workers, cfg.kills != nil)
+		}
+		key := res.Adapter.Cand.Key()
+		if baseline == "" {
+			baseline = key
+		} else if key != baseline {
+			t.Errorf("workers=%d kills=%v: winner %q differs from baseline %q",
+				cfg.workers, cfg.kills != nil, key, baseline)
+		}
+	}
+}
+
+// TestKillTableDeterministicSequential: at Workers=1 the kill stream is
+// fully deterministic — two runs produce identical events.
+func TestKillTableDeterministicSequential(t *testing.T) {
+	f, err := minic.ParseAndCheck("t.c", radix2Struct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []obs.KillEvent {
+		k := obs.NewKillTable()
+		if _, err := Synthesize(context.Background(), f, f.Func("fft"), accel.NewFFTA(),
+			pow2Profile("n"), Options{NumTests: 4, Workers: 1, ExhaustAll: true, Kills: k}); err != nil {
+			t.Fatal(err)
+		}
+		return k.Events()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("event %d differs:\n  %+v\n  %+v", i, a[i], b[i])
+		}
 	}
 }

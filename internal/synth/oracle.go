@@ -121,8 +121,11 @@ func (o *oracle) acquire(ctx context.Context) (*interp.Machine, error) {
 // as read-only. Interpreter faults (out-of-bounds etc.) are cached too —
 // they are deterministic evidence against every candidate with this
 // signature — but cancellation/timeout errors are returned uncached.
+// steps reports the interpreter steps this call actually spent: the
+// miss's run cost, or 0 on a cache hit (shared work was already paid
+// for) — the "interp steps at death" the kill table attributes.
 func (o *oracle) run(ctx context.Context, cand *binding.Candidate,
-	tc iogen.Case, caseIdx int) ([]complex128, *int64, error) {
+	tc iogen.Case, caseIdx int) (out []complex128, ret *int64, steps int64, err error) {
 	key := fmt.Sprintf("%s|case=%d", iogen.UserSig(cand), caseIdx)
 	o.mu.Lock()
 	e := o.entries[key]
@@ -143,7 +146,7 @@ func (o *oracle) run(ctx context.Context, cand *binding.Candidate,
 			// reference run; this one reuses it for free.
 			o.led.ChargeOracle(o.fn.Name, cand.Spec.Name, cand.Key(), true)
 		}
-		return e.out, e.ret, e.err
+		return e.out, e.ret, 0, e.err
 	}
 	o.misses.Add(1)
 	o.missesCtr.Inc()
@@ -152,9 +155,9 @@ func (o *oracle) run(ctx context.Context, cand *binding.Candidate,
 		o.led.ChargeOracle(o.fn.Name, cand.Spec.Name, cand.Key(), false)
 	}
 
-	m, err := o.acquire(ctx)
-	if err != nil {
-		return nil, nil, err
+	m, merr := o.acquire(ctx)
+	if merr != nil {
+		return nil, nil, 0, merr
 	}
 	prev := m.TotalCounters()
 	m.Ctx = ctx
@@ -167,6 +170,7 @@ func (o *oracle) run(ctx context.Context, cand *binding.Candidate,
 			panic(r)
 		}
 		delta := m.TotalCounters().Sub(prev)
+		steps = delta.Steps // fills the named result on every miss exit
 		o.reg.Counter("interp.ops").Add(delta.Total())
 		o.reg.Counter("interp.allocs").Add(delta.Allocs)
 		o.reg.Counter("interp.steps").Add(delta.Steps)
@@ -179,13 +183,13 @@ func (o *oracle) run(ctx context.Context, cand *binding.Candidate,
 		}
 		o.machines <- m
 	}()
-	out, ret, rerr := runUser(m, o.fn, cand, tc)
+	uout, uret, rerr := runUser(m, o.fn, cand, tc)
 	if rerr != nil && (interp.FaultOf(rerr) == interp.FaultCancelled || ctx.Err() != nil) {
-		return nil, nil, rerr
+		return nil, nil, 0, rerr
 	}
 	e.done = true
-	e.out, e.ret, e.err = out, ret, rerr
-	return out, ret, rerr
+	e.out, e.ret, e.err = uout, uret, rerr
+	return uout, uret, 0, rerr
 }
 
 // stats reports cache effectiveness: hits, misses, and the hit rate over

@@ -96,6 +96,16 @@ type Options struct {
 	// before rendering the candidate key, so nil (the default) allocates
 	// nothing on the hot path.
 	Ledger *obs.Ledger
+	// Kills, when non-nil, records the search observatory: every
+	// non-survivor's death attributed to the discriminating IO case
+	// (seed, case index, interp steps at death, mismatch kind, binding
+	// family) as an obs.KillEvent, plus the per-(function, target)
+	// search funnel. Like the ledger — and unlike the journal — it
+	// records speculative parallel work as it happens, because wasted
+	// kills are the search-economics signal it exists to measure. Every
+	// call site guards with a nil check before rendering keys, so nil
+	// (the default) allocates nothing on the verdict path.
+	Kills *obs.KillTable
 }
 
 func (o *Options) defaults() {
@@ -143,6 +153,7 @@ func Synthesize(ctx context.Context, f *minic.File, fn *minic.FuncDecl,
 	}
 	bopts := opts.Binding
 	bopts.Journal = opts.Journal
+	bopts.Kills = opts.Kills
 	if opts.Obs != nil {
 		bopts.Obs = opts.Obs.Metrics()
 	}
@@ -193,6 +204,7 @@ func Synthesize(ctx context.Context, f *minic.File, fn *minic.FuncDecl,
 		// every other candidate's charges are waste against.
 		opts.Ledger.SetVerdict(fn.Name, spec.Name, winner.Cand.Key(), obs.VerdictWinner)
 	}
+	opts.Kills.AddWinner(fn.Name, spec.Name, 1)
 	opts.Obs.Metrics().Counter("synth.winners").Inc()
 	if opts.Journal != nil {
 		opts.Journal.Record(obs.JournalEvent{Kind: obs.KindAccepted,
@@ -229,9 +241,46 @@ func verdict(opts Options, fn string, cand *binding.Candidate,
 	if opts.Journal == nil {
 		return
 	}
-	opts.Journal.Record(obs.JournalEvent{Kind: obs.KindFuzz, Function: fn,
+	ev := obs.JournalEvent{Kind: obs.KindFuzz, Function: fn,
 		Candidate: cand.Key(), Outcome: outcome, Tests: tests,
-		Counterexample: cex, Detail: detail})
+		Counterexample: cex, Detail: detail}
+	if outcome != "survived" && tests > 0 {
+		// The kill is attributable to the last case run (0-based index
+		// tests-1); stamp the mismatch kind so -explain's "killed by"
+		// line and the kill table tell the same story.
+		ev.Mismatch = outcome
+		if outcome == "fault" {
+			ev.Mismatch = detail // the fault kind, e.g. out-of-bounds
+		}
+	}
+	opts.Journal.Record(ev)
+}
+
+// recordKill attributes one candidate's death to the discriminating IO
+// case in the kill table. Every caller guards with opts.Kills != nil,
+// so the disabled path renders no keys and allocates nothing; tc is nil
+// (and caseIdx -1) when no single case is attributable.
+func recordKill(opts Options, fn string, cand *binding.Candidate,
+	tc *iogen.Case, caseIdx int, steps int64, mismatch, detail string) {
+	if opts.Kills == nil {
+		return
+	}
+	ev := obs.KillEvent{
+		Function:  fn,
+		Target:    cand.Spec.Name,
+		Candidate: cand.Key(),
+		Family:    iogen.UserSig(cand),
+		Seed:      opts.Seed,
+		CaseIndex: caseIdx,
+		Steps:     steps,
+		Mismatch:  mismatch,
+		Detail:    detail,
+	}
+	if tc != nil && caseIdx >= 0 {
+		ev.CaseSig = iogen.CaseSig(opts.Seed, tc.AccelLen, caseIdx)
+		ev.Len = tc.AccelLen
+	}
+	opts.Kills.Record(ev)
 }
 
 // renderCase renders a failing IO example compactly: the length binding's
@@ -294,6 +343,10 @@ func evalCandidate(runCtx, candCtx context.Context, fn *minic.FuncDecl,
 			}
 			verdict(opts, fn.Name, cand, interp.FaultPanic.String(), 0, "",
 				fmt.Sprintf("recovered: %v", r))
+			if opts.Kills != nil {
+				recordKill(opts, fn.Name, cand, nil, -1, 0,
+					interp.FaultPanic.String(), fmt.Sprintf("recovered: %v", r))
+			}
 		}
 	}()
 	ad, err = testCandidate(cctx, fn, cand, profile, opts, sp, orc)
@@ -312,6 +365,7 @@ func evalCandidate(runCtx, candCtx context.Context, fn *minic.FuncDecl,
 			if opts.Ledger != nil {
 				opts.Ledger.SetVerdict(fn.Name, cand.Spec.Name, cand.Key(), "superseded")
 			}
+			opts.Kills.AddSuperseded(fn.Name, cand.Spec.Name, 1)
 			return nil, errSuperseded
 		}
 		// Only the per-candidate budget expired: reject this candidate.
@@ -321,6 +375,9 @@ func evalCandidate(runCtx, candCtx context.Context, fn *minic.FuncDecl,
 		}
 		verdict(opts, fn.Name, cand, "timeout", 0, "",
 			fmt.Sprintf("candidate exceeded its %s budget", opts.CandidateTimeout))
+		if opts.Kills != nil {
+			recordKill(opts, fn.Name, cand, nil, -1, 0, "timeout", "")
+		}
 		return nil, nil
 	}
 	return ad, err
@@ -335,11 +392,16 @@ func evalCandidate(runCtx, candCtx context.Context, fn *minic.FuncDecl,
 func testCandidate(ctx context.Context, fn *minic.FuncDecl,
 	cand *binding.Candidate, profile *analysis.Profile, opts Options,
 	sp *obs.Span, orc *oracle) (*Adapter, error) {
+	opts.Kills.AddDispatched(fn.Name, cand.Spec.Name, 1)
 	gen := iogen.New(opts.Seed, cand, profile)
 	if !gen.Viable() {
 		sp.Str("outcome", "not-viable")
 		verdict(opts, fn.Name, cand, "not-viable", 0, "",
 			"no test sizes inside the accelerator domain")
+		if opts.Kills != nil {
+			recordKill(opts, fn.Name, cand, nil, -1, 0, "not-viable",
+				"no test sizes inside the accelerator domain")
+		}
 		return nil, nil
 	}
 	cases := gen.Cases(opts.NumTests)
@@ -367,7 +429,9 @@ func testCandidate(ctx context.Context, fn *minic.FuncDecl,
 	}
 
 	var returnVals []int64
+	var returnCases []int // case index per returnVals entry (Kills only)
 	sawReturn := false
+	var steps int64 // interp steps this candidate paid, so far
 
 	for caseIdx, tc := range cases {
 		// Accelerator retries/backoff can dominate a case under fault
@@ -377,7 +441,8 @@ func testCandidate(ctx context.Context, fn *minic.FuncDecl,
 			return nil, fmt.Errorf("synth: candidate evaluation cancelled: %w", err)
 		}
 		ran++
-		userOut, retVal, runErr := orc.run(ctx, cand, tc, caseIdx)
+		userOut, retVal, ranSteps, runErr := orc.run(ctx, cand, tc, caseIdx)
+		steps += ranSteps
 		if runErr != nil {
 			if interp.FaultOf(runErr) == interp.FaultCancelled {
 				// Deadline/cancel, not evidence against the binding —
@@ -394,11 +459,18 @@ func testCandidate(ctx context.Context, fn *minic.FuncDecl,
 				verdict(opts, fn.Name, cand, "fault", ran, cex,
 					interp.FaultOf(runErr).String())
 			}
+			if opts.Kills != nil {
+				recordKill(opts, fn.Name, cand, &tc, caseIdx, steps,
+					interp.FaultOf(runErr).String(), "")
+			}
 			return nil, nil
 		}
 		if retVal != nil {
 			sawReturn = true
 			returnVals = append(returnVals, *retVal)
+			if opts.Kills != nil {
+				returnCases = append(returnCases, caseIdx)
+			}
 		}
 		accelOut, err := runAccel(cand, tc)
 		if err != nil {
@@ -411,6 +483,10 @@ func testCandidate(ctx context.Context, fn *minic.FuncDecl,
 					cex = renderCase(tc)
 				}
 				verdict(opts, fn.Name, cand, "domain-error", ran, cex, err.Error())
+			}
+			if opts.Kills != nil {
+				recordKill(opts, fn.Name, cand, &tc, caseIdx, steps,
+					"domain-error", err.Error())
 			}
 			return nil, nil
 		}
@@ -433,6 +509,10 @@ func testCandidate(ctx context.Context, fn *minic.FuncDecl,
 				verdict(opts, fn.Name, cand, "behavior-mismatch", ran, cex,
 					"no post-behavioral sketch reproduces the user output")
 			}
+			if opts.Kills != nil {
+				recordKill(opts, fn.Name, cand, &tc, caseIdx, steps,
+					"behavior-mismatch", "")
+			}
 			return nil, nil
 		}
 	}
@@ -445,13 +525,20 @@ func testCandidate(ctx context.Context, fn *minic.FuncDecl,
 	}
 	if cand.ReturnIgnored && sawReturn {
 		c := returnVals[0]
-		for _, v := range returnVals {
+		for i, v := range returnVals {
 			if v != c {
 				// Return value depends on input; cannot reproduce.
 				sp.Str("outcome", "return-mismatch")
 				if opts.Journal != nil || opts.Ledger != nil {
 					verdict(opts, fn.Name, cand, "return-mismatch", ran, "",
 						fmt.Sprintf("return value varies across inputs (%d vs %d)", c, v))
+				}
+				if opts.Kills != nil {
+					// The discriminating case is the one whose return value
+					// first differed from case 0's.
+					kc := returnCases[i]
+					recordKill(opts, fn.Name, cand, &cases[kc], kc, steps,
+						"return-mismatch", "")
 				}
 				return nil, nil
 			}
@@ -460,6 +547,7 @@ func testCandidate(ctx context.Context, fn *minic.FuncDecl,
 	}
 	sp.Str("outcome", "survived")
 	verdict(opts, fn.Name, cand, "survived", len(cases), "", "")
+	opts.Kills.AddSurvived(fn.Name, cand.Spec.Name, 1)
 	return ad, nil
 }
 

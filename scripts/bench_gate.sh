@@ -27,8 +27,14 @@ fi
 [ -f BENCH_synth.json ] || { echo "bench-gate: no committed BENCH_synth.json baseline"; exit 1; }
 [ -f BENCH_serve.json ] || { echo "bench-gate: no committed BENCH_serve.json baseline"; exit 1; }
 
+# The fresh synthesis run also feeds the search observatory: the
+# sequential run's kill attribution goes into the artifact's "search"
+# section (gated below against the baseline's) and into a crash-safe
+# counterexample pool kept alongside the other fresh artifacts.
 echo "bench-gate: measuring fresh synthesis benchmark"
-go run ./cmd/faccbench -experiment synthbench -bench-out "$OUT/BENCH_synth.json" > "$OUT/synth.txt"
+go run ./cmd/faccbench -experiment synthbench \
+    -cex-pool "$OUT/counterexamples.jsonl" \
+    -bench-out "$OUT/BENCH_synth.json" > "$OUT/synth.txt"
 echo "bench-gate: measuring fresh serving benchmark"
 go run ./cmd/faccbench -experiment servebench -bench-out "$OUT/BENCH_serve.json" > "$OUT/serve.txt"
 
