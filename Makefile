@@ -3,15 +3,17 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race fuzz-smoke chaos bench bench-json bench-serve bench-gate search-report serve-smoke repro repro-full examples fmt lint vet check clean
+.PHONY: all build test test-short test-race fuzz-smoke chaos bench bench-json bench-serve bench-gate crash-matrix search-report serve-smoke repro repro-full examples fmt lint vet check clean
 
 all: build test
 
 # Tier-1 gate: formatting + vet + tests + race detector + fuzz smoke +
-# the faccd serve smoke (compile over HTTP, SIGTERM drain, crash-safe
-# store recovery, trace-ID join) + the bench gate (fresh synthesis and
-# serving numbers vs the committed baselines).
-check: lint test test-race fuzz-smoke serve-smoke bench-gate
+# the store crash matrix (a simulated crash at every page write, WAL
+# append and fsync must recover consistently) + the faccd serve smoke
+# (compile over HTTP, SIGTERM drain, crash-safe store recovery, trace-ID
+# join) + the bench gate (fresh synthesis and serving numbers vs the
+# committed baselines).
+check: lint test test-race fuzz-smoke crash-matrix serve-smoke bench-gate
 
 build:
 	$(GO) build ./...
@@ -31,10 +33,20 @@ test-race:
 	$(GO) test -race -timeout 600s ./...
 
 # Fuzz smoke: replay the committed corpus, then a short randomized run of
-# each fuzz target (parser round-trip totality, interpreter fault-not-panic).
+# each fuzz target (parser round-trip totality, interpreter
+# fault-not-panic, store page/WAL decoder quarantine-not-panic).
 fuzz-smoke:
 	$(GO) test ./internal/minic -run '^$$' -fuzz FuzzParse -fuzztime 10s
 	$(GO) test ./internal/interp -run '^$$' -fuzz FuzzInterp -fuzztime 10s
+	$(GO) test ./internal/store -run '^$$' -fuzz FuzzStoreDecode -fuzztime 10s
+
+# Crash-point injection matrix: the adapter store is crashed at every
+# durable operation (page writes, WAL appends, fsyncs, truncates, the
+# compaction rename) under clean/torn/bit-flip semantics and must
+# recover to a consistent state every time. CRASH_OUT keeps the report
+# and the quarantine evidence for CI artifact upload.
+crash-matrix:
+	./scripts/crash_matrix.sh
 
 # Fault-tolerance suite under the race detector: fault injection, retry,
 # circuit breaker, panic isolation, deadline/cancellation plumbing.

@@ -31,7 +31,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"table1, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, ablation, all, or synthbench/searchbench/servebench/benchgate (not in all)")
+		"table1, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, ablation, all, or synthbench/searchbench/servebench/benchgate/crashmatrix (not in all)")
 	full := flag.Bool("full", false, "use the paper-size Fig. 11 protocol (slow)")
 	tests := flag.Int("tests", 5, "IO examples per candidate during compilation")
 	benchOut := flag.String("bench-out", "",
@@ -42,6 +42,8 @@ func main() {
 		`with -experiment benchgate: "baseline.json:fresh.json" pair of serving artifacts`)
 	gateTol := flag.Float64("gate-tolerance", 0.25,
 		"with -experiment benchgate: allowed fractional regression before failing (0.25 = 25%)")
+	crashDir := flag.String("crash-dir", "",
+		"with -experiment crashmatrix: keep each crashed store (quarantine evidence included) under this directory for artifact upload")
 	of := obsflag.RegisterSynth(flag.CommandLine, "faccbench")
 	flag.Parse()
 
@@ -72,6 +74,8 @@ func main() {
 		err = runServeBench(ctx, *benchOut)
 	case "benchgate":
 		err = runBenchGate(*gateSynth, *gateServe, *gateTol)
+	case "crashmatrix":
+		err = runCrashMatrix(ctx, *benchOut, *crashDir)
 	default:
 		err = run(ctx, *experiment, *full, *tests, of.Tracer(), of.Journal(), of.Ledger())
 	}
@@ -87,6 +91,45 @@ func main() {
 		fmt.Fprintf(os.Stderr, "faccbench: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runCrashMatrix crashes the adapter store at every durable operation in
+// every mode and demands consistent recovery; -bench-out keeps the
+// CRASH_MATRIX.json artifact, -crash-dir the crashed stores themselves
+// (quarantine evidence included). A failing cell fails the run.
+func runCrashMatrix(ctx context.Context, benchOut, crashDir string) error {
+	fmt.Fprintf(os.Stderr, "faccbench: crash matrix (every page write, WAL append and fsync)...\n")
+	cfg := eval.CrashMatrixConfig{}
+	if crashDir != "" {
+		if err := os.MkdirAll(crashDir, 0o755); err != nil {
+			return err
+		}
+		cfg.Dir = crashDir
+		cfg.KeepArtifacts = true
+	}
+	rep, err := eval.RunCrashMatrix(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	rep.WriteText(os.Stdout)
+	if benchOut != "" {
+		out, err := os.Create(benchOut)
+		if err != nil {
+			return err
+		}
+		werr := rep.WriteJSON(out)
+		if cerr := out.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Fprintf(os.Stderr, "faccbench: wrote %s\n", benchOut)
+	}
+	if !rep.OK() {
+		return fmt.Errorf("crash matrix: %d of %d cells failed recovery", rep.Failed, rep.Runs)
+	}
+	return nil
 }
 
 // runServeBench saturates an in-process faccd-style compile service and

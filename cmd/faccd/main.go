@@ -9,6 +9,8 @@
 //	      [-drain-timeout 10s] [-tests 10] [-j N] [-faults chaos]
 //	      [-slo-latency 1s] [-slo-objective 0.99] [-flight-recorder 32]
 //	      [-cex-pool counterexamples.jsonl]
+//	      [-store-page-size 4096] [-store-compact-pages 4096]
+//	      [-store-quarantine-files 512] [-store-quarantine-age 168h]
 //
 // Endpoints:
 //
@@ -61,6 +63,14 @@ func main() {
 		"write the bound address to this file once listening (for scripts)")
 	storeDir := flag.String("store", "faccd-store",
 		"adapter store directory (crash-safe content-addressed cache)")
+	storePage := flag.Int("store-page-size", 0,
+		"store B-tree page size in bytes (0 = default 4096)")
+	storeCompact := flag.Int64("store-compact-pages", 0,
+		"compact the store when it exceeds this many pages and half are dead (0 = default 4096, negative disables)")
+	storeQuarFiles := flag.Int("store-quarantine-files", 0,
+		"keep at most this many quarantined-evidence files (0 = default 512)")
+	storeQuarAge := flag.Duration("store-quarantine-age", 0,
+		"discard quarantined evidence older than this (0 = default 168h)")
 	queue := flag.Int("queue", 64,
 		"admission queue depth; requests beyond it are shed with 429")
 	workers := flag.Int("workers", 0, "concurrent compile workers (0 = GOMAXPROCS)")
@@ -107,7 +117,12 @@ func main() {
 	}
 
 	tr := obs.New()
-	st, err := store.Open(*storeDir, tr.Metrics())
+	st, err := store.OpenOptions(*storeDir, tr.Metrics(), store.Options{
+		PageSize:           *storePage,
+		AutoCompactPages:   *storeCompact,
+		QuarantineMaxFiles: *storeQuarFiles,
+		QuarantineMaxAge:   *storeQuarAge,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "faccd: %v\n", err)
 		os.Exit(1)

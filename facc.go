@@ -38,6 +38,7 @@ import (
 	"facc/internal/binding"
 	"facc/internal/core"
 	"facc/internal/faultinject"
+	"facc/internal/iogen"
 	"facc/internal/obs"
 	"facc/internal/synth"
 )
@@ -389,6 +390,20 @@ func (r *Result) Function() string {
 		return s.Function
 	}
 	return ""
+}
+
+// Sig returns the user-visible signature of the replaced function — the
+// iogen.UserSig of the winning binding candidate (spec, argument roles,
+// length binding, direction). Two requests with the same Sig asked for
+// the same adapter shape; faccd persists it so the store's by-signature
+// index can answer "every cached adapter with this shape" in one walk.
+// Returns "" when the compilation did not succeed.
+func (r *Result) Sig() string {
+	s := r.c.Success()
+	if s == nil || s.Result == nil || s.Result.Adapter == nil || s.Result.Adapter.Cand == nil {
+		return ""
+	}
+	return iogen.UserSig(s.Result.Adapter.Cand)
 }
 
 // FailReason classifies an unsuccessful compilation (Fig. 8 categories:

@@ -1,0 +1,56 @@
+package eval
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestCrashMatrix is the ISSUE acceptance run: every durable operation
+// the store workload performs is a crash site, every site is crashed in
+// every mode, and every cell must recover consistently.
+func TestCrashMatrix(t *testing.T) {
+	rep, err := RunCrashMatrix(context.Background(), CrashMatrixConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sites < 30 {
+		t.Fatalf("matrix enumerated %d crash sites, want >= 30", rep.Sites)
+	}
+	for _, op := range []string{"write", "sync", "truncate", "rename"} {
+		if rep.SiteOps[op] == 0 {
+			t.Errorf("no crash site covers %q operations", op)
+		}
+	}
+	if len(rep.Modes) != 3 {
+		t.Fatalf("modes = %v, want clean/torn/bitflip", rep.Modes)
+	}
+	if rep.Runs != rep.Sites*len(rep.Modes) {
+		t.Fatalf("runs = %d, want %d sites x %d modes", rep.Runs, rep.Sites, len(rep.Modes))
+	}
+	if !rep.OK() {
+		var buf bytes.Buffer
+		rep.WriteText(&buf)
+		t.Fatalf("%d cells failed recovery:\n%s", rep.Failed, buf.String())
+	}
+
+	// The artifact is valid JSON and the text summary names the verdict.
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round CrashMatrixReport
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatal(err)
+	}
+	if round.Runs != rep.Runs || round.Failed != 0 {
+		t.Fatalf("JSON round-trip mangled the report: %+v", round)
+	}
+	buf.Reset()
+	rep.WriteText(&buf)
+	if !strings.Contains(buf.String(), "every crash site recovered consistently") {
+		t.Fatalf("text summary missing verdict:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,189 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// readDurable reads what actually survived on the real disk — the state
+// a post-crash reopen would see.
+func readDurable(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestCrashVFSUnsyncedWritesAreNotDurable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	v := NewCrashVFS(nil, CrashPlan{})
+	f, err := v.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("hello"), 0); err != nil {
+		t.Fatal(err)
+	}
+	// The running process sees its own write...
+	buf := make([]byte, 5)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello" {
+		t.Fatalf("overlay read = %q", buf)
+	}
+	// ...but the disk does not until Sync.
+	if d := readDurable(t, path); len(d) != 0 {
+		t.Fatalf("unsynced write reached the disk: %q", d)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if d := readDurable(t, path); string(d) != "hello" {
+		t.Fatalf("synced bytes = %q", d)
+	}
+}
+
+func TestCrashVFSCleanCrashLosesPendingWrites(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	// Site 1: first WriteAt. Site 2: Sync.
+	v := NewCrashVFS(nil, CrashPlan{Site: 2, Mode: CrashClean})
+	f, _ := v.Open(path)
+	if _, err := f.WriteAt([]byte("doomed"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Sync = %v, want ErrCrashed", err)
+	}
+	if d := readDurable(t, path); len(d) != 0 {
+		t.Fatalf("clean crash leaked bytes: %q", d)
+	}
+	// The process is dead: everything fails now.
+	if _, err := f.WriteAt([]byte("x"), 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash WriteAt = %v", err)
+	}
+	if _, err := f.ReadAt(make([]byte, 1), 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash ReadAt = %v", err)
+	}
+	if _, err := v.Open(filepath.Join(dir, "g")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash Open = %v", err)
+	}
+	if !v.Crashed() {
+		t.Fatal("Crashed() = false after the crash fired")
+	}
+}
+
+func TestCrashVFSTornWriteLandsPrefix(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	v := NewCrashVFS(nil, CrashPlan{Site: 1, Mode: CrashTorn})
+	f, _ := v.Open(path)
+	if _, err := f.WriteAt([]byte("0123456789"), 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("WriteAt = %v, want ErrCrashed", err)
+	}
+	if d := readDurable(t, path); string(d) != "01234" {
+		t.Fatalf("torn write left %q, want the 5-byte prefix", d)
+	}
+}
+
+func TestCrashVFSBitFlipDamagesExactlyOneBit(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	want := bytes.Repeat([]byte{0xAA}, 64)
+	v := NewCrashVFS(nil, CrashPlan{Site: 1, Mode: CrashBitFlip})
+	f, _ := v.Open(path)
+	if _, err := f.WriteAt(want, 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("WriteAt = %v, want ErrCrashed", err)
+	}
+	got := readDurable(t, path)
+	if len(got) != len(want) {
+		t.Fatalf("bitflip write length = %d, want %d", len(got), len(want))
+	}
+	diff := 0
+	for i := range got {
+		diff += popcount(got[i] ^ want[i])
+	}
+	if diff != 1 {
+		t.Fatalf("bitflip changed %d bits, want exactly 1", diff)
+	}
+}
+
+func popcount(b byte) int {
+	n := 0
+	for ; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}
+
+func TestCrashVFSTornSyncFlushesPrefixOfPending(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	// Sites: write, write, write, write, sync=5.
+	v := NewCrashVFS(nil, CrashPlan{Site: 5, Mode: CrashTorn})
+	f, _ := v.Open(path)
+	for i := 0; i < 4; i++ {
+		if _, err := f.WriteAt(bytes.Repeat([]byte{byte('a' + i)}, 8), int64(i*8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Sync = %v, want ErrCrashed", err)
+	}
+	d := readDurable(t, path)
+	// Half the pending ops (2 of 4) land, the second torn to 4 bytes.
+	if string(d) != "aaaaaaaabbbb" {
+		t.Fatalf("torn sync left %q", d)
+	}
+}
+
+func TestCrashVFSSiteEnumerationIsDeterministic(t *testing.T) {
+	run := func() []CrashSite {
+		dir := t.TempDir()
+		v := NewCrashVFS(nil, CrashPlan{})
+		f, _ := v.Open(filepath.Join(dir, "db"))
+		f.WriteAt([]byte("page one"), 0)
+		f.WriteAt([]byte("page two"), 64)
+		f.Sync()
+		f.Truncate(32)
+		f.Sync()
+		w, _ := v.Open(filepath.Join(dir, "wal"))
+		w.WriteAt([]byte("rec"), 0)
+		w.Sync()
+		v.Rename(filepath.Join(dir, "wal"), filepath.Join(dir, "wal.old"))
+		v.Remove(filepath.Join(dir, "wal.old"))
+		return v.Sites()
+	}
+	a, b := run(), run()
+	if len(a) != 9 || len(b) != 9 {
+		t.Fatalf("site counts = %d, %d, want 9", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Site != b[i].Site || a[i].Op != b[i].Op || a[i].File != b[i].File {
+			t.Fatalf("site %d differs across identical runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	ops := SiteOps(a)
+	if ops["write"] != 3 || ops["sync"] != 3 || ops["truncate"] != 1 || ops["rename"] != 1 || ops["remove"] != 1 {
+		t.Fatalf("op histogram = %v", ops)
+	}
+}
+
+func TestCrashVFSCloseDropsPending(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	v := NewCrashVFS(nil, CrashPlan{})
+	f, _ := v.Open(path)
+	f.WriteAt([]byte("gone"), 0)
+	f.Close()
+	if d := readDurable(t, path); len(d) != 0 {
+		t.Fatalf("Close made unsynced bytes durable: %q", d)
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -58,6 +59,7 @@ import (
 type CompileResult struct {
 	AdapterC   string
 	Function   string
+	Sig        string // user-visible signature of the replaced function
 	FailReason string
 }
 
@@ -157,6 +159,10 @@ type Server struct {
 	wg    sync.WaitGroup
 
 	busy atomic.Int64
+	// emaCompileMS is an exponential moving average of recent compile
+	// execution times (float64 bits; excludes queue wait). It sizes the
+	// Retry-After hint on shed requests.
+	emaCompileMS atomic.Uint64
 
 	mu       sync.Mutex
 	draining bool
@@ -234,7 +240,7 @@ func (s *Server) faccCompile(ctx context.Context, req facc.CompileRequest) (Comp
 	if !res.OK() {
 		return CompileResult{FailReason: res.FailReason()}, nil
 	}
-	return CompileResult{AdapterC: res.AdapterC(), Function: res.Function()}, nil
+	return CompileResult{AdapterC: res.AdapterC(), Function: res.Function(), Sig: res.Sig()}, nil
 }
 
 // Handler returns the service mux: compile/job/health routes layered
@@ -340,7 +346,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	default:
 		s.mu.Unlock()
 		s.reg.Counter("serve.jobs_shed").Inc()
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		http.Error(w, fmt.Sprintf("queue full (%d jobs): shedding load, retry later",
 			s.cfg.QueueDepth), http.StatusTooManyRequests)
 		return
@@ -352,6 +358,49 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	s.reg.Counter("serve.jobs_admitted").Inc()
 	s.reg.Gauge("serve.queue_depth").Set(float64(len(s.queue)))
 	s.respond(w, r, job)
+}
+
+// retryAfterSeconds estimates when a shed client will plausibly find a
+// queue slot: the current backlog divided across the worker pool, paced
+// by the moving average of recent compile times. A constant hint herds
+// every shed client back at the same instant and re-sheds most of them;
+// a depth-scaled hint spreads the retry wave to roughly when capacity
+// exists. Clamped to [1, 60] so a pathological EMA cannot tell clients
+// to wait forever (or to hammer).
+func (s *Server) retryAfterSeconds() int {
+	emaMS := math.Float64frombits(s.emaCompileMS.Load())
+	if emaMS <= 0 {
+		emaMS = 1000 // no completed compile yet: assume a second
+	}
+	backlog := len(s.queue) + int(s.busy.Load())
+	secs := int(math.Ceil(float64(backlog) * emaMS / float64(s.cfg.Workers) / 1000))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+// observeCompileTime folds one compile's execution time into the EMA
+// behind Retry-After (α = 0.3: reactive to load shifts, stable against
+// one outlier).
+func (s *Server) observeCompileTime(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	for {
+		old := s.emaCompileMS.Load()
+		ema := math.Float64frombits(old)
+		if ema <= 0 {
+			ema = ms
+		} else {
+			ema = 0.7*ema + 0.3*ms
+		}
+		if s.emaCompileMS.CompareAndSwap(old, math.Float64bits(ema)) {
+			s.reg.Gauge("serve.compile_ema_ms").Set(ema)
+			return
+		}
+	}
 }
 
 // registerCached files a store hit as an already-done job so /jobs/{id}
@@ -366,7 +415,7 @@ func (s *Server) registerCached(key, trace string, req facc.CompileRequest, e st
 		Req:      req,
 		State:    Done,
 		Cached:   true,
-		Result:   CompileResult{AdapterC: e.AdapterC, Function: e.Function},
+		Result:   CompileResult{AdapterC: e.AdapterC, Function: e.Function, Sig: e.Sig},
 		enqueued: time.Now(),
 		done:     make(chan struct{}),
 	}
@@ -410,7 +459,9 @@ func (s *Server) run(job *Job) {
 
 	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.RequestTimeout)
 	ctx = obs.WithTraceID(ctx, job.Trace)
+	started := time.Now()
 	res, err := s.compile(ctx, job.Req)
+	s.observeCompileTime(time.Since(started))
 	cancel()
 
 	s.mu.Lock()
@@ -435,6 +486,7 @@ func (s *Server) run(job *Job) {
 			st.Put(job.Key, store.Entry{
 				Target:   job.Req.Target,
 				Function: res.Function,
+				Sig:      res.Sig,
 				AdapterC: res.AdapterC,
 				Trace:    job.Trace,
 			})
@@ -509,6 +561,7 @@ type jobJSON struct {
 	Trace      string  `json:"trace,omitempty"`
 	Target     string  `json:"target"`
 	Function   string  `json:"function,omitempty"`
+	Sig        string  `json:"sig,omitempty"`
 	AdapterC   string  `json:"adapter_c,omitempty"`
 	FailReason string  `json:"fail_reason,omitempty"`
 	Error      string  `json:"error,omitempty"`
@@ -526,6 +579,7 @@ func (s *Server) jobView(job *Job) jobJSON {
 		Trace:      job.Trace,
 		Target:     job.Req.Target,
 		Function:   job.Result.Function,
+		Sig:        job.Result.Sig,
 		AdapterC:   job.Result.AdapterC,
 		FailReason: job.Result.FailReason,
 		Error:      job.Err,

@@ -485,30 +485,15 @@ func TestServerCrashRecoveryEndToEnd(t *testing.T) {
 	}
 	st.Close()
 
-	// Crash: the object is torn and its write never committed.
-	key := req.Digest()
-	objPath := ""
-	filepath.Walk(filepath.Join(dir, "objects"), func(path string, info os.FileInfo, err error) error {
-		if err == nil && !info.IsDir() && strings.Contains(path, key) {
-			objPath = path
-		}
-		return nil
-	})
-	if objPath == "" {
-		t.Fatalf("no cached object for key %s", key)
-	}
-	data, err := os.ReadFile(objPath)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile(objPath, data[:len(data)/2], 0o644); err != nil {
-		t.Fatal(err)
-	}
+	// Crash: the page holding the serialized entry is damaged on disk
+	// (a torn write the checksum will catch) and the WAL gains a torn
+	// tail — a record whose durability fsync never completed.
+	corruptStoreDB(t, dir, []byte(`"adapter_c"`))
 	wal, err := os.OpenFile(filepath.Join(dir, "wal.log"), os.O_APPEND|os.O_WRONLY, 0o644)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fmt.Fprintf(wal, "begin %s\n", key)
+	wal.Write([]byte("FWAL\xff\xff\xff\xff torn mid-append"))
 	wal.Close()
 
 	// Restart: recovery quarantines the torn entry, the next request
@@ -546,5 +531,183 @@ func TestServerCrashRecoveryEndToEnd(t *testing.T) {
 	}
 	if v2 := decodeJob(t, resp); v2.AdapterC != want {
 		t.Fatal("healed adapter differs from the sequential CLI run")
+	}
+}
+
+// corruptStoreDB flips the bytes of the last on-disk occurrence of
+// needle inside store.db — damage the page checksum must catch. The
+// last occurrence is the live copy: earlier ones may be stale
+// copy-on-write page versions nothing references.
+func corruptStoreDB(t *testing.T, dir string, needle []byte) {
+	t.Helper()
+	path := filepath.Join(dir, "store.db")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := bytes.LastIndex(data, needle)
+	if i < 0 {
+		t.Fatalf("store.db does not contain %q", needle)
+	}
+	for j := i; j < i+len(needle); j++ {
+		data[j] ^= 0xFF
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerQuarantineSingleflight: when a cached entry is quarantined,
+// a burst of identical requests must collapse into exactly ONE
+// recompile — the first miss registers the in-flight job, the rest
+// dedup onto it, and nobody is ever served the damaged adapter.
+func TestServerQuarantineSingleflight(t *testing.T) {
+	dir := t.TempDir()
+	req := compileReq("quarantine-singleflight")
+	key := req.Digest()
+
+	st, err := store.Open(dir, obs.New().Metrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(key, store.Entry{
+		Target:   "ffta",
+		Function: "fft",
+		AdapterC: "/* QUARANTINE-TARGET adapter */",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	corruptStoreDB(t, dir, []byte("QUARANTINE-TARGET"))
+
+	reg := obs.New()
+	st2, err := store.Open(dir, reg.Metrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := reg.Metrics().Counters()["store.corrupt_quarantined"]; got < 1 {
+		t.Fatalf("corrupt_quarantined = %d, want >= 1", got)
+	}
+
+	gate := newGateCompile()
+	s := New(Config{QueueDepth: 8, Workers: 2, Store: st2, Tracer: reg, Compile: gate.compile})
+	defer s.Drain(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// First request: must miss (quarantined entries are never served)
+	// and start the one recompile.
+	type reply struct {
+		hit   bool
+		dedup bool
+		v     jobJSON
+	}
+	replies := make(chan reply, 6)
+	doPost := func() {
+		resp := post(t, ts, req, "?wait=1")
+		replies <- reply{
+			hit:   resp.Header.Get("X-Facc-Cache") == "hit",
+			dedup: resp.Header.Get("X-Facc-Dedup") == "true",
+			v:     decodeJob(t, resp),
+		}
+	}
+	go doPost()
+	waitEntered(t, gate)
+	// Recompile is parked mid-flight: five more identical requests must
+	// all attach to it, not start their own.
+	for i := 0; i < 5; i++ {
+		go doPost()
+	}
+	deadline := time.After(10 * time.Second)
+	for i := 0; i < 5; i++ {
+		select {
+		case <-gate.entered:
+			t.Fatal("a deduped request started a second recompile")
+		case <-time.After(50 * time.Millisecond):
+		case <-deadline:
+			t.Fatal("timed out waiting for dedup settle")
+		}
+	}
+	gate.unblock()
+
+	deduped := 0
+	for i := 0; i < 6; i++ {
+		select {
+		case r := <-replies:
+			if r.hit {
+				t.Fatal("a request was served the quarantined adapter as a cache hit")
+			}
+			if r.v.State != string(Done) {
+				t.Fatalf("request finished %+v", r.v)
+			}
+			if r.dedup {
+				deduped++
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("request never finished")
+		}
+	}
+	if got := gate.callCount(); got != 1 {
+		t.Fatalf("recompiles = %d, want exactly 1", got)
+	}
+	if deduped != 5 {
+		t.Fatalf("deduped replies = %d, want 5", deduped)
+	}
+
+	// The heal is durable: the recompiled adapter committed, clearing
+	// the quarantine, so the next request is a plain cache hit.
+	resp := post(t, ts, req, "?wait=1")
+	if resp.Header.Get("X-Facc-Cache") != "hit" {
+		t.Fatal("healed entry not served from the store")
+	}
+	decodeJob(t, resp)
+}
+
+// TestServerRetryAfterScalesWithQueueDepth: the 429 Retry-After hint is
+// backlog × average compile time ÷ workers — a saturated daemon with
+// slow compiles tells clients to come back later than an idle one, so
+// the retry wave lands when capacity plausibly exists.
+func TestServerRetryAfterScalesWithQueueDepth(t *testing.T) {
+	gate := newGateCompile()
+	s := New(Config{QueueDepth: 8, Workers: 1, Compile: gate.compile})
+	defer s.Drain(context.Background())
+	defer gate.unblock()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Recent compiles averaged two seconds.
+	s.observeCompileTime(2 * time.Second)
+
+	// One job on the worker, eight in the queue.
+	resp := post(t, ts, compileReq("ra-0"), "")
+	resp.Body.Close()
+	waitEntered(t, gate)
+	for i := 1; i <= 8; i++ {
+		resp := post(t, ts, compileReq(fmt.Sprintf("ra-%d", i)), "")
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("job %d: status %d", i, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	resp = post(t, ts, compileReq("ra-9"), "")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated POST: status %d, want 429", resp.StatusCode)
+	}
+	// Backlog is 9 jobs (1 running + 8 queued) × 2s each ÷ 1 worker.
+	if ra := resp.Header.Get("Retry-After"); ra != "18" {
+		t.Fatalf("Retry-After = %q, want %q", ra, "18")
+	}
+
+	// The hint is clamped: even an absurd EMA cannot push it past 60s.
+	s.observeCompileTime(30 * time.Minute)
+	resp = post(t, ts, compileReq("ra-10"), "")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second shed: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "60" {
+		t.Fatalf("clamped Retry-After = %q, want %q", ra, "60")
 	}
 }

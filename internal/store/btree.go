@@ -1,0 +1,731 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+)
+
+// The adapter database is one copy-on-write B-tree over the page file.
+// Leaves hold (key, value) items — values too large to inline spill into
+// checksummed overflow chains — and branches hold (separator, child)
+// items. A writing transaction never modifies a reachable page: every
+// touched node is rewritten under a fresh page ID and the old IDs are
+// freed once no snapshot can still read them, which is what lets MVCC
+// readers traverse the committed root lock-free while a commit is in
+// flight.
+//
+// Item encodings inside a page payload:
+//
+//	leaf   keyLen u16 | flag u8 | inline: valLen u32 | key | val
+//	                   | spilled: head u64, totalLen u32, valCRC u32 | key
+//	branch keyLen u16 | child u64 | key
+//
+// A branch item's key is the smallest key reachable under its child;
+// lookups descend into the last child whose separator is <= the target.
+
+var errNotFound = errors.New("store: key not found")
+
+const (
+	flagInline   = 0
+	flagOverflow = 1
+)
+
+// item is one decoded leaf or branch entry.
+type item struct {
+	key     []byte
+	val     []byte // inline value (leaf, flagInline)
+	child   uint64 // branch child page
+	ovfl    uint64 // overflow chain head (leaf, flagOverflow)
+	ovflLen uint32
+	ovflCRC uint32
+}
+
+func (it item) spilled() bool { return it.ovfl != 0 }
+
+// node is one decoded tree page.
+type node struct {
+	typ   uint16
+	items []item
+}
+
+// payloadCap is the usable byte budget of one page.
+func payloadCap(pageSize int) int { return pageSize - pageHeaderSize }
+
+// inlineMax is the largest value stored inside a leaf; longer values
+// spill to an overflow chain.
+func inlineMax(pageSize int) int { return payloadCap(pageSize) / 4 }
+
+// maxKeyLen bounds keys so several items always fit per page.
+func maxKeyLen(pageSize int) int { return payloadCap(pageSize) / 4 }
+
+func itemSize(typ uint16, it item) int {
+	switch typ {
+	case pageBranch:
+		return 2 + 8 + len(it.key)
+	default:
+		if it.spilled() {
+			return 2 + 1 + 8 + 4 + 4 + len(it.key)
+		}
+		return 2 + 1 + 4 + len(it.key) + len(it.val)
+	}
+}
+
+func (n *node) encodedSize() int {
+	sz := 0
+	for _, it := range n.items {
+		sz += itemSize(n.typ, it)
+	}
+	return sz
+}
+
+// encode seals the node into a fresh page image.
+func (n *node) encode(pageSize int, id, txid uint64) ([]byte, error) {
+	buf := make([]byte, pageSize)
+	p := buf[pageHeaderSize:]
+	off := 0
+	for _, it := range n.items {
+		if len(it.key) > maxKeyLen(pageSize) {
+			return nil, fmt.Errorf("store: key length %d exceeds page budget %d", len(it.key), maxKeyLen(pageSize))
+		}
+		switch n.typ {
+		case pageBranch:
+			binary.LittleEndian.PutUint16(p[off:], uint16(len(it.key)))
+			binary.LittleEndian.PutUint64(p[off+2:], it.child)
+			copy(p[off+10:], it.key)
+			off += 2 + 8 + len(it.key)
+		default:
+			binary.LittleEndian.PutUint16(p[off:], uint16(len(it.key)))
+			if it.spilled() {
+				p[off+2] = flagOverflow
+				binary.LittleEndian.PutUint64(p[off+3:], it.ovfl)
+				binary.LittleEndian.PutUint32(p[off+11:], it.ovflLen)
+				binary.LittleEndian.PutUint32(p[off+15:], it.ovflCRC)
+				copy(p[off+19:], it.key)
+				off += 19 + len(it.key)
+			} else {
+				p[off+2] = flagInline
+				binary.LittleEndian.PutUint32(p[off+3:], uint32(len(it.val)))
+				copy(p[off+7:], it.key)
+				copy(p[off+7+len(it.key):], it.val)
+				off += 7 + len(it.key) + len(it.val)
+			}
+		}
+	}
+	if off > len(p) {
+		return nil, fmt.Errorf("store: node overflows page (%d > %d)", off, len(p))
+	}
+	sealPage(buf, n.typ, len(n.items), id, txid, 0)
+	return buf, nil
+}
+
+// decodeNode parses a verified page into a node. Structural damage that
+// survived the checksum (it cannot, absent a hash collision — this is
+// defense in depth) reports a CorruptPageError.
+func decodeNode(buf []byte, id uint64) (*node, error) {
+	typ := binary.LittleEndian.Uint16(buf[4:6])
+	if typ != pageLeaf && typ != pageBranch {
+		return nil, &CorruptPageError{ID: id, Reason: fmt.Sprintf("expected tree node, found type %d", typ), Data: buf}
+	}
+	count := int(binary.LittleEndian.Uint16(buf[6:8]))
+	p := buf[pageHeaderSize:]
+	n := &node{typ: typ, items: make([]item, 0, count)}
+	off := 0
+	bad := func(reason string) (*node, error) {
+		return nil, &CorruptPageError{ID: id, Reason: reason, Data: buf}
+	}
+	for i := 0; i < count; i++ {
+		if off+2 > len(p) {
+			return bad("item header past page end")
+		}
+		kl := int(binary.LittleEndian.Uint16(p[off:]))
+		var it item
+		switch typ {
+		case pageBranch:
+			if off+10+kl > len(p) {
+				return bad("branch item past page end")
+			}
+			it.child = binary.LittleEndian.Uint64(p[off+2:])
+			it.key = p[off+10 : off+10+kl : off+10+kl]
+			off += 10 + kl
+		default:
+			if off+3 > len(p) {
+				return bad("leaf item header past page end")
+			}
+			switch p[off+2] {
+			case flagOverflow:
+				if off+19+kl > len(p) {
+					return bad("spilled leaf item past page end")
+				}
+				it.ovfl = binary.LittleEndian.Uint64(p[off+3:])
+				it.ovflLen = binary.LittleEndian.Uint32(p[off+11:])
+				it.ovflCRC = binary.LittleEndian.Uint32(p[off+15:])
+				it.key = p[off+19 : off+19+kl : off+19+kl]
+				off += 19 + kl
+			case flagInline:
+				if off+7 > len(p) {
+					return bad("leaf item header past page end")
+				}
+				vl := int(binary.LittleEndian.Uint32(p[off+3:]))
+				if off+7+kl+vl > len(p) {
+					return bad("inline leaf item past page end")
+				}
+				it.key = p[off+7 : off+7+kl : off+7+kl]
+				it.val = p[off+7+kl : off+7+kl+vl : off+7+kl+vl]
+				off += 7 + kl + vl
+			default:
+				return bad(fmt.Sprintf("unknown leaf item flag %d", p[off+2]))
+			}
+		}
+		if len(n.items) > 0 && bytes.Compare(n.items[len(n.items)-1].key, it.key) >= 0 {
+			return bad("keys out of order")
+		}
+		n.items = append(n.items, it)
+	}
+	return n, nil
+}
+
+// search returns the index of key (found=true) or its insertion point.
+func (n *node) search(key []byte) (int, bool) {
+	i := sort.Search(len(n.items), func(i int) bool {
+		return bytes.Compare(n.items[i].key, key) >= 0
+	})
+	if i < len(n.items) && bytes.Equal(n.items[i].key, key) {
+		return i, true
+	}
+	return i, false
+}
+
+// childFor picks the branch slot to descend for key.
+func (n *node) childFor(key []byte) int {
+	i := sort.Search(len(n.items), func(i int) bool {
+		return bytes.Compare(n.items[i].key, key) > 0
+	})
+	if i > 0 {
+		i--
+	}
+	return i
+}
+
+// pageReader resolves page IDs to verified page images — a snapshot, or
+// a transaction overlaying its dirty pages on one.
+type pageReader interface {
+	page(id uint64) ([]byte, error)
+}
+
+func readNode(r pageReader, id uint64) (*node, error) {
+	buf, err := r.page(id)
+	if err != nil {
+		return nil, err
+	}
+	return decodeNode(buf, id)
+}
+
+// readValue materializes an item's value, walking and verifying the
+// overflow chain for spilled values.
+func readValue(r pageReader, pageSize int, it item) ([]byte, error) {
+	if !it.spilled() {
+		return it.val, nil
+	}
+	out := make([]byte, 0, it.ovflLen)
+	seen := map[uint64]bool{}
+	for id := it.ovfl; id != 0; {
+		if seen[id] {
+			return nil, &CorruptPageError{ID: id, Reason: "overflow chain cycles"}
+		}
+		seen[id] = true
+		buf, err := r.page(id)
+		if err != nil {
+			return nil, err
+		}
+		if typ := binary.LittleEndian.Uint16(buf[4:6]); typ != pageOverflow {
+			return nil, &CorruptPageError{ID: id, Reason: fmt.Sprintf("overflow chain points at type-%d page", typ), Data: buf}
+		}
+		n := int(binary.LittleEndian.Uint16(buf[6:8]))
+		if n > payloadCap(len(buf)) {
+			return nil, &CorruptPageError{ID: id, Reason: "overflow length overruns page", Data: buf}
+		}
+		out = append(out, buf[pageHeaderSize:pageHeaderSize+n]...)
+		if uint32(len(out)) > it.ovflLen {
+			return nil, &CorruptPageError{ID: id, Reason: "overflow chain longer than recorded length", Data: buf}
+		}
+		id = binary.LittleEndian.Uint64(buf[24:32])
+	}
+	if uint32(len(out)) != it.ovflLen {
+		return nil, &CorruptPageError{ID: it.ovfl, Reason: fmt.Sprintf("overflow chain yields %d bytes, recorded %d", len(out), it.ovflLen)}
+	}
+	if got := crc32.Checksum(out, castagnoli); got != it.ovflCRC {
+		return nil, &CorruptPageError{ID: it.ovfl, Reason: fmt.Sprintf("value checksum %08x != %08x", got, it.ovflCRC), Data: out}
+	}
+	return out, nil
+}
+
+// lookup finds key under root, returning its value bytes.
+func lookup(r pageReader, pageSize int, root uint64, key []byte) ([]byte, error) {
+	if root == 0 {
+		return nil, errNotFound
+	}
+	id := root
+	for depth := 0; ; depth++ {
+		if depth > 64 {
+			return nil, &CorruptPageError{ID: id, Reason: "tree deeper than 64 levels (cycle)"}
+		}
+		n, err := readNode(r, id)
+		if err != nil {
+			return nil, err
+		}
+		if n.typ == pageLeaf {
+			i, ok := n.search(key)
+			if !ok {
+				return nil, errNotFound
+			}
+			return readValue(r, pageSize, n.items[i])
+		}
+		if len(n.items) == 0 {
+			return nil, errNotFound
+		}
+		id = n.items[n.childFor(key)].child
+	}
+}
+
+// iterate walks keys >= from in order, calling fn with each leaf item;
+// fn returns false to stop. Unreadable subtrees abort with the error.
+func iterate(r pageReader, root uint64, from []byte, fn func(key []byte, it item) (bool, error)) error {
+	if root == 0 {
+		return nil
+	}
+	return iterateNode(r, root, from, fn, 0)
+}
+
+func iterateNode(r pageReader, id uint64, from []byte, fn func([]byte, item) (bool, error), depth int) error {
+	if depth > 64 {
+		return &CorruptPageError{ID: id, Reason: "tree deeper than 64 levels (cycle)"}
+	}
+	n, err := readNode(r, id)
+	if err != nil {
+		return err
+	}
+	if n.typ == pageLeaf {
+		for _, it := range n.items {
+			if from != nil && bytes.Compare(it.key, from) < 0 {
+				continue
+			}
+			ok, err := fn(it.key, it)
+			if err != nil || !ok {
+				if err == nil {
+					err = errStopIteration
+				}
+				return err
+			}
+		}
+		return nil
+	}
+	start := 0
+	if from != nil {
+		start = n.childFor(from)
+	}
+	for i := start; i < len(n.items); i++ {
+		if err := iterateNode(r, n.items[i].child, from, fn, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var errStopIteration = errors.New("store: stop iteration")
+
+// ---------------------------------------------------------------------
+// Writing transactions (copy-on-write)
+// ---------------------------------------------------------------------
+
+// tx is one writing transaction: a working meta plus the dirty pages it
+// will commit. Only the committer goroutine builds transactions, so no
+// locking happens here; allocation state is handed in and out by the
+// store under its mutex.
+type tx struct {
+	base     pageReader
+	pageSize int
+	m        meta
+	txid     uint64
+
+	dirty   map[uint64][]byte
+	freed   []uint64
+	alloced map[uint64]bool
+	scratch []uint64 // allocated then freed within this tx: reusable
+	free    []uint64 // in-memory free list (ownership taken from the store)
+	evict   func(uint64)
+}
+
+func (t *tx) page(id uint64) ([]byte, error) {
+	if buf, ok := t.dirty[id]; ok {
+		return buf, nil
+	}
+	return t.base.page(id)
+}
+
+// alloc hands out a page ID: tx scratch, then the free list (smallest
+// first, deterministically), then file growth.
+func (t *tx) alloc() uint64 {
+	var id uint64
+	switch {
+	case len(t.scratch) > 0:
+		id = t.scratch[0]
+		t.scratch = t.scratch[1:]
+	case len(t.free) > 0:
+		id = t.free[0]
+		t.free = t.free[1:]
+	default:
+		id = t.m.npages
+		t.m.npages++
+	}
+	t.alloced[id] = true
+	if t.evict != nil {
+		t.evict(id)
+	}
+	return id
+}
+
+// freePage returns an ID to circulation: in-tx allocations go back to
+// scratch, committed pages wait for snapshot-aware promotion.
+func (t *tx) freePage(id uint64) {
+	if t.alloced[id] {
+		delete(t.alloced, id)
+		delete(t.dirty, id)
+		t.scratch = append(t.scratch, id)
+		return
+	}
+	t.freed = append(t.freed, id)
+}
+
+// writeNode encodes a node under a fresh page ID.
+func (t *tx) writeNode(n *node) (uint64, error) {
+	id := t.alloc()
+	buf, err := n.encode(t.pageSize, id, t.txid)
+	if err != nil {
+		return 0, err
+	}
+	t.dirty[id] = buf
+	return id, nil
+}
+
+// writeValue spills a value into an overflow chain, returning the item
+// reference fields.
+func (t *tx) writeValue(val []byte) (head uint64, length, crc uint32) {
+	crc = crc32.Checksum(val, castagnoli)
+	length = uint32(len(val))
+	chunk := payloadCap(t.pageSize)
+	n := (len(val) + chunk - 1) / chunk
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = t.alloc()
+	}
+	for i := 0; i < n; i++ {
+		lo, hi := i*chunk, (i+1)*chunk
+		if hi > len(val) {
+			hi = len(val)
+		}
+		buf := make([]byte, t.pageSize)
+		copy(buf[pageHeaderSize:], val[lo:hi])
+		next := uint64(0)
+		if i+1 < n {
+			next = ids[i+1]
+		}
+		sealPage(buf, pageOverflow, hi-lo, ids[i], t.txid, next)
+		t.dirty[ids[i]] = buf
+	}
+	return ids[0], length, crc
+}
+
+// freeValue releases a spilled value's chain. An unreadable chain is
+// simply abandoned — compaction reclaims leaked pages.
+func (t *tx) freeValue(it item) {
+	if !it.spilled() {
+		return
+	}
+	seen := map[uint64]bool{}
+	for id := it.ovfl; id != 0 && !seen[id]; {
+		seen[id] = true
+		buf, err := t.page(id)
+		if err != nil || binary.LittleEndian.Uint16(buf[4:6]) != pageOverflow {
+			return
+		}
+		next := binary.LittleEndian.Uint64(buf[24:32])
+		t.freePage(id)
+		id = next
+	}
+}
+
+// makeItem builds a leaf item, spilling large values.
+func (t *tx) makeItem(key, val []byte) item {
+	it := item{key: append([]byte(nil), key...)}
+	if len(val) > inlineMax(t.pageSize) {
+		it.ovfl, it.ovflLen, it.ovflCRC = t.writeValue(val)
+	} else {
+		it.val = append([]byte(nil), val...)
+	}
+	return it
+}
+
+// put inserts or replaces key.
+func (t *tx) put(key, val []byte) error {
+	if len(key) == 0 || len(key) > maxKeyLen(t.pageSize) {
+		return fmt.Errorf("store: key length %d out of range [1,%d]", len(key), maxKeyLen(t.pageSize))
+	}
+	if t.m.root == 0 {
+		n := &node{typ: pageLeaf, items: []item{t.makeItem(key, val)}}
+		id, err := t.writeNode(n)
+		if err != nil {
+			return err
+		}
+		t.m.root = id
+		return nil
+	}
+	repl, err := t.insert(t.m.root, key, val)
+	if err != nil {
+		return err
+	}
+	if len(repl) == 1 {
+		t.m.root = repl[0].child
+		return nil
+	}
+	root := &node{typ: pageBranch, items: repl}
+	id, err := t.writeNode(root)
+	if err != nil {
+		return err
+	}
+	t.m.root = id
+	return nil
+}
+
+// insert rewrites the path from id down for (key, val), returning the
+// replacement child entries (one, or two after a split). The first
+// returned entry's key is the subtree's smallest key.
+func (t *tx) insert(id uint64, key, val []byte) ([]item, error) {
+	n, err := readNode(t, id)
+	if err != nil {
+		return nil, err
+	}
+	cp := &node{typ: n.typ, items: append([]item(nil), n.items...)}
+	if n.typ == pageLeaf {
+		i, found := cp.search(key)
+		it := t.makeItem(key, val)
+		if found {
+			t.freeValue(cp.items[i])
+			cp.items[i] = it
+		} else {
+			cp.items = append(cp.items, item{})
+			copy(cp.items[i+1:], cp.items[i:])
+			cp.items[i] = it
+		}
+	} else {
+		if len(cp.items) == 0 {
+			return nil, &CorruptPageError{ID: id, Reason: "empty branch"}
+		}
+		slot := cp.childFor(key)
+		repl, err := t.insert(cp.items[slot].child, key, val)
+		if err != nil {
+			return nil, err
+		}
+		cp.items = append(cp.items[:slot], append(repl, cp.items[slot+1:]...)...)
+	}
+	t.freePage(id)
+	return t.splitWrite(cp)
+}
+
+// splitWrite persists a rewritten node, splitting when it no longer fits
+// one page, and returns the branch entries describing the result.
+func (t *tx) splitWrite(n *node) ([]item, error) {
+	cap := payloadCap(t.pageSize)
+	if n.encodedSize() <= cap || len(n.items) < 2 {
+		id, err := t.writeNode(n)
+		if err != nil {
+			return nil, err
+		}
+		return []item{{key: append([]byte(nil), n.items[0].key...), child: id}}, nil
+	}
+	// Split at the half-size boundary (each side keeps >= 1 item).
+	half, acc, cut := n.encodedSize()/2, 0, 0
+	for i, it := range n.items {
+		acc += itemSize(n.typ, it)
+		if acc > half && i+1 < len(n.items) {
+			cut = i + 1
+			break
+		}
+	}
+	if cut == 0 {
+		cut = len(n.items) / 2
+	}
+	left := &node{typ: n.typ, items: n.items[:cut]}
+	right := &node{typ: n.typ, items: n.items[cut:]}
+	out := make([]item, 0, 4)
+	for _, half := range []*node{left, right} {
+		repl, err := t.splitWrite(half)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, repl...)
+	}
+	return out, nil
+}
+
+// delete removes key; found=false when absent.
+func (t *tx) delete(key []byte) (bool, error) {
+	if t.m.root == 0 {
+		return false, nil
+	}
+	repl, found, err := t.remove(t.m.root, key)
+	if err != nil || !found {
+		return found, err
+	}
+	switch len(repl) {
+	case 0:
+		t.m.root = 0
+	case 1:
+		t.m.root = repl[0].child
+	default:
+		root := &node{typ: pageBranch, items: repl}
+		id, werr := t.writeNode(root)
+		if werr != nil {
+			return false, werr
+		}
+		t.m.root = id
+	}
+	return true, nil
+}
+
+// remove rewrites the path for a deletion. An empty replacement list
+// means the whole subtree vanished.
+func (t *tx) remove(id uint64, key []byte) ([]item, bool, error) {
+	n, err := readNode(t, id)
+	if err != nil {
+		return nil, false, err
+	}
+	cp := &node{typ: n.typ, items: append([]item(nil), n.items...)}
+	found := false
+	if n.typ == pageLeaf {
+		i, ok := cp.search(key)
+		if !ok {
+			return []item{{key: firstKey(cp), child: id}}, false, nil
+		}
+		t.freeValue(cp.items[i])
+		cp.items = append(cp.items[:i], cp.items[i+1:]...)
+		found = true
+	} else {
+		if len(cp.items) == 0 {
+			return nil, false, &CorruptPageError{ID: id, Reason: "empty branch"}
+		}
+		slot := cp.childFor(key)
+		repl, ok, rerr := t.remove(cp.items[slot].child, key)
+		if rerr != nil {
+			return nil, false, rerr
+		}
+		if !ok {
+			return []item{{key: firstKey(cp), child: id}}, false, nil
+		}
+		found = true
+		cp.items = append(cp.items[:slot], append(repl, cp.items[slot+1:]...)...)
+	}
+	t.freePage(id)
+	if len(cp.items) == 0 {
+		return nil, found, nil
+	}
+	return t.splitWriteFound(cp, found)
+}
+
+func (t *tx) splitWriteFound(n *node, found bool) ([]item, bool, error) {
+	repl, err := t.splitWrite(n)
+	return repl, found, err
+}
+
+func firstKey(n *node) []byte {
+	if len(n.items) == 0 {
+		return nil
+	}
+	return append([]byte(nil), n.items[0].key...)
+}
+
+// get looks a key up through the transaction's own view.
+func (t *tx) get(key []byte) ([]byte, error) {
+	return lookup(t, t.pageSize, t.m.root, key)
+}
+
+// dropSubtree removes every path reference to target from the tree —
+// the recovery action for a quarantined page whose keys are unknown.
+// The target page itself is never reused (its ID is quarantined by the
+// caller); descendants of a dropped branch leak until compaction.
+func (t *tx) dropSubtree(target uint64) (bool, error) {
+	if t.m.root == 0 {
+		return false, nil
+	}
+	if t.m.root == target {
+		t.m.root = 0
+		return true, nil
+	}
+	repl, dropped, err := t.dropWalk(t.m.root, target)
+	if err != nil || !dropped {
+		return dropped, err
+	}
+	switch len(repl) {
+	case 0:
+		t.m.root = 0
+	case 1:
+		t.m.root = repl[0].child
+	default:
+		root := &node{typ: pageBranch, items: repl}
+		id, werr := t.writeNode(root)
+		if werr != nil {
+			return false, werr
+		}
+		t.m.root = id
+	}
+	return true, nil
+}
+
+func (t *tx) dropWalk(id, target uint64) ([]item, bool, error) {
+	n, err := readNode(t, id)
+	if err != nil {
+		return nil, false, err
+	}
+	if n.typ == pageLeaf {
+		return []item{{key: firstKey(n), child: id}}, false, nil
+	}
+	cp := &node{typ: pageBranch, items: append([]item(nil), n.items...)}
+	changed := false
+	out := make([]item, 0, len(cp.items)+2)
+	for _, it := range cp.items {
+		if it.child == target {
+			changed = true
+			continue
+		}
+		repl, dropped, derr := t.dropWalk(it.child, target)
+		if derr != nil {
+			// An unreadable sibling must not block dropping the target;
+			// keep its entry untouched.
+			var ce *CorruptPageError
+			if errors.As(derr, &ce) {
+				out = append(out, it)
+				continue
+			}
+			return nil, false, derr
+		}
+		if dropped {
+			changed = true
+			out = append(out, repl...)
+			continue
+		}
+		out = append(out, it)
+	}
+	if !changed {
+		return []item{{key: firstKey(n), child: id}}, false, nil
+	}
+	cp.items = out
+	t.freePage(id)
+	if len(cp.items) == 0 {
+		return nil, true, nil
+	}
+	repl, err := t.splitWrite(cp)
+	return repl, true, err
+}

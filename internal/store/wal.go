@@ -1,0 +1,117 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+)
+
+// The write-ahead log makes a commit durable with one sequential append
+// and one fsync before any random page write happens. A record carries
+// the transaction's complete effect — every dirty page image plus the
+// new meta — so replay after a crash mid-checkpoint simply rewrites
+// them. Records are self-validating; replay stops at the first record
+// that fails its checksum (the torn tail of the crashed append) and the
+// tail bytes are quarantined, never trusted.
+//
+// Record layout:
+//
+//	[0:4)   magic "FWAL"
+//	[4:8)   body length (u32)
+//	body:   txid u64 | root u64 | npages u64 | freeHead u64 |
+//	        count u32 | count x (pageID u64 | page image)
+//	[-4:]   crc32 (Castagnoli) over the body
+const walMagic = "FWAL"
+
+const walHeaderSize = 8
+
+// walRecord is one decoded commit record.
+type walRecord struct {
+	m     meta
+	ids   []uint64 // dirty page IDs in write order
+	pages map[uint64][]byte
+}
+
+// encodeWALRecord serializes one commit: the post-commit meta plus every
+// dirty page, sorted by ID for deterministic bytes.
+func encodeWALRecord(m meta, pages map[uint64][]byte, pageSize int) []byte {
+	ids := make([]uint64, 0, len(pages))
+	for id := range pages {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	bodyLen := 8 + 8 + 8 + 8 + 4 + len(ids)*(8+pageSize)
+	buf := make([]byte, walHeaderSize+bodyLen+4)
+	copy(buf[0:4], walMagic)
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(bodyLen))
+	b := buf[walHeaderSize:]
+	binary.LittleEndian.PutUint64(b[0:8], m.txid)
+	binary.LittleEndian.PutUint64(b[8:16], m.root)
+	binary.LittleEndian.PutUint64(b[16:24], m.npages)
+	binary.LittleEndian.PutUint64(b[24:32], m.freeHead)
+	binary.LittleEndian.PutUint32(b[32:36], uint32(len(ids)))
+	off := 36
+	for _, id := range ids {
+		binary.LittleEndian.PutUint64(b[off:off+8], id)
+		copy(b[off+8:off+8+pageSize], pages[id])
+		off += 8 + pageSize
+	}
+	crc := crc32.Checksum(buf[walHeaderSize:walHeaderSize+bodyLen], castagnoli)
+	binary.LittleEndian.PutUint32(buf[walHeaderSize+bodyLen:], crc)
+	return buf
+}
+
+// decodeWALRecords parses records from the log's bytes. It returns every
+// valid record in order plus the byte offset where validity ended; a
+// non-nil reason describes the first invalid record (the quarantined
+// tail), and is nil when the log ends cleanly.
+func decodeWALRecords(data []byte, pageSize int) (recs []walRecord, validLen int64, reason error) {
+	off := 0
+	for off < len(data) {
+		rest := data[off:]
+		if len(rest) < walHeaderSize {
+			return recs, int64(off), fmt.Errorf("store: wal: %d trailing bytes (torn header)", len(rest))
+		}
+		if string(rest[0:4]) != walMagic {
+			return recs, int64(off), fmt.Errorf("store: wal: bad record magic %q at offset %d", rest[0:4], off)
+		}
+		bodyLen := int(binary.LittleEndian.Uint32(rest[4:8]))
+		if bodyLen < 36 || walHeaderSize+bodyLen+4 > len(rest) {
+			return recs, int64(off), fmt.Errorf("store: wal: record at offset %d claims %d body bytes, %d available", off, bodyLen, len(rest)-walHeaderSize-4)
+		}
+		body := rest[walHeaderSize : walHeaderSize+bodyLen]
+		want := binary.LittleEndian.Uint32(rest[walHeaderSize+bodyLen:])
+		if got := crc32.Checksum(body, castagnoli); got != want {
+			return recs, int64(off), fmt.Errorf("store: wal: record at offset %d checksum %08x != %08x", off, got, want)
+		}
+		rec := walRecord{
+			m: meta{
+				txid:     binary.LittleEndian.Uint64(body[0:8]),
+				root:     binary.LittleEndian.Uint64(body[8:16]),
+				npages:   binary.LittleEndian.Uint64(body[16:24]),
+				freeHead: binary.LittleEndian.Uint64(body[24:32]),
+			},
+			pages: map[uint64][]byte{},
+		}
+		count := int(binary.LittleEndian.Uint32(body[32:36]))
+		if 36+count*(8+pageSize) != bodyLen {
+			return recs, int64(off), fmt.Errorf("store: wal: record at offset %d count %d inconsistent with body length %d", off, count, bodyLen)
+		}
+		p := 36
+		for i := 0; i < count; i++ {
+			id := binary.LittleEndian.Uint64(body[p : p+8])
+			img := body[p+8 : p+8+pageSize : p+8+pageSize]
+			if verr := verifyPage(img, id); verr != nil {
+				return recs, int64(off), fmt.Errorf("store: wal: record at offset %d carries corrupt page %d: %v", off, id, verr)
+			}
+			rec.ids = append(rec.ids, id)
+			rec.pages[id] = img
+			p += 8 + pageSize
+		}
+		recs = append(recs, rec)
+		off += walHeaderSize + bodyLen + 4
+	}
+	return recs, int64(off), nil
+}

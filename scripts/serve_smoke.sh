@@ -104,11 +104,16 @@ adapter_of "$TMP/r1" "$TMP/adapter1"
 grep -q 'drained cleanly' "$TMP/faccd.log" || { echo "serve-smoke: no clean-drain message"; cat "$TMP/faccd.log"; exit 1; }
 
 echo "serve-smoke: tearing the cached adapter (simulated crash mid-write)"
-OBJ=$(find "$TMP/store/objects" -name '*.json' | head -n 1)
-[ -n "$OBJ" ] || { echo "serve-smoke: no cached object"; exit 1; }
-head -c 40 "$OBJ" > "$OBJ.torn" && mv "$OBJ.torn" "$OBJ"
-KEY=$(basename "$OBJ" .json)
-printf 'begin %s\n' "$KEY" >> "$TMP/store/wal.log"
+DB="$TMP/store/store.db"
+[ -s "$DB" ] || { echo "serve-smoke: no store database"; exit 1; }
+# Flip bytes inside the B-tree page holding the serialized entry so its
+# checksum fails. The last occurrence of the adapter_c JSON key is the
+# live copy — earlier ones may be stale copy-on-write page versions.
+OFF=$(grep -abo '"adapter_c"' "$DB" | tail -n 1 | cut -d: -f1)
+[ -n "$OFF" ] || { echo "serve-smoke: entry bytes not found in store.db"; exit 1; }
+printf '\377\377\377\377\377\377\377\377' | dd of="$DB" bs=1 seek="$OFF" conv=notrunc 2>/dev/null
+# And tear the WAL: a record whose durability fsync never completed.
+printf 'FWAL\377\377\377\377 torn mid-append' >> "$TMP/store/wal.log"
 
 echo "serve-smoke: restarting; the store must recover"
 start_daemon
