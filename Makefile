@@ -39,6 +39,7 @@ fuzz-smoke:
 	$(GO) test ./internal/minic -run '^$$' -fuzz FuzzParse -fuzztime 10s
 	$(GO) test ./internal/interp -run '^$$' -fuzz FuzzInterp -fuzztime 10s
 	$(GO) test ./internal/store -run '^$$' -fuzz FuzzStoreDecode -fuzztime 10s
+	$(GO) test ./internal/synth -run '^$$' -fuzz FuzzCexReplay -fuzztime 10s
 
 # Crash-point injection matrix: the adapter store is crashed at every
 # durable operation (page writes, WAL appends, fsyncs, truncates, the
@@ -61,8 +62,10 @@ bench:
 # throughput, oracle hit rate at Workers=1 vs GOMAXPROCS, and the search
 # observatory's sequential-run funnel) as a JSON artifact for
 # cross-commit comparison.
+# -j 4 forces the Workers=4 run even on 1-core machines, so the
+# artifact always carries the worker-count pair the speedup gate reads.
 bench-json:
-	$(GO) run ./cmd/faccbench -experiment synthbench -bench-out BENCH_synth.json
+	$(GO) run ./cmd/faccbench -experiment synthbench -j 4 -bench-out BENCH_synth.json
 
 # Search observatory: one exhaustive sequential corpus compile with kill
 # attribution on. Prints the funnel, kill-depth distribution and top

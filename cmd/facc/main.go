@@ -112,6 +112,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "facc: %v\n", err)
 		os.Exit(2)
 	}
+	// -cex-pool is read-write: Start loaded it, synthesis replays its
+	// ranked counterexamples first and records this run's kills into it
+	// live, and Finish flushes the updated pool back to disk.
+	opts.Cex = of.Pool()
 	if *classify {
 		clf, err := facc.Train(12, 1)
 		if err != nil {

@@ -166,6 +166,9 @@ func runServeBench(ctx context.Context, benchOut string) error {
 // The shared kill table (non-nil under -search-report/-cex-pool/-serve)
 // receives the sequential run's kill attribution, so the pool and the
 // report see exactly the events behind the artifact's search section.
+// -cex-pool seeds the priming pass: the measured runs replay clones of
+// the primed pool, and Finish flushes the pool (priming kills included)
+// back to the file.
 func runSynthBench(ctx context.Context, tests int, of *obsflag.Flags, benchOut string) error {
 	workers := of.Workers
 	if workers <= 0 {
@@ -176,7 +179,7 @@ func runSynthBench(ctx context.Context, tests int, of *obsflag.Flags, benchOut s
 		counts = append(counts, workers)
 	}
 	fmt.Fprintf(os.Stderr, "faccbench: synthesis benchmark at workers=%v...\n", counts)
-	rep, err := eval.SynthBench(ctx, []string{"ffta", "powerquad", "fftw"}, tests, counts, of.Kills())
+	rep, err := eval.SynthBench(ctx, []string{"ffta", "powerquad", "fftw"}, tests, counts, of.Kills(), of.Pool())
 	if err != nil {
 		return err
 	}
@@ -203,16 +206,17 @@ func runSynthBench(ctx context.Context, tests int, of *obsflag.Flags, benchOut s
 // kill-depth distribution and top discriminating inputs. With
 // -bench-out it merges the summary into that BENCH_synth.json's
 // "search" section (other sections are preserved; the file is created
-// with only the search section when absent). -cex-pool additionally
-// absorbs the run's kills into the persistent counterexample pool via
-// the shared observability Finish path.
+// with only the search section when absent). -cex-pool rides along
+// read-write: its ranked counterexamples are replayed first, kills are
+// recorded into it live, and the shared observability Finish path
+// flushes it back.
 func runSearchBench(ctx context.Context, tests int, of *obsflag.Flags, benchOut string) error {
 	kills := of.Kills()
 	if kills == nil {
 		kills = obs.NewKillTable()
 	}
 	fmt.Fprintf(os.Stderr, "faccbench: search benchmark (sequential corpus compile, kill attribution on)...\n")
-	if err := eval.SearchBench(ctx, []string{"ffta", "powerquad", "fftw"}, tests, kills); err != nil {
+	if err := eval.SearchBench(ctx, []string{"ffta", "powerquad", "fftw"}, tests, kills, of.Pool()); err != nil {
 		return err
 	}
 	if err := kills.WriteSearchReport(os.Stdout, 10); err != nil {

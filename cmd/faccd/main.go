@@ -129,8 +129,10 @@ func main() {
 	}
 
 	// The counterexample pool survives daemon restarts: loaded before
-	// serving, absorbed+flushed after the drain. A corrupt pool is
-	// quarantined and the daemon starts with an empty one.
+	// serving, wired read-write into every compile (replay-first search
+	// plus live kill recording, so it reranks mid-process), and flushed
+	// after the drain. A corrupt pool is quarantined and the daemon
+	// starts with an empty one.
 	var pool *obs.CexPool
 	if *cexPool != "" {
 		p, info, err := obs.LoadCexPool(*cexPool)
@@ -155,6 +157,7 @@ func main() {
 		Journal:        obs.NewJournal(),
 		Ledger:         obs.NewLedger(),
 		Kills:          kills,
+		Cex:            pool,
 		FlightRecorder: *flightRec,
 		SLOLatency:     *sloLatency,
 		SLOObjective:   *sloObjective,

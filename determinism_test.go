@@ -106,3 +106,183 @@ func TestSynthesisDeterminismAcrossWorkers(t *testing.T) {
 	}
 	t.Logf("determinism verified on %d outcomes (%d accepted adapters)", len(seq), accepted)
 }
+
+// fateKey projects a journal down to candidate fates: which candidates
+// were emitted, pruned, fuzz-killed, superseded, survived and accepted —
+// with the case-level attribution (test count at death, counterexample,
+// detail) removed. Counterexample replay exists precisely to kill losers
+// at an *earlier* discriminating case, so those fields legitimately vary
+// across pool configurations; everything else about the search outcome
+// must not.
+func fateKey(events []obs.JournalEvent) []string {
+	var keys []string
+	for _, ev := range events {
+		if ev.Kind == obs.KindOracle {
+			continue
+		}
+		keys = append(keys, fmt.Sprintf("%d|%s|%s|%s|%s|%s",
+			len(keys), ev.Kind, ev.Function, ev.Candidate, ev.Heuristic, ev.Outcome))
+	}
+	return keys
+}
+
+// TestSynthesisDeterminismMatrix extends the worker-count determinism
+// contract to the replay-first search: Workers ∈ {1, 8} × CexPool ∈
+// {absent, present-empty (fresh case order), present-primed (replay
+// first)}. The invariants, from strongest to weakest:
+//
+//   - adapters: byte-identical across ALL cells. Replay only permutes
+//     each candidate's own deterministic case batch; survival over a
+//     fixed case set is order-independent, so the pool can never change
+//     which adapter wins.
+//   - journals: byte-identical across worker counts within each pool
+//     configuration (each compile replays the same pool snapshot), and
+//     byte-identical between the absent and present-empty columns (an
+//     empty pool has a nil replay rank — exactly the fresh case order).
+//   - candidate fates: identical across ALL cells. Only the case-level
+//     kill attribution (which discriminating case, after how many
+//     tests) may differ under replay — that difference is the speedup.
+func TestSynthesisDeterminismMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix compiles the whole corpus seven times; skipped in -short")
+	}
+
+	// Prime a pool the way a long-lived -cex-pool file accumulates: one
+	// sequential corpus pass recording every kill live.
+	primed := NewCexPool()
+	for _, bm := range bench.SupportedSuite() {
+		for _, target := range differentialTargets {
+			if _, err := Compile(bm.File, bm.Source(), target, Options{
+				Entry:         bm.Entry,
+				ProfileValues: bm.ProfileValues,
+				NumTests:      4,
+				Workers:       1,
+				Cex:           primed,
+			}); err != nil {
+				t.Fatalf("priming %s/%s: %v", bm.Name, target, err)
+			}
+		}
+	}
+	if primed.Len() == 0 {
+		t.Fatal("priming recorded no counterexamples; the replay cells would be vacuous")
+	}
+
+	type outcome struct {
+		ok      bool
+		reason  string
+		adapter string
+		journal []string
+		fates   []string
+	}
+	// pool returns a fresh Options.Cex per compile so every cell's
+	// compiles see identical pool state at entry (live recording during
+	// one compile must not leak into the next cell's comparison).
+	compileAll := func(workers int, pool func() *CexPool) map[string]outcome {
+		out := map[string]outcome{}
+		for _, bm := range bench.SupportedSuite() {
+			for _, target := range differentialTargets {
+				j := obs.NewJournal()
+				res, err := Compile(bm.File, bm.Source(), target, Options{
+					Entry:         bm.Entry,
+					ProfileValues: bm.ProfileValues,
+					NumTests:      4,
+					Workers:       workers,
+					Journal:       j,
+					Cex:           pool(),
+				})
+				if err != nil {
+					t.Fatalf("%s/%s workers=%d: %v", bm.Name, target, workers, err)
+				}
+				o := outcome{ok: res.OK(), journal: journalKey(j.Events()),
+					fates: fateKey(j.Events())}
+				if o.ok {
+					o.adapter = res.AdapterC()
+				} else {
+					o.reason = res.FailReason()
+				}
+				out[bm.Name+"/"+target] = o
+			}
+		}
+		return out
+	}
+
+	noPool := func() *CexPool { return nil }
+	emptyPool := func() *CexPool { return NewCexPool() }
+	primedPool := func() *CexPool { return primed.Clone() }
+	cells := []struct {
+		name string
+		out  map[string]outcome
+	}{
+		{"w1/no-pool", compileAll(1, noPool)},
+		{"w8/no-pool", compileAll(8, noPool)},
+		{"w1/empty-pool", compileAll(1, emptyPool)},
+		{"w8/empty-pool", compileAll(8, emptyPool)},
+		{"w1/replay", compileAll(1, primedPool)},
+		{"w8/replay", compileAll(8, primedPool)},
+	}
+
+	base := cells[0].out
+	accepted := 0
+	for _, o := range base {
+		if o.ok {
+			accepted++
+		}
+	}
+	if accepted == 0 {
+		t.Fatal("no adapters accepted; matrix check is vacuous")
+	}
+
+	// Adapters and fates: identical everywhere.
+	for _, cell := range cells[1:] {
+		for key, b := range base {
+			o := cell.out[key]
+			if b.ok != o.ok {
+				t.Errorf("%s %s: OK differs from w1/no-pool (%v vs %v; %s / %s)",
+					cell.name, key, b.ok, o.ok, b.reason, o.reason)
+				continue
+			}
+			if b.adapter != o.adapter {
+				t.Errorf("%s %s: adapter bytes differ from w1/no-pool", cell.name, key)
+			}
+			if len(b.fates) != len(o.fates) {
+				t.Errorf("%s %s: fate count differs: %d vs %d",
+					cell.name, key, len(b.fates), len(o.fates))
+				continue
+			}
+			for i := range b.fates {
+				if b.fates[i] != o.fates[i] {
+					t.Errorf("%s %s: candidate fate %d differs:\n  w1/no-pool: %s\n  %s: %s",
+						cell.name, key, i, b.fates[i], cell.name, o.fates[i])
+					break
+				}
+			}
+		}
+	}
+
+	// Journals: byte-identical across worker counts per pool config, and
+	// between the no-pool and empty-pool columns.
+	sameJournals := func(aName string, a map[string]outcome, bName string, b map[string]outcome) {
+		for key, ao := range a {
+			bo := b[key]
+			if len(ao.journal) != len(bo.journal) {
+				t.Errorf("%s vs %s %s: journal length differs: %d vs %d",
+					aName, bName, key, len(ao.journal), len(bo.journal))
+				continue
+			}
+			for i := range ao.journal {
+				if ao.journal[i] != bo.journal[i] {
+					t.Errorf("%s vs %s %s: journal event %d differs:\n  %s\n  %s",
+						aName, bName, key, i, ao.journal[i], bo.journal[i])
+					break
+				}
+			}
+		}
+	}
+	sameJournals(cells[0].name, cells[0].out, cells[1].name, cells[1].out) // no-pool: w1 == w8
+	sameJournals(cells[2].name, cells[2].out, cells[3].name, cells[3].out) // empty:   w1 == w8
+	sameJournals(cells[4].name, cells[4].out, cells[5].name, cells[5].out) // replay:  w1 == w8
+	sameJournals(cells[0].name, cells[0].out, cells[2].name, cells[2].out) // empty rank == fresh order
+
+	t.Logf("matrix verified: %d outcomes x %d cells (%d accepted adapters, %d primed counterexamples)",
+		len(base), len(cells), accepted, primed.Len())
+}

@@ -116,6 +116,26 @@ type Options struct {
 	// discriminating inputs across runs via obs.CexPool (`-cex-pool`).
 	// Nil (the default) costs nothing on the verdict path.
 	Kills *KillTable
+	// Cex, when non-nil, is a read-write counterexample pool: synthesis
+	// replays its ranked discriminating inputs *first* — before any
+	// fresh fuzz cases — so known-lethal counterexamples kill losing
+	// candidates at the first case instead of deep into a fuzz batch,
+	// and every kill recorded during search updates the pool's ranking
+	// live (kills, family spread, last-useful time) so the next compile
+	// replays an even better-ordered pool. Persist across runs with
+	// obs.CexPool Load/Flush (`-cex-pool`). Replay only reorders each
+	// candidate's own deterministic case stream — it never injects
+	// foreign inputs — so the winning adapter is byte-identical with or
+	// without a pool. Nil (the default) costs nothing.
+	Cex *CexPool
+	// Oracle, when non-nil, is a shared reference-oracle cache. Oracle
+	// keys are target-independent (the user program's output does not
+	// depend on which accelerator we bind to), so one cache passed to
+	// compiles of the same source against ffta, powerquad and fftw
+	// interprets each distinct reference run once and shares it across
+	// all three. Nil (the default) gives each compile a private cache —
+	// candidates within one compile still share.
+	Oracle *OracleCache
 
 	// Deadline bounds the whole compilation's wall clock: past it the
 	// pipeline stops promptly (the interpreter polls it inside each fuzz
@@ -179,6 +199,21 @@ type KillTable = obs.KillTable
 
 // NewKillTable returns an empty kill table to pass via Options.Kills.
 func NewKillTable() *KillTable { return obs.NewKillTable() }
+
+// CexPool is the persistent counterexample pool; see Options.Cex.
+type CexPool = obs.CexPool
+
+// NewCexPool returns an empty counterexample pool to pass via
+// Options.Cex (or load a persisted one with obs.LoadCexPool).
+func NewCexPool() *CexPool { return obs.NewCexPool() }
+
+// OracleCache is the shared target-independent reference-oracle cache;
+// see Options.Oracle.
+type OracleCache = synth.OracleCache
+
+// NewOracleCache returns an empty oracle cache to pass via
+// Options.Oracle across compiles of one source against several targets.
+func NewOracleCache() *OracleCache { return synth.NewOracleCache() }
 
 // Classifier is the trained ProGraML-style candidate detector.
 type Classifier = core.Classifier
@@ -327,6 +362,8 @@ func CompileContext(ctx context.Context, name, source, target string, opts Optio
 			Tolerance:        opts.Tolerance,
 			CandidateTimeout: opts.CandidateTimeout,
 			Workers:          opts.Workers,
+			Cex:              opts.Cex,
+			Oracle:           opts.Oracle,
 			Binding:          bindingOptions(opts),
 		},
 	})

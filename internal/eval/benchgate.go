@@ -102,6 +102,42 @@ func BenchGate(cfg GateConfig) (*GateReport, error) {
 			rep.checkFloor("synth.search.killed",
 				float64(base.Search.Killed), fk)
 		}
+		// ROADMAP targets promoted to floors on the fresh artifact.
+		// Speedup: parallel candidate search must not be a slowdown.
+		// Strict ≥1.0 needs real cores and is absolute there (no
+		// baseline drift can relax it). On a GOMAXPROCS=1 host the
+		// Workers=N run executes a superset of the Workers=1 work on
+		// one core: the winner's cost plus whatever its losing rivals
+		// burned before cancellation, which the oracle only partly
+		// refunds (reference runs share; accelerator-side runs cannot).
+		// That speculation overhead is real and noisy (its volume
+		// depends on where cancellation lands), so the serialized gate
+		// is relative like the wall-time gates: the fresh ratio must
+		// not fall more than the tolerance below the committed
+		// baseline's, with 1/(1+2·tol) as the backstop when the
+		// baseline predates the field or was measured on real cores.
+		if n := len(fresh.Runs); n >= 2 && fresh.Speedup > 0 {
+			w1, wn := fresh.Runs[0], fresh.Runs[n-1]
+			if w1.Workers == 1 && wn.Workers > 1 {
+				floor := 1.0
+				if fresh.GoMaxProcs <= 1 {
+					floor = 1 / (1 + 2*tol)
+					if base.Speedup > 0 && base.Speedup < 1 {
+						floor = base.Speedup / (1 + tol)
+					}
+				}
+				rep.checkTarget(fmt.Sprintf("synth.speedup[w1/w%d]", wn.Workers),
+					floor, fresh.Speedup, false)
+			}
+		}
+		// Cross-target oracle sharing: compiles of one program for
+		// ffta+powerquad+fftw must reuse each other's reference runs —
+		// a >50% hit rate means most lookups were shared, i.e. the
+		// target-independent key actually deduplicates across targets.
+		if ex := fresh.Exhaustive; ex != nil && ex.CrossTarget != nil {
+			rep.checkTarget("synth.cross_target.multi_candidate_hit_rate",
+				0.5, ex.CrossTarget.MultiCandidateHitRate, true)
+		}
 	}
 
 	if cfg.BaselineServe != "" && cfg.FreshServe != "" {
@@ -130,6 +166,22 @@ func (r *GateReport) check(name string, baseline, fresh float64, ratio bool) {
 		limit = r.Tolerance
 	}
 	c := GateCheck{Name: name, Baseline: baseline, Fresh: fresh, Limit: limit, OK: fresh <= limit}
+	if !c.OK {
+		r.Failures++
+	}
+	r.Checks = append(r.Checks, c)
+}
+
+// checkTarget records one absolute higher-is-better floor: fresh must
+// reach floor (exceed it when strict). Unlike check/checkFloor this does
+// not compare against the baseline artifact — the floor is a standing
+// target, reported in the Baseline column for context.
+func (r *GateReport) checkTarget(name string, floor, fresh float64, strict bool) {
+	ok := fresh >= floor
+	if strict {
+		ok = fresh > floor
+	}
+	c := GateCheck{Name: name, Baseline: floor, Fresh: fresh, Limit: floor, OK: ok}
 	if !c.OK {
 		r.Failures++
 	}

@@ -64,6 +64,15 @@ func CompileAll(ctx context.Context, targets []string, numTests int, tr *obs.Tra
 			jobs = append(jobs, job{idx: len(jobs), target: target, b: b})
 		}
 	}
+	// One oracle cache per benchmark, shared by its compiles across all
+	// targets: oracle keys are target-independent, so the user program's
+	// reference runs are interpreted once instead of once per target.
+	// The cache is concurrency-safe, so it does not constrain the worker
+	// pool's schedule.
+	caches := map[string]*synth.OracleCache{}
+	for _, b := range suite {
+		caches[b.Name] = synth.NewOracleCache()
+	}
 	out := make([]*CompileOutcome, len(jobs))
 	errs := make([]error, len(jobs))
 
@@ -89,7 +98,8 @@ func CompileAll(ctx context.Context, targets []string, numTests int, tr *obs.Tra
 				if ctx.Err() != nil {
 					return // drain stops below; abandon queued work
 				}
-				out[jb.idx], errs[jb.idx] = compileOne(ctx, jb.target, jb.b, numTests, synthWorkers, tr, j, led)
+				out[jb.idx], errs[jb.idx] = compileOne(ctx, jb.target, jb.b,
+					numTests, synthWorkers, tr, j, led, caches[jb.b.Name])
 			}
 		}()
 	}
@@ -114,7 +124,7 @@ feed:
 	return out, nil
 }
 
-func compileOne(ctx context.Context, target string, b *bench.Benchmark, numTests, synthWorkers int, tr *obs.Tracer, j *obs.Journal, led *obs.Ledger) (*CompileOutcome, error) {
+func compileOne(ctx context.Context, target string, b *bench.Benchmark, numTests, synthWorkers int, tr *obs.Tracer, j *obs.Journal, led *obs.Ledger, oc *synth.OracleCache) (*CompileOutcome, error) {
 	spec, err := accel.SpecByName(target)
 	if err != nil {
 		return nil, err
@@ -129,7 +139,7 @@ func compileOne(ctx context.Context, target string, b *bench.Benchmark, numTests
 		Trace:         tr,
 		Journal:       j,
 		Ledger:        led,
-		Synth:         synth.Options{NumTests: numTests, Workers: synthWorkers},
+		Synth:         synth.Options{NumTests: numTests, Workers: synthWorkers, Oracle: oc},
 	})
 	if err != nil {
 		return nil, err

@@ -23,9 +23,12 @@ import (
 // winner): on flexible APIs like FFTW the first candidate routinely
 // survives, so first-winner search records no kills at all and the
 // discriminating-input ranking would be empty. The caller owns the
-// table: render it with WriteSearchReport, summarize it for
-// BENCH_synth.json, or absorb it into a counterexample pool.
-func SearchBench(ctx context.Context, targets []string, numTests int, kills *obs.KillTable) error {
+// table: render it with WriteSearchReport or summarize it for
+// BENCH_synth.json. pool, when non-nil, rides along read-write: its
+// ranked counterexamples are replayed first and every kill is recorded
+// into it live, so a -cex-pool file compounds across runs without a
+// separate absorb step.
+func SearchBench(ctx context.Context, targets []string, numTests int, kills *obs.KillTable, pool *obs.CexPool) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -43,7 +46,8 @@ func SearchBench(ctx context.Context, targets []string, numTests int, kills *obs
 				Entry:         b.Entry,
 				ProfileValues: b.ProfileValues,
 				Kills:         kills,
-				Synth:         synth.Options{NumTests: numTests, Workers: 1, ExhaustAll: true},
+				Synth: synth.Options{NumTests: numTests, Workers: 1,
+					ExhaustAll: true, Cex: pool},
 			}); err != nil {
 				return err
 			}

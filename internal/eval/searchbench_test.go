@@ -17,7 +17,7 @@ func TestSearchBenchMultiFamilyPerTarget(t *testing.T) {
 	}
 	targets := []string{"ffta", "powerquad", "fftw"}
 	kills := obs.NewKillTable()
-	if err := SearchBench(nil, targets, 3, kills); err != nil {
+	if err := SearchBench(nil, targets, 3, kills, nil); err != nil {
 		t.Fatal(err)
 	}
 	sum := kills.Summary()

@@ -89,9 +89,29 @@ type SynthBenchExhaustive struct {
 	// Sharing concentrates where the API has accelerator-side knobs
 	// (FFTW's direction/flags): those candidates differ only in
 	// constants invisible to the user program, so their reference runs
-	// coincide. FFTA/PowerQuad candidate diversity is user-visible
-	// (bindings, pins), which genuinely needs distinct reference runs.
+	// coincide — and, since oracle keys are target-independent, where
+	// another target already interpreted the same reference run.
 	PerTarget []SynthBenchExhaustiveTarget `json:"per_target"`
+
+	// CrossTarget measures what target-independent oracle keys buy:
+	// each benchmark's ffta+powerquad+fftw compiles share one cache, so
+	// a reference run interpreted for one target is a free hit for the
+	// other two. The headline is the hit rate over benchmarks that
+	// fuzzed at least two candidates across the three targets — gated
+	// >50% by BenchGate (three lookups per shared run bound it near
+	// 2/3 when size pools align across specs).
+	CrossTarget *SynthBenchCrossTarget `json:"cross_target,omitempty"`
+}
+
+// SynthBenchCrossTarget aggregates shared-oracle effectiveness across
+// targets: one cache per benchmark, spanning its ffta+powerquad+fftw
+// compiles.
+type SynthBenchCrossTarget struct {
+	Benchmarks               int     `json:"benchmarks"`
+	MultiCandidateBenchmarks int     `json:"multi_candidate_benchmarks"`
+	Hits                     int64   `json:"hits"`
+	Misses                   int64   `json:"misses"`
+	MultiCandidateHitRate    float64 `json:"multi_candidate_hit_rate"`
 }
 
 // SynthBenchExhaustiveTarget is one accelerator's slice of the
@@ -123,8 +143,17 @@ type SynthBenchReport struct {
 	// sequential run is recorded — it is reproducible across machines.
 	Search *obs.SearchSummary `json:"search,omitempty"`
 
+	// CexPoolEntries is the counterexample pool size after the priming
+	// pass — the ranked discriminating inputs every measured run
+	// replayed first (each run gets its own clone of this pool, so no
+	// run contaminates another's measurement).
+	CexPoolEntries int `json:"cex_pool_entries"`
+
 	// Speedup is wall(first run) / wall(last run) — ≥1 when parallel
-	// candidate fuzzing pays off (requires real cores; ≈1 on one).
+	// candidate fuzzing pays off. BenchGate floors it at 1.0 on
+	// multi-core hosts; on GOMAXPROCS=1 the parallel run's work is a
+	// superset of the sequential run's on the same core, so the gate
+	// only demands parity within tolerance there.
 	Speedup float64 `json:"speedup"`
 	// AdaptersIdentical reports whether every (benchmark, target) pair
 	// produced byte-identical adapter C across all runs — the
@@ -140,7 +169,17 @@ type SynthBenchReport struct {
 // attribution — pass the CLI's shared table so -search-report and
 // -cex-pool observe the same events as the report's search section; nil
 // gets a private table.
-func SynthBench(ctx context.Context, targets []string, numTests int, workerCounts []int, kills *obs.KillTable) (*SynthBenchReport, error) {
+//
+// pool, when non-nil (the CLI's -cex-pool), seeds the counterexample
+// replay: an unmeasured sequential priming pass first records the
+// corpus's kills into it, then every measured run replays a private
+// clone of the primed pool — identical starting state per run, and the
+// caller's pool keeps only the priming kills (flushed by the CLI's
+// Finish). nil primes a private pool, so the measured runs always
+// exercise the replay-first path. Each measured run also shares one
+// oracle cache across its targets, exactly like CompileAll, so the
+// artifact reflects cross-target reference-run sharing.
+func SynthBench(ctx context.Context, targets []string, numTests int, workerCounts []int, kills *obs.KillTable, pool *obs.CexPool) (*SynthBenchReport, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -151,101 +190,148 @@ func SynthBench(ctx context.Context, targets []string, numTests int, workerCount
 		NumTests:          numTests,
 		AdaptersIdentical: true,
 	}
-	var baseline map[string]string
-	for runIdx, wk := range workerCounts {
-		tr := obs.New()
-		led := obs.NewLedger()
-		// Kill attribution only on the first (sequential) run: at
-		// Workers=N the winner races its rivals and kill counts become
-		// machine-dependent, which has no place in a committed artifact.
-		var ktab *obs.KillTable
-		if runIdx == 0 {
-			if kills == nil {
-				kills = obs.NewKillTable()
-			}
-			ktab = kills
+
+	// Priming pass (unmeasured): fill the pool with this corpus's
+	// discriminating inputs so the measured runs below replay a warm,
+	// ranked pool — the steady state of a long-lived -cex-pool file.
+	if pool == nil {
+		pool = obs.NewCexPool()
+	}
+	for _, target := range targets {
+		spec, err := accel.SpecByName(target)
+		if err != nil {
+			return nil, err
 		}
-		adapters := map[string]string{}
-		start := time.Now()
-		for _, target := range targets {
-			spec, err := accel.SpecByName(target)
+		for _, b := range bench.SupportedSuite() {
+			f, err := minic.ParseAndCheck(b.File, b.Source())
 			if err != nil {
 				return nil, err
 			}
-			for _, b := range bench.SupportedSuite() {
-				f, err := minic.ParseAndCheck(b.File, b.Source())
-				if err != nil {
-					return nil, err
-				}
-				comp, err := core.CompileFile(ctx, f, spec, core.Options{
-					Entry:         b.Entry,
-					ProfileValues: b.ProfileValues,
-					Trace:         tr,
-					Ledger:        led,
-					Kills:         ktab,
-					Synth:         synth.Options{NumTests: numTests, Workers: wk},
-				})
-				if err != nil {
-					return nil, err
-				}
-				if s := comp.Success(); s != nil {
-					adapters[target+"/"+b.Name] = s.AdapterC
-				}
+			if _, err := core.CompileFile(ctx, f, spec, core.Options{
+				Entry:         b.Entry,
+				ProfileValues: b.ProfileValues,
+				Synth:         synth.Options{NumTests: numTests, Workers: 1, Cex: pool},
+			}); err != nil {
+				return nil, err
 			}
 		}
-		wall := time.Since(start)
+	}
+	rep.CexPoolEntries = len(pool.Entries())
 
-		c := tr.Metrics().Counters()
-		run := SynthBenchRun{
-			Workers:          wk,
-			WallSeconds:      wall.Seconds(),
-			Adapters:         len(adapters),
-			CandidatesTested: c["synth.candidates_tested"],
-			TestsRun:         c["synth.tests_run"],
-			OracleHits:       c["synth.oracle_hits"],
-			OracleMisses:     c["synth.oracle_misses"],
-		}
-		if s := wall.Seconds(); s > 0 {
-			run.TestsPerSec = float64(run.TestsRun) / s
-		}
-		if total := run.OracleHits + run.OracleMisses; total > 0 {
-			run.OracleHitRate = float64(run.OracleHits) / float64(total)
-		}
-		sum := led.Summary()
-		run.UsefulTests = sum.Total.UsefulTests
-		run.SpeculativeTests = sum.Total.SpeculativeTests
-		run.WasteRatio = sum.Total.WasteRatio
-		run.WinnerOracleHits = sum.Total.UsefulOracleHits
-		costs := map[string]obs.TargetCost{}
-		for _, tc := range sum.Targets {
-			costs[tc.Target] = tc
-		}
-		for _, target := range targets {
-			t := SynthBenchRunTarget{
-				Target:       target,
-				OracleHits:   c["synth.oracle_hits."+target],
-				OracleMisses: c["synth.oracle_misses."+target],
+	// Each worker count is measured speedReps times and WallSeconds keeps
+	// the minimum — min is the standard noise-robust wall estimator, and
+	// the Speedup floor gated downstream must not flake on GC or
+	// scheduler jitter. Counters and adapters are identical across
+	// repetitions by the determinism contract (measured rather than
+	// assumed below), so the stats come from the first repetition.
+	const speedReps = 3
+	var baseline map[string]string
+	for runIdx, wk := range workerCounts {
+		var run SynthBenchRun
+		for repIdx := 0; repIdx < speedReps; repIdx++ {
+			tr := obs.New()
+			led := obs.NewLedger()
+			// Kill attribution only on the first (sequential) run's
+			// first repetition: at Workers=N the winner races its rivals
+			// and kill counts become machine-dependent, which has no
+			// place in a committed artifact.
+			var ktab *obs.KillTable
+			if runIdx == 0 && repIdx == 0 {
+				if kills == nil {
+					kills = obs.NewKillTable()
+				}
+				ktab = kills
 			}
-			if total := t.OracleHits + t.OracleMisses; total > 0 {
-				t.OracleHitRate = float64(t.OracleHits) / float64(total)
+			// Every repetition starts from the same primed pool state
+			// and shares one oracle cache across its targets.
+			cex := pool.Clone()
+			oc := synth.NewOracleCache()
+			adapters := map[string]string{}
+			start := time.Now()
+			for _, target := range targets {
+				spec, err := accel.SpecByName(target)
+				if err != nil {
+					return nil, err
+				}
+				for _, b := range bench.SupportedSuite() {
+					f, err := minic.ParseAndCheck(b.File, b.Source())
+					if err != nil {
+						return nil, err
+					}
+					comp, err := core.CompileFile(ctx, f, spec, core.Options{
+						Entry:         b.Entry,
+						ProfileValues: b.ProfileValues,
+						Trace:         tr,
+						Ledger:        led,
+						Kills:         ktab,
+						Synth: synth.Options{NumTests: numTests, Workers: wk,
+							Cex: cex, Oracle: oc},
+					})
+					if err != nil {
+						return nil, err
+					}
+					if s := comp.Success(); s != nil {
+						adapters[target+"/"+b.Name] = s.AdapterC
+					}
+				}
 			}
-			if tc, ok := costs[target]; ok {
-				t.UsefulTests = tc.UsefulTests
-				t.SpeculativeTests = tc.SpeculativeTests
-				t.WasteRatio = tc.WasteRatio
+			wall := time.Since(start)
+
+			if repIdx == 0 {
+				c := tr.Metrics().Counters()
+				run = SynthBenchRun{
+					Workers:          wk,
+					WallSeconds:      wall.Seconds(),
+					Adapters:         len(adapters),
+					CandidatesTested: c["synth.candidates_tested"],
+					TestsRun:         c["synth.tests_run"],
+					OracleHits:       c["synth.oracle_hits"],
+					OracleMisses:     c["synth.oracle_misses"],
+				}
+				if total := run.OracleHits + run.OracleMisses; total > 0 {
+					run.OracleHitRate = float64(run.OracleHits) / float64(total)
+				}
+				sum := led.Summary()
+				run.UsefulTests = sum.Total.UsefulTests
+				run.SpeculativeTests = sum.Total.SpeculativeTests
+				run.WasteRatio = sum.Total.WasteRatio
+				run.WinnerOracleHits = sum.Total.UsefulOracleHits
+				costs := map[string]obs.TargetCost{}
+				for _, tc := range sum.Targets {
+					costs[tc.Target] = tc
+				}
+				for _, target := range targets {
+					t := SynthBenchRunTarget{
+						Target:       target,
+						OracleHits:   c["synth.oracle_hits."+target],
+						OracleMisses: c["synth.oracle_misses."+target],
+					}
+					if total := t.OracleHits + t.OracleMisses; total > 0 {
+						t.OracleHitRate = float64(t.OracleHits) / float64(total)
+					}
+					if tc, ok := costs[target]; ok {
+						t.UsefulTests = tc.UsefulTests
+						t.SpeculativeTests = tc.SpeculativeTests
+						t.WasteRatio = tc.WasteRatio
+					}
+					run.PerTarget = append(run.PerTarget, t)
+				}
+			} else if wall.Seconds() < run.WallSeconds {
+				run.WallSeconds = wall.Seconds()
 			}
-			run.PerTarget = append(run.PerTarget, t)
+			if ktab != nil {
+				rep.Search = ktab.Summary()
+			}
+			if baseline == nil {
+				baseline = adapters
+			} else if !maps.Equal(baseline, adapters) {
+				rep.AdaptersIdentical = false
+			}
+		}
+		if run.WallSeconds > 0 {
+			run.TestsPerSec = float64(run.TestsRun) / run.WallSeconds
 		}
 		rep.Runs = append(rep.Runs, run)
-		if ktab != nil {
-			rep.Search = ktab.Summary()
-		}
-
-		if baseline == nil {
-			baseline = adapters
-		} else if !maps.Equal(baseline, adapters) {
-			rep.AdaptersIdentical = false
-		}
 	}
 	if len(rep.Runs) >= 2 && rep.Runs[len(rep.Runs)-1].WallSeconds > 0 {
 		rep.Speedup = rep.Runs[0].WallSeconds / rep.Runs[len(rep.Runs)-1].WallSeconds
@@ -263,18 +349,28 @@ func SynthBench(ctx context.Context, targets []string, numTests int, workerCount
 // candidate fuzzed, not just up to the first winner) and splits the
 // oracle statistics per function via the provenance journal, so the
 // reported cache hit rate can be restricted to functions that actually
-// had more than one candidate to share reference runs between.
+// had more than one candidate to share reference runs between. Each
+// benchmark's compiles across all targets share one oracle cache — the
+// per-target rates therefore include cross-target hits, and the cache's
+// own counters feed the CrossTarget section.
 func synthBenchExhaustive(ctx context.Context, targets []string, numTests, workers int) (*SynthBenchExhaustive, error) {
 	ex := &SynthBenchExhaustive{Workers: workers}
 	tr := obs.New()
 	start := time.Now()
-	for _, target := range targets {
-		spec, err := accel.SpecByName(target)
-		if err != nil {
-			return nil, err
-		}
-		tgt := SynthBenchExhaustiveTarget{Target: target}
-		for _, b := range bench.SupportedSuite() {
+	perTgt := make([]SynthBenchExhaustiveTarget, len(targets))
+	for i, target := range targets {
+		perTgt[i].Target = target
+	}
+	ct := &SynthBenchCrossTarget{}
+	for _, b := range bench.SupportedSuite() {
+		oc := synth.NewOracleCache()
+		benchFuzzed := 0
+		for i, target := range targets {
+			spec, err := accel.SpecByName(target)
+			if err != nil {
+				return nil, err
+			}
+			tgt := &perTgt[i]
 			f, err := minic.ParseAndCheck(b.File, b.Source())
 			if err != nil {
 				return nil, err
@@ -285,7 +381,8 @@ func synthBenchExhaustive(ctx context.Context, targets []string, numTests, worke
 				ProfileValues: b.ProfileValues,
 				Trace:         tr,
 				Journal:       j,
-				Synth:         synth.Options{NumTests: numTests, Workers: workers, ExhaustAll: true},
+				Synth: synth.Options{NumTests: numTests, Workers: workers,
+					ExhaustAll: true, Oracle: oc},
 			}); err != nil {
 				return nil, err
 			}
@@ -295,6 +392,7 @@ func synthBenchExhaustive(ctx context.Context, targets []string, numTests, worke
 			for _, ev := range j.Events() {
 				if ev.Kind == obs.KindFuzz {
 					fuzzed[ev.Function]++
+					benchFuzzed++
 				}
 			}
 			for _, ev := range j.Events() {
@@ -313,14 +411,32 @@ func synthBenchExhaustive(ctx context.Context, targets []string, numTests, worke
 				}
 			}
 		}
+		hits, misses, _ := oc.Stats()
+		ct.Benchmarks++
+		// "Multi-candidate" across targets: with at least two candidates
+		// fuzzed over the shared cache, reference-run sharing is possible
+		// and the hit rate measures it. (A benchmark compiled for three
+		// targets virtually always qualifies.)
+		if benchFuzzed >= 2 {
+			ct.MultiCandidateBenchmarks++
+			ct.Hits += hits
+			ct.Misses += misses
+		}
+	}
+	for i := range perTgt {
+		tgt := &perTgt[i]
 		if total := tgt.MultiCandidateHits + tgt.MultiCandidateMisses; total > 0 {
 			tgt.MultiCandidateHitRate = float64(tgt.MultiCandidateHits) / float64(total)
 		}
 		ex.MultiCandidateFunctions += tgt.MultiCandidateFunctions
 		ex.MultiCandidateHits += tgt.MultiCandidateHits
 		ex.MultiCandidateMisses += tgt.MultiCandidateMisses
-		ex.PerTarget = append(ex.PerTarget, tgt)
+		ex.PerTarget = append(ex.PerTarget, *tgt)
 	}
+	if total := ct.Hits + ct.Misses; total > 0 {
+		ct.MultiCandidateHitRate = float64(ct.Hits) / float64(total)
+	}
+	ex.CrossTarget = ct
 	ex.WallSeconds = time.Since(start).Seconds()
 	c := tr.Metrics().Counters()
 	ex.CandidatesTested = c["synth.candidates_tested"]
@@ -381,5 +497,14 @@ func (r *SynthBenchReport) WriteText(w io.Writer) {
 			fmt.Fprintf(w, "  %-10s %.0f%% hit rate on %d multi-candidate functions\n",
 				tgt.Target, 100*tgt.MultiCandidateHitRate, tgt.MultiCandidateFunctions)
 		}
+		if ct := ex.CrossTarget; ct != nil {
+			fmt.Fprintf(w, "  cross-target (one oracle cache per benchmark across %d targets): %.0f%% hit rate (%d/%d lookups) on %d/%d multi-candidate benchmarks\n",
+				len(r.Targets), 100*ct.MultiCandidateHitRate, ct.Hits,
+				ct.Hits+ct.Misses, ct.MultiCandidateBenchmarks, ct.Benchmarks)
+		}
+	}
+	if r.CexPoolEntries > 0 {
+		fmt.Fprintf(w, "counterexample pool: %d primed entries replayed first by every measured run\n",
+			r.CexPoolEntries)
 	}
 }

@@ -8,6 +8,7 @@ package iogen
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"strings"
@@ -41,9 +42,14 @@ type Case struct {
 //     test case feed the user program byte-identical inputs, which is what
 //     lets the synthesis oracle cache reference runs across candidates;
 //   - the scalar/size-sampling stream is keyed on a per-candidate seed,
-//     DeriveSeed(root, UserSig(cand)), so candidates that differ in any
-//     user-visible way (layouts, pins, free parameters) get independent
-//     draws rather than colliding on one shared *rand.Rand.
+//     DeriveSeed(root, RefSig(cand)), so candidates that differ in any
+//     way the *user program* can observe (layouts, pins, free parameters)
+//     get independent draws rather than colliding on one shared
+//     *rand.Rand. The key is deliberately the spec-free RefSig, not
+//     UserSig: which accelerator we bind to cannot change what the user
+//     program is fed, so same-shape candidates across ffta/powerquad/fftw
+//     draw identical scalars — the property that lets the reference
+//     oracle share one entry across all three targets.
 type Generator struct {
 	rootSeed int64
 	candSeed int64
@@ -56,7 +62,7 @@ type Generator struct {
 func New(seed int64, cand *binding.Candidate, profile *analysis.Profile) *Generator {
 	g := &Generator{
 		rootSeed: seed,
-		candSeed: DeriveSeed(seed, "cand:"+UserSig(cand)),
+		candSeed: DeriveSeed(seed, "cand:"+RefSig(cand)),
 		cand:     cand,
 		prof:     profile,
 	}
@@ -101,8 +107,18 @@ func DeriveSeed(seed int64, label string, idx ...int64) int64 {
 // excluded: candidates differing only in those run the user program on
 // identical inputs, so they share one oracle entry per case.
 func UserSig(cand *binding.Candidate) string {
+	return "spec=" + cand.Spec.Name + " " + RefSig(cand)
+}
+
+// RefSig is the reference-run identity of a candidate: every UserSig
+// component except the accelerator spec. The user program cannot observe
+// which accelerator we bind to — the spec only chooses what runs on the
+// *device* side of the comparison — so candidates across targets that
+// agree on RefSig issue byte-identical reference runs. RefSig keys the
+// scalar stream (so those candidates draw identical test scalars) and,
+// combined with CaseDigest, the cross-target reference oracle.
+func RefSig(cand *binding.Candidate) string {
 	parts := []string{
-		"spec=" + cand.Spec.Name,
 		"in=" + cand.Input.Key(),
 		"out=" + cand.Output.Key(),
 		"len=" + cand.Length.Key(),
@@ -143,6 +159,54 @@ func UserSig(cand *binding.Candidate) string {
 // on and the persistent counterexample pool is keyed by.
 func CaseSig(seed, accelLen int64, caseIdx int) string {
 	return fmt.Sprintf("seed=%d n=%d case=%d", seed, accelLen, caseIdx)
+}
+
+// CaseDigest hashes the complete user-visible content of one generated
+// case — both length values, every scalar assignment (in sorted name
+// order), and the raw IEEE-754 bits of the input signal — into a
+// 64-bit FNV-1a/splitmix key rendered as fixed-width hex. Two cases
+// with equal digests feed the user program identical bytes, so the
+// digest (together with RefSig, which fixes how those bytes are laid
+// out in the user's arrays) is the content half of the
+// target-independent oracle key: candidates for different accelerators
+// that happen to generate the same case share one reference run, and
+// different fuzz seeds — which draw different signals — can never
+// collide.
+func CaseDigest(c Case) string {
+	h := uint64(14695981039346656037)
+	mix8 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v >> (8 * uint(i)) & 0xff
+			h *= 1099511628211
+		}
+	}
+	mixs := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+	}
+	mix8(uint64(c.UserLen))
+	mix8(uint64(c.AccelLen))
+	names := make([]string, 0, len(c.Scalars))
+	for k := range c.Scalars {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		mixs(k)
+		mix8(uint64(c.Scalars[k]))
+	}
+	for _, v := range c.Input {
+		mix8(math.Float64bits(real(v)))
+		mix8(math.Float64bits(imag(v)))
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return fmt.Sprintf("%016x", h)
 }
 
 // caseRng returns the rand stream for one (stream label, case index) draw.
@@ -264,6 +328,39 @@ func (g *Generator) Case(i int) Case {
 	g.fillScalars(&c, i)
 	c.Input = g.signal(int(an), i)
 	return c
+}
+
+// CaseSize returns the accelerator length case i would use, without
+// drawing the (comparatively expensive) signal — the same size logic as
+// Case. The candidate pool's static cost model sums these.
+func (g *Generator) CaseSize(i int) int64 {
+	if !g.Viable() {
+		return 0
+	}
+	if i < len(g.sizes) {
+		return g.sizes[i]
+	}
+	return g.sizes[caseRng(g.candSeed, "size", int64(i)).Intn(len(g.sizes))]
+}
+
+// EstimateCost is the static cost model candidate dispatch orders by:
+// the summed accelerator lengths of the candidate's first numTests
+// cases (interpreter work per case grows with the array size) plus a
+// small surcharge per free scalar (each one widens the behavior the
+// fuzzer must discriminate). It is a pure function of
+// (seed, candidate, profile) — no run history — so the dispatch order
+// it induces is identical across processes and worker counts. A
+// non-viable candidate costs 0: it dies before any interpretation.
+func EstimateCost(seed int64, cand *binding.Candidate, profile *analysis.Profile, numTests int) int64 {
+	g := New(seed, cand, profile)
+	if !g.Viable() {
+		return 0
+	}
+	var cost int64
+	for i := 0; i < numTests; i++ {
+		cost += g.CaseSize(i)
+	}
+	return cost + int64(len(cand.FreeParams))*8
 }
 
 // fillScalars assigns pinned, direction-mapped and free scalar parameters.

@@ -17,11 +17,16 @@ import (
 // The counterexample pool persists the most effective discriminating
 // IO cases across runs: each entry is one case identity (seed, length,
 // index) with its cumulative kill count, the distinct binding families
-// it has killed, and when it last proved useful. The pool is the
-// artifact a future CEGIS replay loop will consume — "try the inputs
-// that killed whole families last time, first". This PR only writes
-// and ranks it; loading it MUST NOT change search results (pinned by
-// the pool-present-vs-absent determinism test).
+// it has killed, and when it last proved useful. The pool is what the
+// synthesis replay loop consumes — "try the inputs that killed whole
+// families last time, first" (synth.Options.Cex): each candidate's own
+// case batch is reordered so pool-ranked discriminating cases run
+// before fresh ones, and every kill recorded during search feeds back
+// in live via RecordKill, so rank state is current mid-process (a
+// long-running faccd reranks between compiles, not only at flush).
+// Replay only reorders a candidate's own cases — it never injects
+// foreign inputs — so a loaded pool MUST NOT change which adapter wins
+// (pinned by the pool-present-vs-absent determinism matrix).
 //
 // On disk the pool is JSONL — one CexEntry per line — terminated by a
 // checksum trailer line covering every preceding byte, written
@@ -74,6 +79,11 @@ type CexPool struct {
 	mu        sync.Mutex
 	entries   map[string]*CexEntry
 	FaultHook func(op string) error
+
+	// Now, when non-nil, replaces the wall clock RecordKill stamps
+	// last-useful times with, so tests of live reranking are
+	// deterministic. Nil uses time.Now.
+	Now func() time.Time
 }
 
 // NewCexPool returns an empty pool.
@@ -239,6 +249,79 @@ func (p *CexPool) AbsorbEvents(events []KillEvent, now time.Time) {
 		}
 		addBounded(&e.Targets, ev.Target, 0)
 	}
+}
+
+// RecordKill merges one case-attributed kill into the pool as it
+// happens. This is the read-write path synthesis uses: unlike Absorb —
+// which batches a whole kill table at flush time — RecordKill updates
+// the kill count, family set and last-useful stamp immediately, so
+// Entries()/ReplayRank() rank on current evidence mid-process. A
+// caseIdx < 0 (caseless death: timeout, panic, not-viable) is skipped,
+// matching AbsorbEvents.
+func (p *CexPool) RecordKill(sig string, seed, length int64, caseIdx int, family, target string) {
+	if p == nil || sig == "" || caseIdx < 0 {
+		return
+	}
+	now := time.Now
+	if p.Now != nil {
+		now = p.Now
+	}
+	unix := now().Unix()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e := p.entries[sig]
+	if e == nil {
+		e = &CexEntry{
+			Sig: sig, Seed: seed, Len: length, Case: caseIdx,
+			FirstSeenUnix: unix,
+		}
+		p.entries[sig] = e
+	}
+	e.Kills++
+	e.LastUsefulUnix = unix
+	if addBounded(&e.Families, family, maxPoolFamilies) {
+		e.FamilyCount++
+	}
+	addBounded(&e.Targets, target, 0)
+}
+
+// ReplayRank snapshots the pool's ranking as a case-signature → rank
+// map (0 = most discriminating). Synthesis takes one snapshot per
+// Synthesize call and reorders each candidate's own case batch by it;
+// kills recorded while that call runs update the live pool but not the
+// snapshot, which keeps replay order — and therefore journals — a pure
+// function of the pool state at entry.
+func (p *CexPool) ReplayRank() map[string]int {
+	if p == nil {
+		return nil
+	}
+	ranked := p.Entries()
+	if len(ranked) == 0 {
+		return nil
+	}
+	out := make(map[string]int, len(ranked))
+	for i, e := range ranked {
+		out[e.Sig] = i
+	}
+	return out
+}
+
+// Clone deep-copies the pool (hooks excluded) so a benchmark can hand
+// identical starting pools to runs it wants to compare.
+func (p *CexPool) Clone() *CexPool {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := NewCexPool()
+	for sig, e := range p.entries {
+		c := *e
+		c.Families = append([]string(nil), e.Families...)
+		c.Targets = append([]string(nil), e.Targets...)
+		out.entries[sig] = &c
+	}
+	return out
 }
 
 // addBounded inserts v into the sorted set *s, reporting whether it

@@ -1,0 +1,87 @@
+package obs
+
+// Regression tests for live pool reranking: rank state (kills, family
+// spread, last-useful time) must update on every recorded kill, not only
+// when the pool is flushed — a long-running faccd reranks mid-process.
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCexPoolRecordKillReranksLive(t *testing.T) {
+	p := NewCexPool()
+	t0 := time.Unix(1_000, 0)
+	p.Now = func() time.Time { return t0 }
+
+	p.RecordKill("seed=1 n=64 case=0", 1, 64, 0, "famA", "ffta")
+	p.RecordKill("seed=1 n=64 case=1", 1, 64, 1, "famB", "ffta")
+	// A second, cross-family kill promotes case=1 — with no Flush in
+	// between, Entries() (and therefore ReplayRank) must already see it.
+	p.RecordKill("seed=1 n=64 case=1", 1, 64, 1, "famC", "powerquad")
+
+	entries := p.Entries()
+	if len(entries) != 2 {
+		t.Fatalf("want 2 entries, got %d", len(entries))
+	}
+	if entries[0].Sig != "seed=1 n=64 case=1" {
+		t.Errorf("live rerank failed: top entry is %q, want the 2-family case", entries[0].Sig)
+	}
+	if entries[0].FamilyCount != 2 || entries[0].Kills != 2 {
+		t.Errorf("top entry counters: families=%d kills=%d, want 2/2",
+			entries[0].FamilyCount, entries[0].Kills)
+	}
+	if rank := p.ReplayRank(); rank["seed=1 n=64 case=1"] != 0 || rank["seed=1 n=64 case=0"] != 1 {
+		t.Errorf("ReplayRank does not reflect live kills: %v", rank)
+	}
+
+	// Last-useful timestamps also move per kill: a later kill on the
+	// losing entry must stamp the new clock without any flush.
+	t1 := time.Unix(2_000, 0)
+	p.Now = func() time.Time { return t1 }
+	p.RecordKill("seed=1 n=64 case=0", 1, 64, 0, "famA", "ffta")
+	e, ok := p.Get("seed=1 n=64 case=0")
+	if !ok {
+		t.Fatal("entry disappeared")
+	}
+	if e.LastUsefulUnix != t1.Unix() {
+		t.Errorf("LastUsefulUnix=%d, want %d (updated on kill, not flush)",
+			e.LastUsefulUnix, t1.Unix())
+	}
+	if e.FirstSeenUnix != t0.Unix() {
+		t.Errorf("FirstSeenUnix=%d, want %d (first kill's clock)", e.FirstSeenUnix, t0.Unix())
+	}
+}
+
+func TestCexPoolRecordKillRejectsHostileInput(t *testing.T) {
+	p := NewCexPool()
+	p.RecordKill("", 1, 64, 0, "fam", "ffta")        // no signature
+	p.RecordKill("seed=1 n=64", 1, 64, -1, "f", "t") // negative case index
+	var nilPool *CexPool
+	nilPool.RecordKill("seed=1 n=64 case=0", 1, 64, 0, "fam", "ffta") // nil receiver
+	if n := p.Len(); n != 0 {
+		t.Fatalf("hostile kills created %d entries, want 0", n)
+	}
+	if rank := p.ReplayRank(); rank != nil {
+		t.Fatalf("empty pool must have nil ReplayRank, got %v", rank)
+	}
+}
+
+func TestCexPoolCloneIsolates(t *testing.T) {
+	p := NewCexPool()
+	p.Now = func() time.Time { return time.Unix(1, 0) }
+	p.RecordKill("seed=1 n=64 case=0", 1, 64, 0, "famA", "ffta")
+
+	c := p.Clone()
+	c.RecordKill("seed=1 n=64 case=0", 1, 64, 0, "famB", "fftw")
+	c.RecordKill("seed=1 n=64 case=9", 1, 64, 9, "famB", "fftw")
+
+	if p.Len() != 1 || c.Len() != 2 {
+		t.Fatalf("clone not isolated: original %d entries, clone %d", p.Len(), c.Len())
+	}
+	orig, _ := p.Get("seed=1 n=64 case=0")
+	if orig.Kills != 1 || orig.FamilyCount != 1 {
+		t.Errorf("clone writes leaked into original: kills=%d families=%d",
+			orig.Kills, orig.FamilyCount)
+	}
+}

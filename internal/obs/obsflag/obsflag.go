@@ -139,6 +139,19 @@ func (f *Flags) Kills() *obs.KillTable {
 	return f.kills
 }
 
+// Pool returns the counterexample pool when -cex-pool is set (loaded by
+// Start; empty before Start or when the file did not exist), nil
+// otherwise. Pass it to the pipeline via Options.Cex: synthesis replays
+// its ranked counterexamples before fresh fuzz cases and records every
+// kill into it live, so Finish flushes a pool that already reflects
+// this run's discriminating inputs.
+func (f *Flags) Pool() *obs.CexPool {
+	if f.pool == nil && f.CexPoolFile != "" {
+		f.pool = obs.NewCexPool()
+	}
+	return f.pool
+}
+
 // WithTrace stamps ctx with a fresh run-scoped trace ID so every span,
 // journal line and ledger account produced by this CLI invocation is
 // joinable, exactly like a served request's X-Facc-Trace. The ID is
@@ -190,9 +203,11 @@ func (f *Flags) FlushOnSignal() {
 // the bound address to stderr.
 func (f *Flags) Start() error {
 	if f.CexPoolFile != "" {
-		// Loaded read-only at synthesis start: the pool never changes
-		// search results today (a future CEGIS replay loop will consume
-		// it); Finish absorbs this run's kills and flushes it back.
+		// Loaded read-write: Pool() hands it to synthesis, which replays
+		// its ranked counterexamples first and records every kill into
+		// it live; Finish flushes the updated ranking back. Replay only
+		// reorders each candidate's own case stream, so results are
+		// byte-identical with or without the pool.
 		pool, info, err := obs.LoadCexPool(f.CexPoolFile)
 		if err != nil {
 			return fmt.Errorf("%s: -cex-pool %s: %w", f.prog, f.CexPoolFile, err)
@@ -251,7 +266,9 @@ func (f *Flags) Finish() error {
 		if f.pool == nil {
 			f.pool = obs.NewCexPool()
 		}
-		f.pool.Absorb(f.kills, time.Now())
+		// No Absorb here: the pool is wired into synthesis via Pool(),
+		// so every kill this run produced was already recorded live
+		// (absorbing the kill table again would double-count them).
 		keep(f.pool.Flush(f.CexPoolFile))
 	}
 	return first

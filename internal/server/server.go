@@ -96,6 +96,13 @@ type Config struct {
 	// families, and flight records carry each retained request's kill
 	// events and funnel summary.
 	Kills *obs.KillTable
+	// Cex, when non-nil, is the daemon's read-write counterexample
+	// pool: every compile replays its ranked discriminating inputs
+	// first and records its kills into it live, so the pool reranks
+	// continuously over the daemon's lifetime (the owner flushes it on
+	// shutdown — no absorb step needed, live recording already counted
+	// every kill).
+	Cex *obs.CexPool
 	// FlightRecorder bounds how many slowest and how many failed
 	// requests are retained with full span trees and cost ledgers at
 	// /debug/requests (default 32 per class; <0 disables).
@@ -233,6 +240,7 @@ func (s *Server) faccCompile(ctx context.Context, req facc.CompileRequest) (Comp
 	opts.Journal = s.cfg.Journal
 	opts.Ledger = s.cfg.Ledger
 	opts.Kills = s.cfg.Kills
+	opts.Cex = s.cfg.Cex
 	res, err := facc.CompileRequestContext(ctx, req, opts)
 	if err != nil {
 		return CompileResult{}, err

@@ -1,0 +1,229 @@
+package synth
+
+// FuzzCexReplay throws hostile counterexample pools at the replay-first
+// search path: arbitrary pool-file bytes (truncated entries, bad
+// checksums, raw garbage) loaded from disk, plus adversarial CaseSig
+// strings recorded live into the pool before synthesis runs. The
+// contract under fuzzing is the determinism contract: a hostile pool
+// may change which case kills a loser first, but it must never panic,
+// never perturb the winning adapter relative to the no-pool baseline,
+// and the surviving pool must still flush to a loadable file.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"facc/internal/accel"
+	"facc/internal/minic"
+	"facc/internal/obs"
+)
+
+// adapterFingerprint renders everything user-visible about a winning
+// adapter; replay must not move any of it.
+func adapterFingerprint(ad *Adapter) string {
+	cond := "nocheck"
+	if ad.Check != nil {
+		cond = ad.Check.CCondition("n")
+	}
+	ret := "void"
+	if ad.ReturnConst != nil {
+		ret = fmt.Sprint(*ad.ReturnConst)
+	}
+	return fmt.Sprintf("%s|%s|%s|ret=%s|tests=%d",
+		ad.Cand, ad.Post, cond, ret, ad.TestsPassed)
+}
+
+// fuzzCexSynth runs one small, fixed synthesis (the common radix-2
+// struct shape against FFTA, three IO cases, n=64) with the given pool
+// wired in, and returns the winner's fingerprint.
+func fuzzCexSynth(pool *obs.CexPool) (string, error) {
+	f, err := minic.ParseAndCheck("fuzz.c", radix2Struct)
+	if err != nil {
+		return "", fmt.Errorf("frontend: %v", err)
+	}
+	fn := f.Func("fft")
+	if fn == nil {
+		return "", fmt.Errorf("no fft function")
+	}
+	prof := pow2Profile("n", 64)
+	res, err := Synthesize(context.Background(), f, fn, accel.NewFFTA(), prof,
+		Options{NumTests: 3, Cex: pool})
+	if err != nil {
+		return "", err
+	}
+	if res.Adapter == nil {
+		return "", fmt.Errorf("no adapter: %s", res.FailReason)
+	}
+	return adapterFingerprint(res.Adapter), nil
+}
+
+// cexBaseline caches the no-pool winner once per process; every fuzz
+// execution compares against it.
+var cexBaseline struct {
+	once sync.Once
+	fp   string
+	err  error
+}
+
+func cexBaselineFingerprint() (string, error) {
+	cexBaseline.once.Do(func() {
+		cexBaseline.fp, cexBaseline.err = fuzzCexSynth(nil)
+	})
+	return cexBaseline.fp, cexBaseline.err
+}
+
+// validCexPoolBytes builds one well-formed pool file (two ranked
+// entries plus checksum trailer) with a pinned clock so the committed
+// corpus is byte-stable.
+func validCexPoolBytes() []byte {
+	dir, err := os.MkdirTemp("", "cexfuzz")
+	if err != nil {
+		return nil
+	}
+	defer os.RemoveAll(dir)
+	p := obs.NewCexPool()
+	p.Now = func() time.Time { return time.Unix(1_700_000_000, 0) }
+	p.RecordKill("seed=424242 n=64 case=1", 424242, 64, 1, "struct-inplace", "ffta")
+	p.RecordKill("seed=424242 n=64 case=1", 424242, 64, 1, "split-arrays", "powerquad")
+	p.RecordKill("seed=424242 n=64 case=2", 424242, 64, 2, "struct-inplace", "ffta")
+	path := filepath.Join(dir, "pool.jsonl")
+	if p.Flush(path) != nil {
+		return nil
+	}
+	b, _ := os.ReadFile(path)
+	return b
+}
+
+type cexSeed struct {
+	data    []byte
+	sig     string
+	length  int64
+	caseIdx int
+}
+
+// fuzzCexSeedCorpus covers the interesting neighbourhoods: a pristine
+// pool, a truncated one (mid-entry), a checksum mismatch, raw garbage,
+// and live sigs that are empty, hostile, or collide with a real case.
+func fuzzCexSeedCorpus() []cexSeed {
+	valid := validCexPoolBytes()
+	seeds := []cexSeed{
+		{valid, "seed=424242 n=64 case=1", 64, 1},
+		{valid[:len(valid)/2], "seed=1 n=9999999999 case=-1", 9999999999, -1},
+		{[]byte(`{"sig": not json`), "sig\nwith=newline case=0", 0, 0},
+		{bytes.Replace(valid, []byte(`"cex_checksum":"`), []byte(`"cex_checksum":"00`), 1),
+			"", -5, 7},
+		{nil, "seed=424242 n=64 case=0", 64, 0},
+	}
+	return seeds
+}
+
+func FuzzCexReplay(f *testing.F) {
+	for _, s := range fuzzCexSeedCorpus() {
+		f.Add(s.data, s.sig, s.length, s.caseIdx)
+	}
+	f.Fuzz(func(t *testing.T, data []byte, sig string, length int64, caseIdx int) {
+		base, err := cexBaselineFingerprint()
+		if err != nil {
+			t.Fatalf("no-pool baseline failed: %v", err)
+		}
+
+		// Load whatever the bytes decode to. Corrupt files must be
+		// quarantined into an empty pool, never a panic or a
+		// half-trusted one.
+		dir := t.TempDir()
+		path := filepath.Join(dir, "pool.jsonl")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		pool, _, err := obs.LoadCexPool(path)
+		if err != nil || pool == nil {
+			pool = obs.NewCexPool()
+		}
+
+		// Hostile live recording: whatever sig the fuzzer invents must
+		// kill-or-skip, and a malformed one must not take the pool down.
+		pool.RecordKill(sig, 424242, length, caseIdx, "famX", "ffta")
+		pool.RecordKill(sig, 424242, length, caseIdx, "", "")
+
+		got, err := fuzzCexSynth(pool)
+		if err != nil {
+			t.Fatalf("synthesis with hostile pool failed: %v", err)
+		}
+		if got != base {
+			t.Fatalf("hostile pool perturbed the winner:\n  no pool: %s\n  pool:    %s", base, got)
+		}
+
+		// The pool that survived replay + live kills must still flush
+		// to a file LoadCexPool accepts — hostile input must not be
+		// able to poison the persisted form.
+		out := filepath.Join(dir, "out.jsonl")
+		if err := pool.Flush(out); err != nil {
+			t.Fatalf("flush after hostile input: %v", err)
+		}
+		if _, info, err := obs.LoadCexPool(out); err != nil || info.Quarantined != "" {
+			t.Fatalf("flushed pool does not reload cleanly: err=%v quarantined=%q", err, info.Quarantined)
+		}
+	})
+}
+
+// TestGenerateCexReplayCorpus mirrors the store package's corpus
+// discipline: the committed `go test fuzz v1` files are regenerated
+// from fuzzCexSeedCorpus with FACC_GEN_CORPUS=1 and verified to exist
+// otherwise, so the in-code seeds and the committed corpus never drift.
+func TestGenerateCexReplayCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzCexReplay")
+	seeds := fuzzCexSeedCorpus()
+	if os.Getenv("FACC_GEN_CORPUS") == "1" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range seeds {
+			body := "go test fuzz v1\n" +
+				"[]byte(" + quoteCorpus(s.data) + ")\n" +
+				"string(" + quoteCorpus([]byte(s.sig)) + ")\n" +
+				"int64(" + strconv.FormatInt(s.length, 10) + ")\n" +
+				"int(" + strconv.Itoa(s.caseIdx) + ")\n"
+			name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+			if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return
+	}
+	des, err := os.ReadDir(dir)
+	if err != nil || len(des) < len(seeds) {
+		t.Fatalf("committed fuzz corpus missing (%d files, want >= %d): regenerate with FACC_GEN_CORPUS=1 (err=%v)",
+			len(des), len(seeds), err)
+	}
+}
+
+// quoteCorpus renders data as the Go double-quoted literal the
+// `go test fuzz v1` corpus format requires.
+func quoteCorpus(data []byte) string {
+	var b bytes.Buffer
+	b.WriteByte('"')
+	for _, c := range data {
+		switch {
+		case c == '"':
+			b.WriteString(`\"`)
+		case c == '\\':
+			b.WriteString(`\\`)
+		case c >= 0x20 && c < 0x7f:
+			b.WriteByte(c)
+		default:
+			const hexdigits = "0123456789abcdef"
+			b.WriteString(`\x`)
+			b.WriteByte(hexdigits[c>>4])
+			b.WriteByte(hexdigits[c&0xf])
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}

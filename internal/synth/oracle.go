@@ -13,32 +13,118 @@ import (
 	"facc/internal/obs"
 )
 
-// oracle memoizes the reference side of generate-and-test: the user
+// OracleCache memoizes the reference side of generate-and-test: the user
 // program's output for one test case. Binding enumeration multiplies
 // candidates along accelerator-side axes — direction constants, flags
-// specializations — that the user program cannot observe, so those
-// candidates would re-interpret the same MiniC function on the same
-// inputs once each. The oracle computes each distinct user-side run once
-// and shares it.
+// specializations, and the *target itself* — that the user program
+// cannot observe, so those candidates would re-interpret the same MiniC
+// function on the same inputs once each. The cache computes each
+// distinct user-side run once and shares it.
 //
-// The cache key is (iogen.UserSig(cand), case index): iogen makes case i a
-// pure function of (seed, UserSig, profile, i), so two candidates with
-// equal signatures issue byte-identical user runs, and candidates that
-// differ in anything the user program can see get distinct keys. The
-// cached value is therefore exact, under the same assumption
-// generate-and-test already makes of the reference function — that it is
-// observationally deterministic per call (idempotent memoization of
-// twiddle tables and the like is fine; the interpreter machines keep
-// their globals across runs precisely so such caches stay warm).
+// The key is target-independent by construction:
 //
-// Machines are pooled (bounded by the worker count) rather than built per
-// candidate: interpreter construction re-runs global initializers, and a
-// warm machine carries memoized twiddles across candidates. Results of
-// cancelled or timed-out runs are never cached — the next candidate
-// recomputes them under its own budget.
+//	fn=<file/function digest>|<iogen.RefSig(cand)>|io=<iogen.CaseDigest(case)>
+//
+// RefSig fixes how test bytes are laid out in the user's arrays (array
+// layouts, length binding, pins, the free set — everything user-visible
+// about the candidate except the spec), and CaseDigest hashes the bytes
+// themselves (lengths, scalars, the signal bits). Candidates for
+// ffta, powerquad and fftw that agree on both therefore share one entry
+// — which is why eval.CompileAll hands all three targets' compiles of a
+// program one shared cache instead of re-interpreting it 3×. The
+// file/function digest scopes entries so one process-wide cache can
+// span files without aliasing (the same source parsed twice hashes
+// equal and still shares). Different fuzz seeds draw different signals,
+// so their digests — and keys — never collide.
+//
+// The cached value is exact under the same assumption generate-and-test
+// already makes of the reference function: that it is observationally
+// deterministic per call (idempotent memoization of twiddle tables and
+// the like is fine; interpreter machines keep their globals across runs
+// precisely so such caches stay warm).
+//
+// A nil *OracleCache is not usable; Synthesize builds a private one
+// when Options.Oracle is unset, so sharing is strictly opt-in.
+type OracleCache struct {
+	mu      sync.Mutex
+	entries map[string]*oracleEntry
+
+	hits, misses atomic.Int64
+}
+
+// NewOracleCache returns an empty cache, ready to be shared across
+// Synthesize calls and targets via Options.Oracle.
+func NewOracleCache() *OracleCache {
+	return &OracleCache{entries: map[string]*oracleEntry{}}
+}
+
+// entry returns the slot for key, creating it on first sight.
+func (c *OracleCache) entry(key string) *oracleEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.entries[key]
+	if e == nil {
+		e = &oracleEntry{}
+		c.entries[key] = e
+	}
+	return e
+}
+
+// Stats reports cache-wide effectiveness over every lookup this cache
+// has served (across all Synthesize calls and targets sharing it).
+func (c *OracleCache) Stats() (hits, misses int64, rate float64) {
+	hits, misses = c.hits.Load(), c.misses.Load()
+	if total := hits + misses; total > 0 {
+		rate = float64(hits) / float64(total)
+	}
+	return hits, misses, rate
+}
+
+// FileDigest canonicalizes a parsed file to its printed form and hashes
+// it with the function name — the scope prefix of oracle keys. Two
+// parses of the same source digest equal, so re-parsed copies of one
+// program (eval compiles each benchmark once per target) share entries.
+func FileDigest(f *minic.File, fn string) string {
+	src := minic.PrintFile(f)
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(src); i++ {
+		h ^= uint64(src[i])
+		h *= 1099511628211
+	}
+	h ^= uint64('|')
+	h *= 1099511628211
+	for i := 0; i < len(fn); i++ {
+		h ^= uint64(fn[i])
+		h *= 1099511628211
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return fmt.Sprintf("%016x", h)
+}
+
+// oracleKey builds the full target-independent cache key for one
+// (candidate, case) reference run.
+func oracleKey(fileKey string, cand *binding.Candidate, tc iogen.Case) string {
+	return "fn=" + fileKey + "|" + iogen.RefSig(cand) + "|io=" + iogen.CaseDigest(tc)
+}
+
+// oracle is one Synthesize call's view of the cache: it owns the
+// interpreter machine pool (machines are per-file) and the per-run
+// hit/miss counters the journal reports, while the entry map may be
+// shared process-wide via Options.Oracle.
+//
+// Machines are pooled (bounded by the worker count) rather than built
+// per candidate: interpreter construction re-runs global initializers,
+// and a warm machine carries memoized twiddles across candidates.
+// Results of cancelled or timed-out runs are never cached — the next
+// candidate recomputes them under its own budget.
 type oracle struct {
-	f  *minic.File
-	fn *minic.FuncDecl
+	f       *minic.File
+	fn      *minic.FuncDecl
+	fileKey string
 	// reg (nil-safe) receives interp.* work counters and the
 	// synth.oracle_hits / synth.oracle_misses pairs.
 	reg *obs.Registry
@@ -48,10 +134,9 @@ type oracle struct {
 
 	machines chan *interp.Machine // tokens; nil = build lazily on first use
 
-	mu      sync.Mutex
-	entries map[string]*oracleEntry
+	cache *OracleCache
 
-	hits, misses atomic.Int64
+	hits, misses atomic.Int64 // this Synthesize call's lookups only
 
 	// Blended and per-target lookup counters, resolved once at
 	// construction so the per-case path does no map lookups or string
@@ -72,14 +157,18 @@ type oracleEntry struct {
 }
 
 func newOracle(f *minic.File, fn *minic.FuncDecl, target string, workers int,
-	reg *obs.Registry, led *obs.Ledger) *oracle {
+	reg *obs.Registry, led *obs.Ledger, shared *OracleCache) *oracle {
+	if shared == nil {
+		shared = NewOracleCache()
+	}
 	o := &oracle{
 		f:        f,
 		fn:       fn,
+		fileKey:  FileDigest(f, fn.Name),
 		reg:      reg,
 		led:      led,
 		machines: make(chan *interp.Machine, workers),
-		entries:  map[string]*oracleEntry{},
+		cache:    shared,
 	}
 	if reg != nil {
 		o.hitsCtr = reg.Counter("synth.oracle_hits")
@@ -126,19 +215,13 @@ func (o *oracle) acquire(ctx context.Context) (*interp.Machine, error) {
 // for) — the "interp steps at death" the kill table attributes.
 func (o *oracle) run(ctx context.Context, cand *binding.Candidate,
 	tc iogen.Case, caseIdx int) (out []complex128, ret *int64, steps int64, err error) {
-	key := fmt.Sprintf("%s|case=%d", iogen.UserSig(cand), caseIdx)
-	o.mu.Lock()
-	e := o.entries[key]
-	if e == nil {
-		e = &oracleEntry{}
-		o.entries[key] = e
-	}
-	o.mu.Unlock()
+	e := o.cache.entry(oracleKey(o.fileKey, cand, tc))
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.done {
 		o.hits.Add(1)
+		o.cache.hits.Add(1)
 		o.hitsCtr.Inc()
 		o.hitsTgtCtr.Inc()
 		if o.led != nil {
@@ -149,6 +232,7 @@ func (o *oracle) run(ctx context.Context, cand *binding.Candidate,
 		return e.out, e.ret, 0, e.err
 	}
 	o.misses.Add(1)
+	o.cache.misses.Add(1)
 	o.missesCtr.Inc()
 	o.missesTgtCtr.Inc()
 	if o.led != nil {
@@ -192,8 +276,9 @@ func (o *oracle) run(ctx context.Context, cand *binding.Candidate,
 	return uout, uret, 0, rerr
 }
 
-// stats reports cache effectiveness: hits, misses, and the hit rate over
-// all lookups (0 when nothing was looked up).
+// stats reports cache effectiveness for this Synthesize call: hits,
+// misses, and the hit rate over its lookups (0 when nothing was looked
+// up). Lookups other calls issued against a shared cache are excluded.
 func (o *oracle) stats() (hits, misses int64, rate float64) {
 	hits, misses = o.hits.Load(), o.misses.Load()
 	if total := hits + misses; total > 0 {

@@ -5,8 +5,16 @@
 //
 // Three mechanisms make that hold:
 //
-//   - in-order dispatch: workers pull candidate indices from a shared
-//     cursor, so candidate i never waits on candidate i+k;
+//   - frontier-first dispatch: the lowest-index undecided candidate (the
+//     only one that can resolve the search next) is always dispatched
+//     before anything else, so candidate i never starves behind
+//     speculation. Remaining worker slots are speculative, and they are
+//     spent cheapest-first by a static cost model (iogen.EstimateCost:
+//     summed test-case sizes plus a free-parameter surcharge) — a pure
+//     function of the candidate, so the dispatch order is itself
+//     deterministic. At Workers=1 the frontier rule degenerates to exact
+//     enumeration order: a sequential search has no speculative budget
+//     to allocate;
 //   - first-winner-by-index selection: a surviving candidate only becomes
 //     the winner once every lower-indexed candidate has been decided
 //     against. Until then it is the "minimum survivor", which bounds the
@@ -32,6 +40,7 @@ import (
 
 	"facc/internal/analysis"
 	"facc/internal/binding"
+	"facc/internal/iogen"
 	"facc/internal/minic"
 	"facc/internal/obs"
 )
@@ -57,7 +66,7 @@ type candOutcome struct {
 // caller must discard the Result.
 func runCandidates(ctx context.Context, fn *minic.FuncDecl,
 	cands []*binding.Candidate, profile *analysis.Profile, opts Options,
-	orc *oracle, workers int) (*Adapter, int, int, error) {
+	orc *oracle, replay map[string]int, workers int) (*Adapter, int, int, error) {
 
 	poolCtx, cancelPool := context.WithCancelCause(ctx)
 	defer cancelPool(nil)
@@ -70,14 +79,61 @@ func runCandidates(ctx context.Context, fn *minic.FuncDecl,
 		reg = opts.Obs.Metrics()
 	}
 
+	// Static dispatch costs: what each candidate's full fuzz batch is
+	// expected to cost in interpreter work. Computed once, before any
+	// worker runs, from (seed, candidate, profile) only — never from run
+	// history — so every process, at every worker count, orders its
+	// speculation identically.
+	costs := make([]int64, len(cands))
+	for i, c := range cands {
+		costs[i] = iogen.EstimateCost(opts.Seed, c, profile, opts.NumTests)
+	}
+
 	outcomes := make([]candOutcome, len(cands))
 	var (
 		mu          sync.Mutex
-		next        int
+		dispatched  = make([]bool, len(cands))
 		minSurvivor = -1
 		inflight    = map[int]context.CancelCauseFunc{}
 		busy        atomic.Int64
 	)
+
+	// pick (mu held) chooses the next candidate to dispatch, or -1 when
+	// no dispatch can still affect the result. Only indices below the
+	// current minimum survivor are eligible — anything above it already
+	// lost the by-index race (ExhaustAll lifts that bound).
+	pick := func() int {
+		limit := len(cands)
+		if !opts.ExhaustAll && minSurvivor >= 0 {
+			limit = minSurvivor
+		}
+		first, cheapest := -1, -1
+		for j := 0; j < limit; j++ {
+			if dispatched[j] {
+				continue
+			}
+			if first < 0 {
+				first = j
+			}
+			if cheapest < 0 || costs[j] < costs[cheapest] {
+				cheapest = j
+			}
+		}
+		if first < 0 {
+			return -1
+		}
+		// Frontier rule: when every index below the lowest undispatched
+		// candidate is decided, that candidate is the search frontier —
+		// the only one whose survival can end the run — so it outranks
+		// speculation. Otherwise the freed slot is pure speculation, and
+		// the cost model spends it on the cheapest open hypothesis.
+		for k := 0; k < first; k++ {
+			if !outcomes[k].decided {
+				return cheapest
+			}
+		}
+		return first
+	}
 
 	evalOne := func(i int, candCtx context.Context) candOutcome {
 		copts := opts
@@ -92,7 +148,7 @@ func runCandidates(ctx context.Context, fn *minic.FuncDecl,
 				Str("binding", cands[i].Key()).
 				Int("candidate", int64(i+1))
 		}
-		ad, err := evalCandidate(ctx, candCtx, fn, cands[i], profile, copts, fsp, orc)
+		ad, err := evalCandidate(ctx, candCtx, fn, cands[i], profile, copts, fsp, orc, replay)
 		fsp.End()
 		out := candOutcome{decided: true, ad: ad, err: err,
 			superseded: errors.Is(err, errSuperseded)}
@@ -112,13 +168,15 @@ func runCandidates(ctx context.Context, fn *minic.FuncDecl,
 			defer wg.Done()
 			for {
 				mu.Lock()
-				if poolCtx.Err() != nil || next >= len(cands) ||
-					(!opts.ExhaustAll && minSurvivor >= 0 && next > minSurvivor) {
+				i := -1
+				if poolCtx.Err() == nil {
+					i = pick()
+				}
+				if i < 0 {
 					mu.Unlock()
 					return
 				}
-				i := next
-				next++
+				dispatched[i] = true
 				candCtx, cancel := context.WithCancelCause(poolCtx)
 				inflight[i] = cancel
 				mu.Unlock()

@@ -106,6 +106,28 @@ type Options struct {
 	// call site guards with a nil check before rendering keys, so nil
 	// (the default) allocates nothing on the verdict path.
 	Kills *obs.KillTable
+	// Oracle, when non-nil, is a shared reference-run cache: its keys
+	// are target-independent (see OracleCache), so one cache handed to
+	// the ffta, powerquad and fftw compiles of the same program
+	// interprets each distinct user-side run once instead of three
+	// times. Nil builds a private per-call cache — today's semantics,
+	// no sharing. Sharing never changes results: an entry's value is a
+	// pure function of its key.
+	Oracle *OracleCache
+	// Cex, when non-nil, makes search counterexample-guided, in both
+	// directions. Read side: the pool's ranking is snapshotted once per
+	// Synthesize and each candidate's own generated case batch is
+	// reordered so previously-discriminating cases run first — a loser
+	// dies on its first case instead of after a warm-up of passes.
+	// Write side: every case-attributed kill is recorded back into the
+	// pool live (RecordKill), so rank state compounds across functions,
+	// targets and — in a daemon — requests, without waiting for a
+	// flush. Replay only permutes a candidate's own cases, never
+	// injects foreign ones, so the surviving adapter is byte-identical
+	// with or without a pool (survival over a fixed case set is
+	// order-independent); what changes is which case gets the kill
+	// credit, and how soon.
+	Cex *obs.CexPool
 }
 
 func (o *Options) defaults() {
@@ -173,8 +195,13 @@ func Synthesize(ctx context.Context, f *minic.File, fn *minic.FuncDecl,
 	if opts.Obs != nil {
 		reg = opts.Obs.Metrics()
 	}
-	orc := newOracle(f, fn, spec.Name, workers, reg, opts.Ledger)
-	winner, tested, survivors, err := runCandidates(ctx, fn, cands, profile, opts, orc, workers)
+	orc := newOracle(f, fn, spec.Name, workers, reg, opts.Ledger, opts.Oracle)
+	// One ranking snapshot per synthesis: kills recorded during this run
+	// feed the live pool (for the next function/request) but never
+	// reorder this run's own cases, so replay order — and the journal —
+	// is a pure function of the pool state at entry.
+	replay := opts.Cex.ReplayRank()
+	winner, tested, survivors, err := runCandidates(ctx, fn, cands, profile, opts, orc, replay, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -257,12 +284,15 @@ func verdict(opts Options, fn string, cand *binding.Candidate,
 }
 
 // recordKill attributes one candidate's death to the discriminating IO
-// case in the kill table. Every caller guards with opts.Kills != nil,
-// so the disabled path renders no keys and allocates nothing; tc is nil
-// (and caseIdx -1) when no single case is attributable.
+// case in the kill table and — when a counterexample pool is attached —
+// feeds the kill back into the pool live, so the case's rank reflects
+// it before the next synthesis snapshots the pool. Every caller guards
+// with killSinks(opts), so the disabled path renders no keys and
+// allocates nothing; tc is nil (and caseIdx -1) when no single case is
+// attributable.
 func recordKill(opts Options, fn string, cand *binding.Candidate,
 	tc *iogen.Case, caseIdx int, steps int64, mismatch, detail string) {
-	if opts.Kills == nil {
+	if !killSinks(opts) {
 		return
 	}
 	ev := obs.KillEvent{
@@ -279,9 +309,16 @@ func recordKill(opts Options, fn string, cand *binding.Candidate,
 	if tc != nil && caseIdx >= 0 {
 		ev.CaseSig = iogen.CaseSig(opts.Seed, tc.AccelLen, caseIdx)
 		ev.Len = tc.AccelLen
+		opts.Cex.RecordKill(ev.CaseSig, opts.Seed, tc.AccelLen, caseIdx,
+			ev.Family, ev.Target)
 	}
-	opts.Kills.Record(ev)
+	if opts.Kills != nil {
+		opts.Kills.Record(ev)
+	}
 }
+
+// killSinks reports whether any kill-attribution sink is attached.
+func killSinks(opts Options) bool { return opts.Kills != nil || opts.Cex != nil }
 
 // renderCase renders a failing IO example compactly: the length binding's
 // user and accelerator values, every scalar assignment (sorted), and the
@@ -314,6 +351,38 @@ func renderCase(tc iogen.Case) string {
 	return b.String()
 }
 
+// replayOrder returns the execution order for one candidate's case
+// batch: cases the counterexample pool ranks (matched by CaseSig) run
+// first, most-discriminating first, followed by the remaining fresh
+// cases in their natural smallest-first order. Only the candidate's own
+// generated cases are permuted — replay never injects an input the
+// candidate would not have drawn itself — so which candidates survive
+// (and therefore the winning adapter) is unchanged by construction:
+// survival requires passing the whole fixed set, and sketch pruning is
+// a set intersection. What replay changes is how soon a loser meets
+// the case that kills it. Pool signatures that match nothing here —
+// hostile strings, other seeds, other lengths — simply rank nothing.
+func replayOrder(cases []iogen.Case, replay map[string]int, seed int64) []int {
+	order := make([]int, len(cases))
+	for i := range order {
+		order[i] = i
+	}
+	if len(replay) == 0 {
+		return order
+	}
+	const unranked = math.MaxInt
+	rank := make([]int, len(cases))
+	for i, tc := range cases {
+		r, ok := replay[iogen.CaseSig(seed, tc.AccelLen, i)]
+		if !ok {
+			r = unranked
+		}
+		rank[i] = r
+	}
+	sort.SliceStable(order, func(a, b int) bool { return rank[order[a]] < rank[order[b]] })
+	return order
+}
+
 // evalCandidate runs one candidate's fuzz evaluation inside the fault
 // boundary: a per-candidate deadline (opts.CandidateTimeout) and a panic
 // shield. A candidate that times out or panics is rejected — journaled
@@ -325,7 +394,7 @@ func renderCase(tc iogen.Case) string {
 // discard, rather than being misclassified as a timeout.
 func evalCandidate(runCtx, candCtx context.Context, fn *minic.FuncDecl,
 	cand *binding.Candidate, profile *analysis.Profile, opts Options,
-	sp *obs.Span, orc *oracle) (ad *Adapter, err error) {
+	sp *obs.Span, orc *oracle, replay map[string]int) (ad *Adapter, err error) {
 	cctx := candCtx
 	if opts.CandidateTimeout > 0 {
 		var cancel context.CancelFunc
@@ -343,13 +412,13 @@ func evalCandidate(runCtx, candCtx context.Context, fn *minic.FuncDecl,
 			}
 			verdict(opts, fn.Name, cand, interp.FaultPanic.String(), 0, "",
 				fmt.Sprintf("recovered: %v", r))
-			if opts.Kills != nil {
+			if killSinks(opts) {
 				recordKill(opts, fn.Name, cand, nil, -1, 0,
 					interp.FaultPanic.String(), fmt.Sprintf("recovered: %v", r))
 			}
 		}
 	}()
-	ad, err = testCandidate(cctx, fn, cand, profile, opts, sp, orc)
+	ad, err = testCandidate(cctx, fn, cand, profile, opts, sp, orc, replay)
 	if err != nil && (interp.FaultOf(err) == interp.FaultCancelled ||
 		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 		if cerr := runCtx.Err(); cerr != nil {
@@ -375,7 +444,7 @@ func evalCandidate(runCtx, candCtx context.Context, fn *minic.FuncDecl,
 		}
 		verdict(opts, fn.Name, cand, "timeout", 0, "",
 			fmt.Sprintf("candidate exceeded its %s budget", opts.CandidateTimeout))
-		if opts.Kills != nil {
+		if killSinks(opts) {
 			recordKill(opts, fn.Name, cand, nil, -1, 0, "timeout", "")
 		}
 		return nil, nil
@@ -391,20 +460,21 @@ func evalCandidate(runCtx, candCtx context.Context, fn *minic.FuncDecl,
 // on orc's shared machine pool, which attributes interpreter counters.
 func testCandidate(ctx context.Context, fn *minic.FuncDecl,
 	cand *binding.Candidate, profile *analysis.Profile, opts Options,
-	sp *obs.Span, orc *oracle) (*Adapter, error) {
+	sp *obs.Span, orc *oracle, replay map[string]int) (*Adapter, error) {
 	opts.Kills.AddDispatched(fn.Name, cand.Spec.Name, 1)
 	gen := iogen.New(opts.Seed, cand, profile)
 	if !gen.Viable() {
 		sp.Str("outcome", "not-viable")
 		verdict(opts, fn.Name, cand, "not-viable", 0, "",
 			"no test sizes inside the accelerator domain")
-		if opts.Kills != nil {
+		if killSinks(opts) {
 			recordKill(opts, fn.Name, cand, nil, -1, 0, "not-viable",
 				"no test sizes inside the accelerator domain")
 		}
 		return nil, nil
 	}
 	cases := gen.Cases(opts.NumTests)
+	order := replayOrder(cases, replay, opts.Seed)
 
 	// All post-behavioral sketches start alive; each case prunes.
 	alive := behave.Sketches()
@@ -429,11 +499,12 @@ func testCandidate(ctx context.Context, fn *minic.FuncDecl,
 	}
 
 	var returnVals []int64
-	var returnCases []int // case index per returnVals entry (Kills only)
+	var returnCases []int // original case index per returnVals entry (kill sinks only)
 	sawReturn := false
 	var steps int64 // interp steps this candidate paid, so far
 
-	for caseIdx, tc := range cases {
+	for _, caseIdx := range order {
+		tc := cases[caseIdx]
 		// Accelerator retries/backoff can dominate a case under fault
 		// injection, so honor the deadline between cases too, not just
 		// inside the interpreter.
@@ -459,7 +530,7 @@ func testCandidate(ctx context.Context, fn *minic.FuncDecl,
 				verdict(opts, fn.Name, cand, "fault", ran, cex,
 					interp.FaultOf(runErr).String())
 			}
-			if opts.Kills != nil {
+			if killSinks(opts) {
 				recordKill(opts, fn.Name, cand, &tc, caseIdx, steps,
 					interp.FaultOf(runErr).String(), "")
 			}
@@ -468,7 +539,7 @@ func testCandidate(ctx context.Context, fn *minic.FuncDecl,
 		if retVal != nil {
 			sawReturn = true
 			returnVals = append(returnVals, *retVal)
-			if opts.Kills != nil {
+			if killSinks(opts) {
 				returnCases = append(returnCases, caseIdx)
 			}
 		}
@@ -484,7 +555,7 @@ func testCandidate(ctx context.Context, fn *minic.FuncDecl,
 				}
 				verdict(opts, fn.Name, cand, "domain-error", ran, cex, err.Error())
 			}
-			if opts.Kills != nil {
+			if killSinks(opts) {
 				recordKill(opts, fn.Name, cand, &tc, caseIdx, steps,
 					"domain-error", err.Error())
 			}
@@ -509,7 +580,7 @@ func testCandidate(ctx context.Context, fn *minic.FuncDecl,
 				verdict(opts, fn.Name, cand, "behavior-mismatch", ran, cex,
 					"no post-behavioral sketch reproduces the user output")
 			}
-			if opts.Kills != nil {
+			if killSinks(opts) {
 				recordKill(opts, fn.Name, cand, &tc, caseIdx, steps,
 					"behavior-mismatch", "")
 			}
@@ -533,9 +604,9 @@ func testCandidate(ctx context.Context, fn *minic.FuncDecl,
 					verdict(opts, fn.Name, cand, "return-mismatch", ran, "",
 						fmt.Sprintf("return value varies across inputs (%d vs %d)", c, v))
 				}
-				if opts.Kills != nil {
+				if killSinks(opts) {
 					// The discriminating case is the one whose return value
-					// first differed from case 0's.
+					// first differed from the first-run case's.
 					kc := returnCases[i]
 					recordKill(opts, fn.Name, cand, &cases[kc], kc, steps,
 						"return-mismatch", "")
