@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race fuzz-smoke chaos bench bench-json bench-serve bench-gate crash-matrix search-report serve-smoke repro repro-full examples fmt lint vet check clean
+.PHONY: all build test test-short test-race fuzz-smoke chaos bench bench-json bench-serve bench-gate crash-matrix search-report serve-smoke fleet-smoke repro repro-full examples fmt lint vet check clean
 
 all: build test
 
@@ -11,9 +11,11 @@ all: build test
 # the store crash matrix (a simulated crash at every page write, WAL
 # append and fsync must recover consistently) + the faccd serve smoke
 # (compile over HTTP, SIGTERM drain, crash-safe store recovery, trace-ID
-# join) + the bench gate (fresh synthesis and serving numbers vs the
+# join) + the fleet smoke (3 sharded replicas, kill -9 the digest's
+# owner mid-compile, survivors must rebalance and serve byte-identical
+# adapters) + the bench gate (fresh synthesis and serving numbers vs the
 # committed baselines).
-check: lint test test-race fuzz-smoke crash-matrix serve-smoke bench-gate
+check: lint test test-race fuzz-smoke crash-matrix serve-smoke fleet-smoke bench-gate
 
 build:
 	$(GO) build ./...
@@ -87,6 +89,15 @@ bench-serve:
 # the /debug/requests flight record.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# Fleet smoke: stand up a 3-replica faccd fleet over a static peer
+# table, compile through it, kill -9 the replica that owns the digest
+# while a second compile is in flight, and assert the survivors eject
+# the dead peer within the probe budget, finish the in-flight request
+# via failover, and serve byte-identical adapter bytes for the dead
+# owner's digest.
+fleet-smoke:
+	./scripts/fleet_smoke.sh
 
 # Performance regression gate: measure fresh synthbench/servebench
 # artifacts and compare wall-time and waste-ratio against the committed

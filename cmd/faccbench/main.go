@@ -142,6 +142,13 @@ func runServeBench(ctx context.Context, benchOut string) error {
 		return err
 	}
 	rep.WriteText(os.Stdout)
+	fmt.Fprintf(os.Stderr, "faccbench: fleet chaos benchmark (3 replicas, kill + lossy partition)...\n")
+	fleetRep, err := eval.FleetBench(ctx, eval.FleetBenchConfig{})
+	if err != nil {
+		return err
+	}
+	fleetRep.WriteText(os.Stdout)
+	rep.Fleet = fleetRep
 	if benchOut != "" {
 		out, err := os.Create(benchOut)
 		if err != nil {

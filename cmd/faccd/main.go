@@ -11,6 +11,9 @@
 //	      [-cex-pool counterexamples.jsonl]
 //	      [-store-page-size 4096] [-store-compact-pages 4096]
 //	      [-store-quarantine-files 512] [-store-quarantine-age 168h]
+//	      [-peer-id r0 -peers r0=http://h0:8080,r1=http://h1:8080,...]
+//	      [-probe-interval 1s] [-failure-threshold 3] [-max-hops 3]
+//	      [-tenant-rate 0] [-tenant-burst 0] [-retry-budget 8]
 //
 // Endpoints:
 //
@@ -36,6 +39,15 @@
 // stops, queued and in-flight jobs finish up to -drain-timeout, then
 // stragglers are hard-cancelled.
 //
+// Fleet mode: -peers names a static table of replicas (comma-separated
+// id=url pairs; -peer-id is this replica's entry). Requests are routed
+// by request-digest over a consistent-hash ring, dead peers are ejected
+// by health probes and forwarding failures, forwarded requests fail over
+// down the ring (degrading to local synthesis as the last resort), and
+// cached digests are answered by hedged cache reads. /readyz reports
+// not-ready while no healthy peer covers any shard range; /fleet/peers
+// and /fleet/owners expose the live ring.
+//
 // Exit status: 0 after a clean drain, 1 on startup errors or a drain
 // that needed hard cancellation.
 package main
@@ -48,10 +60,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"facc"
+	"facc/internal/fleet"
 	"facc/internal/obs"
 	"facc/internal/server"
 	"facc/internal/store"
@@ -92,6 +106,22 @@ func main() {
 		"retain this many slowest and failed requests (full span/journal/ledger) at /debug/requests; -1 disables")
 	cexPool := flag.String("cex-pool", "",
 		"persist the discriminating-input counterexample pool (crash-safe JSONL) in this file across daemon runs")
+	peerID := flag.String("peer-id", "",
+		"this replica's ID in the fleet peer table (requires -peers)")
+	peersFlag := flag.String("peers", "",
+		"static fleet peer table as comma-separated id=url pairs; empty runs single-node")
+	probeInterval := flag.Duration("probe-interval", time.Second,
+		"fleet health-probe period (peer death is detected within a few intervals)")
+	failureThreshold := flag.Int("failure-threshold", 3,
+		"consecutive probe/forward failures that eject a peer from the ring")
+	maxHops := flag.Int("max-hops", 3,
+		"reject forwarded requests above this hop count (routing-loop guard)")
+	tenantRate := flag.Float64("tenant-rate", 0,
+		"per-tenant requests/sec admitted at the fleet edge (X-Facc-Tenant header; 0 disables)")
+	tenantBurst := flag.Float64("tenant-burst", 0,
+		"per-tenant token-bucket burst (0 = max(1, rate))")
+	retryBudget := flag.Float64("retry-budget", 8,
+		"node-global forwarding-retry budget in retries/sec (bounds retry storms)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "usage: faccd [flags] (takes no arguments)\n")
@@ -164,21 +194,56 @@ func main() {
 		Options:        opts,
 	})
 
+	// Fleet mode: wrap the local server in the routing/health/limits
+	// layer. The peer table is static; health is the only dynamic part.
+	handler := srv.Handler()
+	var node *fleet.Node
+	if *peersFlag != "" {
+		peers, err := parsePeers(*peersFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faccd: -peers: %v\n", err)
+			os.Exit(1)
+		}
+		if *peerID == "" {
+			fmt.Fprintf(os.Stderr, "faccd: -peers requires -peer-id\n")
+			os.Exit(1)
+		}
+		node = fleet.New(fleet.Config{
+			Self:              *peerID,
+			Peers:             peers,
+			Local:             srv,
+			Tracer:            tr,
+			ProbeInterval:     *probeInterval,
+			FailureThreshold:  *failureThreshold,
+			MaxHops:           *maxHops,
+			ForwardTimeout:    *requestTimeout,
+			TenantRate:        *tenantRate,
+			TenantBurst:       *tenantBurst,
+			RetryBudgetPerSec: *retryBudget,
+		})
+		handler = node.Handler()
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "faccd: %v\n", err)
 		os.Exit(1)
 	}
 	bound := ln.Addr().String()
-	fmt.Fprintf(os.Stderr, "faccd: serving on http://%s (store %s, queue %d)\n",
-		bound, st.Dir(), *queue)
+	if node != nil {
+		fmt.Fprintf(os.Stderr, "faccd: serving on http://%s as fleet peer %q (store %s, queue %d)\n",
+			bound, *peerID, st.Dir(), *queue)
+	} else {
+		fmt.Fprintf(os.Stderr, "faccd: serving on http://%s (store %s, queue %d)\n",
+			bound, st.Dir(), *queue)
+	}
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "faccd: %v\n", err)
 			os.Exit(1)
 		}
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := &http.Server{Handler: handler}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 
@@ -192,6 +257,9 @@ func main() {
 	}
 	stop() // a second signal now kills immediately
 
+	if node != nil {
+		node.Close() // stop probing first; peers will eject us as we stop answering
+	}
 	fmt.Fprintf(os.Stderr, "faccd: draining (up to %s)...\n", *drainTimeout)
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
@@ -214,4 +282,27 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "faccd: drained cleanly")
+}
+
+// parsePeers decodes the -peers table: comma-separated id=url pairs.
+func parsePeers(s string) (map[string]string, error) {
+	peers := map[string]string{}
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(pair, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("malformed pair %q (want id=url)", pair)
+		}
+		if _, dup := peers[id]; dup {
+			return nil, fmt.Errorf("duplicate peer ID %q", id)
+		}
+		peers[id] = strings.TrimSuffix(url, "/")
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("empty peer table")
+	}
+	return peers, nil
 }

@@ -150,6 +150,39 @@ func BenchGate(cfg GateConfig) (*GateReport, error) {
 		}
 		rep.check("serve.wall_seconds", base.WallSeconds, fresh.WallSeconds, false)
 		rep.check("serve.latency_ms_p99", base.LatencyMsP99, fresh.LatencyMsP99, false)
+		// Fleet chaos checks are skip-if-absent like the search block: a
+		// baseline from before the fleet existed gates nothing, but once
+		// one carries the block the fresh artifact must reproduce it and
+		// hold the robustness invariants absolutely — these are
+		// correctness contracts, not performance numbers, so no tolerance
+		// applies to them.
+		if base.Fleet != nil {
+			if fresh.Fleet == nil {
+				rep.checkTarget("serve.fleet.present", 1, 0, false)
+			} else {
+				bf, ff := base.Fleet, fresh.Fleet
+				rep.check("serve.fleet.latency_ms_p99", bf.LatencyMsP99, ff.LatencyMsP99, false)
+				rep.check("serve.fleet.wall_seconds", bf.WallSeconds, ff.WallSeconds, false)
+				// Zero dropped acknowledged jobs, ever: baseline 0 makes
+				// the lower-is-better limit exactly 0.
+				rep.check("serve.fleet.acked_dropped", 0, float64(ff.AckedDropped), false)
+				rep.checkTarget("serve.fleet.adapters_consistent", 1, boolMetric(ff.AdaptersConsistent), false)
+				// Every offered request must complete despite the kill and
+				// the lossy partition.
+				frac := 0.0
+				if ff.Requests > 0 {
+					frac = float64(ff.Completed) / float64(ff.Requests)
+				}
+				rep.checkTarget("serve.fleet.completed_frac", 1, frac, false)
+				// Rebalance after the kill must land inside the probe
+				// budget the run declared (threshold+2 probe intervals).
+				rep.check("serve.fleet.rebalance_ms", ff.RebalanceBudgetMs, ff.RebalanceMs, false)
+				// The chaos actually exercised failover paths: if the
+				// baseline recorded failovers, a fresh run with none means
+				// the kill stopped mattering (harness regression).
+				rep.checkFloor("serve.fleet.failovers", float64(bf.Failovers), float64(ff.Failovers))
+			}
+		}
 	}
 
 	if len(rep.Checks) == 0 {
@@ -220,6 +253,14 @@ func (r *GateReport) WriteText(w io.Writer) {
 	} else {
 		fmt.Fprintf(w, "bench gate: FAIL (%d of %d checks regressed)\n", r.Failures, len(r.Checks))
 	}
+}
+
+// boolMetric maps a pass/fail invariant onto the gate's numeric floors.
+func boolMetric(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func loadJSON(path string, v any) error {

@@ -1,0 +1,160 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"facc"
+	"facc/internal/server"
+)
+
+// stubFleetCompile is a deterministic, mildly slow compile: the adapter
+// depends only on the request (so every replica and the baseline agree),
+// and the sleep creates real queue pressure at bench concurrency.
+func stubFleetCompile(ctx context.Context, req facc.CompileRequest) (server.CompileResult, error) {
+	select {
+	case <-time.After(10 * time.Millisecond):
+	case <-ctx.Done():
+		return server.CompileResult{}, ctx.Err()
+	}
+	return server.CompileResult{
+		AdapterC: fmt.Sprintf("/* adapter tests=%d */ %s", req.NumTests, req.Source),
+		Function: "fft",
+	}, nil
+}
+
+// TestFleetBenchChaos runs the full chaos harness — replica killed
+// mid-run, a second behind a 30% lossy link — and holds the fleet's
+// robustness contract: everything completes, nothing acked is dropped,
+// adapters match the single-node baseline byte for byte, and the ring
+// rebalances inside the probe budget.
+func TestFleetBenchChaos(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rep, err := FleetBench(ctx, FleetBenchConfig{
+		Replicas:         3,
+		Requests:         24,
+		Concurrency:      6,
+		QueueDepth:       4,
+		Workers:          2,
+		Variants:         4,
+		ProbeInterval:    25 * time.Millisecond,
+		FailureThreshold: 2,
+		LossRate:         0.3,
+		CurveLevels:      []int{2, 4},
+		Compile:          stubFleetCompile,
+	})
+	if err != nil {
+		t.Fatalf("FleetBench: %v", err)
+	}
+
+	if rep.Completed != rep.Requests || rep.Failed != 0 {
+		t.Errorf("completed %d / failed %d of %d requests; want all completed",
+			rep.Completed, rep.Failed, rep.Requests)
+	}
+	if rep.AckedDropped != 0 {
+		t.Errorf("acked_dropped = %d, want 0", rep.AckedDropped)
+	}
+	if !rep.AdaptersConsistent {
+		t.Error("adapters diverged from the single-node baseline")
+	}
+	if rep.KilledReplica == "" {
+		t.Error("no replica was killed")
+	}
+	if rep.RebalanceMs <= 0 || rep.RebalanceMs > rep.RebalanceBudgetMs {
+		t.Errorf("rebalance took %.1fms, budget %.1fms", rep.RebalanceMs, rep.RebalanceBudgetMs)
+	}
+	if len(rep.ShedCurve) != 2 {
+		t.Fatalf("shed curve has %d points, want 2", len(rep.ShedCurve))
+	}
+	for _, p := range rep.ShedCurve {
+		if p.Completed != p.Offered {
+			t.Errorf("curve level %d: completed %d of %d offered", p.Concurrency, p.Completed, p.Offered)
+		}
+		if p.ShedRate < 0 || p.ShedRate >= 1 {
+			t.Errorf("curve level %d: shed rate %.2f out of [0,1)", p.Concurrency, p.ShedRate)
+		}
+	}
+}
+
+// TestBenchGateFleetChecks exercises the skip-if-absent fleet gating.
+func TestBenchGateFleetChecks(t *testing.T) {
+	mk := func(fleet *FleetBenchReport) ServeBenchReport {
+		return ServeBenchReport{WallSeconds: 1, LatencyMsP99: 100, Fleet: fleet}
+	}
+	good := &FleetBenchReport{
+		Requests: 24, Completed: 24,
+		WallSeconds: 1, LatencyMsP99: 120,
+		RebalanceMs: 60, RebalanceBudgetMs: 100,
+		Failovers: 3, AdaptersConsistent: true,
+	}
+	write := func(t *testing.T, name string, rep ServeBenchReport) string {
+		t.Helper()
+		path := t.TempDir() + "/" + name
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := rep.WriteJSON(f); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	// Baseline without a fleet block gates nothing fleet-shaped.
+	base := write(t, "base.json", mk(nil))
+	fresh := write(t, "fresh.json", mk(good))
+	rep, err := BenchGate(GateConfig{BaselineServe: base, FreshServe: fresh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range rep.Checks {
+		if c.Name == "serve.fleet.latency_ms_p99" {
+			t.Fatal("fleet check ran without a fleet baseline")
+		}
+	}
+
+	// Baseline with a block + clean fresh block passes.
+	base = write(t, "base2.json", mk(good))
+	fresh = write(t, "fresh2.json", mk(good))
+	rep, err = BenchGate(GateConfig{BaselineServe: base, FreshServe: fresh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		rep.WriteText(testWriter{t})
+		t.Fatal("clean fleet block failed the gate")
+	}
+
+	// A dropped ack, inconsistent adapters, or a missing fresh block fail.
+	bad := *good
+	bad.AckedDropped = 1
+	bad.AdaptersConsistent = false
+	fresh = write(t, "fresh3.json", mk(&bad))
+	rep, err = BenchGate(GateConfig{BaselineServe: base, FreshServe: fresh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("gate passed a dropped ack + inconsistent adapters")
+	}
+	fresh = write(t, "fresh4.json", mk(nil))
+	rep, err = BenchGate(GateConfig{BaselineServe: base, FreshServe: fresh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("gate passed a fresh artifact missing the fleet block")
+	}
+}
+
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Log(string(p))
+	return len(p), nil
+}

@@ -86,6 +86,12 @@ type ServeBenchReport struct {
 	// every response for the same request digest carried byte-identical
 	// adapter C, whether it was compiled, deduplicated or cached.
 	AdaptersConsistent bool `json:"adapters_consistent"`
+
+	// Fleet is the multi-replica chaos bench block (FleetBench), attached
+	// by faccbench when the fleet run is enabled. Absent in older
+	// baselines; the bench gate skips fleet checks until a baseline
+	// carries one.
+	Fleet *FleetBenchReport `json:"fleet,omitempty"`
 }
 
 // ServeBench stands up a real faccd-style server (full pipeline, real

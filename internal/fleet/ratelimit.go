@@ -1,0 +1,181 @@
+package fleet
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// bucket is one token bucket: capacity burst, refill rate tokens/sec,
+// lazily refilled on use. It is the unit behind both the per-tenant rate
+// limiter and the node-global retry budget.
+type bucket struct {
+	rate   float64 // tokens per second
+	burst  float64 // capacity
+	tokens float64
+	last   time.Time
+}
+
+// take attempts to remove one token at time now. On refusal it returns
+// how long until a token will exist — the Retry-After hint.
+func (b *bucket) take(now time.Time) (ok bool, wait time.Duration) {
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	if b.rate <= 0 {
+		return false, time.Hour
+	}
+	need := 1 - b.tokens
+	return false, time.Duration(need / b.rate * float64(time.Second))
+}
+
+// TenantLimiter is a per-tenant token-bucket rate limit layered in front
+// of the admission queue: each tenant (the X-Facc-Tenant header; absent
+// means the anonymous tenant) gets an independent bucket, so one hot
+// tenant is shed with 429 before it can starve the shared queue for
+// everyone else. A zero rate disables limiting entirely.
+//
+// The tenant table is bounded: past maxTenants the stalest bucket is
+// evicted (a full bucket is the steady state for an idle tenant, so
+// eviction never penalizes anyone still sending).
+type TenantLimiter struct {
+	rate  float64
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+// tenant-table bound: far above any test or deployment this repo runs,
+// present so a tenant-id fuzzer cannot grow the map without bound.
+const maxTenants = 4096
+
+// NewTenantLimiter builds a limiter granting each tenant rate requests
+// per second with the given burst (<=0 burst defaults to max(1, rate)).
+// A rate <= 0 returns a nil limiter, which allows everything.
+func NewTenantLimiter(rate, burst float64) *TenantLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst <= 0 {
+		burst = math.Max(1, rate)
+	}
+	return &TenantLimiter{
+		rate:    rate,
+		burst:   burst,
+		now:     time.Now,
+		buckets: map[string]*bucket{},
+	}
+}
+
+// Allow charges one request to the tenant. On refusal it returns the
+// whole-second Retry-After hint (>= 1).
+func (l *TenantLimiter) Allow(tenant string) (ok bool, retryAfter int) {
+	if l == nil {
+		return true, 0
+	}
+	if tenant == "" {
+		tenant = "anonymous"
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[tenant]
+	if b == nil {
+		if len(l.buckets) >= maxTenants {
+			l.evictStalestLocked()
+		}
+		b = &bucket{rate: l.rate, burst: l.burst, tokens: l.burst}
+		l.buckets[tenant] = b
+	}
+	okNow, wait := b.take(l.now())
+	if okNow {
+		return true, 0
+	}
+	secs := int(math.Ceil(wait.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return false, secs
+}
+
+// evictStalestLocked drops the bucket with the oldest last-use time.
+func (l *TenantLimiter) evictStalestLocked() {
+	var victim string
+	var oldest time.Time
+	for id, b := range l.buckets {
+		if victim == "" || b.last.Before(oldest) {
+			victim, oldest = id, b.last
+		}
+	}
+	delete(l.buckets, victim)
+}
+
+// RetryBudget is the node-global bound on forwarding retries: every
+// retry (not the first attempt) must take a token, and the bucket
+// refills at a fixed rate. When the fleet is broadly sick, the budget
+// drains and forwards fail over fast instead of amplifying the overload
+// with a retry storm — the classic retry-budget pattern.
+type RetryBudget struct {
+	now func() time.Time
+
+	mu sync.Mutex
+	b  bucket
+}
+
+// NewRetryBudget allows `rate` retries per second with a capacity of
+// `burst` (<=0 defaults: rate 8/s, burst 16).
+func NewRetryBudget(rate, burst float64) *RetryBudget {
+	if rate <= 0 {
+		rate = 8
+	}
+	if burst <= 0 {
+		burst = 16
+	}
+	return &RetryBudget{
+		now: time.Now,
+		b:   bucket{rate: rate, burst: burst, tokens: burst},
+	}
+}
+
+// Take consumes one retry token if available.
+func (r *RetryBudget) Take() bool {
+	if r == nil {
+		return true
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ok, _ := r.b.take(r.now())
+	return ok
+}
+
+// Remaining reports the current token count (for the fleet.retry_budget
+// gauge; approximate by design — it refills lazily).
+func (r *RetryBudget) Remaining() float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Refill without spending.
+	now := r.now()
+	if !r.b.last.IsZero() {
+		r.b.tokens += now.Sub(r.b.last).Seconds() * r.b.rate
+		if r.b.tokens > r.b.burst {
+			r.b.tokens = r.b.burst
+		}
+	}
+	r.b.last = now
+	return r.b.tokens
+}

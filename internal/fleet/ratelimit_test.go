@@ -1,0 +1,111 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-advanced time source for bucket math.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1700000000, 0)} }
+
+func TestTenantLimiterBurstAndRefill(t *testing.T) {
+	clk := newFakeClock()
+	l := NewTenantLimiter(2, 2) // 2 rps, burst 2
+	l.now = clk.now
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.Allow("a"); !ok {
+			t.Fatalf("burst request %d refused", i)
+		}
+	}
+	ok, retry := l.Allow("a")
+	if ok {
+		t.Fatal("third immediate request allowed past burst")
+	}
+	if retry < 1 {
+		t.Fatalf("Retry-After = %d, want >= 1", retry)
+	}
+	// Another tenant is unaffected.
+	if ok, _ := l.Allow("b"); !ok {
+		t.Fatal("independent tenant refused")
+	}
+	// Half a second refills one token at 2 rps.
+	clk.advance(500 * time.Millisecond)
+	if ok, _ := l.Allow("a"); !ok {
+		t.Fatal("request refused after refill")
+	}
+}
+
+func TestTenantLimiterAnonymousAndDisabled(t *testing.T) {
+	if l := NewTenantLimiter(0, 0); l != nil {
+		t.Fatal("zero rate should disable limiting (nil limiter)")
+	}
+	var l *TenantLimiter
+	if ok, _ := l.Allow("anyone"); !ok {
+		t.Fatal("nil limiter must allow everything")
+	}
+
+	clk := newFakeClock()
+	l = NewTenantLimiter(1, 1)
+	l.now = clk.now
+	// "" and "anonymous" share one bucket.
+	if ok, _ := l.Allow(""); !ok {
+		t.Fatal("first anonymous request refused")
+	}
+	if ok, _ := l.Allow("anonymous"); ok {
+		t.Fatal("anonymous alias got a second bucket")
+	}
+}
+
+func TestTenantLimiterEviction(t *testing.T) {
+	clk := newFakeClock()
+	l := NewTenantLimiter(1, 1)
+	l.now = clk.now
+	// Fill the table past the bound; each new tenant evicts the stalest.
+	for i := 0; i < maxTenants+10; i++ {
+		clk.advance(time.Millisecond)
+		l.Allow(fmt.Sprintf("tenant-%d", i))
+	}
+	l.mu.Lock()
+	n := len(l.buckets)
+	l.mu.Unlock()
+	if n > maxTenants {
+		t.Fatalf("tenant table grew to %d, bound is %d", n, maxTenants)
+	}
+}
+
+func TestRetryBudget(t *testing.T) {
+	clk := newFakeClock()
+	b := NewRetryBudget(1, 2) // 1 token/sec, capacity 2
+	b.now = clk.now
+
+	if !b.Take() || !b.Take() {
+		t.Fatal("burst tokens refused")
+	}
+	if b.Take() {
+		t.Fatal("third immediate retry allowed past burst")
+	}
+	clk.advance(time.Second)
+	if !b.Take() {
+		t.Fatal("retry refused after refill")
+	}
+	if rem := b.Remaining(); rem > 1 {
+		t.Fatalf("Remaining = %v, want <= 1", rem)
+	}
+	// Defaults and nil-safety.
+	if d := NewRetryBudget(0, 0); !d.Take() {
+		t.Fatal("default budget refused first token")
+	}
+	var nilB *RetryBudget
+	if !nilB.Take() {
+		t.Fatal("nil budget must allow")
+	}
+	if nilB.Remaining() != 0 {
+		t.Fatal("nil budget Remaining != 0")
+	}
+}
